@@ -1,0 +1,207 @@
+//! Def/use collection: for every RDD variable, where it is defined, used,
+//! persisted, and acted on, and inside which loops.
+
+use sparklang::ast::{LoopId, Program, Stmt, StmtId, StorageLevel, VarId};
+use sparklang::visit::{walk, Visitor};
+use std::collections::HashMap;
+
+/// One occurrence of a variable, with its loop context (outermost first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Occurrence {
+    /// Statement position.
+    pub stmt: StmtId,
+    /// Enclosing loops, outermost first.
+    pub loops: Vec<LoopId>,
+}
+
+impl Occurrence {
+    /// Is this occurrence inside loop `l`?
+    pub fn in_loop(&self, l: LoopId) -> bool {
+        self.loops.contains(&l)
+    }
+}
+
+/// A `persist` site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistSite {
+    /// Statement position.
+    pub stmt: StmtId,
+    /// Requested storage level.
+    pub level: StorageLevel,
+    /// Enclosing loops.
+    pub loops: Vec<LoopId>,
+}
+
+/// Loop extent in pre-order statement ids: the loop header is `start`; the
+/// last statement of its body is `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopExtent {
+    /// Loop header position.
+    pub start: StmtId,
+    /// Last body-statement position.
+    pub end: StmtId,
+    /// Iteration count.
+    pub n: u32,
+}
+
+/// Def/use facts for one program.
+#[derive(Debug, Clone, Default)]
+pub struct DefUse {
+    /// Definitions (binds) per variable.
+    pub defs: HashMap<VarId, Vec<Occurrence>>,
+    /// Uses (expression mentions and actions) per variable.
+    pub uses: HashMap<VarId, Vec<Occurrence>>,
+    /// `persist` sites per variable.
+    pub persists: HashMap<VarId, Vec<PersistSite>>,
+    /// Action sites per variable.
+    pub actions: HashMap<VarId, Vec<Occurrence>>,
+    /// `unpersist` sites per variable (recorded but — like the paper's
+    /// analysis, see Section 5.5 — not used for tag inference).
+    pub unpersists: HashMap<VarId, Vec<Occurrence>>,
+    /// Extents of all loops.
+    pub loops: HashMap<LoopId, LoopExtent>,
+}
+
+impl DefUse {
+    /// Collect facts from a program.
+    pub fn collect(program: &Program) -> DefUse {
+        let mut c = Collector::default();
+        walk(program, &mut c);
+        c.out
+    }
+
+    /// Is `var` defined anywhere inside loop `l`?
+    pub fn defined_in(&self, var: VarId, l: LoopId) -> bool {
+        self.defs.get(&var).is_some_and(|v| v.iter().any(|o| o.in_loop(l)))
+    }
+
+    /// Is `var` used anywhere inside loop `l`?
+    pub fn used_in(&self, var: VarId, l: LoopId) -> bool {
+        self.uses.get(&var).is_some_and(|v| v.iter().any(|o| o.in_loop(l)))
+    }
+
+    /// The *materialization point* of `var`: its first `persist` site, or
+    /// failing that its first action site.
+    pub fn materialization_point(&self, var: VarId) -> Option<StmtId> {
+        self.persists
+            .get(&var)
+            .and_then(|p| p.iter().map(|s| s.stmt).min())
+            .or_else(|| self.actions.get(&var).and_then(|a| a.iter().map(|o| o.stmt).min()))
+    }
+
+    /// Variables that are materialized (persisted or action targets), in
+    /// id order.
+    pub fn materialized_vars(&self) -> Vec<VarId> {
+        let mut vars: Vec<VarId> =
+            self.persists.keys().chain(self.actions.keys()).copied().collect();
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+}
+
+#[derive(Default)]
+struct Collector {
+    out: DefUse,
+    loop_stack: Vec<(LoopId, StmtId, u32)>,
+}
+
+impl Visitor for Collector {
+    fn stmt(&mut self, id: StmtId, stmt: &Stmt, loops: &[LoopId]) {
+        let occ = |id| Occurrence { stmt: id, loops: loops.to_vec() };
+        match stmt {
+            Stmt::Bind { var, expr } => {
+                self.out.defs.entry(*var).or_default().push(occ(id));
+                for u in expr.vars() {
+                    self.out.uses.entry(u).or_default().push(occ(id));
+                }
+            }
+            Stmt::Persist { var, level } => {
+                self.out.persists.entry(*var).or_default().push(PersistSite {
+                    stmt: id,
+                    level: *level,
+                    loops: loops.to_vec(),
+                });
+            }
+            Stmt::Unpersist { var } => {
+                self.out.unpersists.entry(*var).or_default().push(occ(id));
+            }
+            Stmt::Action { var, .. } => {
+                self.out.actions.entry(*var).or_default().push(occ(id));
+                // An action reads the RDD: it is also a use.
+                self.out.uses.entry(*var).or_default().push(occ(id));
+            }
+            Stmt::Loop { .. } => unreachable!("loops dispatch via enter_loop"),
+        }
+    }
+
+    fn enter_loop(&mut self, id: StmtId, loop_id: LoopId, n: u32) {
+        self.loop_stack.push((loop_id, id, n));
+    }
+
+    fn exit_loop(&mut self, loop_id: LoopId, last: StmtId) {
+        let (lid, start, n) = self.loop_stack.pop().expect("balanced loops");
+        debug_assert_eq!(lid, loop_id);
+        self.out.loops.insert(loop_id, LoopExtent { start, end: last, n });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparklang::{ActionKind, ProgramBuilder, StorageLevel};
+
+    #[test]
+    fn collects_pagerank_shape() {
+        // Figure 2(a): links used-only in the loop, contribs defined in it.
+        let mut b = ProgramBuilder::new("pr");
+        let f = b.map_fn(|p| p.clone());
+        let src = b.source("wiki");
+        let links = b.bind("links", src.map(f).distinct().group_by_key());
+        b.persist(links, StorageLevel::MemoryOnly);
+        let ranks = b.bind("ranks", b.var(links).map_values(f));
+        b.loop_n(10, |b| {
+            let e = b.var(links).join(b.var(ranks)).values().flat_map(f);
+            let contribs = b.bind("contribs", e);
+            b.persist(contribs, StorageLevel::MemoryAndDiskSer);
+            let e2 = b.var(contribs).reduce_by_key(f).map_values(f);
+            b.rebind(ranks, e2);
+        });
+        b.action(ranks, ActionKind::Count);
+        let (p, _) = b.finish();
+        let du = DefUse::collect(&p);
+
+        let l0 = LoopId(0);
+        assert!(du.used_in(links, l0));
+        assert!(!du.defined_in(links, l0));
+        assert!(du.used_in(ranks, l0));
+        assert!(du.defined_in(ranks, l0));
+        let contribs = VarId(2);
+        assert!(du.used_in(contribs, l0));
+        assert!(du.defined_in(contribs, l0));
+
+        // Materialization points: persist for links/contribs, the action
+        // for ranks — and the loop precedes the action.
+        let ranks_mat = du.materialization_point(ranks).unwrap();
+        let extent = du.loops[&l0];
+        assert!(ranks_mat > extent.end, "ranks materializes after the loop");
+        assert!(du.materialization_point(links).unwrap() < extent.start);
+        let cm = du.materialization_point(contribs).unwrap();
+        assert!(cm >= extent.start && cm <= extent.end, "contribs persists inside");
+        assert_eq!(du.materialized_vars(), vec![links, ranks, contribs]);
+    }
+
+    #[test]
+    fn flatmap_var_and_action_uses() {
+        use sparklang::VarId;
+        let mut b = ProgramBuilder::new("t");
+        let src = b.source("s");
+        let x = b.bind("x", src);
+        b.action(x, ActionKind::Collect);
+        let (p, _) = b.finish();
+        let du = DefUse::collect(&p);
+        assert_eq!(du.uses[&x].len(), 1, "action counts as a use");
+        assert_eq!(du.defs[&x].len(), 1);
+        assert!(du.materialization_point(VarId(9)).is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the static analysis over randomly generated
+//! programs: totality, tag-domain invariants, and the all-NVM flip rule.
+
+use panthera_analysis::{analyze, infer_tags, TagReason};
+use proptest::prelude::*;
+use sparklang::ast::MemoryTag;
+use sparklang::{ActionKind, Program, ProgramBuilder, StorageLevel, VarId};
+
+/// A random but well-formed program: a pool of variables defined from
+/// sources or from each other, optionally persisted, with random loops.
+#[derive(Debug, Clone)]
+struct ProgSpec {
+    ops: Vec<Op>,
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    NewVar,
+    Persist(usize, u8),
+    Action(usize),
+    LoopStart(u8),
+    LoopEnd,
+    RebindFromSelf(usize),
+    Use(usize),
+}
+
+fn spec() -> impl Strategy<Value = ProgSpec> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(Op::NewVar),
+            (any::<prop::sample::Index>(), 0u8..10).prop_map(|(i, l)| Op::Persist(i.index(64), l)),
+            any::<prop::sample::Index>().prop_map(|i| Op::Action(i.index(64))),
+            (1u8..4).prop_map(Op::LoopStart),
+            Just(Op::LoopEnd),
+            any::<prop::sample::Index>().prop_map(|i| Op::RebindFromSelf(i.index(64))),
+            any::<prop::sample::Index>().prop_map(|i| Op::Use(i.index(64))),
+        ],
+        1..40,
+    )
+    .prop_map(|ops| ProgSpec { ops })
+}
+
+const LEVELS: [StorageLevel; 10] = StorageLevel::ALL;
+
+/// Interpret the spec into a real program (skipping ops that would be
+/// ill-formed at that point).
+fn build(spec: &ProgSpec) -> Program {
+    fn emit(b: &mut ProgramBuilder, vars: &mut Vec<VarId>, depth: &mut u32, op: &Op) {
+        match op {
+            Op::NewVar => {
+                let name = format!("v{}", vars.len());
+                let src = b.source(&format!("s{}", vars.len()));
+                let v = b.bind(&name, src.distinct());
+                vars.push(v);
+            }
+            Op::Persist(i, l) if !vars.is_empty() => {
+                let v = vars[i % vars.len()];
+                b.persist(v, LEVELS[*l as usize % LEVELS.len()]);
+            }
+            Op::Action(i) if !vars.is_empty() => {
+                b.action(vars[i % vars.len()], ActionKind::Count);
+            }
+            Op::RebindFromSelf(i) if !vars.is_empty() => {
+                let v = vars[i % vars.len()];
+                let e = b.var(v).distinct();
+                b.rebind(v, e);
+            }
+            Op::Use(i) if !vars.is_empty() => {
+                let v = vars[i % vars.len()];
+                let name = format!("u{}", vars.len());
+                let u = b.bind(&name, b.var(v).group_by_key());
+                vars.push(u);
+            }
+            _ => {}
+        }
+        let _ = depth;
+    }
+
+    let mut b = ProgramBuilder::new("random");
+    let mut vars: Vec<VarId> = Vec::new();
+    let mut depth = 0u32;
+
+    // Split the op stream at loop markers and build nested loops
+    // iteratively via a simple recursive descent.
+    fn go(
+        ops: &[Op],
+        pos: &mut usize,
+        b: &mut ProgramBuilder,
+        vars: &mut Vec<VarId>,
+        depth: &mut u32,
+    ) {
+        while *pos < ops.len() {
+            match &ops[*pos] {
+                Op::LoopStart(n) if *depth < 3 => {
+                    let n = *n;
+                    *pos += 1;
+                    *depth += 1;
+                    // Collect the body by recursion.
+                    let body_start = *pos;
+                    let _ = body_start;
+                    b.loop_n(n as u32, |b| go(ops, pos, b, vars, depth));
+                    *depth -= 1;
+                }
+                Op::LoopEnd => {
+                    *pos += 1;
+                    if *depth > 0 {
+                        return;
+                    }
+                }
+                op => {
+                    emit(b, vars, depth, op);
+                    *pos += 1;
+                }
+            }
+        }
+    }
+    let mut pos = 0;
+    go(&spec.ops, &mut pos, &mut b, &mut vars, &mut depth);
+    b.finish().0
+}
+
+proptest! {
+    /// The analysis is total and only tags materialized variables.
+    #[test]
+    fn analysis_is_total(s in spec()) {
+        let p = build(&s);
+        let report = analyze(&p);
+        for (v, t) in &report.tags.vars {
+            prop_assert!((v.0 as usize) < p.n_vars());
+            // DISK_ONLY is the only untagged reason.
+            if t.tag.is_none() {
+                prop_assert_eq!(&t.reason, &TagReason::DiskOnly);
+            }
+        }
+        // Every instrumented site refers to a tagged decision's variable.
+        for site in report.plan.sites.values() {
+            prop_assert!(report.tags.vars.contains_key(&site.var));
+        }
+    }
+
+    /// The flip rule never leaves a rule-based NVM-only assignment: if no
+    /// variable earned DRAM, every rule-based decision is flipped.
+    #[test]
+    fn flip_rule_invariant(s in spec()) {
+        let p = build(&s);
+        let tags = infer_tags(&p);
+        let rule_based: Vec<_> = tags
+            .vars
+            .values()
+            .filter(|t| {
+                matches!(
+                    t.reason,
+                    TagReason::UsedOnlyInLoop
+                        | TagReason::DefinedInLoop
+                        | TagReason::NoQualifyingLoop
+                        | TagReason::AllNvmFlip
+                )
+            })
+            .collect();
+        if !rule_based.is_empty() {
+            let any_dram = rule_based.iter().any(|t| t.tag == Some(MemoryTag::Dram));
+            prop_assert!(
+                any_dram,
+                "analysis left all rule-based tags NVM without flipping"
+            );
+        }
+    }
+
+    /// Determinism: analyzing twice gives identical assignments.
+    #[test]
+    fn analysis_is_deterministic(s in spec()) {
+        let p = build(&s);
+        let a = infer_tags(&p);
+        let b = infer_tags(&p);
+        prop_assert_eq!(a.vars, b.vars);
+    }
+}

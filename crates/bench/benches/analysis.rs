@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the static analysis — the paper stresses it adds
+//! zero runtime overhead; here we show it is also cheap at compile time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use panthera_analysis::{analyze, infer_tags};
+use sparklang::{ActionKind, Program, ProgramBuilder, StorageLevel};
+use std::hint::black_box;
+
+/// A deep program: `depth` nested loops, each defining and persisting RDDs.
+fn deep_program(depth: u32) -> Program {
+    fn nest(b: &mut ProgramBuilder, outer: sparklang::VarId, depth: u32) {
+        if depth == 0 {
+            b.action(outer, ActionKind::Count);
+            return;
+        }
+        b.loop_n(3, |b| {
+            let inner = b.bind("inner", b.var(outer).distinct());
+            b.persist(inner, StorageLevel::MemoryOnly);
+            nest(b, inner, depth - 1);
+        });
+    }
+    let mut b = ProgramBuilder::new("deep");
+    let src = b.source("input");
+    let root = b.bind("root", src);
+    b.persist(root, StorageLevel::MemoryOnly);
+    nest(&mut b, root, depth);
+    b.finish().0
+}
+
+/// A wide program: `n` independent persisted variables used in one loop.
+fn wide_program(n: u32) -> Program {
+    let mut b = ProgramBuilder::new("wide");
+    let mut vars = Vec::new();
+    for i in 0..n {
+        let src = b.source(&format!("s{i}"));
+        let v = b.bind(&format!("v{i}"), src.distinct());
+        b.persist(v, StorageLevel::MemoryOnly);
+        vars.push(v);
+    }
+    b.loop_n(5, |b| {
+        for v in &vars {
+            b.action(*v, ActionKind::Count);
+        }
+    });
+    b.finish().0
+}
+
+fn bench_infer(c: &mut Criterion) {
+    let deep = deep_program(8);
+    let wide = wide_program(64);
+    c.bench_function("analysis/infer_deep_8", |b| {
+        b.iter(|| black_box(infer_tags(black_box(&deep))))
+    });
+    c.bench_function("analysis/infer_wide_64", |b| {
+        b.iter(|| black_box(infer_tags(black_box(&wide))))
+    });
+    c.bench_function("analysis/full_pipeline_wide_64", |b| {
+        b.iter(|| black_box(analyze(black_box(&wide))))
+    });
+}
+
+criterion_group!(benches, bench_infer);
+criterion_main!(benches);

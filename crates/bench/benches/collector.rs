@@ -1,0 +1,98 @@
+//! Micro-benchmarks of the collectors: minor scavenges over dead/live
+//! populations, tag propagation, and major mark-compact.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gc::{GcCoordinator, PantheraPolicy};
+use hybridmem::MemorySystemConfig;
+use mheap::{Heap, HeapConfig, MemTag, ObjKind, Payload, RootSet};
+use std::hint::black_box;
+
+fn setup() -> (Heap, GcCoordinator) {
+    let heap = Heap::new(
+        HeapConfig::panthera(64 << 20, 1.0 / 3.0),
+        MemorySystemConfig::with_capacities(21 << 20, 43 << 20),
+    )
+    .expect("valid config");
+    (heap, GcCoordinator::new(Box::new(PantheraPolicy::default())))
+}
+
+fn bench_minor_all_dead(c: &mut Criterion) {
+    c.bench_function("gc/minor_4k_dead", |b| {
+        b.iter_batched(
+            || {
+                let (mut heap, gc) = setup();
+                let roots = RootSet::new();
+                for i in 0..4_096 {
+                    heap.alloc_young(ObjKind::Tuple, MemTag::None, vec![], Payload::Long(i))
+                        .unwrap();
+                }
+                (heap, gc, roots)
+            },
+            |(mut heap, mut gc, roots)| {
+                gc.minor_gc(&mut heap, &roots);
+                black_box(heap.live_objects())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_minor_with_tagged_survivors(c: &mut Criterion) {
+    c.bench_function("gc/minor_1k_eager_promotions", |b| {
+        b.iter_batched(
+            || {
+                let (mut heap, gc) = setup();
+                let mut roots = RootSet::new();
+                let nvm = heap.old_nvm().unwrap();
+                let arr = heap.alloc_array_old(nvm, 1, 1_024, MemTag::Nvm).unwrap();
+                roots.push(arr);
+                for i in 0..1_024 {
+                    let t = heap
+                        .alloc_young(ObjKind::Tuple, MemTag::None, vec![], Payload::Long(i))
+                        .unwrap();
+                    heap.push_ref(arr, t);
+                }
+                (heap, gc, roots)
+            },
+            |(mut heap, mut gc, roots)| {
+                gc.minor_gc(&mut heap, &roots);
+                black_box(gc.stats().eager_promotions)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_major_compaction(c: &mut Criterion) {
+    c.bench_function("gc/major_2k_live_2k_dead", |b| {
+        b.iter_batched(
+            || {
+                let (mut heap, gc) = setup();
+                let mut roots = RootSet::new();
+                let nvm = heap.old_nvm().unwrap();
+                for i in 0..4_096i64 {
+                    let id = heap
+                        .alloc_old(nvm, ObjKind::Tuple, MemTag::Nvm, vec![], Payload::Long(i))
+                        .unwrap();
+                    if i % 2 == 0 {
+                        roots.push(id);
+                    }
+                }
+                (heap, gc, roots)
+            },
+            |(mut heap, mut gc, roots)| {
+                gc.major_gc(&mut heap, &roots);
+                black_box(gc.stats().old_freed)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_minor_all_dead,
+    bench_minor_with_tagged_survivors,
+    bench_major_compaction
+);
+criterion_main!(benches);

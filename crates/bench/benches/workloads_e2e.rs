@@ -1,0 +1,34 @@
+//! End-to-end wall-clock cost of simulating each workload under each
+//! memory mode (small scale — this measures the *simulator*, not the
+//! simulated system; the simulated results live in the `fig*`/`table*`
+//! binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panthera::{run_workload, MemoryMode, SystemConfig, SIM_GB};
+use std::hint::black_box;
+use workloads::{build_workload, WorkloadId};
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(10);
+    for id in [WorkloadId::Pr, WorkloadId::Km, WorkloadId::Cc] {
+        for mode in [MemoryMode::DramOnly, MemoryMode::Unmanaged, MemoryMode::Panthera] {
+            g.bench_with_input(
+                BenchmarkId::new(id.name(), mode.label()),
+                &(id, mode),
+                |b, (id, mode)| {
+                    b.iter(|| {
+                        let w = build_workload(*id, 0.1, 7);
+                        let cfg = SystemConfig::new(*mode, 16 * SIM_GB, 1.0 / 3.0);
+                        let (report, _) = run_workload(&w.program, w.fns, w.data, &cfg);
+                        black_box(report.elapsed_s)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

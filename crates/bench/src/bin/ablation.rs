@@ -1,0 +1,55 @@
+//! Ablations of Panthera's optimizations (Sections 4.2.2, 4.2.3, 5.3,
+//! 5.5): eager promotion, card padding, and dynamic monitoring/migration.
+
+use panthera::{MemoryMode, SystemConfig, SIM_GB};
+use panthera_bench::{header, run_with, scale};
+use workloads::WorkloadId;
+
+fn config(mutate: impl FnOnce(&mut SystemConfig)) -> SystemConfig {
+    let mut c = SystemConfig::new(MemoryMode::Panthera, 64 * SIM_GB, 1.0 / 3.0);
+    mutate(&mut c);
+    c
+}
+
+fn main() {
+    header(
+        "Ablation: Panthera without each optimization (64GB, 1/3 DRAM)",
+        "Section 5.3: -card padding => GC time +60%; eager promotion ~9% of \
+         the GC win. Section 5.5: disabling monitoring+migration is not \
+         noticeable on average",
+    );
+    let _ = scale();
+    println!(
+        "{:<12} | {:>10} {:>10} {:>10} {:>10} | {:>11} {:>11}",
+        "workload", "full", "-eager", "-padding", "-migration", "gc -eager", "gc -padding"
+    );
+    println!("{}", "-".repeat(86));
+    let mut gc_pad_ratios = Vec::new();
+    let mut gc_eager_ratios = Vec::new();
+    for id in WorkloadId::ALL {
+        let full = run_with(id, config(|_| {}));
+        let no_eager = run_with(id, config(|c| c.eager_promotion = false));
+        let no_pad = run_with(id, config(|c| c.card_padding = false));
+        let no_migration = run_with(id, config(|c| c.dynamic_migration = false));
+        println!(
+            "{:<12} | {:>9.4}s {:>9.4}s {:>9.4}s {:>9.4}s | {:>10.2}x {:>10.2}x",
+            id.name(),
+            full.elapsed_s,
+            no_eager.elapsed_s,
+            no_pad.elapsed_s,
+            no_migration.elapsed_s,
+            no_eager.gc_s() / full.gc_s(),
+            no_pad.gc_s() / full.gc_s(),
+        );
+        gc_eager_ratios.push(no_eager.gc_s() / full.gc_s());
+        gc_pad_ratios.push(no_pad.gc_s() / full.gc_s());
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!("{}", "-".repeat(86));
+    println!(
+        "average GC-time blowup: without eager promotion {:.2}x, without card \
+         padding {:.2}x (paper: padding off => GC +60%)",
+        avg(&gc_eager_ratios),
+        avg(&gc_pad_ratios)
+    );
+}

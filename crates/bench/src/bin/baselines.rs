@@ -1,0 +1,56 @@
+//! Section 5.2's baseline comparison: Kingsguard-Nursery and
+//! Kingsguard-Writes (the Write Rationing GC) against unmanaged and
+//! Panthera.
+
+use panthera::MemoryMode;
+use panthera_bench::{header, norm, run_main};
+use workloads::WorkloadId;
+
+fn main() {
+    header(
+        "Section 5.2 baselines: time normalized to 64GB DRAM-only",
+        "paper: KW averaged +41% time; unmanaged outperformed both KN and KW",
+    );
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9}",
+        "workload", "unmanaged", "kn", "kw", "panthera"
+    );
+    println!("{}", "-".repeat(54));
+    let mut sums = [0.0f64; 4];
+    for id in WorkloadId::ALL {
+        let base = run_main(id, MemoryMode::DramOnly);
+        let cols = [
+            run_main(id, MemoryMode::Unmanaged).time_vs(&base),
+            run_main(id, MemoryMode::KingsguardNursery).time_vs(&base),
+            run_main(id, MemoryMode::KingsguardWrites).time_vs(&base),
+            run_main(id, MemoryMode::Panthera).time_vs(&base),
+        ];
+        println!(
+            "{:<12} {:>9} {:>9} {:>9} {:>9}",
+            id.name(),
+            norm(cols[0]),
+            norm(cols[1]),
+            norm(cols[2]),
+            norm(cols[3])
+        );
+        for (s, c) in sums.iter_mut().zip(&cols) {
+            *s += c;
+        }
+    }
+    let n = WorkloadId::ALL.len() as f64;
+    println!("{}", "-".repeat(54));
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9}",
+        "average",
+        norm(sums[0] / n),
+        norm(sums[1] / n),
+        norm(sums[2] / n),
+        norm(sums[3] / n)
+    );
+    println!();
+    println!(
+        "expected shape: panthera < unmanaged < Kingsguard. Write rationing \
+         settles read-mostly persisted RDDs in NVM and pays write-barrier \
+         and migration costs on top."
+    );
+}

@@ -1,0 +1,24 @@
+//! Run the complete evaluation: every table, figure, baseline, and
+//! ablation, in paper order. Equivalent to running each binary in turn.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 16] = [
+    "table1", "table2", "table4", "fig2c", "fig4", "fig5", "fig6", "fig7", "fig8", "table5",
+    "baselines", "ablation", "nursery", "hashjoin", "nvmtech", "matrix",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("bin dir");
+    for name in EXPERIMENTS {
+        let bin = dir.join(name);
+        println!();
+        let status = Command::new(&bin)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        assert!(status.success(), "{name} failed: {status}");
+    }
+    println!();
+    println!("all {} experiments completed.", EXPERIMENTS.len());
+}

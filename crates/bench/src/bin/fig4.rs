@@ -1,0 +1,55 @@
+//! Figure 4: overall performance and energy, 64 GB heap, 1/3 DRAM,
+//! normalized to the 64 GB DRAM-only baseline.
+
+use panthera::MemoryMode;
+use panthera_bench::{header, maybe_csv, norm, run_main};
+use workloads::WorkloadId;
+
+fn main() {
+    header(
+        "Figure 4: elapsed time / energy normalized to 64GB DRAM-only",
+        "Fig. 4; paper averages: unmanaged 1.214 / 0.690, panthera 1.043 / 0.626",
+    );
+    println!(
+        "{:<12} | {:>9} {:>9} | {:>9} {:>9}",
+        "workload", "unmanaged", "panthera", "unmanaged", "panthera"
+    );
+    println!("{:<12} | {:^19} | {:^19}", "", "elapsed time", "energy");
+    println!("{}", "-".repeat(58));
+    let (mut sum_tu, mut sum_tp, mut sum_eu, mut sum_ep) = (0.0, 0.0, 0.0, 0.0);
+    for id in WorkloadId::ALL {
+        let base = run_main(id, MemoryMode::DramOnly);
+        let unmanaged = run_main(id, MemoryMode::Unmanaged);
+        let panthera = run_main(id, MemoryMode::Panthera);
+        maybe_csv("fig4", &[&base, &unmanaged, &panthera]);
+        let (tu, tp) = (unmanaged.time_vs(&base), panthera.time_vs(&base));
+        let (eu, ep) = (unmanaged.energy_vs(&base), panthera.energy_vs(&base));
+        println!(
+            "{:<12} | {} {} | {} {}",
+            id.name(),
+            norm(tu),
+            norm(tp),
+            norm(eu),
+            norm(ep)
+        );
+        sum_tu += tu;
+        sum_tp += tp;
+        sum_eu += eu;
+        sum_ep += ep;
+    }
+    let n = WorkloadId::ALL.len() as f64;
+    println!("{}", "-".repeat(58));
+    println!(
+        "{:<12} | {} {} | {} {}",
+        "average",
+        norm(sum_tu / n),
+        norm(sum_tp / n),
+        norm(sum_eu / n),
+        norm(sum_ep / n)
+    );
+    println!();
+    println!(
+        "expected shape: panthera time ~= DRAM-only (paper: +4.3%) with a \
+         large energy reduction (paper: -37.4%); unmanaged pays ~+21% time."
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 5: elapsed time broken into computation and GC time per
+//! workload, for DRAM-only / Panthera / Unmanaged (64 GB heap).
+
+use panthera::{MemoryMode, RunReport};
+use panthera_bench::{header, run_main};
+use workloads::WorkloadId;
+
+fn row(r: &RunReport) -> String {
+    format!(
+        "{:<20} computation {:>9.4}s   gc {:>9.4}s  (minor {:>8.4}s / major {:>8.4}s,          {} minor + {} major GCs, worst pause {:.2}ms)",
+        r.mode,
+        r.mutator_s,
+        r.gc_s(),
+        r.minor_gc_s,
+        r.major_gc_s,
+        r.gc.minor_count,
+        r.gc.major_count,
+        r.max_pause_ms(),
+    )
+}
+
+fn main() {
+    header(
+        "Figure 5: computation vs GC time (64GB heap, 1/3 DRAM)",
+        "Fig. 5; paper: unmanaged GC overhead 60.4%, panthera 4.7% vs DRAM-only",
+    );
+    let mut gc_overhead_unmanaged = Vec::new();
+    let mut gc_overhead_panthera = Vec::new();
+    let mut comp_overhead_unmanaged = Vec::new();
+    let mut comp_overhead_panthera = Vec::new();
+    for id in WorkloadId::ALL {
+        println!("{}", id.name());
+        let base = run_main(id, MemoryMode::DramOnly);
+        let pan = run_main(id, MemoryMode::Panthera);
+        let unm = run_main(id, MemoryMode::Unmanaged);
+        println!("  {}", row(&base));
+        println!("  {}", row(&pan));
+        println!("  {}", row(&unm));
+        gc_overhead_unmanaged.push(unm.gc_s() / base.gc_s() - 1.0);
+        gc_overhead_panthera.push(pan.gc_s() / base.gc_s() - 1.0);
+        comp_overhead_unmanaged.push(unm.mutator_s / base.mutator_s - 1.0);
+        comp_overhead_panthera.push(pan.mutator_s / base.mutator_s - 1.0);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64 * 100.0;
+    println!();
+    println!(
+        "average GC overhead vs DRAM-only:      unmanaged {:+.1}%  panthera {:+.1}%  (paper: +60.4% / +4.7%)",
+        avg(&gc_overhead_unmanaged),
+        avg(&gc_overhead_panthera)
+    );
+    println!(
+        "average computation overhead:          unmanaged {:+.1}%  panthera {:+.1}%  (paper: +6.9% / +4.5%)",
+        avg(&comp_overhead_unmanaged),
+        avg(&comp_overhead_panthera)
+    );
+}

@@ -1,0 +1,61 @@
+//! Figure 6: elapsed time for two heaps (64/120 GB) x two DRAM ratios
+//! (1/4, 1/3), on PR, LR, GraphX-CC, MLlib-BC, normalized to the same-size
+//! DRAM-only baseline.
+
+use panthera::MemoryMode;
+use panthera_bench::{header, norm, run};
+use workloads::WorkloadId;
+
+const WORKLOADS: [WorkloadId; 4] =
+    [WorkloadId::Pr, WorkloadId::Lr, WorkloadId::Cc, WorkloadId::Bc];
+
+fn main() {
+    header(
+        "Figure 6: normalized elapsed time across heaps and DRAM ratios",
+        "Fig. 6; paper panthera averages: (64GB,1/4) 1.095, (64GB,1/3) 1.034, \
+         (120GB,1/4) 1.021, (120GB,1/3) 1.000",
+    );
+    for heap_gb in [120u64, 64] {
+        println!("--- {heap_gb} GB heap (normalized to {heap_gb} GB DRAM-only) ---");
+        println!(
+            "{:<12} | {:>10} {:>10} | {:>10} {:>10}",
+            "workload", "unm 1/4", "pan 1/4", "unm 1/3", "pan 1/3"
+        );
+        let mut sums = [0.0f64; 4];
+        for id in WORKLOADS {
+            let base = run(id, MemoryMode::DramOnly, heap_gb, 1.0);
+            let mut cols = Vec::new();
+            for ratio in [0.25, 1.0 / 3.0] {
+                let unm = run(id, MemoryMode::Unmanaged, heap_gb, ratio);
+                let pan = run(id, MemoryMode::Panthera, heap_gb, ratio);
+                cols.push(unm.time_vs(&base));
+                cols.push(pan.time_vs(&base));
+            }
+            println!(
+                "{:<12} | {:>10} {:>10} | {:>10} {:>10}",
+                id.name(),
+                norm(cols[0]),
+                norm(cols[1]),
+                norm(cols[2]),
+                norm(cols[3])
+            );
+            for (s, c) in sums.iter_mut().zip(&cols) {
+                *s += c;
+            }
+        }
+        let n = WORKLOADS.len() as f64;
+        println!(
+            "{:<12} | {:>10} {:>10} | {:>10} {:>10}",
+            "average",
+            norm(sums[0] / n),
+            norm(sums[1] / n),
+            norm(sums[2] / n),
+            norm(sums[3] / n)
+        );
+        println!();
+    }
+    println!(
+        "expected shape: panthera improves with more DRAM (sensitive to the \
+         ratio), unmanaged barely moves (paper Section 5.3)."
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 8: GraphX-CC's DRAM and NVM read/write bandwidth over elapsed
+//! time, under the unmanaged baseline and Panthera (1/3 DRAM).
+//!
+//! Prints four series per mode (DRAM read/write, NVM read/write) sampled
+//! per traffic window, plus the peaks the paper's commentary keys on:
+//! Panthera migrates most traffic from NVM to DRAM and flattens the NVM
+//! peaks.
+
+use hybridmem::{AccessKind, DeviceKind};
+use panthera::{MemoryMode, RunReport};
+use panthera_bench::{header, run_main};
+use workloads::WorkloadId;
+
+fn print_series(r: &RunReport) {
+    println!("--- {} ---", r.mode);
+    println!(
+        "{:>9} {:>12} {:>12} {:>12} {:>12}",
+        "t(ms)", "dram-R GB/s", "dram-W GB/s", "nvm-R GB/s", "nvm-W GB/s"
+    );
+    let dr = r.traffic.series(DeviceKind::Dram, AccessKind::Read);
+    let dw = r.traffic.series(DeviceKind::Dram, AccessKind::Write);
+    let nr = r.traffic.series(DeviceKind::Nvm, AccessKind::Read);
+    let nw = r.traffic.series(DeviceKind::Nvm, AccessKind::Write);
+    // Downsample to at most 40 rows for readability.
+    let n = dr.len().max(1);
+    let step = n.div_ceil(40);
+    for i in (0..n).step_by(step) {
+        println!(
+            "{:>9.2} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            dr[i].t_ns / 1e6,
+            dr[i].gbps,
+            dw[i].gbps,
+            nr.get(i).map_or(0.0, |s| s.gbps),
+            nw.get(i).map_or(0.0, |s| s.gbps),
+        );
+    }
+    println!(
+        "peaks: dram-R {:.2}  dram-W {:.2}  nvm-R {:.2}  nvm-W {:.2} GB/s; \
+         totals: dram {:.1} MB, nvm {:.1} MB",
+        r.traffic.peak_gbps(DeviceKind::Dram, AccessKind::Read),
+        r.traffic.peak_gbps(DeviceKind::Dram, AccessKind::Write),
+        r.traffic.peak_gbps(DeviceKind::Nvm, AccessKind::Read),
+        r.traffic.peak_gbps(DeviceKind::Nvm, AccessKind::Write),
+        r.device_bytes[0] as f64 / 1e6,
+        r.device_bytes[1] as f64 / 1e6,
+    );
+    println!();
+}
+
+fn main() {
+    header(
+        "Figure 8: GraphX-CC memory bandwidth over time (1/3 DRAM)",
+        "Fig. 8; panthera shifts read/write traffic from NVM to DRAM and \
+         eliminates high instantaneous NVM bandwidth peaks",
+    );
+    let unm = run_main(WorkloadId::Cc, MemoryMode::Unmanaged);
+    let pan = run_main(WorkloadId::Cc, MemoryMode::Panthera);
+    print_series(&unm);
+    print_series(&pan);
+
+    let unm_nvm = unm.device_bytes[1] as f64;
+    let pan_nvm = pan.device_bytes[1] as f64;
+    println!(
+        "NVM traffic reduced by {:.0}% under panthera; NVM read peak {:.2} -> {:.2} GB/s",
+        (1.0 - pan_nvm / unm_nvm) * 100.0,
+        unm.peak_nvm_read_gbps(),
+        pan.peak_nvm_read_gbps(),
+    );
+}

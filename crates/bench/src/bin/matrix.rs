@@ -1,0 +1,37 @@
+use panthera::{run_workload, MemoryMode, RunReport, SystemConfig, SIM_GB};
+use panthera_bench::maybe_csv;
+use workloads::{build_workload, WorkloadId};
+
+fn main() {
+    let modes = [
+        MemoryMode::DramOnly,
+        MemoryMode::Unmanaged,
+        MemoryMode::Panthera,
+        MemoryMode::KingsguardNursery,
+        MemoryMode::KingsguardWrites,
+    ];
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9}   | energy ratios",
+        "workload", "dram", "unmgd", "panthera", "kn", "kw"
+    );
+    for id in WorkloadId::ALL {
+        let mut reports: Vec<RunReport> = Vec::new();
+        for mode in modes {
+            let w = build_workload(id, 1.0, 7);
+            let cfg = SystemConfig::new(mode, 64 * SIM_GB, 1.0 / 3.0);
+            let (report, _out) = run_workload(&w.program, w.fns, w.data, &cfg);
+            reports.push(report);
+        }
+        maybe_csv("matrix", &reports.iter().collect::<Vec<_>>());
+        let base = &reports[0];
+        print!("{:<12}", id.name());
+        for r in &reports {
+            print!(" {:>9.3}", r.time_vs(base));
+        }
+        print!("   |");
+        for r in &reports {
+            print!(" {:>5.2}", r.energy_vs(base));
+        }
+        println!("  (migr {} mon {})", reports[2].gc.rdds_migrated, reports[2].monitored_calls);
+    }
+}

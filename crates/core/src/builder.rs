@@ -1,0 +1,136 @@
+//! A fluent front door for one-off simulations.
+//!
+//! [`SystemConfig`] is the full configuration surface; [`Simulation`] is
+//! the convenient way to assemble the common cases:
+//!
+//! ```
+//! use panthera::{MemoryMode, Simulation};
+//! use sparklang::{ActionKind, ProgramBuilder, StorageLevel};
+//! use sparklet::DataRegistry;
+//! use mheap::Payload;
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! let src = b.source("nums");
+//! let xs = b.bind("xs", src.distinct());
+//! b.persist(xs, StorageLevel::MemoryOnly);
+//! b.loop_n(3, |b| b.action(xs, ActionKind::Count));
+//! let (program, fns) = b.finish();
+//!
+//! let mut data = DataRegistry::new();
+//! data.register("nums", (0..512).map(Payload::Long).collect());
+//!
+//! let (report, results) = Simulation::new(MemoryMode::Panthera)
+//!     .heap_gb(16)
+//!     .dram_ratio(1.0 / 3.0)
+//!     .run(&program, fns, data);
+//! assert_eq!(results.results.len(), 3);
+//! assert!(report.elapsed_s > 0.0);
+//! ```
+
+use crate::config::{SystemConfig, SIM_GB};
+use crate::mode::MemoryMode;
+use crate::report::RunReport;
+use crate::simulate::run_workload;
+use sparklang::{FnTable, Program};
+use sparklet::{DataRegistry, RunOutcome};
+
+/// Builder for a single simulated run.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SystemConfig,
+}
+
+impl Simulation {
+    /// Start from the paper's default setup (64 GB heap, 1/3 DRAM) in the
+    /// given mode.
+    pub fn new(mode: MemoryMode) -> Self {
+        Simulation { config: SystemConfig::paper_default(mode) }
+    }
+
+    /// Heap size in simulated gigabytes (the paper uses 64 and 120).
+    pub fn heap_gb(mut self, gb: u64) -> Self {
+        self.config.heap_bytes = gb * SIM_GB;
+        self
+    }
+
+    /// DRAM as a fraction of total memory (the paper uses 1/4 and 1/3).
+    pub fn dram_ratio(mut self, ratio: f64) -> Self {
+        self.config.dram_ratio = ratio;
+        self
+    }
+
+    /// Young-generation fraction (the paper settles on 1/6).
+    pub fn nursery_fraction(mut self, fraction: f64) -> Self {
+        self.config.nursery_fraction = fraction;
+        self
+    }
+
+    /// Toggle the eager-promotion optimization (Section 4.2.2).
+    pub fn eager_promotion(mut self, on: bool) -> Self {
+        self.config.eager_promotion = on;
+        self
+    }
+
+    /// Toggle the card-padding optimization (Section 4.2.3).
+    pub fn card_padding(mut self, on: bool) -> Self {
+        self.config.card_padding = on;
+        self
+    }
+
+    /// Toggle dynamic monitoring + migration (Section 5.5).
+    pub fn dynamic_migration(mut self, on: bool) -> Self {
+        self.config.dynamic_migration = on;
+        self
+    }
+
+    /// Seed for the unmanaged mode's chunk map.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// The assembled configuration, for inspection or further tweaking.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Run `program` over `data` and return the measurements and results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assembled configuration is invalid (e.g. a DRAM ratio
+    /// too small to hold the nursery).
+    pub fn run(
+        &self,
+        program: &Program,
+        fns: FnTable,
+        data: DataRegistry,
+    ) -> (RunReport, RunOutcome) {
+        run_workload(program, fns, data, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_config() {
+        let s = Simulation::new(MemoryMode::Unmanaged)
+            .heap_gb(120)
+            .dram_ratio(0.25)
+            .nursery_fraction(0.2)
+            .eager_promotion(false)
+            .card_padding(false)
+            .dynamic_migration(false)
+            .seed(42);
+        let c = s.config();
+        assert_eq!(c.mode, MemoryMode::Unmanaged);
+        assert_eq!(c.heap_bytes, 120 * SIM_GB);
+        assert_eq!(c.dram_ratio, 0.25);
+        assert_eq!(c.nursery_fraction, 0.2);
+        assert!(!c.eager_promotion && !c.card_padding && !c.dynamic_migration);
+        assert_eq!(c.seed, 42);
+        c.validate().unwrap();
+    }
+}

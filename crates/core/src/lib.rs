@@ -1,0 +1,65 @@
+#![deny(missing_docs)]
+
+//! # Panthera
+//!
+//! A full reproduction of **“Panthera: Holistic Memory Management for Big
+//! Data Processing over Hybrid Memories”** (Wang et al., PLDI 2019) as a
+//! deterministic simulation in pure Rust.
+//!
+//! Panthera manages a Spark-like system's memory across hybrid DRAM + NVM:
+//! a static analysis infers, per persisted RDD, whether it is hot (DRAM)
+//! or cold (NVM); a modified generational GC pretenures RDD backbone
+//! arrays into a split old generation, propagates the tags to the rest of
+//! each RDD's objects during tracing, and migrates mis-placed RDDs at
+//! major collections using runtime access frequencies.
+//!
+//! This crate ties the substrates together:
+//!
+//! * [`hybridmem`] — the DRAM/NVM device, time, energy, and traffic models;
+//! * [`mheap`] — the simulated managed heap (generations, cards, barriers);
+//! * [`gc`] — the policy-parameterized collectors;
+//! * [`sparklang`] / [`panthera_analysis`] — the driver-program IR and the
+//!   Section 3 tag inference;
+//! * [`sparklet`] — the RDD execution engine;
+//!
+//! and contributes the [`PantheraRuntime`] (the `rdd_alloc` wait-state
+//! protocol, monitoring, and the Section 4.3 public APIs), the five
+//! [`MemoryMode`]s of the evaluation, and the [`run_workload`] driver that
+//! produces a [`RunReport`] for every figure in the paper.
+//!
+//! ```
+//! use panthera::{run_workload, MemoryMode, SystemConfig, SIM_GB};
+//! use sparklang::{ActionKind, ProgramBuilder, StorageLevel};
+//! use sparklet::DataRegistry;
+//! use mheap::Payload;
+//!
+//! // A small cached-dataset workload.
+//! let mut b = ProgramBuilder::new("demo");
+//! let src = b.source("nums");
+//! let xs = b.bind("xs", src.distinct());
+//! b.persist(xs, StorageLevel::MemoryOnly);
+//! b.loop_n(4, |b| b.action(xs, ActionKind::Count));
+//! let (program, fns) = b.finish();
+//!
+//! let mut data = DataRegistry::new();
+//! data.register("nums", (0..256).map(Payload::Long).collect());
+//!
+//! let config = SystemConfig::new(MemoryMode::Panthera, 2 * SIM_GB, 1.0 / 3.0);
+//! let (report, outcome) = run_workload(&program, fns, data, &config);
+//! assert_eq!(outcome.results.len(), 4);
+//! assert!(report.elapsed_s > 0.0);
+//! ```
+
+mod builder;
+mod config;
+mod mode;
+mod report;
+mod runtime;
+mod simulate;
+
+pub use builder::Simulation;
+pub use config::{SystemConfig, STATIC_POWER_TIMEBASE_SCALE, SIM_GB};
+pub use mode::MemoryMode;
+pub use report::RunReport;
+pub use runtime::{to_mem_tag, PantheraRuntime};
+pub use simulate::run_workload;

@@ -1,0 +1,83 @@
+//! The memory-management modes the evaluation compares (Section 5.2).
+
+use std::fmt;
+
+/// One of the paper's memory-management configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryMode {
+    /// Everything in DRAM — the normalization baseline of every figure.
+    DramOnly,
+    /// Young generation in DRAM; old generation's virtual space divided
+    /// into chunks, each mapped to DRAM with probability equal to the
+    /// DRAM ratio (the paper's strongest baseline, Section 5.2).
+    Unmanaged,
+    /// Kingsguard-Nursery: young generation in DRAM, entire old
+    /// generation in NVM.
+    KingsguardNursery,
+    /// Kingsguard-Writes: like KN plus write-monitoring barriers that
+    /// migrate write-intensive objects to a DRAM old space.
+    KingsguardWrites,
+    /// The paper's contribution: semantics-aware placement with a split
+    /// old generation.
+    Panthera,
+}
+
+impl MemoryMode {
+    /// All modes in presentation order.
+    pub const ALL: [MemoryMode; 5] = [
+        MemoryMode::DramOnly,
+        MemoryMode::Unmanaged,
+        MemoryMode::KingsguardNursery,
+        MemoryMode::KingsguardWrites,
+        MemoryMode::Panthera,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemoryMode::DramOnly => "dram-only",
+            MemoryMode::Unmanaged => "unmanaged",
+            MemoryMode::KingsguardNursery => "kingsguard-nursery",
+            MemoryMode::KingsguardWrites => "kingsguard-writes",
+            MemoryMode::Panthera => "panthera",
+        }
+    }
+
+    /// Does this mode use Panthera's semantic machinery (tags, lineage
+    /// propagation, monitoring)?
+    pub fn is_semantic(self) -> bool {
+        matches!(self, MemoryMode::Panthera)
+    }
+
+    /// Does the mode install any NVM at all?
+    pub fn uses_nvm(self) -> bool {
+        !matches!(self, MemoryMode::DramOnly)
+    }
+}
+
+impl fmt::Display for MemoryMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = MemoryMode::ALL.iter().map(|m| m.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), MemoryMode::ALL.len());
+    }
+
+    #[test]
+    fn semantics_flag() {
+        assert!(MemoryMode::Panthera.is_semantic());
+        assert!(!MemoryMode::Unmanaged.is_semantic());
+        assert!(!MemoryMode::DramOnly.uses_nvm());
+        assert!(MemoryMode::KingsguardNursery.uses_nvm());
+    }
+}

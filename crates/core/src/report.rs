@@ -1,0 +1,221 @@
+//! Run reports: the measurements every figure and table is built from.
+
+use gc::{GcStats, PauseStats};
+use hybridmem::{AccessKind, DeviceKind, EnergyBreakdown, MemoryStats, Phase, TrafficMeter};
+use mheap::HeapStats;
+use sparklet::ExecStats;
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Memory mode label.
+    pub mode: String,
+    /// Workload name.
+    pub workload: String,
+    /// Total simulated elapsed time, seconds.
+    pub elapsed_s: f64,
+    /// Mutator (computation) time, seconds — Figure 5's lower bar.
+    pub mutator_s: f64,
+    /// Minor-GC time, seconds.
+    pub minor_gc_s: f64,
+    /// Major-GC time, seconds.
+    pub major_gc_s: f64,
+    /// Memory energy breakdown, joules.
+    pub energy: EnergyBreakdown,
+    /// Collector counters.
+    pub gc: GcStats,
+    /// Heap counters.
+    pub heap: HeapStats,
+    /// Engine counters.
+    pub exec: ExecStats,
+    /// Monitored RDD method calls (Table 5).
+    pub monitored_calls: u64,
+    /// Bytes moved on each device `[dram, nvm]`.
+    pub device_bytes: [u64; 2],
+    /// Windowed traffic for bandwidth plots (Figure 8).
+    pub traffic: TrafficMeter,
+    /// Full per-phase access counters.
+    pub mem: MemoryStats,
+    /// Individual minor-pause durations.
+    pub minor_pauses: PauseStats,
+    /// Individual major-pause durations.
+    pub major_pauses: PauseStats,
+}
+
+impl RunReport {
+    /// Total GC time, seconds.
+    pub fn gc_s(&self) -> f64 {
+        self.minor_gc_s + self.major_gc_s
+    }
+
+    /// Total memory energy, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy.total_j()
+    }
+
+    /// Elapsed time relative to a baseline run.
+    pub fn time_vs(&self, baseline: &RunReport) -> f64 {
+        self.elapsed_s / baseline.elapsed_s
+    }
+
+    /// Energy relative to a baseline run.
+    pub fn energy_vs(&self, baseline: &RunReport) -> f64 {
+        self.energy_j() / baseline.energy_j()
+    }
+
+    /// GC time relative to a baseline run.
+    pub fn gc_time_vs(&self, baseline: &RunReport) -> f64 {
+        self.gc_s() / baseline.gc_s()
+    }
+
+    /// One-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<10} {:<20} time {:>8.3}s (mutator {:>7.3}s, minor {:>7.3}s, major {:>7.3}s)  \
+             energy {:>8.2}J  minor GCs {:<4} major GCs {:<3} migrated RDDs {}",
+            self.workload,
+            self.mode,
+            self.elapsed_s,
+            self.mutator_s,
+            self.minor_gc_s,
+            self.major_gc_s,
+            self.energy_j(),
+            self.gc.minor_count,
+            self.gc.major_count,
+            self.gc.rdds_migrated,
+        )
+    }
+
+    /// Build a report from a finished runtime + engine.
+    pub fn collect(
+        workload: &str,
+        mode: &str,
+        heap: &mheap::Heap,
+        gc: &gc::GcCoordinator,
+        exec: ExecStats,
+        monitored_calls: u64,
+    ) -> RunReport {
+        let mem = heap.mem();
+        let clock = mem.clock();
+        const S: f64 = 1e9;
+        RunReport {
+            mode: mode.to_string(),
+            workload: workload.to_string(),
+            elapsed_s: clock.now_ns() / S,
+            mutator_s: clock.mutator_ns() / S,
+            minor_gc_s: clock.phase_ns(Phase::MinorGc) / S,
+            major_gc_s: clock.phase_ns(Phase::MajorGc) / S,
+            energy: mem.energy(),
+            gc: *gc.stats(),
+            heap: *heap.stats(),
+            exec,
+            monitored_calls,
+            device_bytes: [
+                mem.stats().total_device_bytes(DeviceKind::Dram),
+                mem.stats().total_device_bytes(DeviceKind::Nvm),
+            ],
+            traffic: mem.meter().clone(),
+            mem: mem.stats().clone(),
+            minor_pauses: gc.minor_pauses().clone(),
+            major_pauses: gc.major_pauses().clone(),
+        }
+    }
+
+    /// Peak NVM read bandwidth observed (GB/s), for Figure 8 commentary.
+    pub fn peak_nvm_read_gbps(&self) -> f64 {
+        self.traffic.peak_gbps(DeviceKind::Nvm, AccessKind::Read)
+    }
+
+    /// Worst single GC pause, in milliseconds — the number that holds up
+    /// the whole cluster (Section 5.2's citation of Taurus).
+    pub fn max_pause_ms(&self) -> f64 {
+        self.minor_pauses.max_ns().max(self.major_pauses.max_ns()) / 1e6
+    }
+
+    /// Header line for [`RunReport::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "workload,mode,elapsed_s,mutator_s,minor_gc_s,major_gc_s,energy_j,\
+dram_static_j,nvm_static_j,dram_dynamic_j,nvm_dynamic_j,minor_gcs,major_gcs,\
+rdds_migrated,monitored_calls,dram_bytes,nvm_bytes,evictions,max_pause_ms"
+    }
+
+    /// One comma-separated row of the report's headline numbers, for
+    /// plotting pipelines.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{:.9},{:.9},{:.9},{:.9},{:.9},{:.9},{:.9},{:.9},{:.9},{},{},{},{},{},{},{},{:.6}",
+            self.workload,
+            self.mode,
+            self.elapsed_s,
+            self.mutator_s,
+            self.minor_gc_s,
+            self.major_gc_s,
+            self.energy_j(),
+            self.energy.dram_static_j,
+            self.energy.nvm_static_j,
+            self.energy.dram_dynamic_j,
+            self.energy.nvm_dynamic_j,
+            self.gc.minor_count,
+            self.gc.major_count,
+            self.gc.rdds_migrated,
+            self.monitored_calls,
+            self.device_bytes[0],
+            self.device_bytes[1],
+            self.exec.evictions,
+            self.max_pause_ms(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(elapsed: f64, energy_j: f64) -> RunReport {
+        RunReport {
+            mode: "m".into(),
+            workload: "w".into(),
+            elapsed_s: elapsed,
+            mutator_s: elapsed * 0.8,
+            minor_gc_s: elapsed * 0.15,
+            major_gc_s: elapsed * 0.05,
+            energy: EnergyBreakdown {
+                dram_static_j: energy_j,
+                nvm_static_j: 0.0,
+                dram_dynamic_j: 0.0,
+                nvm_dynamic_j: 0.0,
+            },
+            gc: GcStats::default(),
+            heap: HeapStats::default(),
+            exec: ExecStats::default(),
+            monitored_calls: 0,
+            device_bytes: [0, 0],
+            traffic: TrafficMeter::new(1e6),
+            mem: MemoryStats::new(),
+            minor_pauses: PauseStats::default(),
+            major_pauses: PauseStats::default(),
+        }
+    }
+
+    #[test]
+    fn normalization() {
+        let base = dummy(10.0, 100.0);
+        let other = dummy(12.0, 60.0);
+        assert!((other.time_vs(&base) - 1.2).abs() < 1e-12);
+        assert!((other.energy_vs(&base) - 0.6).abs() < 1e-12);
+        assert!((other.gc_s() - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_nonempty() {
+        assert!(dummy(1.0, 1.0).summary().contains("time"));
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let header_cols = RunReport::csv_header().split(',').count();
+        let row_cols = dummy(1.0, 1.0).csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        assert!(dummy(2.0, 3.0).csv_row().starts_with("w,m,2.0"));
+    }
+}

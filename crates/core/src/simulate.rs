@@ -1,0 +1,46 @@
+//! The end-to-end simulation driver: analyze, run, report.
+
+use crate::config::SystemConfig;
+use crate::report::RunReport;
+use crate::runtime::PantheraRuntime;
+use panthera_analysis::{analyze, InstrumentationPlan};
+use sparklang::{FnTable, Program};
+use sparklet::{DataRegistry, Engine, MemoryRuntime, RunOutcome};
+
+/// Run `program` under `config`, returning the measurements and the
+/// action results.
+///
+/// Under Panthera the program is statically analyzed and instrumented; the
+/// baselines run it unmodified.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the simulated heap is
+/// exhausted — both indicate a mis-sized experiment, not a runtime
+/// condition a caller should handle.
+pub fn run_workload(
+    program: &Program,
+    fns: FnTable,
+    data: DataRegistry,
+    config: &SystemConfig,
+) -> (RunReport, RunOutcome) {
+    config.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
+    let plan = if config.mode.is_semantic() {
+        analyze(program).plan
+    } else {
+        InstrumentationPlan::default()
+    };
+    let runtime = PantheraRuntime::new(config).expect("validated config");
+    let mut engine = Engine::new(runtime, fns, data);
+    let outcome = engine.run(program, &plan);
+    let monitored = engine.runtime().monitored_calls();
+    let report = RunReport::collect(
+        &program.name,
+        config.mode.label(),
+        engine.runtime().heap(),
+        engine.runtime().gc(),
+        outcome.stats,
+        monitored,
+    );
+    (report, outcome)
+}

@@ -1,0 +1,280 @@
+//! The collection coordinator: triggers, allocation entry points, and the
+//! shared state of the minor and major collectors.
+
+use crate::freq::AccessFreqTable;
+use crate::policy::PlacementPolicy;
+use crate::stats::{GcEvent, GcStats, PauseStats};
+use mheap::{Heap, HeapError, MemTag, ObjId, ObjKind, OldSpaceId, Payload, RootSet};
+
+/// CPU cost per object processed during tracing (queue and mark
+/// bookkeeping), charged on top of the memory traffic.
+pub(crate) const TRACE_CPU_NS_PER_OBJ: f64 = 12.0;
+/// CPU cost of the instrumented JNI call that bumps an RDD's frequency
+/// counter (Section 5.5 reports the total monitoring overhead is < 1%).
+const MONITOR_CALL_NS: f64 = 400.0;
+/// Fixed safepoint + task-setup cost of a minor collection.
+pub(crate) const MINOR_BASE_NS: f64 = 20_000.0;
+/// Fixed safepoint + task-setup cost of a major collection.
+pub(crate) const MAJOR_BASE_NS: f64 = 100_000.0;
+
+/// Tunables of the collection heuristics.
+#[derive(Debug, Clone)]
+pub struct GcConfig {
+    /// Run a major collection when total old-generation occupancy exceeds
+    /// this fraction.
+    pub major_occupancy_trigger: f64,
+    /// An RDD with at least this many calls since the last major GC is hot
+    /// and belongs in DRAM.
+    pub hot_call_threshold: u64,
+    /// An RDD with fewer than this many calls is cold and belongs in NVM.
+    pub cold_call_threshold: u64,
+    /// Kingsguard-Writes: migrate old objects with at least this many
+    /// observed writes to the DRAM space.
+    pub kw_write_threshold: u64,
+    /// Objects at least this large count as "large arrays" for the
+    /// shared-card pathology.
+    pub large_array_bytes: u64,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            major_occupancy_trigger: 0.88,
+            hot_call_threshold: 4,
+            cold_call_threshold: 1,
+            kw_write_threshold: 4,
+            large_array_bytes: 2 * mheap::CARD_BYTES,
+        }
+    }
+}
+
+/// Orchestrates collections over a [`Heap`] according to a
+/// [`PlacementPolicy`].
+#[derive(Debug)]
+pub struct GcCoordinator {
+    pub(crate) policy: Box<dyn PlacementPolicy>,
+    pub(crate) config: GcConfig,
+    pub(crate) freq: AccessFreqTable,
+    pub(crate) stats: GcStats,
+    pub(crate) minor_pauses: PauseStats,
+    pub(crate) major_pauses: PauseStats,
+    pub(crate) events: Vec<GcEvent>,
+}
+
+impl GcCoordinator {
+    /// A coordinator driving the given policy with default heuristics.
+    pub fn new(policy: Box<dyn PlacementPolicy>) -> Self {
+        Self::with_config(policy, GcConfig::default())
+    }
+
+    /// A coordinator with explicit heuristics.
+    pub fn with_config(policy: Box<dyn PlacementPolicy>, config: GcConfig) -> Self {
+        GcCoordinator {
+            policy,
+            config,
+            freq: AccessFreqTable::new(),
+            stats: GcStats::default(),
+            minor_pauses: PauseStats::default(),
+            major_pauses: PauseStats::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The active placement policy.
+    pub fn policy(&self) -> &dyn PlacementPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Collection statistics so far.
+    pub fn stats(&self) -> &GcStats {
+        &self.stats
+    }
+
+    /// The RDD access-frequency table.
+    pub fn freq(&self) -> &AccessFreqTable {
+        &self.freq
+    }
+
+    /// Individual minor-pause durations.
+    pub fn minor_pauses(&self) -> &PauseStats {
+        &self.minor_pauses
+    }
+
+    /// Individual major-pause durations.
+    pub fn major_pauses(&self) -> &PauseStats {
+        &self.major_pauses
+    }
+
+    /// The chronological log of every collection this coordinator ran.
+    pub fn events(&self) -> &[GcEvent] {
+        &self.events
+    }
+
+    /// Record a monitored method call on an RDD (instrumented call sites,
+    /// Section 4.2.2), charging the JNI overhead.
+    pub fn record_rdd_call(&mut self, heap: &mut Heap, rdd_id: u32) {
+        self.freq.record_call(rdd_id);
+        heap.mem_mut().compute(MONITOR_CALL_NS);
+    }
+
+    /// Allocate a young object, collecting as needed.
+    ///
+    /// Objects too large for eden even after a minor collection are
+    /// pretenured into the policy's promotion space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted even after a major collection.
+    pub fn alloc_young(
+        &mut self,
+        heap: &mut Heap,
+        roots: &RootSet,
+        kind: ObjKind,
+        tag: MemTag,
+        refs: Vec<ObjId>,
+        payload: Payload,
+    ) -> ObjId {
+        match heap.alloc_young(kind, tag, refs.clone(), payload.clone()) {
+            Ok(id) => return id,
+            Err(HeapError::EdenFull { .. }) => {}
+            Err(e) => panic!("unexpected young allocation failure: {e}"),
+        }
+        self.minor_gc(heap, roots);
+        self.maybe_major(heap, roots);
+        match heap.alloc_young(kind, tag, refs.clone(), payload.clone()) {
+            Ok(id) => id,
+            Err(HeapError::EdenFull { .. }) => {
+                // Humongous object: pretenure.
+                let space = self.policy.promotion_space(heap, tag);
+                self.alloc_old_with_fallback(heap, roots, space, kind, tag, refs, payload)
+            }
+            Err(e) => panic!("unexpected young allocation failure: {e}"),
+        }
+    }
+
+    /// Allocate a materialized RDD's backbone array per the policy
+    /// (Table 1), collecting as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no space can hold the array even after a major collection.
+    pub fn alloc_rdd_array(
+        &mut self,
+        heap: &mut Heap,
+        roots: &RootSet,
+        rdd_id: u32,
+        slots: usize,
+        tag: MemTag,
+    ) -> ObjId {
+        match self.policy.array_space(heap, tag) {
+            Some(space) => {
+                if let Ok(id) = heap.alloc_array_old(space, rdd_id, slots, tag) {
+                    return id;
+                }
+                // Preferred space is full (e.g. the small DRAM part): fall
+                // back to the other old spaces — the paper's "once DRAM is
+                // exhausted, the remaining RDDs are placed in NVM".
+                for alt in heap.old_space_ids() {
+                    if alt != space {
+                        if let Ok(id) = heap.alloc_array_old(alt, rdd_id, slots, tag) {
+                            self.stats.promotion_fallbacks += 1;
+                            return id;
+                        }
+                    }
+                }
+                // Everything is full: reclaim and retry once.
+                self.major_gc(heap, roots);
+                for s in std::iter::once(space)
+                    .chain(heap.old_space_ids().into_iter().filter(|s| *s != space))
+                {
+                    if let Ok(id) = heap.alloc_array_old(s, rdd_id, slots, tag) {
+                        return id;
+                    }
+                }
+                panic!("out of memory: no old space can hold RDD {rdd_id}'s array");
+            }
+            None => {
+                // Untagged arrays start in the young generation like any
+                // other object.
+                if let Ok(id) = heap.alloc_array_young(rdd_id, slots) {
+                    return id;
+                }
+                self.minor_gc(heap, roots);
+                self.maybe_major(heap, roots);
+                if let Ok(id) = heap.alloc_array_young(rdd_id, slots) {
+                    return id;
+                }
+                let space = self.policy.promotion_space(heap, MemTag::None);
+                for s in std::iter::once(space)
+                    .chain(heap.old_space_ids().into_iter().filter(|s| *s != space))
+                {
+                    if let Ok(id) = heap.alloc_array_old(s, rdd_id, slots, MemTag::None) {
+                        return id;
+                    }
+                }
+                panic!("out of memory: no space can hold RDD {rdd_id}'s array");
+            }
+        }
+    }
+
+    /// Run a major collection if old-generation occupancy crossed the
+    /// trigger — either overall or in the dominant (largest) old space,
+    /// whose exhaustion is what actually blocks promotion.
+    pub fn maybe_major(&mut self, heap: &mut Heap, roots: &RootSet) {
+        let spaces = heap.old_space_ids();
+        let (used, cap): (u64, u64) = spaces
+            .iter()
+            .map(|s| (heap.old(*s).used(), heap.old(*s).capacity()))
+            .fold((0, 0), |(u, c), (u2, c2)| (u + u2, c + c2));
+        let total_occ = if cap > 0 { used as f64 / cap as f64 } else { 0.0 };
+        let biggest_occ = spaces
+            .iter()
+            .max_by_key(|s| heap.old(**s).capacity())
+            .map(|s| heap.old(*s).occupancy())
+            .unwrap_or(0.0);
+        if total_occ.max(biggest_occ) > self.config.major_occupancy_trigger {
+            self.major_gc(heap, roots);
+        }
+    }
+
+    /// Promote one object, falling back to the other old spaces when the
+    /// preferred one is full (the paper: when the DRAM space fills up,
+    /// everything goes to NVM regardless of tags).
+    pub(crate) fn promote(&mut self, heap: &mut Heap, id: ObjId, preferred: OldSpaceId) {
+        if heap.move_to_old(id, preferred).is_ok() {
+            return;
+        }
+        self.stats.promotion_fallbacks += 1;
+        for alt in heap.old_space_ids() {
+            if alt != preferred && heap.move_to_old(id, alt).is_ok() {
+                return;
+            }
+        }
+        panic!("out of memory: promotion failed in every old space");
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn alloc_old_with_fallback(
+        &mut self,
+        heap: &mut Heap,
+        roots: &RootSet,
+        space: OldSpaceId,
+        kind: ObjKind,
+        tag: MemTag,
+        refs: Vec<ObjId>,
+        payload: Payload,
+    ) -> ObjId {
+        if let Ok(id) = heap.alloc_old(space, kind, tag, refs.clone(), payload.clone()) {
+            return id;
+        }
+        self.major_gc(heap, roots);
+        for s in std::iter::once(space)
+            .chain(heap.old_space_ids().into_iter().filter(|s| *s != space))
+        {
+            if let Ok(id) = heap.alloc_old(s, kind, tag, refs.clone(), payload.clone()) {
+                return id;
+            }
+        }
+        panic!("out of memory: old allocation failed in every space");
+    }
+}

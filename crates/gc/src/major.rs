@@ -1,0 +1,213 @@
+//! The major (full-heap) collection: mark, dynamically re-assess RDD
+//! placement, compact, sweep (paper Section 4.2.2, "Major GC").
+//!
+//! Compaction never crosses the DRAM/NVM boundary: each old space compacts
+//! within itself. Before compacting, the collector re-assesses every RDD
+//! array against its access frequency since the last major GC: hot arrays
+//! in NVM migrate to the DRAM space, cold arrays in DRAM migrate to NVM,
+//! and every object reachable from a migrating array moves with it (with
+//! conflicts resolved DRAM-first by the `MEMORY_BITS` merge). Frequencies
+//! reset at the end of the collection.
+
+use crate::coordinator::{GcCoordinator, TRACE_CPU_NS_PER_OBJ};
+use hybridmem::Phase;
+use mheap::{Heap, ObjId, OldSpaceId, RootSet};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+impl GcCoordinator {
+    /// Run one major collection.
+    pub fn major_gc(&mut self, heap: &mut Heap, roots: &RootSet) {
+        let prev = heap.mem_mut().enter_phase(Phase::MajorGc);
+        let pause_start = heap.mem().clock().now_ns();
+        self.stats.major_count += 1;
+        heap.mem_mut().compute(crate::coordinator::MAJOR_BASE_NS);
+
+        let migrated_before = self.stats.rdds_migrated;
+        let freed_before = self.stats.old_freed;
+
+        // --- mark ---------------------------------------------------------
+        let marked = self.mark(heap, roots);
+
+        // --- per-space live lists ------------------------------------------
+        let mut live: HashMap<OldSpaceId, Vec<ObjId>> = HashMap::new();
+        let mut dead: Vec<ObjId> = Vec::new();
+        for space in heap.old_space_ids() {
+            let mut l = Vec::new();
+            for id in heap.old(space).objects() {
+                if marked.contains(id) {
+                    l.push(*id);
+                } else {
+                    dead.push(*id);
+                }
+            }
+            live.insert(space, l);
+        }
+
+        // --- dynamic re-assessment (Panthera) -------------------------------
+        let mut migrate: HashMap<ObjId, OldSpaceId> = HashMap::new();
+        if self.policy.dynamic_migration() {
+            migrate = self.plan_migrations(heap, &live);
+        }
+
+        // --- compact each space (staying objects only) ----------------------
+        let mut movers: Vec<(ObjId, OldSpaceId)> = Vec::new();
+        for space in heap.old_space_ids() {
+            let mut staying = Vec::new();
+            for id in live.remove(&space).unwrap_or_default() {
+                match migrate.get(&id) {
+                    Some(dest) if *dest != space => movers.push((id, *dest)),
+                    _ => staying.push(id),
+                }
+            }
+            heap.compact_old(space, staying);
+        }
+
+        // --- apply migrations after compaction ------------------------------
+        let mut migrated_arrays = 0u64;
+        for (id, dest) in movers {
+            let is_array = heap.obj(id).kind.is_array();
+            if heap.move_to_old(id, dest).is_ok() {
+                if is_array {
+                    migrated_arrays += 1;
+                }
+            } else {
+                self.stats.promotion_fallbacks += 1;
+            }
+        }
+        self.stats.rdds_migrated += migrated_arrays;
+
+        // --- sweep -----------------------------------------------------------
+        for id in dead {
+            heap.free(id);
+            self.stats.old_freed += 1;
+        }
+
+        // --- epilogue ---------------------------------------------------------
+        for space in heap.old_space_ids() {
+            heap.card_table_mut(space).clear_all();
+        }
+        // Re-dirty cards for old objects that reference the young
+        // generation, so the next minor GC still sees them.
+        for space in heap.old_space_ids() {
+            let entries: Vec<(ObjId, u64)> = heap
+                .old(space)
+                .objects()
+                .iter()
+                .map(|id| (*id, heap.obj(*id).addr.0))
+                .collect();
+            for (id, addr) in entries {
+                let has_young =
+                    heap.obj(id).refs.iter().any(|t| heap.is_live(*t) && heap.obj(*t).in_young());
+                if has_young {
+                    heap.card_table_mut(space).mark_dirty(hybridmem::Addr(addr));
+                }
+            }
+        }
+        for id in marked {
+            if heap.is_live(id) {
+                heap.obj_mut(id).marked = false;
+            }
+        }
+        self.freq.reset();
+        let pause_ns = heap.mem().clock().now_ns() - pause_start;
+        self.major_pauses.record(pause_ns);
+        self.events.push(crate::stats::GcEvent {
+            kind: crate::stats::GcKind::Major,
+            start_ns: pause_start,
+            pause_ns,
+            moved: self.stats.rdds_migrated - migrated_before,
+            freed: self.stats.old_freed - freed_before,
+        });
+        heap.mem_mut().enter_phase(prev);
+    }
+
+    /// Full-heap mark from the roots; charges a read per object visited.
+    fn mark(&mut self, heap: &mut Heap, roots: &RootSet) -> HashSet<ObjId> {
+        let mut visited: HashSet<ObjId> = HashSet::new();
+        let mut queue: VecDeque<ObjId> = roots.iter().filter(|r| heap.is_live(*r)).collect();
+        while let Some(id) = queue.pop_front() {
+            if !visited.insert(id) {
+                continue;
+            }
+            heap.obj_mut(id).marked = true;
+            heap.read_object(id);
+            heap.mem_mut().compute(TRACE_CPU_NS_PER_OBJ);
+            let refs = heap.obj(id).refs.clone();
+            for t in refs {
+                if heap.is_live(t) && !visited.contains(&t) {
+                    queue.push_back(t);
+                }
+            }
+        }
+        visited
+    }
+
+    /// Decide which live objects switch old spaces, keyed by the RDD
+    /// arrays' access frequencies. Objects reachable from a migrating
+    /// array migrate with it; DRAM wins conflicts.
+    fn plan_migrations(
+        &mut self,
+        heap: &Heap,
+        live: &HashMap<OldSpaceId, Vec<ObjId>>,
+    ) -> HashMap<ObjId, OldSpaceId> {
+        let (Some(dram), Some(nvm)) = (heap.old_dram(), heap.old_nvm()) else {
+            return HashMap::new();
+        };
+        let mut plan: HashMap<ObjId, OldSpaceId> = HashMap::new();
+        // DRAM decisions are applied second so they overwrite NVM ones
+        // (MEMORY_BITS conflict priority).
+        let mut to_nvm: Vec<ObjId> = Vec::new();
+        let mut to_dram: Vec<ObjId> = Vec::new();
+        // Iterate spaces in id order — `live` is a hash map.
+        let mut spaces: Vec<_> = live.keys().copied().collect();
+        spaces.sort_unstable();
+        for space in spaces {
+            let (space, ids) = (&space, &live[&space]);
+            for id in ids {
+                let o = heap.obj(*id);
+                let Some(rdd_id) = o.kind.rdd_id() else { continue };
+                if !o.kind.is_array() {
+                    continue;
+                }
+                let calls = self.freq.calls(rdd_id);
+                if calls >= self.config.hot_call_threshold && *space == nvm {
+                    to_dram.push(*id);
+                } else if calls < self.config.cold_call_threshold && *space == dram {
+                    to_nvm.push(*id);
+                }
+            }
+        }
+        for id in to_nvm {
+            for m in reachable_in_old(heap, id) {
+                plan.insert(m, nvm);
+            }
+        }
+        for id in to_dram {
+            for m in reachable_in_old(heap, id) {
+                plan.insert(m, dram);
+            }
+        }
+        plan
+    }
+}
+
+/// The old-generation objects reachable from `root` (inclusive).
+fn reachable_in_old(heap: &Heap, root: ObjId) -> Vec<ObjId> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    let mut queue = VecDeque::from([root]);
+    while let Some(id) = queue.pop_front() {
+        if !seen.insert(id) || !heap.is_live(id) {
+            continue;
+        }
+        let o = heap.obj(id);
+        if o.space.is_young() {
+            continue;
+        }
+        out.push(id);
+        for t in &o.refs {
+            queue.push_back(*t);
+        }
+    }
+    out
+}

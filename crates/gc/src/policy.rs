@@ -1,0 +1,199 @@
+//! Placement policies: where arrays are pretenured and survivors promoted.
+//!
+//! The collectors in this crate are policy-parameterized so the paper's
+//! baselines and Panthera share one GC implementation:
+//!
+//! * [`PantheraPolicy`] — Table 1 of the paper: tagged arrays pretenure
+//!   into the matching old space, tagged survivors are *eagerly promoted*
+//!   during tracing, tags propagate along references, and mis-placed RDDs
+//!   are migrated at major GCs.
+//! * [`UnifiedPolicy`] — one old space; models the DRAM-only baseline, the
+//!   *unmanaged* interleaved baseline, and Kingsguard-Nursery (old
+//!   generation pinned to NVM).
+//! * [`WriteRationingPolicy`] — Kingsguard-Writes: everything old defaults
+//!   to NVM and write-intensive objects migrate to the DRAM space, paid for
+//!   by write-monitoring barriers.
+
+use mheap::{Heap, MemTag, OldSpaceId};
+
+/// Decides object placement for the collectors.
+///
+/// Implementations must be consistent with the heap's
+/// [`OldGenLayout`](mheap::OldGenLayout): split-layout policies require a
+/// DRAM and an NVM old space, unified policies a single old space.
+pub trait PlacementPolicy: std::fmt::Debug {
+    /// Short name for reports ("panthera", "unmanaged", ...).
+    fn name(&self) -> &'static str;
+
+    /// Old space a materialized RDD array with tag `tag` should pretenure
+    /// into, or `None` to allocate it in the young generation.
+    fn array_space(&self, heap: &Heap, tag: MemTag) -> Option<OldSpaceId>;
+
+    /// Old space a surviving young object with tag `tag` promotes to.
+    fn promotion_space(&self, heap: &Heap, tag: MemTag) -> OldSpaceId;
+
+    /// Promote tagged objects immediately during tracing instead of aging
+    /// them through the survivor spaces (Section 4.2.2).
+    fn eager_promotion(&self) -> bool {
+        false
+    }
+
+    /// Propagate `MEMORY_BITS` along references during tracing.
+    fn propagate_tags(&self) -> bool {
+        false
+    }
+
+    /// Re-assess RDD placement from access frequencies at major GCs.
+    fn dynamic_migration(&self) -> bool {
+        false
+    }
+
+    /// Migrate write-hot old objects to DRAM (Kingsguard-Writes).
+    fn write_migration(&self) -> bool {
+        false
+    }
+}
+
+/// Panthera's semantics-aware policy (Table 1).
+#[derive(Debug, Clone)]
+pub struct PantheraPolicy {
+    /// Enable eager promotion (ablation toggle; Section 5.3 credits it with
+    /// ~9% of the GC improvement).
+    pub eager_promotion: bool,
+    /// Enable major-GC dynamic migration (Section 5.5 ablation).
+    pub dynamic_migration: bool,
+}
+
+impl Default for PantheraPolicy {
+    fn default() -> Self {
+        PantheraPolicy { eager_promotion: true, dynamic_migration: true }
+    }
+}
+
+impl PlacementPolicy for PantheraPolicy {
+    fn name(&self) -> &'static str {
+        "panthera"
+    }
+
+    fn array_space(&self, heap: &Heap, tag: MemTag) -> Option<OldSpaceId> {
+        match tag {
+            MemTag::Dram => Some(heap.old_dram().expect("split layout")),
+            MemTag::Nvm => Some(heap.old_nvm().expect("split layout")),
+            MemTag::None => None,
+        }
+    }
+
+    fn promotion_space(&self, heap: &Heap, tag: MemTag) -> OldSpaceId {
+        match tag {
+            MemTag::Dram => heap.old_dram().expect("split layout"),
+            // Untagged long-lived objects default to NVM (Section 4.1).
+            MemTag::Nvm | MemTag::None => heap.old_nvm().expect("split layout"),
+        }
+    }
+
+    fn eager_promotion(&self) -> bool {
+        self.eager_promotion
+    }
+
+    fn propagate_tags(&self) -> bool {
+        true
+    }
+
+    fn dynamic_migration(&self) -> bool {
+        self.dynamic_migration
+    }
+}
+
+/// A single unified old space; placement ignores tags entirely.
+#[derive(Debug, Clone)]
+pub struct UnifiedPolicy {
+    /// Report name (e.g. "dram-only", "unmanaged", "kingsguard-nursery").
+    pub label: &'static str,
+}
+
+impl PlacementPolicy for UnifiedPolicy {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn array_space(&self, _heap: &Heap, _tag: MemTag) -> Option<OldSpaceId> {
+        // RDD backbone arrays are humongous; like HotSpot, allocate them
+        // directly in the old generation.
+        Some(OldSpaceId(0))
+    }
+
+    fn promotion_space(&self, _heap: &Heap, _tag: MemTag) -> OldSpaceId {
+        OldSpaceId(0)
+    }
+}
+
+/// Kingsguard-Writes: old data defaults to NVM; objects observed to take
+/// many writes migrate to the DRAM old space.
+#[derive(Debug, Clone, Default)]
+pub struct WriteRationingPolicy;
+
+impl PlacementPolicy for WriteRationingPolicy {
+    fn name(&self) -> &'static str {
+        "kingsguard-writes"
+    }
+
+    fn array_space(&self, heap: &Heap, _tag: MemTag) -> Option<OldSpaceId> {
+        Some(heap.old_nvm().expect("split layout"))
+    }
+
+    fn promotion_space(&self, heap: &Heap, _tag: MemTag) -> OldSpaceId {
+        heap.old_nvm().expect("split layout")
+    }
+
+    fn write_migration(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridmem::MemorySystemConfig;
+    use mheap::HeapConfig;
+
+    fn split_heap() -> Heap {
+        Heap::new(
+            HeapConfig::panthera(600_000, 1.0 / 3.0),
+            MemorySystemConfig::with_capacities(200_000, 400_000),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn panthera_follows_table_1() {
+        let h = split_heap();
+        let p = PantheraPolicy::default();
+        assert_eq!(p.array_space(&h, MemTag::Dram), h.old_dram());
+        assert_eq!(p.array_space(&h, MemTag::Nvm), h.old_nvm());
+        assert_eq!(p.array_space(&h, MemTag::None), None);
+        assert_eq!(p.promotion_space(&h, MemTag::Dram), h.old_dram().unwrap());
+        assert_eq!(p.promotion_space(&h, MemTag::None), h.old_nvm().unwrap());
+        assert!(p.eager_promotion() && p.propagate_tags() && p.dynamic_migration());
+        assert!(!p.write_migration());
+    }
+
+    #[test]
+    fn unified_ignores_tags() {
+        let h = split_heap();
+        let p = UnifiedPolicy { label: "unmanaged" };
+        for tag in [MemTag::None, MemTag::Dram, MemTag::Nvm] {
+            assert_eq!(p.array_space(&h, tag), Some(OldSpaceId(0)));
+            assert_eq!(p.promotion_space(&h, tag), OldSpaceId(0));
+        }
+        assert!(!p.eager_promotion() && !p.propagate_tags());
+    }
+
+    #[test]
+    fn kingsguard_writes_defaults_to_nvm() {
+        let h = split_heap();
+        let p = WriteRationingPolicy;
+        assert_eq!(p.array_space(&h, MemTag::Dram), h.old_nvm());
+        assert_eq!(p.promotion_space(&h, MemTag::Dram), h.old_nvm().unwrap());
+        assert!(p.write_migration());
+    }
+}

@@ -1,0 +1,157 @@
+//! Collector statistics for the evaluation's GC breakdowns (Figure 5,
+//! Table 5, and the Section 5.3 optimization accounting).
+
+/// Distribution of individual GC pause durations, in nanoseconds.
+///
+/// Section 5.2 notes that one node's GC pause holds up the whole cluster,
+/// so *individual* pause times matter beyond the aggregate: these feed the
+/// pause percentiles in run reports.
+#[derive(Debug, Clone, Default)]
+pub struct PauseStats {
+    pauses_ns: Vec<f64>,
+}
+
+impl PauseStats {
+    /// Record one pause.
+    pub fn record(&mut self, ns: f64) {
+        self.pauses_ns.push(ns);
+    }
+
+    /// Number of pauses recorded.
+    pub fn count(&self) -> usize {
+        self.pauses_ns.len()
+    }
+
+    /// Longest pause, in nanoseconds (0 if none).
+    pub fn max_ns(&self) -> f64 {
+        self.pauses_ns.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean pause, in nanoseconds (0 if none).
+    pub fn mean_ns(&self) -> f64 {
+        if self.pauses_ns.is_empty() {
+            0.0
+        } else {
+            self.pauses_ns.iter().sum::<f64>() / self.pauses_ns.len() as f64
+        }
+    }
+
+    /// The `q`-quantile pause (nearest-rank), `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.pauses_ns.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.pauses_ns.clone();
+        sorted.sort_by(f64::total_cmp);
+        let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+        sorted[idx]
+    }
+}
+
+/// Which collector ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcKind {
+    /// Young-generation scavenge.
+    Minor,
+    /// Full-heap mark-compact.
+    Major,
+}
+
+/// One collection, as recorded in the event log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcEvent {
+    /// Minor or major.
+    pub kind: GcKind,
+    /// Simulated start time, nanoseconds.
+    pub start_ns: f64,
+    /// Pause duration, nanoseconds.
+    pub pause_ns: f64,
+    /// Objects promoted (minor) or migrated (major).
+    pub moved: u64,
+    /// Objects reclaimed.
+    pub freed: u64,
+}
+
+/// Counters accumulated across a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GcStats {
+    /// Minor (young-generation) collections run.
+    pub minor_count: u64,
+    /// Major (full-heap) collections run.
+    pub major_count: u64,
+    /// Young objects copied to a survivor space.
+    pub survivor_copies: u64,
+    /// Objects promoted because they reached the tenure threshold.
+    pub tenured_promotions: u64,
+    /// Objects promoted eagerly because their `MEMORY_BITS` were set.
+    pub eager_promotions: u64,
+    /// Promotions that fell back to NVM because the preferred DRAM old
+    /// space was full.
+    pub promotion_fallbacks: u64,
+    /// Young objects reclaimed.
+    pub young_freed: u64,
+    /// Old objects reclaimed.
+    pub old_freed: u64,
+    /// Dirty cards scanned across all minor GCs.
+    pub cards_scanned: u64,
+    /// Bytes read while scanning dirty cards.
+    pub card_scan_bytes: u64,
+    /// Full-array rescans forced by stuck (shared) cards.
+    pub stuck_card_rescans: u64,
+    /// RDD arrays migrated between DRAM and NVM by dynamic re-assessment
+    /// (Table 5's "# RDDs migrated").
+    pub rdds_migrated: u64,
+    /// Objects moved by Kingsguard-Writes write-rationing migration.
+    pub write_migrations: u64,
+}
+
+impl GcStats {
+    /// Total promotions of any kind.
+    pub fn total_promotions(&self) -> u64 {
+        self.tenured_promotions + self.eager_promotions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = GcStats { tenured_promotions: 3, eager_promotions: 4, ..Default::default() };
+        assert_eq!(s.total_promotions(), 7);
+    }
+
+    #[test]
+    fn pause_quantiles() {
+        let mut p = PauseStats::default();
+        for v in [10.0, 20.0, 30.0, 40.0, 100.0] {
+            p.record(v);
+        }
+        assert_eq!(p.count(), 5);
+        assert_eq!(p.max_ns(), 100.0);
+        assert_eq!(p.mean_ns(), 40.0);
+        assert_eq!(p.quantile_ns(0.0), 10.0);
+        assert_eq!(p.quantile_ns(0.5), 30.0);
+        assert_eq!(p.quantile_ns(1.0), 100.0);
+    }
+
+    #[test]
+    fn empty_pauses_are_zero() {
+        let p = PauseStats::default();
+        assert_eq!(p.max_ns(), 0.0);
+        assert_eq!(p.mean_ns(), 0.0);
+        assert_eq!(p.quantile_ns(0.9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn bad_quantile_panics() {
+        PauseStats::default().quantile_ns(1.5);
+    }
+}

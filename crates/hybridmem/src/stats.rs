@@ -1,0 +1,97 @@
+//! Aggregate access counters per phase, device, and access kind.
+
+use crate::clock::Phase;
+use crate::device::{AccessKind, DeviceKind};
+
+/// Counts of accesses and bytes moved, split by phase × device × kind.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryStats {
+    // [phase][device][kind]
+    accesses: [[[u64; 2]; 2]; 3],
+    bytes: [[[u64; 2]; 2]; 3],
+    lines: [[[u64; 2]; 2]; 3],
+}
+
+impl MemoryStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one access batch.
+    pub fn record(
+        &mut self,
+        phase: Phase,
+        device: DeviceKind,
+        kind: AccessKind,
+        bytes: u64,
+        lines: u64,
+    ) {
+        let (p, d, k) = (phase.index(), device.index(), kind.index());
+        self.accesses[p][d][k] += 1;
+        self.bytes[p][d][k] += bytes;
+        self.lines[p][d][k] += lines;
+    }
+
+    /// Bytes moved for a given phase/device/kind.
+    pub fn bytes(&self, phase: Phase, device: DeviceKind, kind: AccessKind) -> u64 {
+        self.bytes[phase.index()][device.index()][kind.index()]
+    }
+
+    /// Cache lines moved for a given phase/device/kind.
+    pub fn lines(&self, phase: Phase, device: DeviceKind, kind: AccessKind) -> u64 {
+        self.lines[phase.index()][device.index()][kind.index()]
+    }
+
+    /// Access batches recorded for a given phase/device/kind.
+    pub fn accesses(&self, phase: Phase, device: DeviceKind, kind: AccessKind) -> u64 {
+        self.accesses[phase.index()][device.index()][kind.index()]
+    }
+
+    /// Total cache lines moved on `device` with `kind`, across all phases.
+    pub fn total_lines(&self, device: DeviceKind, kind: AccessKind) -> u64 {
+        Phase::ALL.iter().map(|p| self.lines(*p, device, kind)).sum()
+    }
+
+    /// Total bytes moved on `device` across all phases and kinds.
+    pub fn total_device_bytes(&self, device: DeviceKind) -> u64 {
+        Phase::ALL
+            .iter()
+            .flat_map(|p| AccessKind::ALL.iter().map(move |k| self.bytes(*p, device, *k)))
+            .sum()
+    }
+
+    /// Total bytes moved everywhere.
+    pub fn total_bytes(&self) -> u64 {
+        DeviceKind::ALL.iter().map(|d| self.total_device_bytes(*d)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut s = MemoryStats::new();
+        s.record(Phase::Mutator, DeviceKind::Dram, AccessKind::Read, 64, 1);
+        s.record(Phase::Mutator, DeviceKind::Dram, AccessKind::Read, 128, 2);
+        s.record(Phase::MinorGc, DeviceKind::Nvm, AccessKind::Write, 64, 1);
+        assert_eq!(s.bytes(Phase::Mutator, DeviceKind::Dram, AccessKind::Read), 192);
+        assert_eq!(s.lines(Phase::Mutator, DeviceKind::Dram, AccessKind::Read), 3);
+        assert_eq!(s.accesses(Phase::Mutator, DeviceKind::Dram, AccessKind::Read), 2);
+        assert_eq!(s.total_device_bytes(DeviceKind::Nvm), 64);
+        assert_eq!(s.total_bytes(), 256);
+        assert_eq!(s.total_lines(DeviceKind::Nvm, AccessKind::Write), 1);
+    }
+
+    #[test]
+    fn independent_cells() {
+        let mut s = MemoryStats::new();
+        s.record(Phase::MajorGc, DeviceKind::Nvm, AccessKind::Read, 100, 2);
+        assert_eq!(s.bytes(Phase::MajorGc, DeviceKind::Nvm, AccessKind::Read), 100);
+        assert_eq!(s.bytes(Phase::MajorGc, DeviceKind::Nvm, AccessKind::Write), 0);
+        assert_eq!(s.bytes(Phase::MinorGc, DeviceKind::Nvm, AccessKind::Read), 0);
+        assert_eq!(s.bytes(Phase::MajorGc, DeviceKind::Dram, AccessKind::Read), 0);
+    }
+}

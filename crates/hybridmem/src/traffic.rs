@@ -1,0 +1,159 @@
+//! Windowed memory-traffic metering for bandwidth time series.
+//!
+//! Figure 8 of the paper plots DRAM and NVM read/write bandwidth over the
+//! elapsed time of GraphX-CC under the unmanaged baseline and Panthera. The
+//! [`TrafficMeter`] buckets every access into fixed-width time windows so a
+//! bench harness can print the same four series.
+
+use crate::device::{AccessKind, DeviceKind};
+
+/// Traffic accumulated in one time window, in bytes, indexed by
+/// `[device][access-kind]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowTraffic {
+    bytes: [[u64; 2]; 2],
+}
+
+impl WindowTraffic {
+    /// Bytes moved for the given device and access kind.
+    #[inline]
+    pub fn bytes(&self, device: DeviceKind, kind: AccessKind) -> u64 {
+        self.bytes[device.index()][kind.index()]
+    }
+
+    /// Total bytes moved in the window.
+    pub fn total(&self) -> u64 {
+        self.bytes.iter().flatten().sum()
+    }
+
+    fn add(&mut self, device: DeviceKind, kind: AccessKind, bytes: u64) {
+        self.bytes[device.index()][kind.index()] += bytes;
+    }
+}
+
+/// One sample of a bandwidth time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthSample {
+    /// Start of the window, in nanoseconds of simulated time.
+    pub t_ns: f64,
+    /// Average bandwidth over the window, in bytes/ns (= GB/s).
+    pub gbps: f64,
+}
+
+/// Buckets memory traffic into fixed-width windows of simulated time.
+///
+/// # Examples
+///
+/// ```
+/// use hybridmem::{AccessKind, DeviceKind, TrafficMeter};
+///
+/// let mut meter = TrafficMeter::new(1_000.0); // 1 µs windows
+/// meter.record(100.0, DeviceKind::Nvm, AccessKind::Read, 5_000);
+/// meter.record(1_500.0, DeviceKind::Nvm, AccessKind::Read, 2_000);
+/// let series = meter.series(DeviceKind::Nvm, AccessKind::Read);
+/// assert_eq!(series.len(), 2);
+/// assert_eq!(meter.peak_gbps(DeviceKind::Nvm, AccessKind::Read), 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrafficMeter {
+    window_ns: f64,
+    windows: Vec<WindowTraffic>,
+}
+
+impl TrafficMeter {
+    /// A meter with the given window width in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ns` is not positive.
+    pub fn new(window_ns: f64) -> Self {
+        assert!(window_ns > 0.0, "window width must be positive");
+        TrafficMeter { window_ns, windows: Vec::new() }
+    }
+
+    /// Window width in nanoseconds.
+    pub fn window_ns(&self) -> f64 {
+        self.window_ns
+    }
+
+    /// Record `bytes` moved at simulated time `now_ns`.
+    pub fn record(&mut self, now_ns: f64, device: DeviceKind, kind: AccessKind, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let idx = (now_ns / self.window_ns) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, WindowTraffic::default());
+        }
+        self.windows[idx].add(device, kind, bytes);
+    }
+
+    /// Raw per-window traffic, in chronological order.
+    pub fn windows(&self) -> &[WindowTraffic] {
+        &self.windows
+    }
+
+    /// Bandwidth series for one device and access kind (Figure 8 format).
+    pub fn series(&self, device: DeviceKind, kind: AccessKind) -> Vec<BandwidthSample> {
+        self.windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| BandwidthSample {
+                t_ns: i as f64 * self.window_ns,
+                gbps: w.bytes(device, kind) as f64 / self.window_ns,
+            })
+            .collect()
+    }
+
+    /// Peak bandwidth in bytes/ns for one device and access kind.
+    pub fn peak_gbps(&self, device: DeviceKind, kind: AccessKind) -> f64 {
+        self.series(device, kind).iter().map(|s| s.gbps).fold(0.0, f64::max)
+    }
+
+    /// Total bytes moved for one device and access kind.
+    pub fn total_bytes(&self, device: DeviceKind, kind: AccessKind) -> u64 {
+        self.windows.iter().map(|w| w.bytes(device, kind)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_window() {
+        let mut m = TrafficMeter::new(100.0);
+        m.record(10.0, DeviceKind::Dram, AccessKind::Read, 64);
+        m.record(150.0, DeviceKind::Nvm, AccessKind::Write, 128);
+        assert_eq!(m.windows().len(), 2);
+        assert_eq!(m.windows()[0].bytes(DeviceKind::Dram, AccessKind::Read), 64);
+        assert_eq!(m.windows()[1].bytes(DeviceKind::Nvm, AccessKind::Write), 128);
+        assert_eq!(m.windows()[1].bytes(DeviceKind::Dram, AccessKind::Read), 0);
+    }
+
+    #[test]
+    fn series_reports_bandwidth() {
+        let mut m = TrafficMeter::new(10.0);
+        m.record(0.0, DeviceKind::Dram, AccessKind::Read, 100);
+        let s = m.series(DeviceKind::Dram, AccessKind::Read);
+        assert_eq!(s.len(), 1);
+        assert!((s[0].gbps - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_byte_records_are_ignored() {
+        let mut m = TrafficMeter::new(10.0);
+        m.record(5.0, DeviceKind::Dram, AccessKind::Read, 0);
+        assert!(m.windows().is_empty());
+    }
+
+    #[test]
+    fn peak_and_totals() {
+        let mut m = TrafficMeter::new(10.0);
+        m.record(1.0, DeviceKind::Nvm, AccessKind::Read, 10);
+        m.record(11.0, DeviceKind::Nvm, AccessKind::Read, 50);
+        m.record(21.0, DeviceKind::Nvm, AccessKind::Read, 20);
+        assert_eq!(m.total_bytes(DeviceKind::Nvm, AccessKind::Read), 80);
+        assert!((m.peak_gbps(DeviceKind::Nvm, AccessKind::Read) - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,100 @@
+//! Emulator self-validation, in the spirit of the paper's Section 5.1
+//! (which validates its NUMA-based NVM emulator against target latencies
+//! and bandwidths): measure the *effective* latency and bandwidth the
+//! simulated devices deliver through the public API and check they match
+//! Table 2.
+
+use hybridmem::{
+    AccessKind, AccessProfile, DeviceKind, MemorySystem, MemorySystemConfig,
+};
+
+fn system() -> MemorySystem {
+    let mut s = MemorySystem::new(MemorySystemConfig::with_capacities(1 << 30, 1 << 30));
+    s.layout_mut().add_fixed("dram", 64 << 20, DeviceKind::Dram);
+    s.layout_mut().add_fixed("nvm", 64 << 20, DeviceKind::Nvm);
+    s
+}
+
+fn addr(s: &MemorySystem, device: DeviceKind) -> hybridmem::Addr {
+    s.layout()
+        .regions()
+        .iter()
+        .find(|r| r.device_of(r.base) == device)
+        .expect("region present")
+        .base
+}
+
+/// Time per single-cache-line access, serial pointer chasing (MLP 1).
+fn measure_latency_ns(device: DeviceKind) -> f64 {
+    let mut s = system();
+    let a = addr(&s, device);
+    let profile = AccessProfile { threads: 1.0, mlp: 1.0 };
+    let n = 10_000u64;
+    for _ in 0..n {
+        s.access(a, AccessKind::Read, 64, profile);
+    }
+    s.clock().now_ns() / n as f64
+}
+
+/// Effective GB/s for a large streaming read.
+fn measure_bandwidth_gbps(device: DeviceKind, kind: AccessKind) -> f64 {
+    let mut s = system();
+    let a = addr(&s, device);
+    let bytes = 32u64 << 20;
+    s.access(a, kind, bytes, AccessProfile::streaming());
+    bytes as f64 / s.clock().now_ns()
+}
+
+#[test]
+fn measured_latencies_match_table_2() {
+    let dram = measure_latency_ns(DeviceKind::Dram);
+    let nvm = measure_latency_ns(DeviceKind::Nvm);
+    assert!((dram - 120.0).abs() < 1.0, "DRAM latency {dram} ns");
+    assert!((nvm - 300.0).abs() < 1.0, "NVM latency {nvm} ns");
+    let ratio = nvm / dram;
+    assert!(
+        (2.4..2.6).contains(&ratio),
+        "paper's emulator delivers 2.6x remote latency; ours {ratio:.2}x"
+    );
+}
+
+#[test]
+fn measured_bandwidths_match_table_2() {
+    let dram_r = measure_bandwidth_gbps(DeviceKind::Dram, AccessKind::Read);
+    let nvm_r = measure_bandwidth_gbps(DeviceKind::Nvm, AccessKind::Read);
+    let nvm_w = measure_bandwidth_gbps(DeviceKind::Nvm, AccessKind::Write);
+    // Streaming cannot exceed the device cap, and NVM must be capped at
+    // 10 GB/s each way (the thermal-register limit).
+    assert!(dram_r <= 30.0 + 1e-9);
+    assert!(nvm_r <= 10.0 + 1e-9, "NVM read bandwidth {nvm_r:.2}");
+    assert!(nvm_w <= 10.0 + 1e-9, "NVM write bandwidth {nvm_w:.2}");
+    // The effective ratio for bulk scans sits between the latency-bound
+    // and bandwidth-bound regimes.
+    let ratio = dram_r / nvm_r;
+    assert!(
+        (1.5..=3.5).contains(&ratio),
+        "DRAM/NVM streaming ratio {ratio:.2} out of band"
+    );
+}
+
+#[test]
+fn parallel_tracing_is_bandwidth_limited_on_nvm() {
+    // Section 5.3: 16-thread parallel tracing saturates NVM's bandwidth.
+    let mut s = system();
+    let a = addr(&s, DeviceKind::Nvm);
+    let bytes = 16u64 << 20;
+    s.access(a, AccessKind::Read, bytes, AccessProfile::parallel_gc());
+    let gbps = bytes as f64 / s.clock().now_ns();
+    assert!((gbps - 10.0).abs() < 0.5, "parallel GC scan hits the 10 GB/s cap: {gbps:.2}");
+}
+
+#[test]
+fn mutator_random_access_is_latency_bound() {
+    // A single 64B access should cost latency/MLP, far from the
+    // bandwidth-equivalent cost.
+    let mut s = system();
+    let a = addr(&s, DeviceKind::Nvm);
+    s.access(a, AccessKind::Read, 64, AccessProfile::mutator());
+    let t = s.clock().now_ns();
+    assert!((t - 300.0 / 4.0).abs() < 1e-9, "one NVM miss at MLP 4: {t} ns");
+}

@@ -1,0 +1,107 @@
+//! Property tests for the memory substrate: layout coverage, interleaving
+//! quotas, traffic conservation, and clock-phase accounting.
+
+use hybridmem::{
+    AccessKind, AccessProfile, DeviceKind, MemorySystem, MemorySystemConfig, Phase,
+    PhysicalLayout, TrafficMeter,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every address of every registered region resolves to a device, and
+    /// fixed regions resolve to the device they were pinned to.
+    #[test]
+    fn fixed_regions_cover_their_range(sizes in prop::collection::vec(1u64..10_000, 1..8)) {
+        let mut l = PhysicalLayout::new();
+        let mut bases = Vec::new();
+        for (i, s) in sizes.iter().enumerate() {
+            let d = if i % 2 == 0 { DeviceKind::Dram } else { DeviceKind::Nvm };
+            bases.push((l.add_fixed(&format!("r{i}"), *s, d), *s, d));
+        }
+        for (base, size, d) in bases {
+            prop_assert_eq!(l.device_of(base), d);
+            prop_assert_eq!(l.device_of(base.offset(size - 1)), d);
+            prop_assert_eq!(l.region_of(base).unwrap().bytes_on(d), size);
+        }
+    }
+
+    /// Interleaved regions honour the DRAM quota exactly (rounded to whole
+    /// chunks) for any ratio and seed.
+    #[test]
+    fn interleaving_meets_quota(
+        chunks in 1u64..256,
+        ratio in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let chunk_bytes = 512u64;
+        let size = chunks * chunk_bytes;
+        let mut l = PhysicalLayout::new();
+        l.add_interleaved("old", size, chunk_bytes, ratio, seed);
+        let want = (ratio * chunks as f64).round() as u64 * chunk_bytes;
+        prop_assert_eq!(l.bytes_on(DeviceKind::Dram), want);
+        prop_assert_eq!(l.bytes_on(DeviceKind::Nvm), size - want);
+    }
+
+    /// The traffic meter conserves bytes: the sum over windows equals the
+    /// sum of recorded accesses, per device and kind.
+    #[test]
+    fn traffic_is_conserved(
+        events in prop::collection::vec(
+            (0.0f64..1e6, any::<bool>(), any::<bool>(), 1u64..10_000),
+            0..64,
+        )
+    ) {
+        let mut m = TrafficMeter::new(1_000.0);
+        let mut expect = [[0u64; 2]; 2];
+        for (t, dram, read, bytes) in events {
+            let d = if dram { DeviceKind::Dram } else { DeviceKind::Nvm };
+            let k = if read { AccessKind::Read } else { AccessKind::Write };
+            m.record(t, d, k, bytes);
+            expect[d.index()][k.index()] += bytes;
+        }
+        for d in DeviceKind::ALL {
+            for k in AccessKind::ALL {
+                prop_assert_eq!(m.total_bytes(d, k), expect[d.index()][k.index()]);
+            }
+        }
+    }
+
+    /// Phase times always sum to total elapsed time, whatever the access
+    /// pattern, and stats bytes match what was charged.
+    #[test]
+    fn phases_partition_time(
+        ops in prop::collection::vec((0u8..3, 1u64..100_000), 1..64)
+    ) {
+        let mut sys = MemorySystem::new(MemorySystemConfig::with_capacities(1 << 30, 1 << 30));
+        let dram = sys.layout_mut().add_fixed("d", 1 << 20, DeviceKind::Dram);
+        let nvm = sys.layout_mut().add_fixed("n", 1 << 20, DeviceKind::Nvm);
+        let mut total_bytes = 0u64;
+        for (phase, bytes) in ops {
+            let p = [Phase::Mutator, Phase::MinorGc, Phase::MajorGc][phase as usize];
+            sys.enter_phase(p);
+            let addr = if bytes % 2 == 0 { dram } else { nvm };
+            sys.access(addr, AccessKind::Read, bytes % 4096 + 1, AccessProfile::mutator());
+            total_bytes += bytes % 4096 + 1;
+        }
+        let c = sys.clock();
+        let sum: f64 = Phase::ALL.iter().map(|p| c.phase_ns(*p)).sum();
+        prop_assert!((sum - c.now_ns()).abs() < 1e-6);
+        prop_assert_eq!(sys.stats().total_bytes(), total_bytes);
+    }
+
+    /// Energy is monotone in traffic: more NVM writes never reduce total
+    /// energy.
+    #[test]
+    fn energy_monotone_in_writes(n1 in 0u64..50, extra in 1u64..50) {
+        let charge = |writes: u64| {
+            let mut sys =
+                MemorySystem::new(MemorySystemConfig::with_capacities(1 << 30, 1 << 30));
+            let nvm = sys.layout_mut().add_fixed("n", 1 << 20, DeviceKind::Nvm);
+            for _ in 0..writes {
+                sys.access(nvm, AccessKind::Write, 64, AccessProfile::mutator());
+            }
+            sys.energy().total_j()
+        };
+        prop_assert!(charge(n1 + extra) > charge(n1));
+    }
+}

@@ -1,0 +1,178 @@
+//! The card table and the shared-card pathology (paper Section 4.2.3).
+//!
+//! The old generation is divided into 512-byte cards. The write barrier
+//! dirties the card containing any reference slot written in the old
+//! generation; the minor GC then scans only dirty cards to find
+//! old-to-young references. A card is *shared* when two large arrays meet
+//! inside it: array A ends mid-card and array B starts immediately after.
+//! Two GC threads scanning A and B cannot prove the card clean, so it stays
+//! dirty forever and both entire arrays are rescanned at every minor GC —
+//! devastating on NVM. Panthera's *card padding* aligns the end of every
+//! RDD array to a card boundary, eliminating sharing at a cost of less than
+//! one card of waste per array.
+
+use hybridmem::Addr;
+
+/// Card size used by OpenJDK and the paper.
+pub const CARD_BYTES: u64 = 512;
+
+/// Round `size` up so an object ending at a card boundary stays aligned
+/// (the card-padding optimization).
+pub fn pad_to_card(size: u64) -> u64 {
+    size.div_ceil(CARD_BYTES) * CARD_BYTES
+}
+
+/// A card table covering one old-generation space.
+#[derive(Debug, Clone)]
+pub struct CardTable {
+    base: Addr,
+    cards: Vec<bool>,
+    /// Cards pinned dirty by the shared-card pathology; cleared only by a
+    /// major collection.
+    stuck: Vec<bool>,
+}
+
+impl CardTable {
+    /// A clean table covering `capacity` bytes starting at `base`.
+    pub fn new(base: Addr, capacity: u64) -> Self {
+        let n = capacity.div_ceil(CARD_BYTES) as usize;
+        CardTable { base, cards: vec![false; n], stuck: vec![false; n] }
+    }
+
+    /// Number of cards in the table.
+    pub fn len(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// True if the table covers zero cards.
+    pub fn is_empty(&self) -> bool {
+        self.cards.is_empty()
+    }
+
+    /// Index of the card containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` precedes the table's base or lies past its end.
+    pub fn card_of(&self, addr: Addr) -> usize {
+        assert!(addr.0 >= self.base.0, "address below card table base");
+        let idx = ((addr.0 - self.base.0) / CARD_BYTES) as usize;
+        assert!(idx < self.cards.len(), "address past card table end");
+        idx
+    }
+
+    /// Dirty the card containing `addr` (write-barrier slow path).
+    pub fn mark_dirty(&mut self, addr: Addr) {
+        let idx = self.card_of(addr);
+        self.cards[idx] = true;
+    }
+
+    /// Pin the card containing `addr` dirty until the next major GC
+    /// (models the unresolvable shared-card race between scan threads).
+    pub fn mark_stuck(&mut self, addr: Addr) {
+        let idx = self.card_of(addr);
+        self.cards[idx] = true;
+        self.stuck[idx] = true;
+    }
+
+    /// Is the card at `idx` dirty?
+    pub fn is_dirty(&self, idx: usize) -> bool {
+        self.cards[idx]
+    }
+
+    /// Is the card at `idx` pinned by the shared-card pathology?
+    pub fn is_stuck(&self, idx: usize) -> bool {
+        self.stuck[idx]
+    }
+
+    /// Indices of all dirty cards.
+    pub fn dirty_cards(&self) -> Vec<usize> {
+        (0..self.cards.len()).filter(|i| self.cards[*i]).collect()
+    }
+
+    /// Number of dirty cards.
+    pub fn dirty_count(&self) -> usize {
+        self.cards.iter().filter(|c| **c).count()
+    }
+
+    /// Clean the card at `idx` after a successful scan — unless it is
+    /// stuck, in which case it stays dirty (returns whether it was cleaned).
+    pub fn clean(&mut self, idx: usize) -> bool {
+        if self.stuck[idx] {
+            return false;
+        }
+        self.cards[idx] = false;
+        true
+    }
+
+    /// Clear everything, including stuck cards (major GC).
+    pub fn clear_all(&mut self) {
+        self.cards.iter_mut().for_each(|c| *c = false);
+        self.stuck.iter_mut().for_each(|c| *c = false);
+    }
+
+    /// Address range `[start, end)` covered by card `idx`.
+    pub fn card_range(&self, idx: usize) -> (Addr, Addr) {
+        let start = self.base.offset(idx as u64 * CARD_BYTES);
+        (start, start.offset(CARD_BYTES))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_aligns_to_cards() {
+        assert_eq!(pad_to_card(1), CARD_BYTES);
+        assert_eq!(pad_to_card(CARD_BYTES), CARD_BYTES);
+        assert_eq!(pad_to_card(CARD_BYTES + 1), 2 * CARD_BYTES);
+        assert_eq!(pad_to_card(0), 0);
+    }
+
+    #[test]
+    fn mark_and_clean() {
+        let mut t = CardTable::new(Addr(0), 4096);
+        assert_eq!(t.len(), 8);
+        t.mark_dirty(Addr(513));
+        assert!(t.is_dirty(1));
+        assert!(!t.is_dirty(0));
+        assert_eq!(t.dirty_cards(), vec![1]);
+        assert!(t.clean(1));
+        assert_eq!(t.dirty_count(), 0);
+    }
+
+    #[test]
+    fn stuck_cards_resist_cleaning() {
+        let mut t = CardTable::new(Addr(0), 2048);
+        t.mark_stuck(Addr(0));
+        assert!(!t.clean(0), "stuck card stays dirty");
+        assert!(t.is_dirty(0));
+        t.clear_all();
+        assert!(!t.is_dirty(0));
+        assert!(!t.is_stuck(0));
+    }
+
+    #[test]
+    fn card_ranges() {
+        let t = CardTable::new(Addr(1000), 2048);
+        let (s, e) = t.card_range(1);
+        assert_eq!(s, Addr(1000 + 512));
+        assert_eq!(e, Addr(1000 + 1024));
+        assert_eq!(t.card_of(Addr(1000 + 600)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "below card table base")]
+    fn below_base_panics() {
+        let t = CardTable::new(Addr(1000), 1024);
+        t.card_of(Addr(999));
+    }
+
+    #[test]
+    #[should_panic(expected = "past card table end")]
+    fn past_end_panics() {
+        let t = CardTable::new(Addr(0), 1024);
+        t.card_of(Addr(1024));
+    }
+}

@@ -1,0 +1,147 @@
+//! Heap objects: identity, headers, kinds.
+//!
+//! An RDD is, at a low level, a multi-layer object structure (Figure 1 of
+//! the paper): a top RDD object references a Java array, which references
+//! tuple objects, which reference further data objects. We model each of
+//! those as an [`Object`] record whose header carries the mark bit, age,
+//! and the two `MEMORY_BITS` Panthera reserves.
+
+use crate::payload::Payload;
+use crate::space::SpaceId;
+use crate::tag::MemTag;
+use hybridmem::Addr;
+use std::fmt;
+
+/// Stable identity of a heap object. Unlike a real collector, the simulator
+/// never rewrites references when it moves an object — the id stays fixed
+/// and only the object's simulated address changes, which is what the
+/// time/energy model observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// The role an object plays in an RDD's structure (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjKind {
+    /// The top `org.apache.spark.rdd.RDD` object for RDD `rdd_id`.
+    RddTop {
+        /// Runtime RDD id the top object represents.
+        rdd_id: u32,
+    },
+    /// The backbone array of an RDD partition; the object Panthera
+    /// pretenures directly into the tagged space.
+    RddArray {
+        /// Runtime RDD id the array belongs to.
+        rdd_id: u32,
+    },
+    /// A data tuple (key/value record) or other data object reachable from
+    /// an RDD array.
+    Tuple,
+    /// Framework control objects, iterators, buffers — not associated with
+    /// any RDD.
+    Control,
+}
+
+impl ObjKind {
+    /// The RDD this object is structurally part of, if known statically.
+    pub fn rdd_id(self) -> Option<u32> {
+        match self {
+            ObjKind::RddTop { rdd_id } | ObjKind::RddArray { rdd_id } => Some(rdd_id),
+            _ => None,
+        }
+    }
+
+    /// True for the backbone array kind.
+    pub fn is_array(self) -> bool {
+        matches!(self, ObjKind::RddArray { .. })
+    }
+}
+
+/// Modelled size of an object header in bytes (mark word + klass pointer).
+pub const HEADER_BYTES: u64 = 16;
+/// Modelled size of one reference slot in bytes.
+pub const REF_BYTES: u64 = 8;
+
+/// Compute an object's modelled size from its payload and reference count.
+pub fn object_bytes(payload_bytes: u64, n_refs: usize) -> u64 {
+    HEADER_BYTES + payload_bytes + REF_BYTES * n_refs as u64
+}
+
+/// One simulated heap object.
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// Structural role.
+    pub kind: ObjKind,
+    /// Modelled size in bytes (includes header, payload, and ref slots;
+    /// may include card-alignment padding for arrays).
+    pub size: u64,
+    /// Current simulated address.
+    pub addr: Addr,
+    /// Space the object currently lives in.
+    pub space: SpaceId,
+    /// The `MEMORY_BITS` placement tag.
+    pub tag: MemTag,
+    /// Number of minor collections survived.
+    pub age: u8,
+    /// Mark bit used by the major collector.
+    pub marked: bool,
+    /// Outgoing references.
+    pub refs: Vec<ObjId>,
+    /// Scalar payload.
+    pub payload: Payload,
+}
+
+impl Object {
+    /// End address (exclusive) of the object.
+    pub fn end(&self) -> Addr {
+        self.addr.offset(self.size)
+    }
+
+    /// True if the object is in either young-generation space.
+    pub fn in_young(&self) -> bool {
+        self.space.is_young()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_size_model() {
+        assert_eq!(object_bytes(0, 0), 16);
+        assert_eq!(object_bytes(8, 0), 24);
+        assert_eq!(object_bytes(0, 3), 40);
+    }
+
+    #[test]
+    fn kind_rdd_ids() {
+        assert_eq!(ObjKind::RddTop { rdd_id: 3 }.rdd_id(), Some(3));
+        assert_eq!(ObjKind::RddArray { rdd_id: 4 }.rdd_id(), Some(4));
+        assert_eq!(ObjKind::Tuple.rdd_id(), None);
+        assert!(ObjKind::RddArray { rdd_id: 0 }.is_array());
+        assert!(!ObjKind::Tuple.is_array());
+    }
+
+    #[test]
+    fn object_end() {
+        let o = Object {
+            kind: ObjKind::Tuple,
+            size: 32,
+            addr: Addr(100),
+            space: SpaceId::Eden,
+            tag: MemTag::None,
+            age: 0,
+            marked: false,
+            refs: vec![],
+            payload: Payload::Unit,
+        };
+        assert_eq!(o.end(), Addr(132));
+        assert!(o.in_young());
+    }
+}

@@ -1,0 +1,256 @@
+//! Object payloads: the scalar data a simulated heap object carries.
+//!
+//! Workloads compute real answers (page ranks, cluster centres, shortest
+//! paths), so tuple objects hold actual values. A payload also knows how
+//! many bytes it would occupy in a real heap, which feeds the object-size
+//! model.
+
+use std::fmt;
+
+/// A scalar or small-composite value stored inside one heap object.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Payload {
+    /// No payload (RDD top objects, arrays, control objects).
+    #[default]
+    Unit,
+    /// A 64-bit integer (vertex ids, counts, labels).
+    Long(i64),
+    /// A 64-bit float (ranks, distances, gradients).
+    Double(f64),
+    /// An interned string identified by a stable symbol id; `len` models the
+    /// string's character storage.
+    Text {
+        /// Symbol identity (equality = string equality).
+        sym: u64,
+        /// Modelled length in bytes.
+        len: u32,
+    },
+    /// A key/value pair (the backbone tuple shape of Figure 1).
+    Pair(Box<Payload>, Box<Payload>),
+    /// A vector of integers (adjacency lists, document word ids).
+    Longs(Vec<i64>),
+    /// A vector of floats (points, feature vectors, weight vectors).
+    Doubles(Vec<f64>),
+    /// A list of payloads (grouped values, compact buffers — Figure 1's
+    /// `CompactBuffer`).
+    List(Vec<Payload>),
+    /// An opaque serialized buffer of `len` bytes (the `byte[]` backing a
+    /// `*_SER` storage level).
+    Bytes {
+        /// Buffer length in bytes.
+        len: u64,
+    },
+}
+
+impl Payload {
+    /// Modelled storage footprint of the payload in bytes (unscaled).
+    pub fn model_bytes(&self) -> u64 {
+        match self {
+            Payload::Unit => 0,
+            Payload::Long(_) | Payload::Double(_) => 8,
+            Payload::Text { len, .. } => 16 + *len as u64,
+            Payload::Pair(a, b) => 16 + a.model_bytes() + b.model_bytes(),
+            Payload::Longs(v) => 16 + 8 * v.len() as u64,
+            Payload::Doubles(v) => 16 + 8 * v.len() as u64,
+            Payload::List(v) => 16 + v.iter().map(Payload::model_bytes).sum::<u64>(),
+            Payload::Bytes { len } => 16 + len,
+        }
+    }
+
+    /// A structural hash usable for `distinct` and shuffle dedup; floats
+    /// hash by bit pattern.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a structural encoding.
+        fn mix(h: &mut u64, v: u64) {
+            for b in v.to_le_bytes() {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        fn go(p: &Payload, h: &mut u64) {
+            match p {
+                Payload::Unit => mix(h, 0),
+                Payload::Long(v) => {
+                    mix(h, 1);
+                    mix(h, *v as u64);
+                }
+                Payload::Double(v) => {
+                    mix(h, 2);
+                    mix(h, v.to_bits());
+                }
+                Payload::Text { sym, .. } => {
+                    mix(h, 3);
+                    mix(h, *sym);
+                }
+                Payload::Pair(a, b) => {
+                    mix(h, 4);
+                    go(a, h);
+                    go(b, h);
+                }
+                Payload::Longs(v) => {
+                    mix(h, 5);
+                    for x in v {
+                        mix(h, *x as u64);
+                    }
+                }
+                Payload::Doubles(v) => {
+                    mix(h, 6);
+                    for x in v {
+                        mix(h, x.to_bits());
+                    }
+                }
+                Payload::List(v) => {
+                    mix(h, 7);
+                    for x in v {
+                        go(x, h);
+                    }
+                }
+                Payload::Bytes { len } => {
+                    mix(h, 8);
+                    mix(h, *len);
+                }
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        go(self, &mut h);
+        h
+    }
+
+    /// The integer value, if this payload is a `Long`.
+    pub fn as_long(&self) -> Option<i64> {
+        match self {
+            Payload::Long(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float value, if this payload is a `Double`.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Payload::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The pair components, if this payload is a `Pair`.
+    pub fn as_pair(&self) -> Option<(&Payload, &Payload)> {
+        match self {
+            Payload::Pair(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// A key usable for grouping/shuffling. Pairs key on their first
+    /// component; scalars key on themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload (or pair key) is not a scalar.
+    pub fn shuffle_key(&self) -> Key {
+        match self {
+            Payload::Pair(k, _) => k.shuffle_key(),
+            Payload::Long(v) => Key::Long(*v),
+            Payload::Text { sym, .. } => Key::Sym(*sym),
+            Payload::Double(v) => Key::Long(v.to_bits() as i64),
+            other => panic!("payload {other:?} has no shuffle key"),
+        }
+    }
+
+    /// Convenience constructor for a `(long, payload)` pair.
+    pub fn keyed(key: i64, value: Payload) -> Payload {
+        Payload::Pair(Box::new(Payload::Long(key)), Box::new(value))
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Unit => write!(f, "()"),
+            Payload::Long(v) => write!(f, "{v}"),
+            Payload::Double(v) => write!(f, "{v}"),
+            Payload::Text { sym, .. } => write!(f, "text#{sym}"),
+            Payload::Pair(a, b) => write!(f, "({a}, {b})"),
+            Payload::Longs(v) => write!(f, "longs[{}]", v.len()),
+            Payload::Doubles(v) => write!(f, "doubles[{}]", v.len()),
+            Payload::List(v) => write!(f, "list[{}]", v.len()),
+            Payload::Bytes { len } => write!(f, "bytes[{len}]"),
+        }
+    }
+}
+
+/// A hashable grouping key extracted from a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Key {
+    /// Integer key.
+    Long(i64),
+    /// Interned-string key.
+    Sym(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_bytes_compose() {
+        let p = Payload::keyed(1, Payload::Double(0.5));
+        assert_eq!(p.model_bytes(), 16 + 8 + 8);
+        assert_eq!(Payload::Longs(vec![1, 2, 3]).model_bytes(), 16 + 24);
+        assert_eq!(Payload::Unit.model_bytes(), 0);
+    }
+
+    #[test]
+    fn shuffle_keys() {
+        assert_eq!(Payload::Long(7).shuffle_key(), Key::Long(7));
+        assert_eq!(
+            Payload::keyed(9, Payload::Unit).shuffle_key(),
+            Key::Long(9)
+        );
+        let t = Payload::Text { sym: 3, len: 10 };
+        assert_eq!(t.shuffle_key(), Key::Sym(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no shuffle key")]
+    fn unit_has_no_key() {
+        Payload::Unit.shuffle_key();
+    }
+
+    #[test]
+    fn fingerprints_distinguish_values() {
+        assert_eq!(Payload::Long(1).fingerprint(), Payload::Long(1).fingerprint());
+        assert_ne!(Payload::Long(1).fingerprint(), Payload::Long(2).fingerprint());
+        assert_ne!(Payload::Long(1).fingerprint(), Payload::Double(1.0).fingerprint());
+        let a = Payload::keyed(3, Payload::List(vec![Payload::Long(1)]));
+        let b = Payload::keyed(3, Payload::List(vec![Payload::Long(1)]));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = Payload::keyed(3, Payload::List(vec![Payload::Long(2)]));
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn bytes_model_bytes() {
+        assert_eq!(Payload::Bytes { len: 100 }.model_bytes(), 116);
+        assert_ne!(
+            Payload::Bytes { len: 1 }.fingerprint(),
+            Payload::Bytes { len: 2 }.fingerprint()
+        );
+    }
+
+    #[test]
+    fn list_model_bytes() {
+        let l = Payload::List(vec![Payload::Long(1), Payload::Long(2)]);
+        assert_eq!(l.model_bytes(), 16 + 16);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Payload::Long(3).as_long(), Some(3));
+        assert_eq!(Payload::Double(2.0).as_double(), Some(2.0));
+        assert!(Payload::Long(3).as_double().is_none());
+        let p = Payload::keyed(1, Payload::Long(2));
+        let (k, v) = p.as_pair().unwrap();
+        assert_eq!(k.as_long(), Some(1));
+        assert_eq!(v.as_long(), Some(2));
+    }
+}

@@ -1,0 +1,147 @@
+//! GC roots: stack and global references into the heap.
+//!
+//! The execution engine maintains the root set. *Global* roots model
+//! long-lived references (the persisted-RDD registry); *scoped* roots model
+//! stack frames: entering a task pushes a scope, and leaving it pops every
+//! root the task created.
+
+use crate::object::ObjId;
+
+/// A set of GC roots with globals and nested scopes.
+#[derive(Debug, Clone, Default)]
+pub struct RootSet {
+    globals: Vec<ObjId>,
+    stack: Vec<ObjId>,
+    scopes: Vec<usize>,
+}
+
+impl RootSet {
+    /// An empty root set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a root in the current scope (or at the bottom of the stack if
+    /// no scope is open).
+    pub fn push(&mut self, id: ObjId) {
+        self.stack.push(id);
+    }
+
+    /// Add a global root that survives every scope pop (e.g. a persisted
+    /// RDD's top object).
+    pub fn push_global(&mut self, id: ObjId) {
+        self.globals.push(id);
+    }
+
+    /// Open a new scope (e.g. a task's stack frame).
+    pub fn push_scope(&mut self) {
+        self.scopes.push(self.stack.len());
+    }
+
+    /// Close the innermost scope, dropping every stack root added inside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn pop_scope(&mut self) {
+        let mark = self.scopes.pop().expect("no open root scope");
+        self.stack.truncate(mark);
+    }
+
+    /// Remove every occurrence of a root, global or scoped (e.g. an
+    /// unpersisted RDD).
+    pub fn remove(&mut self, id: ObjId) {
+        self.globals.retain(|r| *r != id);
+        // Adjust scope marks for removed stack entries below them.
+        let mut removed_below = vec![0usize; self.scopes.len()];
+        let mut kept = Vec::with_capacity(self.stack.len());
+        for (i, r) in self.stack.iter().enumerate() {
+            if *r == id {
+                for (s, mark) in self.scopes.iter().enumerate() {
+                    if i < *mark {
+                        removed_below[s] += 1;
+                    }
+                }
+            } else {
+                kept.push(*r);
+            }
+        }
+        for (s, n) in removed_below.into_iter().enumerate() {
+            self.scopes[s] -= n;
+        }
+        self.stack = kept;
+    }
+
+    /// Iterate all current roots (globals first).
+    pub fn iter(&self) -> impl Iterator<Item = ObjId> + '_ {
+        self.globals.iter().chain(self.stack.iter()).copied()
+    }
+
+    /// Number of roots currently registered.
+    pub fn len(&self) -> usize {
+        self.globals.len() + self.stack.len()
+    }
+
+    /// True if no roots are registered.
+    pub fn is_empty(&self) -> bool {
+        self.globals.is_empty() && self.stack.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_nest() {
+        let mut r = RootSet::new();
+        r.push(ObjId(1));
+        r.push_scope();
+        r.push(ObjId(2));
+        r.push_scope();
+        r.push(ObjId(3));
+        assert_eq!(r.len(), 3);
+        r.pop_scope();
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![ObjId(1), ObjId(2)]);
+        r.pop_scope();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn globals_survive_scope_pops() {
+        let mut r = RootSet::new();
+        r.push_scope();
+        r.push_global(ObjId(7));
+        r.push(ObjId(8));
+        r.pop_scope();
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![ObjId(7)]);
+        r.remove(ObjId(7));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn remove_adjusts_scopes() {
+        let mut r = RootSet::new();
+        r.push(ObjId(1));
+        r.push(ObjId(2));
+        r.push_scope();
+        r.push(ObjId(3));
+        r.remove(ObjId(1));
+        r.pop_scope();
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![ObjId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no open root scope")]
+    fn unbalanced_pop_panics() {
+        RootSet::new().pop_scope();
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut r = RootSet::new();
+        assert!(r.is_empty());
+        r.push(ObjId(0));
+        assert!(!r.is_empty());
+    }
+}

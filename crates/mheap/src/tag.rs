@@ -1,0 +1,107 @@
+//! Memory tags: the two reserved `MEMORY_BITS` in every object header.
+//!
+//! Panthera reserves two unused bits in the object header to say whether the
+//! object should live in DRAM (`01`), NVM (`10`), or has no preference yet
+//! (`00`, the default). Tags are set by the instrumented `rdd_alloc` calls,
+//! propagated along references during GC tracing, and resolved on conflict
+//! with the priority order DRAM > NVM (Section 4.2.2).
+
+use std::fmt;
+
+/// The value of an object's `MEMORY_BITS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum MemTag {
+    /// `00`: no tag. Promoted objects with this value go to NVM by default.
+    #[default]
+    None,
+    /// `10`: the object belongs in the NVM part of the old generation.
+    Nvm,
+    /// `01`: the object belongs in the DRAM part of the old generation.
+    /// Highest priority on conflicts.
+    Dram,
+}
+
+impl MemTag {
+    /// The header bit pattern for this tag (paper Section 4.1).
+    pub fn bits(self) -> u8 {
+        match self {
+            MemTag::None => 0b00,
+            MemTag::Dram => 0b01,
+            MemTag::Nvm => 0b10,
+        }
+    }
+
+    /// Decode a header bit pattern.
+    ///
+    /// Returns `None` for the reserved pattern `11`.
+    pub fn from_bits(bits: u8) -> Option<MemTag> {
+        match bits {
+            0b00 => Some(MemTag::None),
+            0b01 => Some(MemTag::Dram),
+            0b10 => Some(MemTag::Nvm),
+            _ => None,
+        }
+    }
+
+    /// Merge a tag propagated from another reference into this one,
+    /// resolving conflicts with the paper's DRAM > NVM priority: as long as
+    /// the object receives DRAM from any reference, it is a DRAM object.
+    pub fn merge(self, other: MemTag) -> MemTag {
+        self.max(other)
+    }
+
+    /// True if this tag expresses a placement preference.
+    pub fn is_tagged(self) -> bool {
+        self != MemTag::None
+    }
+}
+
+impl fmt::Display for MemTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemTag::None => write!(f, "none"),
+            MemTag::Dram => write!(f, "DRAM"),
+            MemTag::Nvm => write!(f, "NVM"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_patterns_match_paper() {
+        assert_eq!(MemTag::None.bits(), 0b00);
+        assert_eq!(MemTag::Dram.bits(), 0b01);
+        assert_eq!(MemTag::Nvm.bits(), 0b10);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for t in [MemTag::None, MemTag::Dram, MemTag::Nvm] {
+            assert_eq!(MemTag::from_bits(t.bits()), Some(t));
+        }
+        assert_eq!(MemTag::from_bits(0b11), None);
+    }
+
+    #[test]
+    fn dram_wins_conflicts() {
+        assert_eq!(MemTag::Nvm.merge(MemTag::Dram), MemTag::Dram);
+        assert_eq!(MemTag::Dram.merge(MemTag::Nvm), MemTag::Dram);
+        assert_eq!(MemTag::None.merge(MemTag::Nvm), MemTag::Nvm);
+        assert_eq!(MemTag::Nvm.merge(MemTag::None), MemTag::Nvm);
+        assert_eq!(MemTag::None.merge(MemTag::None), MemTag::None);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_idempotent() {
+        let all = [MemTag::None, MemTag::Dram, MemTag::Nvm];
+        for a in all {
+            assert_eq!(a.merge(a), a);
+            for b in all {
+                assert_eq!(a.merge(b), b.merge(a));
+            }
+        }
+    }
+}

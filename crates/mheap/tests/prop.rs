@@ -1,0 +1,142 @@
+//! Property tests for the heap: payload sizing/hashing, card geometry,
+//! bump allocation, and root-scope discipline.
+
+use hybridmem::MemorySystemConfig;
+use mheap::{
+    pad_to_card, Heap, HeapConfig, Key, MemTag, ObjId, ObjKind, Payload, RootSet, CARD_BYTES,
+};
+use proptest::prelude::*;
+
+/// Generator for arbitrary payloads (recursion bounded).
+fn payload() -> impl Strategy<Value = Payload> {
+    let leaf = prop_oneof![
+        Just(Payload::Unit),
+        any::<i64>().prop_map(Payload::Long),
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Payload::Double),
+        (any::<u64>(), 0u32..100).prop_map(|(sym, len)| Payload::Text { sym, len }),
+        prop::collection::vec(any::<i64>(), 0..8).prop_map(Payload::Longs),
+        prop::collection::vec(-1e9f64..1e9, 0..8).prop_map(Payload::Doubles),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Payload::Pair(Box::new(a), Box::new(b))),
+            prop::collection::vec(inner, 0..4).prop_map(Payload::List),
+        ]
+    })
+}
+
+proptest! {
+    /// Fingerprints are a pure function of structure: equal payloads hash
+    /// equal, and cloning never changes the hash.
+    #[test]
+    fn fingerprint_is_stable(p in payload()) {
+        prop_assert_eq!(p.fingerprint(), p.clone().fingerprint());
+    }
+
+    /// Wrapping a payload changes its fingerprint (no trivial collisions
+    /// between a value and its 1-tuple).
+    #[test]
+    fn fingerprint_sees_structure(p in payload()) {
+        let wrapped = Payload::List(vec![p.clone()]);
+        prop_assert_ne!(p.fingerprint(), wrapped.fingerprint());
+    }
+
+    /// model_bytes is consistent under composition: a pair costs its parts
+    /// plus a constant.
+    #[test]
+    fn pair_bytes_compose(a in payload(), b in payload()) {
+        let pair = Payload::Pair(Box::new(a.clone()), Box::new(b.clone()));
+        prop_assert_eq!(pair.model_bytes(), 16 + a.model_bytes() + b.model_bytes());
+    }
+
+    /// Keyed payloads always expose their key.
+    #[test]
+    fn keyed_payloads_have_keys(k in any::<i64>(), v in payload()) {
+        prop_assert_eq!(Payload::keyed(k, v).shuffle_key(), Key::Long(k));
+    }
+
+    /// Card padding: the result is card-aligned, never smaller, and adds
+    /// less than one card.
+    #[test]
+    fn padding_properties(size in 0u64..1_000_000) {
+        let padded = pad_to_card(size);
+        prop_assert_eq!(padded % CARD_BYTES, 0);
+        prop_assert!(padded >= size);
+        prop_assert!(padded - size < CARD_BYTES);
+    }
+
+    /// Young allocations never overlap and stay inside eden.
+    #[test]
+    fn young_objects_never_overlap(sizes in prop::collection::vec(0usize..32, 1..64)) {
+        let mut heap = Heap::new(
+            HeapConfig::panthera(6_000_000, 1.0 / 3.0),
+            MemorySystemConfig::with_capacities(2_000_000, 4_000_000),
+        ).unwrap();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for n in sizes {
+            let id = heap
+                .alloc_young(
+                    ObjKind::Tuple,
+                    MemTag::None,
+                    vec![],
+                    Payload::Doubles(vec![0.0; n]),
+                )
+                .unwrap();
+            let o = heap.obj(id);
+            spans.push((o.addr.0, o.end().0));
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "objects overlap: {w:?}");
+        }
+        let eden = heap.eden();
+        prop_assert!(spans.last().unwrap().1 <= eden.base().0 + eden.capacity());
+    }
+
+    /// Arrays in old spaces end card-aligned when padding is on, for any
+    /// interleaving of tuples and arrays.
+    #[test]
+    fn arrays_end_card_aligned(ops in prop::collection::vec((any::<bool>(), 1usize..64), 1..32)) {
+        let mut heap = Heap::new(
+            HeapConfig::panthera(8_000_000, 1.0 / 3.0),
+            MemorySystemConfig::with_capacities(2_000_000, 6_000_000),
+        ).unwrap();
+        let nvm = heap.old_nvm().unwrap();
+        let base = heap.old(nvm).base().0;
+        for (i, (is_array, n)) in ops.into_iter().enumerate() {
+            if is_array {
+                let id = heap.alloc_array_old(nvm, i as u32, n, MemTag::Nvm).unwrap();
+                let o = heap.obj(id);
+                prop_assert_eq!((o.end().0 - base) % CARD_BYTES, 0);
+            } else {
+                heap.alloc_old(nvm, ObjKind::Tuple, MemTag::Nvm, vec![], Payload::Longs(vec![0; n]))
+                    .unwrap();
+            }
+        }
+    }
+
+    /// Root scopes: after popping every scope, exactly the pre-scope roots
+    /// (minus removals) remain, in order.
+    #[test]
+    fn root_scopes_balance(
+        outer in prop::collection::vec(any::<u32>(), 0..8),
+        scoped in prop::collection::vec(prop::collection::vec(any::<u32>(), 0..4), 0..4),
+    ) {
+        let mut roots = RootSet::new();
+        for r in &outer {
+            roots.push(ObjId(*r));
+        }
+        for scope in &scoped {
+            roots.push_scope();
+            for r in scope {
+                roots.push(ObjId(*r));
+            }
+        }
+        for _ in &scoped {
+            roots.pop_scope();
+        }
+        let expect: Vec<ObjId> = outer.iter().map(|r| ObjId(*r)).collect();
+        prop_assert_eq!(roots.iter().collect::<Vec<_>>(), expect);
+    }
+}

@@ -1,0 +1,398 @@
+//! The driver-program IR.
+//!
+//! Spark driver programs are Scala code; the paper's static analysis reads
+//! their def/use structure — which RDD variables are (re)defined or used
+//! inside which loops, where `persist` is called and with which storage
+//! level, and where actions force materialization. This IR carries exactly
+//! that information, plus enough operational content (transformation kinds
+//! and user-function ids) for the execution engine to actually run the
+//! program.
+
+use std::fmt;
+
+/// An RDD variable declared in the driver program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// A user function (closure) referenced by a transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuncId(pub u32);
+
+/// Pre-order position of a statement in the program (loop bodies are
+/// visited once, in place).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub u32);
+
+/// Identity of a loop statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(pub u32);
+
+/// Spark's ten storage levels (Section 3: each level except `OFF_HEAP` and
+/// `DISK_ONLY` is expanded by Panthera into `_DRAM` and `_NVM` sub-levels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageLevel {
+    /// Deserialized, in the managed heap.
+    MemoryOnly,
+    /// `MEMORY_ONLY_2`: replicated on two nodes.
+    MemoryOnly2,
+    /// Serialized bytes in the managed heap.
+    MemoryOnlySer,
+    /// `MEMORY_ONLY_SER_2`.
+    MemoryOnlySer2,
+    /// Spill to disk under memory pressure.
+    MemoryAndDisk,
+    /// `MEMORY_AND_DISK_2`.
+    MemoryAndDisk2,
+    /// Serialized, spilling to disk under pressure.
+    MemoryAndDiskSer,
+    /// `MEMORY_AND_DISK_SER_2`.
+    MemoryAndDiskSer2,
+    /// On disk only — carries no memory tag.
+    DiskOnly,
+    /// In native (off-heap) memory — translated directly to
+    /// `OFF_HEAP_NVM` because natively stored RDDs are rarely used.
+    OffHeap,
+}
+
+impl StorageLevel {
+    /// All ten levels.
+    pub const ALL: [StorageLevel; 10] = [
+        StorageLevel::MemoryOnly,
+        StorageLevel::MemoryOnly2,
+        StorageLevel::MemoryOnlySer,
+        StorageLevel::MemoryOnlySer2,
+        StorageLevel::MemoryAndDisk,
+        StorageLevel::MemoryAndDisk2,
+        StorageLevel::MemoryAndDiskSer,
+        StorageLevel::MemoryAndDiskSer2,
+        StorageLevel::DiskOnly,
+        StorageLevel::OffHeap,
+    ];
+
+    /// Does Panthera expand this level into `_DRAM`/`_NVM` sub-levels?
+    pub fn expands_to_tagged(self) -> bool {
+        !matches!(self, StorageLevel::DiskOnly | StorageLevel::OffHeap)
+    }
+
+    /// Does the level keep data in the managed heap?
+    pub fn uses_heap(self) -> bool {
+        !matches!(self, StorageLevel::DiskOnly | StorageLevel::OffHeap)
+    }
+
+    /// Is the in-memory form serialized (compact byte buffers that must be
+    /// deserialized on every read)?
+    pub fn is_serialized(self) -> bool {
+        matches!(
+            self,
+            StorageLevel::MemoryOnlySer
+                | StorageLevel::MemoryOnlySer2
+                | StorageLevel::MemoryAndDiskSer
+                | StorageLevel::MemoryAndDiskSer2
+        )
+    }
+}
+
+impl fmt::Display for StorageLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StorageLevel::MemoryOnly => "MEMORY_ONLY",
+            StorageLevel::MemoryOnly2 => "MEMORY_ONLY_2",
+            StorageLevel::MemoryOnlySer => "MEMORY_ONLY_SER",
+            StorageLevel::MemoryOnlySer2 => "MEMORY_ONLY_SER_2",
+            StorageLevel::MemoryAndDisk => "MEMORY_AND_DISK",
+            StorageLevel::MemoryAndDisk2 => "MEMORY_AND_DISK_2",
+            StorageLevel::MemoryAndDiskSer => "MEMORY_AND_DISK_SER",
+            StorageLevel::MemoryAndDiskSer2 => "MEMORY_AND_DISK_SER_2",
+            StorageLevel::DiskOnly => "DISK_ONLY",
+            StorageLevel::OffHeap => "OFF_HEAP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The memory tag inferred for a persisted RDD (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemoryTag {
+    /// Rarely-accessed data: place in NVM.
+    Nvm,
+    /// Frequently-accessed data: place in DRAM. Wins conflicts.
+    Dram,
+}
+
+impl fmt::Display for MemoryTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryTag::Dram => f.write_str("DRAM"),
+            MemoryTag::Nvm => f.write_str("NVM"),
+        }
+    }
+}
+
+/// An RDD transformation.
+///
+/// `Distinct`, `GroupByKey`, `ReduceByKey`, and `Join` introduce *wide*
+/// dependences (shuffles); everything else is narrow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transform {
+    /// One output record per input record.
+    Map(FuncId),
+    /// Map over the value of each key/value pair, keeping the key (and, in
+    /// Spark, sharing the key objects with the parent).
+    MapValues(FuncId),
+    /// Zero or more output records per input record.
+    FlatMap(FuncId),
+    /// Keep records satisfying the predicate.
+    Filter(FuncId),
+    /// Remove duplicates (wide).
+    Distinct,
+    /// Group values by key (wide).
+    GroupByKey,
+    /// Reduce values per key with a combiner (wide).
+    ReduceByKey(FuncId),
+    /// Join two keyed RDDs (wide); produces `(k, (v1, v2))`.
+    Join,
+    /// Drop keys, keep values.
+    Values,
+    /// Keep keys, drop values.
+    Keys,
+    /// Concatenate two RDDs (narrow).
+    Union,
+    /// Sort records by shuffle key (wide — a range shuffle in Spark).
+    SortByKey,
+    /// Deterministic Bernoulli sample of the records (narrow).
+    Sample {
+        /// Probability of keeping each record, in `[0, 1]`.
+        fraction: f64,
+        /// Sampling seed.
+        seed: u64,
+    },
+}
+
+impl Transform {
+    /// Does the transformation require a shuffle (wide dependence)?
+    pub fn is_wide(&self) -> bool {
+        matches!(
+            self,
+            Transform::Distinct
+                | Transform::GroupByKey
+                | Transform::ReduceByKey(_)
+                | Transform::Join
+                | Transform::SortByKey
+        )
+    }
+
+    /// Number of input RDDs the transformation takes.
+    pub fn arity(&self) -> usize {
+        match self {
+            Transform::Join | Transform::Union => 2,
+            _ => 1,
+        }
+    }
+
+    /// Short name for display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Transform::Map(_) => "map",
+            Transform::MapValues(_) => "mapValues",
+            Transform::FlatMap(_) => "flatMap",
+            Transform::Filter(_) => "filter",
+            Transform::Distinct => "distinct",
+            Transform::GroupByKey => "groupByKey",
+            Transform::ReduceByKey(_) => "reduceByKey",
+            Transform::Join => "join",
+            Transform::Values => "values",
+            Transform::Keys => "keys",
+            Transform::Union => "union",
+            Transform::SortByKey => "sortByKey",
+            Transform::Sample { .. } => "sample",
+        }
+    }
+}
+
+/// An RDD-producing expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RddExpr {
+    /// Reference to a program variable.
+    Var(VarId),
+    /// An input source resolved by name at run time (e.g. a dataset
+    /// generator standing in for `ctx.textFile(...)`).
+    Source(String),
+    /// A transformation applied to input expressions.
+    Apply {
+        /// The transformation.
+        transform: Transform,
+        /// Input expressions; length must equal `transform.arity()`.
+        inputs: Vec<RddExpr>,
+    },
+}
+
+impl RddExpr {
+    /// All variables mentioned anywhere in the expression (uses).
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            RddExpr::Var(v) => out.push(*v),
+            RddExpr::Source(_) => {}
+            RddExpr::Apply { inputs, .. } => {
+                for i in inputs {
+                    i.collect_vars(out);
+                }
+            }
+        }
+    }
+}
+
+/// An action — forces evaluation (and materialization) of an RDD.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionKind {
+    /// Count the records.
+    Count,
+    /// Materialize and retrieve all records to the driver.
+    Collect,
+    /// Fold all records into one with a combiner.
+    Reduce(FuncId),
+}
+
+impl ActionKind {
+    /// Short name for display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ActionKind::Count => "count",
+            ActionKind::Collect => "collect",
+            ActionKind::Reduce(_) => "reduce",
+        }
+    }
+}
+
+/// A driver-program statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var = expr` — a definition (first or repeated) of an RDD variable.
+    Bind {
+        /// The defined variable.
+        var: VarId,
+        /// The defining expression.
+        expr: RddExpr,
+    },
+    /// `var.persist(level)` — materializes the variable's current RDD.
+    Persist {
+        /// The persisted variable.
+        var: VarId,
+        /// The requested storage level.
+        level: StorageLevel,
+    },
+    /// `var.unpersist()` — releases the variable's current RDD.
+    Unpersist {
+        /// The released variable.
+        var: VarId,
+    },
+    /// `var.action()` — forces evaluation; materializes unpersisted RDDs.
+    Action {
+        /// The variable the action runs on.
+        var: VarId,
+        /// Which action.
+        action: ActionKind,
+    },
+    /// `for i in 1..=n { body }` — the computational loops the analysis
+    /// keys on.
+    Loop {
+        /// Number of iterations executed at run time.
+        n: u32,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A complete driver program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Program name ("pagerank", "kmeans", ...).
+    pub name: String,
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+    /// Human-readable variable names, indexed by [`VarId`].
+    pub var_names: Vec<String>,
+    /// Number of user functions the program references.
+    pub n_funcs: u32,
+}
+
+impl Program {
+    /// The name of a variable.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.var_names[var.0 as usize]
+    }
+
+    /// Number of declared variables.
+    pub fn n_vars(&self) -> usize {
+        self.var_names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_vs_narrow() {
+        assert!(Transform::Join.is_wide());
+        assert!(Transform::ReduceByKey(FuncId(0)).is_wide());
+        assert!(Transform::GroupByKey.is_wide());
+        assert!(Transform::Distinct.is_wide());
+        assert!(Transform::SortByKey.is_wide());
+        assert!(!Transform::Map(FuncId(0)).is_wide());
+        assert!(!Transform::Union.is_wide());
+        assert!(!Transform::Values.is_wide());
+        assert!(!Transform::Sample { fraction: 0.5, seed: 1 }.is_wide());
+    }
+
+    #[test]
+    fn arities() {
+        assert_eq!(Transform::Join.arity(), 2);
+        assert_eq!(Transform::Union.arity(), 2);
+        assert_eq!(Transform::Map(FuncId(0)).arity(), 1);
+    }
+
+    #[test]
+    fn serialized_levels() {
+        assert!(StorageLevel::MemoryOnlySer.is_serialized());
+        assert!(StorageLevel::MemoryAndDiskSer2.is_serialized());
+        assert!(!StorageLevel::MemoryOnly.is_serialized());
+        assert!(!StorageLevel::DiskOnly.is_serialized());
+    }
+
+    #[test]
+    fn storage_level_expansion_rule() {
+        // Section 3: every level except OFF_HEAP and DISK_ONLY expands.
+        let expanding =
+            StorageLevel::ALL.iter().filter(|l| l.expands_to_tagged()).count();
+        assert_eq!(expanding, 8);
+        assert!(!StorageLevel::OffHeap.expands_to_tagged());
+        assert!(!StorageLevel::DiskOnly.expands_to_tagged());
+    }
+
+    #[test]
+    fn expr_vars_are_collected_in_order() {
+        let e = RddExpr::Apply {
+            transform: Transform::Join,
+            inputs: vec![
+                RddExpr::Var(VarId(0)),
+                RddExpr::Apply {
+                    transform: Transform::Values,
+                    inputs: vec![RddExpr::Var(VarId(2))],
+                },
+            ],
+        };
+        assert_eq!(e.vars(), vec![VarId(0), VarId(2)]);
+        assert!(RddExpr::Source("x".into()).vars().is_empty());
+    }
+
+    #[test]
+    fn tag_ordering_prefers_dram() {
+        assert!(MemoryTag::Dram > MemoryTag::Nvm);
+    }
+}

@@ -1,0 +1,52 @@
+#![deny(missing_docs)]
+
+//! Driver-program IR for the Panthera reproduction.
+//!
+//! The paper's static analysis (Section 3) reads Spark driver programs at
+//! the source level: which RDD variables are defined or used inside which
+//! loops, where `persist` is invoked and with which storage level, and
+//! where actions force materialization. This crate is that surface — a
+//! small language of RDD transformations, persists, actions, and loops,
+//! with a fluent [`ProgramBuilder`] that makes workload definitions read
+//! like the paper's Figure 2(a):
+//!
+//! ```
+//! use sparklang::{ProgramBuilder, StorageLevel, ActionKind};
+//! use mheap::Payload;
+//!
+//! let mut b = ProgramBuilder::new("pagerank");
+//! let parse = b.map_fn(|line| line.clone());
+//! let one = b.map_fn(|_| Payload::Double(1.0));
+//! let lines = b.source("wikipedia-de");
+//! let links = b.bind("links", lines.map(parse).distinct().group_by_key());
+//! b.persist(links, StorageLevel::MemoryOnly);
+//! let ranks = b.bind("ranks", b.var(links).map_values(one));
+//! b.loop_n(10, |b| {
+//!     // ... contribs = links.join(ranks)... as in Figure 2(a)
+//!     let _ = b.var(ranks);
+//! });
+//! b.action(ranks, ActionKind::Count);
+//! let (program, fns) = b.finish();
+//! assert_eq!(program.name, "pagerank");
+//! assert!(fns.len() >= 2);
+//! ```
+//!
+//! The same IR is *executed* by the `sparklet` engine (the closures live in
+//! the [`FnTable`]) and *analyzed* by `panthera-analysis`, which walks it
+//! with [`visit::walk`] to infer a [`MemoryTag`] per persisted variable.
+
+pub mod ast;
+mod builder;
+mod parse;
+mod pretty;
+mod validate;
+pub mod visit;
+
+pub use ast::{
+    ActionKind, FuncId, LoopId, MemoryTag, Program, RddExpr, Stmt, StmtId, StorageLevel,
+    Transform, VarId,
+};
+pub use builder::{Expr, FilterFn, FlatMapFn, FnTable, MapFn, ProgramBuilder, ReduceFn, UserFn};
+pub use parse::{parse, ParseError};
+pub use pretty::Pretty;
+pub use validate::{validate, ValidateProgramError};

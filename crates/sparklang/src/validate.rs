@@ -1,0 +1,248 @@
+//! Static well-formedness checks for programs built without the
+//! [`ProgramBuilder`](crate::ProgramBuilder) (e.g. deserialized or
+//! hand-assembled IR).
+
+use crate::ast::{Program, RddExpr, Stmt, Transform, VarId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A well-formedness violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidateProgramError {
+    /// A statement or expression references an undeclared variable.
+    UnknownVar(VarId),
+    /// A variable is used before any binding statement could define it.
+    UseBeforeDef(VarId),
+    /// A transformation was applied to the wrong number of inputs.
+    BadArity {
+        /// The transformation's name.
+        transform: &'static str,
+        /// Inputs it was given.
+        got: usize,
+        /// Inputs it requires.
+        want: usize,
+    },
+    /// A function id is out of range for the program's function table.
+    UnknownFunc(u32),
+    /// A sampling fraction is outside `[0, 1]`.
+    BadFraction(f64),
+}
+
+impl fmt::Display for ValidateProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateProgramError::UnknownVar(v) => write!(f, "unknown variable v{}", v.0),
+            ValidateProgramError::UseBeforeDef(v) => {
+                write!(f, "variable v{} used before definition", v.0)
+            }
+            ValidateProgramError::BadArity { transform, got, want } => {
+                write!(f, "{transform} takes {want} input(s), got {got}")
+            }
+            ValidateProgramError::UnknownFunc(id) => write!(f, "unknown function f{id}"),
+            ValidateProgramError::BadFraction(x) => {
+                write!(f, "sample fraction {x} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateProgramError {}
+
+/// Check a program's well-formedness.
+///
+/// # Errors
+///
+/// Returns the first violation found, in statement order.
+pub fn validate(program: &Program) -> Result<(), ValidateProgramError> {
+    let mut defined: HashSet<VarId> = HashSet::new();
+    validate_block(program, &program.stmts, &mut defined)
+}
+
+fn validate_block(
+    program: &Program,
+    stmts: &[Stmt],
+    defined: &mut HashSet<VarId>,
+) -> Result<(), ValidateProgramError> {
+    for s in stmts {
+        match s {
+            Stmt::Bind { var, expr } => {
+                check_var_declared(program, *var)?;
+                validate_expr(program, expr, defined)?;
+                defined.insert(*var);
+            }
+            Stmt::Persist { var, .. } | Stmt::Unpersist { var } | Stmt::Action { var, .. } => {
+                check_var_declared(program, *var)?;
+                if !defined.contains(var) {
+                    return Err(ValidateProgramError::UseBeforeDef(*var));
+                }
+            }
+            Stmt::Loop { body, .. } => validate_block(program, body, defined)?,
+        }
+    }
+    Ok(())
+}
+
+fn check_var_declared(program: &Program, var: VarId) -> Result<(), ValidateProgramError> {
+    if (var.0 as usize) < program.n_vars() {
+        Ok(())
+    } else {
+        Err(ValidateProgramError::UnknownVar(var))
+    }
+}
+
+fn validate_expr(
+    program: &Program,
+    expr: &RddExpr,
+    defined: &HashSet<VarId>,
+) -> Result<(), ValidateProgramError> {
+    match expr {
+        RddExpr::Var(v) => {
+            check_var_declared(program, *v)?;
+            if !defined.contains(v) {
+                return Err(ValidateProgramError::UseBeforeDef(*v));
+            }
+            Ok(())
+        }
+        RddExpr::Source(_) => Ok(()),
+        RddExpr::Apply { transform, inputs } => {
+            let want = transform.arity();
+            if inputs.len() != want {
+                return Err(ValidateProgramError::BadArity {
+                    transform: transform.name(),
+                    got: inputs.len(),
+                    want,
+                });
+            }
+            check_funcs(program, transform)?;
+            for i in inputs {
+                validate_expr(program, i, defined)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_funcs(program: &Program, t: &Transform) -> Result<(), ValidateProgramError> {
+    let func = match t {
+        Transform::Map(f)
+        | Transform::MapValues(f)
+        | Transform::FlatMap(f)
+        | Transform::Filter(f)
+        | Transform::ReduceByKey(f) => Some(*f),
+        Transform::Sample { fraction, .. } => {
+            if !(0.0..=1.0).contains(fraction) {
+                return Err(ValidateProgramError::BadFraction(*fraction));
+            }
+            None
+        }
+        _ => None,
+    };
+    if let Some(f) = func {
+        if f.0 >= program.n_funcs {
+            return Err(ValidateProgramError::UnknownFunc(f.0));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ActionKind, FuncId};
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn builder_programs_validate() {
+        let mut b = ProgramBuilder::new("t");
+        let f = b.map_fn(|p| p.clone());
+        let src = b.source("s");
+        let x = b.bind("x", src.map(f).distinct());
+        b.persist(x, crate::StorageLevel::MemoryOnly);
+        b.loop_n(3, |b| b.action(x, ActionKind::Count));
+        let (p, _) = b.finish();
+        validate(&p).unwrap();
+    }
+
+    fn raw_program(stmts: Vec<Stmt>, n_vars: usize, n_funcs: u32) -> Program {
+        Program {
+            name: "raw".into(),
+            stmts,
+            var_names: (0..n_vars).map(|i| format!("v{i}")).collect(),
+            n_funcs,
+        }
+    }
+
+    #[test]
+    fn catches_unknown_var() {
+        let p = raw_program(
+            vec![Stmt::Action { var: VarId(3), action: ActionKind::Count }],
+            1,
+            0,
+        );
+        assert_eq!(validate(&p), Err(ValidateProgramError::UnknownVar(VarId(3))));
+    }
+
+    #[test]
+    fn catches_use_before_def() {
+        let p = raw_program(
+            vec![
+                Stmt::Bind { var: VarId(0), expr: RddExpr::Var(VarId(1)) },
+                Stmt::Bind { var: VarId(1), expr: RddExpr::Source("s".into()) },
+            ],
+            2,
+            0,
+        );
+        assert_eq!(validate(&p), Err(ValidateProgramError::UseBeforeDef(VarId(1))));
+    }
+
+    #[test]
+    fn catches_bad_arity() {
+        let p = raw_program(
+            vec![Stmt::Bind {
+                var: VarId(0),
+                expr: RddExpr::Apply {
+                    transform: Transform::Join,
+                    inputs: vec![RddExpr::Source("a".into())],
+                },
+            }],
+            1,
+            0,
+        );
+        assert!(matches!(
+            validate(&p),
+            Err(ValidateProgramError::BadArity { transform: "join", got: 1, want: 2 })
+        ));
+    }
+
+    #[test]
+    fn catches_unknown_func() {
+        let p = raw_program(
+            vec![Stmt::Bind {
+                var: VarId(0),
+                expr: RddExpr::Apply {
+                    transform: Transform::Map(FuncId(7)),
+                    inputs: vec![RddExpr::Source("a".into())],
+                },
+            }],
+            1,
+            1,
+        );
+        assert_eq!(validate(&p), Err(ValidateProgramError::UnknownFunc(7)));
+    }
+
+    #[test]
+    fn catches_bad_fraction() {
+        let p = raw_program(
+            vec![Stmt::Bind {
+                var: VarId(0),
+                expr: RddExpr::Apply {
+                    transform: Transform::Sample { fraction: 1.5, seed: 0 },
+                    inputs: vec![RddExpr::Source("a".into())],
+                },
+            }],
+            1,
+            0,
+        );
+        assert_eq!(validate(&p), Err(ValidateProgramError::BadFraction(1.5)));
+    }
+}

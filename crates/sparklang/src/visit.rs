@@ -1,0 +1,128 @@
+//! Program traversal with pre-order statement numbering and loop context —
+//! the scaffolding the static analysis (and the interpreter) walk on.
+
+use crate::ast::{LoopId, Program, Stmt, StmtId};
+
+/// Callbacks invoked during a program walk.
+///
+/// Statements are numbered in pre-order: a loop statement receives its id
+/// before its body, so a loop's extent is `[loop_id, last_body_stmt_id]`.
+pub trait Visitor {
+    /// A non-loop statement at position `id`, inside the loops `loops`
+    /// (outermost first).
+    fn stmt(&mut self, id: StmtId, stmt: &Stmt, loops: &[LoopId]);
+
+    /// Entering a loop (its own statement position is `id`).
+    fn enter_loop(&mut self, _id: StmtId, _loop_id: LoopId, _n: u32) {}
+
+    /// Leaving a loop; `last` is the position of its final statement.
+    fn exit_loop(&mut self, _loop_id: LoopId, _last: StmtId) {}
+}
+
+/// Walk `program`, driving `visitor`. Returns the total statement count.
+pub fn walk(program: &Program, visitor: &mut impl Visitor) -> u32 {
+    let mut next = 0u32;
+    let mut next_loop = 0u32;
+    let mut loops = Vec::new();
+    walk_block(&program.stmts, visitor, &mut next, &mut next_loop, &mut loops);
+    next
+}
+
+fn walk_block(
+    stmts: &[Stmt],
+    visitor: &mut impl Visitor,
+    next: &mut u32,
+    next_loop: &mut u32,
+    loops: &mut Vec<LoopId>,
+) {
+    for s in stmts {
+        let id = StmtId(*next);
+        *next += 1;
+        match s {
+            Stmt::Loop { n, body } => {
+                let loop_id = LoopId(*next_loop);
+                *next_loop += 1;
+                visitor.enter_loop(id, loop_id, *n);
+                loops.push(loop_id);
+                walk_block(body, visitor, next, next_loop, loops);
+                loops.pop();
+                visitor.exit_loop(loop_id, StmtId(next.saturating_sub(1)));
+            }
+            other => visitor.stmt(id, other, loops),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ActionKind, RddExpr, VarId};
+
+    #[derive(Default)]
+    struct Recorder {
+        events: Vec<String>,
+    }
+
+    impl Visitor for Recorder {
+        fn stmt(&mut self, id: StmtId, stmt: &Stmt, loops: &[LoopId]) {
+            let kind = match stmt {
+                Stmt::Bind { .. } => "bind",
+                Stmt::Persist { .. } => "persist",
+                Stmt::Unpersist { .. } => "unpersist",
+                Stmt::Action { .. } => "action",
+                Stmt::Loop { .. } => unreachable!(),
+            };
+            self.events.push(format!("{kind}@{} in{:?}", id.0, loops.len()));
+        }
+
+        fn enter_loop(&mut self, id: StmtId, loop_id: LoopId, n: u32) {
+            self.events.push(format!("loop{}@{} n={n}", loop_id.0, id.0));
+        }
+
+        fn exit_loop(&mut self, loop_id: LoopId, last: StmtId) {
+            self.events.push(format!("end{} last={}", loop_id.0, last.0));
+        }
+    }
+
+    #[test]
+    fn preorder_numbering() {
+        let program = Program {
+            name: "t".into(),
+            stmts: vec![
+                Stmt::Bind { var: VarId(0), expr: RddExpr::Source("s".into()) },
+                Stmt::Loop {
+                    n: 2,
+                    body: vec![
+                        Stmt::Action { var: VarId(0), action: ActionKind::Count },
+                        Stmt::Loop {
+                            n: 3,
+                            body: vec![Stmt::Action {
+                                var: VarId(0),
+                                action: ActionKind::Count,
+                            }],
+                        },
+                    ],
+                },
+                Stmt::Action { var: VarId(0), action: ActionKind::Count },
+            ],
+            var_names: vec!["x".into()],
+            n_funcs: 0,
+        };
+        let mut r = Recorder::default();
+        let count = walk(&program, &mut r);
+        assert_eq!(count, 6, "six statements including both loop headers");
+        assert_eq!(
+            r.events,
+            vec![
+                "bind@0 in0",
+                "loop0@1 n=2",
+                "action@2 in1",
+                "loop1@3 n=3",
+                "action@4 in2",
+                "end1 last=4",
+                "end0 last=4",
+                "action@5 in0",
+            ]
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Input sources: named, pre-generated datasets standing in for
+//! `ctx.textFile(...)` over HDFS.
+
+use mheap::Payload;
+use std::collections::HashMap;
+
+/// Registry of named input datasets.
+#[derive(Debug, Clone, Default)]
+pub struct DataRegistry {
+    sources: HashMap<String, Vec<Payload>>,
+}
+
+impl DataRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a dataset under `name`, replacing any previous one.
+    pub fn register(&mut self, name: &str, records: Vec<Payload>) {
+        self.sources.insert(name.to_string(), records);
+    }
+
+    /// The records of `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no dataset was registered under `name` — a mis-wired
+    /// workload, not a runtime condition.
+    pub fn records(&self, name: &str) -> &[Payload] {
+        self.sources
+            .get(name)
+            .unwrap_or_else(|| panic!("no dataset registered under {name:?}"))
+    }
+
+    /// Total modelled bytes of a dataset.
+    pub fn bytes(&self, name: &str) -> u64 {
+        self.records(name).iter().map(Payload::model_bytes).sum()
+    }
+
+    /// Registered dataset names (sorted).
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.sources.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_fetch() {
+        let mut r = DataRegistry::new();
+        r.register("edges", vec![Payload::keyed(1, Payload::Long(2))]);
+        assert_eq!(r.records("edges").len(), 1);
+        assert_eq!(r.bytes("edges"), 32);
+        assert_eq!(r.names(), vec!["edges"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no dataset registered")]
+    fn missing_dataset_panics() {
+        DataRegistry::new().records("nope");
+    }
+}

@@ -1,0 +1,877 @@
+//! The execution engine: interprets driver programs over the simulated
+//! heap, reproducing Spark's evaluation strategy as the paper describes it
+//! (Section 2):
+//!
+//! * transformations are lazy — a `Bind` only creates runtime RDD nodes;
+//! * `persist` materializes the RDD immediately, at the storage level (and
+//!   DRAM/NVM sub-level) the analysis inferred;
+//! * actions force evaluation and materialize their (non-persisted) target
+//!   for the duration of the evaluation;
+//! * wide transformations cut stages: map-side records are shuffled
+//!   through simulated disk files, and the reduce side's output is
+//!   materialized immediately as a `ShuffledRDD` that dies when the
+//!   consuming evaluation completes;
+//! * unmaterialized intermediate records stream through the young
+//!   generation one at a time and die there — exactly the epochal
+//!   behaviour Panthera's heap design exploits.
+
+use crate::data::DataRegistry;
+use crate::rdd::{MatData, RddId, RddNode, RddOp};
+use crate::runtime::MemoryRuntime;
+use crate::shuffle::{reduce_side, Buckets};
+use hybridmem::{AccessKind, AccessProfile, DeviceKind};
+use mheap::{ObjKind, Payload, RootSet};
+use panthera_analysis::InstrumentationPlan;
+use sparklang::ast::{
+    ActionKind, Program, RddExpr, Stmt, StmtId, StorageLevel, Transform, VarId,
+};
+use sparklang::{FnTable, FuncId, UserFn};
+use std::collections::HashMap;
+
+/// Cost knobs of the engine's non-heap activities.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Simulated disk throughput for shuffle files and disk-level persists
+    /// (nanoseconds per byte).
+    pub disk_ns_per_byte: f64,
+    /// CPU cost of one user-closure application.
+    pub record_cpu_ns: f64,
+    /// CPU cost of interpreting one driver statement.
+    pub driver_cpu_ns: f64,
+    /// Partitions per materialized RDD: each partition gets its own
+    /// backbone array, and the arrays are allocated back to back — the
+    /// reason shared cards "exist pervasively" (Section 4.2.3).
+    pub partitions: usize,
+    /// CPU cost of serializing or deserializing one record (`*_SER`
+    /// storage levels trade this for a compact heap footprint).
+    pub serde_cpu_ns: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            disk_ns_per_byte: 0.5,
+            record_cpu_ns: 80.0,
+            driver_cpu_ns: 1_000.0,
+            partitions: 8,
+            serde_cpu_ns: 60.0,
+        }
+    }
+}
+
+/// The value an action produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionResult {
+    /// `count()`.
+    Count(u64),
+    /// `collect()`.
+    Collected(Vec<Payload>),
+    /// `reduce(f)`; `None` for an empty RDD.
+    Reduced(Option<Payload>),
+}
+
+impl ActionResult {
+    /// The count, if this is a `Count` result.
+    pub fn as_count(&self) -> Option<u64> {
+        match self {
+            ActionResult::Count(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The collected records, if this is a `Collected` result.
+    pub fn as_collected(&self) -> Option<&[Payload]> {
+        match self {
+            ActionResult::Collected(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Execution counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Records that flowed through narrow transformations.
+    pub records_streamed: u64,
+    /// Shuffles executed.
+    pub shuffles: u64,
+    /// Bytes written to + read from shuffle files.
+    pub shuffle_bytes: u64,
+    /// RDD materializations into the heap.
+    pub materializations: u64,
+    /// Actions executed.
+    pub actions: u64,
+    /// Runtime RDD instances created.
+    pub rdd_instances: u64,
+    /// Persisted RDDs evicted from the heap under memory pressure
+    /// (dropped for MEMORY_ONLY levels, spilled to disk for
+    /// MEMORY_AND_DISK levels — Spark's block-manager behaviour).
+    pub evictions: u64,
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// `(variable name, result)` per executed action, in order.
+    pub results: Vec<(String, ActionResult)>,
+    /// Execution counters.
+    pub stats: ExecStats,
+}
+
+/// The engine. Owns the runtime, the function table, the input data, and
+/// the runtime RDD graph.
+#[derive(Debug)]
+pub struct Engine<R: MemoryRuntime> {
+    runtime: R,
+    fns: FnTable,
+    data: DataRegistry,
+    config: EngineConfig,
+    rdds: Vec<RddNode>,
+    vars: Vec<Option<RddId>>,
+    roots: RootSet,
+    stats: ExecStats,
+    /// Driver-side storage for DISK_ONLY persists.
+    disk_store: HashMap<RddId, Vec<Payload>>,
+    /// Native (off-heap) storage — placed entirely in NVM (Section 4.1).
+    native_store: HashMap<RddId, Vec<Payload>>,
+    /// ShuffledRDDs (and action targets) materialized for the current
+    /// evaluation only; reclaimed when it completes.
+    transients: Vec<RddId>,
+    /// Heap-persisted RDDs in persist order (LRU eviction order).
+    persist_order: Vec<RddId>,
+    /// Record contents of RDDs materialized in *serialized* form — their
+    /// heap footprint is modelled by compact byte-buffer objects, so the
+    /// payloads live driver-side.
+    ser_store: HashMap<RddId, Vec<Payload>>,
+    /// Non-zero while computing the inputs of a join: hash-probe access is
+    /// random (latency-bound), not streaming.
+    random_read_depth: u32,
+}
+
+impl<R: MemoryRuntime> Engine<R> {
+    /// Build an engine over a runtime, closures, and input data.
+    pub fn new(runtime: R, fns: FnTable, data: DataRegistry) -> Self {
+        Self::with_config(runtime, fns, data, EngineConfig::default())
+    }
+
+    /// Build an engine with explicit cost knobs.
+    pub fn with_config(
+        runtime: R,
+        fns: FnTable,
+        data: DataRegistry,
+        config: EngineConfig,
+    ) -> Self {
+        Engine {
+            runtime,
+            fns,
+            data,
+            config,
+            rdds: Vec::new(),
+            vars: Vec::new(),
+            roots: RootSet::new(),
+            stats: ExecStats::default(),
+            disk_store: HashMap::new(),
+            native_store: HashMap::new(),
+            transients: Vec::new(),
+            persist_order: Vec::new(),
+            ser_store: HashMap::new(),
+            random_read_depth: 0,
+        }
+    }
+
+    /// The runtime (heap, GC, energy reports).
+    pub fn runtime(&self) -> &R {
+        &self.runtime
+    }
+
+    /// Mutable runtime access.
+    pub fn runtime_mut(&mut self) -> &mut R {
+        &mut self.runtime
+    }
+
+    /// The runtime RDD graph built so far.
+    pub fn rdds(&self) -> &[RddNode] {
+        &self.rdds
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Run a program under an instrumentation plan (use
+    /// `InstrumentationPlan::default()` for un-instrumented baselines).
+    /// # Panics
+    ///
+    /// Panics if the program is ill-formed (see [`sparklang::validate`]) —
+    /// programs built with the [`sparklang::ProgramBuilder`] always pass.
+    pub fn run(&mut self, program: &Program, plan: &InstrumentationPlan) -> RunOutcome {
+        if let Err(e) = sparklang::validate(program) {
+            panic!("ill-formed program {:?}: {e}", program.name);
+        }
+        self.vars = vec![None; program.n_vars()];
+        let mut results = Vec::new();
+        let mut next = 0u32;
+        self.exec_block(program, &program.stmts, plan, &mut next, &mut results);
+        RunOutcome { results, stats: self.stats }
+    }
+
+    // ------------------------------------------------------------------
+    // Interpreter
+    // ------------------------------------------------------------------
+
+    fn exec_block(
+        &mut self,
+        program: &Program,
+        stmts: &[Stmt],
+        plan: &InstrumentationPlan,
+        next: &mut u32,
+        results: &mut Vec<(String, ActionResult)>,
+    ) {
+        for s in stmts {
+            let id = StmtId(*next);
+            *next += 1;
+            self.runtime.heap_mut().mem_mut().compute(self.config.driver_cpu_ns);
+            match s {
+                Stmt::Loop { n, body } => {
+                    let body_count = count_stmts(body);
+                    for _ in 0..*n {
+                        let mut inner = *next;
+                        self.exec_block(program, body, plan, &mut inner, results);
+                    }
+                    *next += body_count;
+                }
+                Stmt::Bind { var, expr } => {
+                    let rdd = self.build_expr(expr);
+                    self.rdds[rdd.0 as usize].label =
+                        Some(program.var_name(*var).to_string());
+                    self.vars[var.0 as usize] = Some(rdd);
+                }
+                Stmt::Persist { var, level } => {
+                    let rdd = self.var_rdd(*var);
+                    // The instrumented rdd_alloc call passes the inferred
+                    // tag down right before the materialization point.
+                    if let Some(tag) = plan.tag_at(id) {
+                        self.rdds[rdd.0 as usize].merge_tag(tag);
+                    }
+                    self.rdds[rdd.0 as usize].persisted = Some(*level);
+                    self.persist_now(rdd);
+                }
+                Stmt::Unpersist { var } => {
+                    let rdd = self.var_rdd(*var);
+                    self.unpersist(rdd);
+                }
+                Stmt::Action { var, action } => {
+                    let rdd = self.var_rdd(*var);
+                    self.runtime.record_rdd_call(rdd.0);
+                    if let Some(tag) = plan.tag_at(id) {
+                        self.rdds[rdd.0 as usize].merge_tag(tag);
+                    }
+                    let value = self.run_action(rdd, action);
+                    self.stats.actions += 1;
+                    results.push((program.var_name(*var).to_string(), value));
+                }
+            }
+        }
+    }
+
+    fn var_rdd(&self, var: VarId) -> RddId {
+        self.vars[var.0 as usize].unwrap_or_else(|| panic!("variable v{} unbound", var.0))
+    }
+
+    fn build_expr(&mut self, expr: &RddExpr) -> RddId {
+        match expr {
+            RddExpr::Var(v) => {
+                let rdd = self.var_rdd(*v);
+                // A transformation invoked on a named RDD object is a
+                // monitored method call (Section 4.2.2).
+                self.runtime.record_rdd_call(rdd.0);
+                rdd
+            }
+            RddExpr::Source(name) => self.new_node(RddOp::Source(name.clone())),
+            RddExpr::Apply { transform, inputs } => {
+                let parents: Vec<RddId> = inputs.iter().map(|e| self.build_expr(e)).collect();
+                self.new_node(RddOp::Transformed { transform: transform.clone(), parents })
+            }
+        }
+    }
+
+    fn new_node(&mut self, op: RddOp) -> RddId {
+        let id = RddId(self.rdds.len() as u32);
+        self.rdds.push(RddNode::new(id, op));
+        self.stats.rdd_instances += 1;
+        id
+    }
+
+    fn unpersist(&mut self, rdd: RddId) {
+        if let Some(mat) = self.rdds[rdd.0 as usize].materialized.take() {
+            self.roots.remove(mat.top);
+        }
+        self.disk_store.remove(&rdd);
+        self.native_store.remove(&rdd);
+        self.ser_store.remove(&rdd);
+        self.persist_order.retain(|r| *r != rdd);
+        self.rdds[rdd.0 as usize].persisted = None;
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation lifecycle
+    // ------------------------------------------------------------------
+
+    /// Run one top-level evaluation (a persist materialization or an
+    /// action): opens a root scope, cleans up transient ShuffledRDDs at
+    /// the end, and gives the runtime a stage boundary.
+    fn evaluation<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.roots.push_scope();
+        let out = f(self);
+        for rdd in std::mem::take(&mut self.transients) {
+            if let Some(mat) = self.rdds[rdd.0 as usize].materialized.take() {
+                self.roots.remove(mat.top);
+            }
+        }
+        self.roots.pop_scope();
+        self.runtime.stage_boundary(&self.roots);
+        out
+    }
+
+    /// Materialize a persisted RDD immediately (Section 2: "persisted RDDs
+    /// are materialized at the moment the method persist is called").
+    fn persist_now(&mut self, rdd: RddId) {
+        if self.is_materialized(rdd) {
+            return;
+        }
+        self.propagate_tag_of(rdd);
+        let level = self.rdds[rdd.0 as usize].persisted;
+        self.evaluation(|e| {
+            let records = e.compute(rdd);
+            match level {
+                Some(StorageLevel::DiskOnly) => {
+                    e.charge_disk(&records);
+                    e.disk_store.insert(rdd, records);
+                }
+                Some(StorageLevel::OffHeap) => {
+                    e.charge_native(&records, AccessKind::Write);
+                    e.native_store.insert(rdd, records);
+                }
+                Some(l) if l.is_serialized() => {
+                    // A wide node may already carry its shuffle's transient
+                    // (deserialized) materialization; replace it with the
+                    // serialized form.
+                    if let Some(mat) = e.rdds[rdd.0 as usize].materialized.take() {
+                        e.roots.remove(mat.top);
+                        e.transients.retain(|r| *r != rdd);
+                    }
+                    e.materialize_serialized(rdd, records);
+                    e.persist_order.push(rdd);
+                }
+                // A persisted wide RDD was already materialized
+                // persistently by its own shuffle.
+                _ if e.is_materialized(rdd) => {
+                    e.persist_order.push(rdd);
+                }
+                _ => {
+                    e.materialize_into_heap(rdd, &records, false);
+                    e.persist_order.push(rdd);
+                }
+            }
+        });
+    }
+
+    /// Spark's block manager under memory pressure: when the old
+    /// generation cannot hold a new persisted RDD, evict the oldest
+    /// heap-resident persisted RDD — dropping it (MEMORY_ONLY, to be
+    /// recomputed on next use) or spilling it to disk (MEMORY_AND_DISK).
+    fn ensure_heap_capacity(&mut self, records: &[Payload]) {
+        let need: u64 = records
+            .iter()
+            .map(|r| self.runtime.heap().tuple_footprint(r.model_bytes()))
+            .sum::<u64>()
+            + 8 * records.len() as u64
+            // Headroom for promotions out of the young generation: the
+            // paper's JVM throws OutOfMemoryError here, but Spark's block
+            // manager evicts cached blocks before that happens.
+            + self.runtime.heap().config().young_bytes();
+        loop {
+            if self.runtime.heap().old_free() >= need {
+                return;
+            }
+            let Some(pos) = self
+                .persist_order
+                .iter()
+                .position(|r| self.rdds[r.0 as usize].materialized.is_some())
+            else {
+                return; // nothing to evict; allocation fallbacks take over
+            };
+            let victim = self.persist_order.remove(pos);
+            self.evict(victim);
+            self.runtime.force_major(&self.roots);
+        }
+    }
+
+    fn evict(&mut self, rdd: RddId) {
+        self.stats.evictions += 1;
+        let level = self.rdds[rdd.0 as usize].persisted;
+        let spill = matches!(
+            level,
+            Some(StorageLevel::MemoryAndDisk)
+                | Some(StorageLevel::MemoryAndDisk2)
+                | Some(StorageLevel::MemoryAndDiskSer)
+                | Some(StorageLevel::MemoryAndDiskSer2)
+        );
+        if spill {
+            // Serialized blocks spill their bytes directly — no
+            // deserialization; deserialized blocks are read out first.
+            let records = if let Some(records) = self.ser_store.remove(&rdd) {
+                records
+            } else {
+                self.read_materialized(rdd)
+            };
+            self.charge_disk(&records);
+            self.disk_store.insert(rdd, records);
+        } else {
+            self.ser_store.remove(&rdd);
+        }
+        if let Some(mat) = self.rdds[rdd.0 as usize].materialized.take() {
+            self.roots.remove(mat.top);
+        }
+    }
+
+    fn run_action(&mut self, rdd: RddId, action: &ActionKind) -> ActionResult {
+        self.propagate_tag_of(rdd);
+        self.evaluation(|e| {
+            let records = e.compute(rdd);
+            // Actions materialize their not-yet-persisted target
+            // (Section 2) — transiently, since nothing keeps it alive.
+            if !e.is_materialized(rdd) {
+                e.materialize_into_heap(rdd, &records, true);
+            }
+            match action {
+                ActionKind::Count => ActionResult::Count(records.len() as u64),
+                ActionKind::Collect => ActionResult::Collected(records),
+                ActionKind::Reduce(f) => {
+                    let mut it = records.into_iter();
+                    let first = it.next();
+                    let folded = first.map(|mut acc| {
+                        for r in it {
+                            acc = e.apply_reduce(*f, &acc, &r);
+                        }
+                        acc
+                    });
+                    ActionResult::Reduced(folded)
+                }
+            }
+        })
+    }
+
+    fn is_materialized(&self, rdd: RddId) -> bool {
+        self.rdds[rdd.0 as usize].materialized.is_some()
+            || self.disk_store.contains_key(&rdd)
+            || self.native_store.contains_key(&rdd)
+    }
+
+    /// Panthera's stage-start lineage scan: push this RDD's tag backward
+    /// to the unmaterialized shuffle outputs it depends on (DRAM wins).
+    fn propagate_tag_of(&mut self, rdd: RddId) {
+        if !self.runtime.lineage_propagation() {
+            return;
+        }
+        let Some(tag) = self.rdds[rdd.0 as usize].tag else { return };
+        let mut queue = vec![rdd];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(id) = queue.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            let node = &self.rdds[id.0 as usize];
+            if id != rdd && (node.materialized.is_some() || node.persisted.is_some()) {
+                // A previous stage's RDD: it has its own tag.
+                continue;
+            }
+            queue.extend(node.parents().iter().copied());
+            if node.is_wide() {
+                self.rdds[id.0 as usize].merge_tag(tag);
+            }
+        }
+    }
+
+    /// Materialize `records` in serialized form: one compact byte buffer
+    /// per partition (a `byte[]` in Spark), pretenured like any RDD array.
+    /// Reads deserialize on the fly; the heap holds no per-tuple objects.
+    fn materialize_serialized(&mut self, rdd: RddId, records: Vec<Payload>) {
+        debug_assert!(
+            self.rdds[rdd.0 as usize].materialized.is_none(),
+            "double materialization of {rdd}"
+        );
+        let tag = self.rdds[rdd.0 as usize].tag;
+        // Serialization CPU, once per record.
+        self.runtime
+            .heap_mut()
+            .mem_mut()
+            .compute(self.config.serde_cpu_ns * records.len() as f64);
+        self.roots.push_scope();
+        let n_parts = self.config.partitions.clamp(1, records.len().max(1));
+        let per_part = records.len().div_ceil(n_parts).max(1);
+        let mut arrays = Vec::with_capacity(n_parts);
+        for chunk in records.chunks(per_part) {
+            let bytes: u64 = chunk.iter().map(Payload::model_bytes).sum();
+            // The buffer is a primitive byte array: size it in 8-byte slots.
+            let slots = (bytes.div_ceil(8) as usize).max(1);
+            let array = self.runtime.alloc_rdd_array(&self.roots, rdd.0, slots, tag);
+            self.roots.push(array);
+            arrays.push(array);
+        }
+        if arrays.is_empty() {
+            let array = self.runtime.alloc_rdd_array(&self.roots, rdd.0, 1, tag);
+            self.roots.push(array);
+            arrays.push(array);
+        }
+        let top = self.runtime.alloc_rdd_top(&self.roots, rdd.0, arrays[0], tag);
+        for a in &arrays[1..] {
+            self.runtime.heap_mut().push_ref(top, *a);
+        }
+        self.roots.pop_scope();
+        self.roots.push_global(top);
+        let len = records.len();
+        self.ser_store.insert(rdd, records);
+        self.rdds[rdd.0 as usize].materialized =
+            Some(MatData { top, arrays, len, serialized: true });
+        self.stats.materializations += 1;
+    }
+
+    /// Build the Figure 1 object structure for `records`.
+    fn materialize_into_heap(&mut self, rdd: RddId, records: &[Payload], transient: bool) {
+        debug_assert!(
+            self.rdds[rdd.0 as usize].materialized.is_none(),
+            "double materialization of {rdd}"
+        );
+        self.ensure_heap_capacity(records);
+        let tag = self.rdds[rdd.0 as usize].tag;
+        self.roots.push_scope();
+        // One backbone array per partition, allocated back to back (the
+        // tasks' tuples come later, so consecutive arrays share boundary
+        // cards unless padded).
+        let n_parts = self.config.partitions.clamp(1, records.len().max(1));
+        let per_part = records.len().div_ceil(n_parts).max(1);
+        let mut arrays = Vec::with_capacity(n_parts);
+        for chunk_len in partition_sizes(records.len(), n_parts) {
+            let array = self.runtime.alloc_rdd_array(&self.roots, rdd.0, chunk_len, tag);
+            self.roots.push(array);
+            arrays.push(array);
+        }
+        let top = self.runtime.alloc_rdd_top(&self.roots, rdd.0, arrays[0], tag);
+        for a in &arrays[1..] {
+            self.runtime.heap_mut().push_ref(top, *a);
+        }
+        self.roots.push(top);
+        for (i, r) in records.iter().enumerate() {
+            let tuple = self.runtime.alloc_record(&self.roots, ObjKind::Tuple, r.clone());
+            self.runtime.heap_mut().push_ref(arrays[i / per_part], tuple);
+        }
+        self.roots.pop_scope();
+        if transient {
+            // Rooted for the current evaluation only.
+            self.roots.push(top);
+            self.transients.push(rdd);
+        } else {
+            // Long-lived: registered like Spark's block manager would.
+            self.roots.push_global(top);
+        }
+        self.rdds[rdd.0 as usize].materialized =
+            Some(MatData { top, arrays, len: records.len(), serialized: false });
+        self.stats.materializations += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Record computation
+    // ------------------------------------------------------------------
+
+    /// Produce the records of `rdd`, charging all memory traffic.
+    fn compute(&mut self, rdd: RddId) -> Vec<Payload> {
+        if self.rdds[rdd.0 as usize].materialized.is_some() {
+            return self.read_materialized(rdd);
+        }
+        if let Some(records) = self.disk_store.get(&rdd) {
+            let records = records.clone();
+            self.charge_disk(&records);
+            return records;
+        }
+        if let Some(records) = self.native_store.get(&rdd) {
+            let records = records.clone();
+            self.charge_native(&records, AccessKind::Read);
+            return records;
+        }
+        let op = self.rdds[rdd.0 as usize].op.clone();
+        match op {
+            RddOp::Source(name) => self.compute_source(&name),
+            RddOp::Transformed { transform, parents } => {
+                if transform.is_wide() {
+                    self.compute_shuffle(rdd, &transform, &parents)
+                } else {
+                    self.compute_narrow(&transform, &parents)
+                }
+            }
+        }
+    }
+
+    fn compute_source(&mut self, name: &str) -> Vec<Payload> {
+        let records = self.data.records(name).to_vec();
+        self.charge_disk(&records);
+        // Parsing allocates one short-lived young object per record.
+        for r in &records {
+            self.stream_alloc(r);
+        }
+        records
+    }
+
+    fn compute_narrow(&mut self, transform: &Transform, parents: &[RddId]) -> Vec<Payload> {
+        if let Transform::Union = transform {
+            let mut out = self.compute(parents[0]);
+            out.extend(self.compute(parents[1]));
+            return out;
+        }
+        let input = self.compute(parents[0]);
+        let transform = transform.clone();
+        self.stream(input, move |fns, r| apply_narrow(fns, &transform, r))
+    }
+
+    /// Apply a per-record function to every input record, allocating a
+    /// short-lived young object per output record (the streaming behaviour
+    /// of Section 2).
+    fn stream(
+        &mut self,
+        input: Vec<Payload>,
+        f: impl Fn(&FnTable, &Payload) -> Vec<Payload>,
+    ) -> Vec<Payload> {
+        let mut out = Vec::with_capacity(input.len());
+        for r in &input {
+            self.runtime.heap_mut().mem_mut().compute(self.config.record_cpu_ns);
+            let produced = f(&self.fns, r);
+            for p in produced {
+                self.stream_alloc(&p);
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Allocate (and immediately abandon) the young object modelling one
+    /// streamed record.
+    fn stream_alloc(&mut self, record: &Payload) {
+        self.stats.records_streamed += 1;
+        self.runtime.alloc_record(&self.roots, ObjKind::Tuple, record.clone());
+    }
+
+    fn compute_shuffle(
+        &mut self,
+        rdd: RddId,
+        transform: &Transform,
+        parents: &[RddId],
+    ) -> Vec<Payload> {
+        self.stats.shuffles += 1;
+        // Joins build and probe per-key hash structures: their input
+        // accesses are random, unlike the streaming scans of aggregations.
+        // The flag covers only this shuffle's direct input chains — a
+        // nested shuffle's own inputs are scanned sequentially again.
+        let saved_depth = std::mem::take(&mut self.random_read_depth);
+        let is_join = matches!(transform, Transform::Join);
+        if is_join {
+            self.random_read_depth = 1;
+        }
+        // Map side: bucket parent records and write shuffle files.
+        let left_records = self.compute(parents[0]);
+        self.charge_shuffle(&left_records);
+        let mut left = Buckets::new();
+        for r in left_records {
+            left.add(r);
+        }
+        let right = if parents.len() > 1 {
+            let right_records = self.compute(parents[1]);
+            self.charge_shuffle(&right_records);
+            let mut b = Buckets::new();
+            for r in right_records {
+                b.add(r);
+            }
+            Some(b)
+        } else {
+            None
+        };
+        self.random_read_depth = saved_depth;
+        // The consuming stage starts by reading the shuffle files.
+        self.runtime.stage_boundary(&self.roots);
+        let out = reduce_side(transform, &self.fns, &left, right.as_ref());
+        for _ in &out {
+            self.runtime.heap_mut().mem_mut().compute(self.config.record_cpu_ns);
+        }
+        self.charge_shuffle(&out);
+        // The ShuffledRDD is materialized immediately — it holds data read
+        // freshly from shuffle files (Section 2). It dies with the current
+        // evaluation unless this node is itself a heap-persisted RDD, in
+        // which case the shuffle output *is* the persisted materialization.
+        let persist_heap =
+            matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
+        self.materialize_into_heap(rdd, &out, !persist_heap);
+        out
+    }
+
+    fn read_materialized(&mut self, rdd: RddId) -> Vec<Payload> {
+        let mat = self.rdds[rdd.0 as usize]
+            .materialized
+            .clone()
+            .expect("read_materialized on unmaterialized RDD");
+        if mat.serialized {
+            // Scan the byte buffers, then deserialize record by record —
+            // each deserialized record is a fresh young object.
+            for array in &mat.arrays {
+                self.runtime.heap_mut().read_object_streaming(*array);
+            }
+            let records = self.ser_store.get(&rdd).cloned().unwrap_or_default();
+            self.runtime
+                .heap_mut()
+                .mem_mut()
+                .compute(self.config.serde_cpu_ns * records.len() as f64);
+            for r in &records {
+                self.stream_alloc(r);
+            }
+            return records;
+        }
+        let random = self.random_read_depth > 0;
+        let mut out = Vec::with_capacity(mat.len);
+        for array in mat.arrays {
+            debug_assert!(
+                matches!(
+                    self.runtime.heap().obj(array).kind,
+                    mheap::ObjKind::RddArray { rdd_id } if rdd_id == rdd.0
+                ),
+                "stale MatData: {rdd} holds someone else's array"
+            );
+            self.runtime.heap_mut().read_object_streaming(array);
+            let tuples = self.runtime.heap().obj(array).refs.clone();
+            for t in tuples {
+                if random {
+                    self.runtime.heap_mut().read_object(t);
+                } else {
+                    self.runtime.heap_mut().read_object_streaming(t);
+                }
+                out.push(self.runtime.heap().obj(t).payload.clone());
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Cost charging and closure lookup
+    // ------------------------------------------------------------------
+
+    fn charge_disk(&mut self, records: &[Payload]) {
+        let bytes: u64 = records.iter().map(Payload::model_bytes).sum();
+        self.runtime
+            .heap_mut()
+            .mem_mut()
+            .compute(bytes as f64 * self.config.disk_ns_per_byte);
+    }
+
+    fn charge_shuffle(&mut self, records: &[Payload]) {
+        let bytes: u64 = records.iter().map(Payload::model_bytes).sum();
+        self.stats.shuffle_bytes += bytes;
+        self.runtime
+            .heap_mut()
+            .mem_mut()
+            .compute(bytes as f64 * self.config.disk_ns_per_byte);
+    }
+
+    fn charge_native(&mut self, records: &[Payload], kind: AccessKind) {
+        let bytes: u64 = records.iter().map(Payload::model_bytes).sum();
+        self.runtime.heap_mut().mem_mut().access_device(
+            DeviceKind::Nvm,
+            kind,
+            bytes,
+            AccessProfile::mutator(),
+        );
+    }
+
+    fn apply_reduce(&mut self, f: FuncId, a: &Payload, b: &Payload) -> Payload {
+        self.runtime.heap_mut().mem_mut().compute(self.config.record_cpu_ns);
+        match self.fns.get(f) {
+            UserFn::Reduce(f) => f(a, b),
+            other => panic!("expected a reduce function, got {other:?}"),
+        }
+    }
+}
+
+/// Record-level semantics of the narrow transformations.
+fn apply_narrow(fns: &FnTable, transform: &Transform, r: &Payload) -> Vec<Payload> {
+    match transform {
+        Transform::Map(f) => match fns.get(*f) {
+            UserFn::Map(f) => vec![f(r)],
+            other => panic!("map expects a map function, got {other:?}"),
+        },
+        Transform::MapValues(f) => match fns.get(*f) {
+            UserFn::Map(f) => match r.as_pair() {
+                Some((k, v)) => vec![Payload::Pair(Box::new(k.clone()), Box::new(f(v)))],
+                None => vec![f(r)],
+            },
+            other => panic!("mapValues expects a map function, got {other:?}"),
+        },
+        Transform::FlatMap(f) => match fns.get(*f) {
+            UserFn::FlatMap(f) => f(r),
+            UserFn::Map(f) => vec![f(r)],
+            other => panic!("flatMap expects a flatMap function, got {other:?}"),
+        },
+        Transform::Filter(f) => match fns.get(*f) {
+            UserFn::Filter(f) => {
+                if f(r) {
+                    vec![r.clone()]
+                } else {
+                    vec![]
+                }
+            }
+            other => panic!("filter expects a filter function, got {other:?}"),
+        },
+        Transform::Values => match r.as_pair() {
+            Some((_, v)) => vec![v.clone()],
+            None => vec![r.clone()],
+        },
+        Transform::Keys => match r.as_pair() {
+            Some((k, _)) => vec![k.clone()],
+            None => vec![r.clone()],
+        },
+        Transform::Sample { fraction, seed } => {
+            // Deterministic Bernoulli: hash the record with the seed.
+            let h = r.fingerprint() ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if u < *fraction {
+                vec![r.clone()]
+            } else {
+                vec![]
+            }
+        }
+        wide => panic!("{} is not narrow", wide.name()),
+    }
+}
+
+/// Split `n` records into `parts` chunk lengths (the last may be short).
+fn partition_sizes(n: usize, parts: usize) -> Vec<usize> {
+    if n == 0 {
+        return vec![0];
+    }
+    let per = n.div_ceil(parts).max(1);
+    let mut out = Vec::new();
+    let mut left = n;
+    while left > 0 {
+        let take = left.min(per);
+        out.push(take);
+        left -= take;
+    }
+    out
+}
+
+/// Statements in a block, counted the way the pre-order numbering does.
+fn count_stmts(stmts: &[Stmt]) -> u32 {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Loop { body, .. } => 1 + count_stmts(body),
+            _ => 1,
+        })
+        .sum()
+}

@@ -1,0 +1,29 @@
+#![deny(missing_docs)]
+
+//! A miniature Spark: RDDs, lineage, stages, and shuffles, executed over
+//! the simulated managed heap.
+//!
+//! The [`Engine`] interprets [`sparklang`] driver programs, building a
+//! runtime RDD graph (one node per RDD *instance*, so loop iterations
+//! produce the instance churn Panthera's analysis reasons about) and
+//! evaluating actions and persists the way the paper describes Spark doing
+//! it: lazy narrow chains streaming records through the young generation,
+//! wide transformations shuffling through simulated disk files, and
+//! `ShuffledRDD`s materialized at stage starts and collected when the
+//! consuming evaluation completes.
+//!
+//! Memory management is abstracted behind the [`MemoryRuntime`] trait —
+//! the `panthera` crate implements it for Panthera proper and for every
+//! baseline memory mode.
+
+mod data;
+mod engine;
+mod rdd;
+mod runtime;
+mod shuffle;
+
+pub use data::DataRegistry;
+pub use engine::{ActionResult, Engine, EngineConfig, ExecStats, RunOutcome};
+pub use rdd::{MatData, RddId, RddNode, RddOp};
+pub use runtime::MemoryRuntime;
+pub use shuffle::{reduce_side, Buckets};

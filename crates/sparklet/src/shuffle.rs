@@ -1,0 +1,253 @@
+//! Shuffle semantics: the reduce-side of the wide transformations.
+//!
+//! Map-side outputs are bucketed by shuffle key; this module implements
+//! what the reducer does with each bucket — grouping, combining, joining,
+//! deduplicating. The heap effects (disk traffic, `ShuffledRDD`
+//! materialization) are charged by the engine; this is pure record logic.
+
+use mheap::{Key, Payload};
+use sparklang::{FnTable, FuncId, Transform, UserFn};
+use std::collections::HashMap;
+
+/// Map-side output grouped by key, in first-appearance order (kept
+/// deterministic for reproducible runs).
+#[derive(Debug, Clone, Default)]
+pub struct Buckets {
+    order: Vec<Key>,
+    by_key: HashMap<Key, Vec<Payload>>,
+}
+
+impl Buckets {
+    /// Empty buckets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one record under its shuffle key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record has no shuffle key (not a pair or scalar).
+    pub fn add(&mut self, record: Payload) {
+        let key = record.shuffle_key();
+        self.by_key
+            .entry(key)
+            .or_insert_with(|| {
+                self.order.push(key);
+                Vec::new()
+            })
+            .push(record);
+    }
+
+    /// Number of distinct keys.
+    pub fn n_keys(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Total records across all keys.
+    pub fn n_records(&self) -> usize {
+        self.by_key.values().map(Vec::len).sum()
+    }
+
+    /// Iterate `(key, records)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &[Payload])> + '_ {
+        self.order.iter().map(move |k| (*k, self.by_key[k].as_slice()))
+    }
+}
+
+/// The value of a pair record (or the record itself if not a pair).
+fn value_of(record: &Payload) -> Payload {
+    match record.as_pair() {
+        Some((_, v)) => v.clone(),
+        None => record.clone(),
+    }
+}
+
+/// The key component of a pair record as a payload.
+fn key_payload(record: &Payload) -> Payload {
+    match record.as_pair() {
+        Some((k, _)) => k.clone(),
+        None => record.clone(),
+    }
+}
+
+/// Run the reduce side of `transform` over bucketed map output.
+///
+/// For [`Transform::Join`], `right` must hold the second input's buckets.
+///
+/// # Panics
+///
+/// Panics if `transform` is narrow, if a required function id is of the
+/// wrong kind, or if `Join` is invoked without `right`.
+pub fn reduce_side(
+    transform: &Transform,
+    fns: &FnTable,
+    left: &Buckets,
+    right: Option<&Buckets>,
+) -> Vec<Payload> {
+    match transform {
+        Transform::ReduceByKey(f) => reduce_by_key(fns, *f, left),
+        Transform::GroupByKey => group_by_key(left),
+        Transform::Distinct => distinct(left),
+        Transform::Join => join(left, right.expect("join needs two inputs")),
+        Transform::SortByKey => sort_by_key(left),
+        other => panic!("{} is not a wide transformation", other.name()),
+    }
+}
+
+fn combiner(fns: &FnTable, f: FuncId) -> &dyn Fn(&Payload, &Payload) -> Payload {
+    match fns.get(f) {
+        UserFn::Reduce(f) => f,
+        other => panic!("reduceByKey requires a reduce function, got {other:?}"),
+    }
+}
+
+fn reduce_by_key(fns: &FnTable, f: FuncId, buckets: &Buckets) -> Vec<Payload> {
+    let combine = combiner(fns, f);
+    let mut out = Vec::with_capacity(buckets.n_keys());
+    for (_, records) in buckets.iter() {
+        let mut acc = value_of(&records[0]);
+        for r in &records[1..] {
+            acc = combine(&acc, &value_of(r));
+        }
+        out.push(Payload::Pair(Box::new(key_payload(&records[0])), Box::new(acc)));
+    }
+    out
+}
+
+fn group_by_key(buckets: &Buckets) -> Vec<Payload> {
+    buckets
+        .iter()
+        .map(|(_, records)| {
+            let values: Vec<Payload> = records.iter().map(value_of).collect();
+            Payload::Pair(Box::new(key_payload(&records[0])), Box::new(Payload::List(values)))
+        })
+        .collect()
+}
+
+fn distinct(buckets: &Buckets) -> Vec<Payload> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for (_, records) in buckets.iter() {
+        for r in records {
+            if seen.insert(r.fingerprint()) {
+                out.push(r.clone());
+            }
+        }
+    }
+    out
+}
+
+fn sort_by_key(buckets: &Buckets) -> Vec<Payload> {
+    let mut keyed: Vec<(Key, &[Payload])> = buckets.iter().collect();
+    keyed.sort_by_key(|(k, _)| *k);
+    keyed.into_iter().flat_map(|(_, records)| records.iter().cloned()).collect()
+}
+
+fn join(left: &Buckets, right: &Buckets) -> Vec<Payload> {
+    let mut out = Vec::new();
+    for (key, lrecords) in left.iter() {
+        let Some(rrecords) = right.by_key.get(&key) else { continue };
+        for l in lrecords {
+            for r in rrecords {
+                out.push(Payload::Pair(
+                    Box::new(key_payload(l)),
+                    Box::new(Payload::Pair(Box::new(value_of(l)), Box::new(value_of(r)))),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparklang::ProgramBuilder;
+
+    fn keyed(k: i64, v: i64) -> Payload {
+        Payload::keyed(k, Payload::Long(v))
+    }
+
+    fn bucket(records: Vec<Payload>) -> Buckets {
+        let mut b = Buckets::new();
+        for r in records {
+            b.add(r);
+        }
+        b
+    }
+
+    #[test]
+    fn reduce_by_key_sums() {
+        let mut b = ProgramBuilder::new("t");
+        let add = b.reduce_fn(|a, c| {
+            Payload::Long(a.as_long().unwrap() + c.as_long().unwrap())
+        });
+        let (_, fns) = b.finish();
+        let buckets = bucket(vec![keyed(1, 10), keyed(2, 5), keyed(1, 7)]);
+        let out = reduce_side(&Transform::ReduceByKey(add), &fns, &buckets, None);
+        assert_eq!(out, vec![keyed(1, 17), keyed(2, 5)]);
+    }
+
+    #[test]
+    fn group_by_key_builds_lists() {
+        let (_, fns) = ProgramBuilder::new("t").finish();
+        let buckets = bucket(vec![keyed(1, 10), keyed(1, 20)]);
+        let out = reduce_side(&Transform::GroupByKey, &fns, &buckets, None);
+        assert_eq!(out.len(), 1);
+        let (k, v) = out[0].as_pair().unwrap();
+        assert_eq!(k.as_long(), Some(1));
+        assert!(matches!(v, Payload::List(items) if items.len() == 2));
+    }
+
+    #[test]
+    fn distinct_dedupes_whole_records() {
+        let (_, fns) = ProgramBuilder::new("t").finish();
+        let buckets = bucket(vec![keyed(1, 10), keyed(1, 10), keyed(1, 11)]);
+        let out = reduce_side(&Transform::Distinct, &fns, &buckets, None);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn join_is_a_cross_product_per_key() {
+        let (_, fns) = ProgramBuilder::new("t").finish();
+        let left = bucket(vec![keyed(1, 10), keyed(1, 11), keyed(2, 20)]);
+        let right = bucket(vec![keyed(1, 100), keyed(3, 300)]);
+        let out = reduce_side(&Transform::Join, &fns, &left, Some(&right));
+        // Key 1: 2x1 combinations; key 2 and 3 have no match.
+        assert_eq!(out.len(), 2);
+        let (k, v) = out[0].as_pair().unwrap();
+        assert_eq!(k.as_long(), Some(1));
+        let (l, r) = v.as_pair().unwrap();
+        assert_eq!(l.as_long(), Some(10));
+        assert_eq!(r.as_long(), Some(100));
+    }
+
+    #[test]
+    fn sort_by_key_orders_records() {
+        let (_, fns) = ProgramBuilder::new("t").finish();
+        let buckets = bucket(vec![keyed(5, 50), keyed(1, 10), keyed(3, 30), keyed(1, 11)]);
+        let out = reduce_side(&Transform::SortByKey, &fns, &buckets, None);
+        let keys: Vec<i64> = out
+            .iter()
+            .map(|r| r.as_pair().unwrap().0.as_long().unwrap())
+            .collect();
+        assert_eq!(keys, vec![1, 1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a wide transformation")]
+    fn narrow_transform_rejected() {
+        let (_, fns) = ProgramBuilder::new("t").finish();
+        reduce_side(&Transform::Values, &fns, &Buckets::new(), None);
+    }
+
+    #[test]
+    fn buckets_preserve_insertion_order() {
+        let buckets = bucket(vec![keyed(5, 0), keyed(3, 0), keyed(5, 1)]);
+        let keys: Vec<Key> = buckets.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![Key::Long(5), Key::Long(3)]);
+        assert_eq!(buckets.n_keys(), 2);
+        assert_eq!(buckets.n_records(), 3);
+    }
+}

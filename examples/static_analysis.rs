@@ -1,0 +1,97 @@
+//! Tour of the Section 3 static analysis: def/use collection, the
+//! tag-inference rules, storage-level expansion, and the `rdd_alloc`
+//! instrumentation plan — on programs that exercise every rule.
+//!
+//! ```sh
+//! cargo run -p panthera-examples --bin static_analysis
+//! ```
+
+use panthera_analysis::{analyze, infer_tags};
+use sparklang::{ActionKind, Pretty, ProgramBuilder, Program, StorageLevel};
+
+fn show(title: &str, program: &Program) {
+    println!("## {title}");
+    println!("{}", Pretty(program));
+    let report = analyze(program);
+    for line in report.summary(program) {
+        println!("   {line}");
+    }
+    println!(
+        "   instrumented rdd_alloc sites: {}",
+        report
+            .plan
+            .sites
+            .values()
+            .map(|s| {
+                format!(
+                    "stmt#{}:{}={}",
+                    s.stmt.0,
+                    program.var_name(s.var),
+                    s.tag.map(|t| t.to_string()).unwrap_or_else(|| "-".into())
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!();
+}
+
+fn main() {
+    // Rule: used-only in a loop after materialization => DRAM.
+    let mut b = ProgramBuilder::new("hot-cache");
+    let src = b.source("input");
+    let table = b.bind("table", src.distinct());
+    b.persist(table, StorageLevel::MemoryOnly);
+    b.loop_n(10, |b| b.action(table, ActionKind::Count));
+    show("used-only in a loop -> DRAM", &b.finish().0);
+
+    // Rule: redefined every iteration => NVM (old instances linger unused).
+    let mut b = ProgramBuilder::new("iteration-churn");
+    let f = b.map_fn(|p| p.clone());
+    let src = b.source("input");
+    let hot = b.bind("hot", src.distinct());
+    b.persist(hot, StorageLevel::MemoryOnly);
+    let work = b.bind("work", b.var(hot).map(f));
+    b.loop_n(10, |b| {
+        let e = b.var(work).map(f);
+        b.rebind(work, e);
+        b.persist(work, StorageLevel::MemoryAndDiskSer);
+        b.action(hot, ActionKind::Count);
+    });
+    show("redefined per iteration -> NVM", &b.finish().0);
+
+    // Rule: no loops at all => everything NVM, then flipped to DRAM.
+    let mut b = ProgramBuilder::new("one-shot");
+    let src = b.source("input");
+    let x = b.bind("x", src.group_by_key());
+    b.persist(x, StorageLevel::MemoryOnly);
+    b.action(x, ActionKind::Count);
+    show("no loops -> all-NVM flip -> DRAM", &b.finish().0);
+
+    // Rule: OFF_HEAP forced to NVM, DISK_ONLY untagged.
+    let mut b = ProgramBuilder::new("levels");
+    let s1 = b.source("a");
+    let s2 = b.source("b");
+    let native = b.bind("native", s1);
+    b.persist(native, StorageLevel::OffHeap);
+    let archived = b.bind("archived", s2);
+    b.persist(archived, StorageLevel::DiskOnly);
+    b.loop_n(3, |b| {
+        b.action(native, ActionKind::Count);
+        b.action(archived, ActionKind::Count);
+    });
+    let (p, _) = b.finish();
+    show("OFF_HEAP -> OFF_HEAP_NVM; DISK_ONLY -> untagged", &p);
+
+    // Expanded storage-level names (the _DRAM/_NVM sub-levels).
+    let tags = infer_tags(&p);
+    println!("expanded levels:");
+    println!(
+        "  native:   {}",
+        tags.expanded_level(native, StorageLevel::OffHeap)
+    );
+    println!(
+        "  archived: {}",
+        tags.expanded_level(archived, StorageLevel::DiskOnly)
+    );
+}

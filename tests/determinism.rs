@@ -1,0 +1,58 @@
+//! The simulator is a pure function of (program, data, config): identical
+//! inputs give bit-identical reports — no wall-clock, OS, or iteration-
+//! order dependence leaks in.
+
+use panthera::{run_workload, MemoryMode, RunReport, SystemConfig, SIM_GB};
+use workloads::{build_workload, WorkloadId};
+
+fn run_once(id: WorkloadId, mode: MemoryMode, seed: u64) -> RunReport {
+    let w = build_workload(id, 0.12, seed);
+    let cfg = SystemConfig::new(mode, 16 * SIM_GB, 1.0 / 3.0);
+    run_workload(&w.program, w.fns, w.data, &cfg).0
+}
+
+fn assert_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.elapsed_s.to_bits(), b.elapsed_s.to_bits(), "{what}: elapsed");
+    assert_eq!(a.mutator_s.to_bits(), b.mutator_s.to_bits(), "{what}: mutator");
+    assert_eq!(a.energy_j().to_bits(), b.energy_j().to_bits(), "{what}: energy");
+    assert_eq!(a.gc.minor_count, b.gc.minor_count, "{what}: minor GCs");
+    assert_eq!(a.gc.major_count, b.gc.major_count, "{what}: major GCs");
+    assert_eq!(a.gc.rdds_migrated, b.gc.rdds_migrated, "{what}: migrations");
+    assert_eq!(a.heap.allocated_bytes, b.heap.allocated_bytes, "{what}: allocation");
+    assert_eq!(a.device_bytes, b.device_bytes, "{what}: traffic");
+    assert_eq!(a.monitored_calls, b.monitored_calls, "{what}: monitoring");
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    for id in [WorkloadId::Pr, WorkloadId::Cc, WorkloadId::Km, WorkloadId::Tc] {
+        for mode in [MemoryMode::Panthera, MemoryMode::Unmanaged, MemoryMode::KingsguardWrites]
+        {
+            let a = run_once(id, mode, 3);
+            let b = run_once(id, mode, 3);
+            assert_identical(&a, &b, &format!("{id}/{mode}"));
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_once(WorkloadId::Pr, MemoryMode::Panthera, 3);
+    let b = run_once(WorkloadId::Pr, MemoryMode::Panthera, 4);
+    assert_ne!(
+        a.heap.allocated_bytes, b.heap.allocated_bytes,
+        "different datasets should allocate differently"
+    );
+}
+
+#[test]
+fn interleaved_chunk_map_is_seeded() {
+    use hybridmem::{DeviceKind, PhysicalLayout};
+    let map_of = |seed: u64| -> Vec<DeviceKind> {
+        let mut l = PhysicalLayout::new();
+        let base = l.add_interleaved("old", 64 << 20, 1 << 20, 1.0 / 3.0, seed);
+        (0..64).map(|i| l.device_of(base.offset(i * (1 << 20)))).collect()
+    };
+    assert_eq!(map_of(99), map_of(99), "same seed, same map");
+    assert_ne!(map_of(99), map_of(100), "different seed, different map");
+}

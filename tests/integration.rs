@@ -1,0 +1,118 @@
+//! Cross-crate integration: full workloads through analysis, engine, GC,
+//! heap, and memory model, checking end-to-end invariants.
+
+use panthera::{run_workload, MemoryMode, SystemConfig, SIM_GB};
+use workloads::{build_workload, WorkloadId};
+
+const SCALE: f64 = 0.15;
+
+fn run(id: WorkloadId, mode: MemoryMode) -> (panthera::RunReport, sparklet::RunOutcome) {
+    let w = build_workload(id, SCALE, 11);
+    let cfg = SystemConfig::new(mode, 16 * SIM_GB, 1.0 / 3.0);
+    run_workload(&w.program, w.fns, w.data, &cfg)
+}
+
+#[test]
+fn every_workload_runs_under_every_mode() {
+    for id in WorkloadId::ALL {
+        for mode in MemoryMode::ALL {
+            let (report, outcome) = run(id, mode);
+            assert!(report.elapsed_s > 0.0, "{id}/{mode}: no time elapsed");
+            assert!(!outcome.results.is_empty(), "{id}/{mode}: no action results");
+            assert!(outcome.stats.records_streamed > 0, "{id}/{mode}: nothing streamed");
+        }
+    }
+}
+
+#[test]
+fn results_are_mode_independent() {
+    // Memory management must never change computed answers.
+    for id in WorkloadId::ALL {
+        let (_, base) = run(id, MemoryMode::DramOnly);
+        for mode in [MemoryMode::Unmanaged, MemoryMode::Panthera, MemoryMode::KingsguardWrites]
+        {
+            let (_, other) = run(id, mode);
+            assert_eq!(
+                base.results, other.results,
+                "{id}: {mode} changed the computed results"
+            );
+        }
+    }
+}
+
+#[test]
+fn phase_times_sum_to_elapsed() {
+    for mode in MemoryMode::ALL {
+        let (r, _) = run(WorkloadId::Pr, mode);
+        let sum = r.mutator_s + r.minor_gc_s + r.major_gc_s;
+        assert!(
+            (sum - r.elapsed_s).abs() < 1e-9,
+            "{mode}: phases {sum} != elapsed {}",
+            r.elapsed_s
+        );
+    }
+}
+
+#[test]
+fn dram_only_never_touches_nvm() {
+    let (r, _) = run(WorkloadId::Cc, MemoryMode::DramOnly);
+    assert_eq!(r.device_bytes[1], 0, "DRAM-only moved NVM bytes");
+    assert_eq!(r.energy.nvm_dynamic_j, 0.0);
+    assert_eq!(r.energy.nvm_static_j, 0.0, "no NVM installed");
+}
+
+#[test]
+fn hybrid_modes_use_both_devices() {
+    for mode in [MemoryMode::Unmanaged, MemoryMode::Panthera, MemoryMode::KingsguardNursery] {
+        let (r, _) = run(WorkloadId::Pr, mode);
+        assert!(r.device_bytes[0] > 0, "{mode}: no DRAM traffic");
+        assert!(r.device_bytes[1] > 0, "{mode}: no NVM traffic");
+    }
+}
+
+#[test]
+fn panthera_monitors_baselines_do_not() {
+    let (pan, _) = run(WorkloadId::Cc, MemoryMode::Panthera);
+    assert!(pan.monitored_calls > 0);
+    for mode in [MemoryMode::DramOnly, MemoryMode::Unmanaged, MemoryMode::KingsguardNursery] {
+        let (r, _) = run(WorkloadId::Cc, mode);
+        assert_eq!(r.monitored_calls, 0, "{mode} should not monitor");
+    }
+}
+
+#[test]
+fn gc_actually_collects_garbage() {
+    let (r, _) = run(WorkloadId::Pr, MemoryMode::Panthera);
+    assert!(r.gc.minor_count > 0, "no minor GCs under memory pressure");
+    assert!(r.gc.young_freed > 0, "streaming garbage was never reclaimed");
+    assert!(r.heap.young_allocs > 1_000, "workload too small to be meaningful");
+}
+
+#[test]
+fn kingsguard_writes_performs_write_migration() {
+    let (r, _) = run(WorkloadId::Pr, MemoryMode::KingsguardWrites);
+    assert!(r.gc.write_migrations > 0, "KW never migrated anything");
+}
+
+#[test]
+fn bandwidth_traces_cover_the_run() {
+    let (r, _) = run(WorkloadId::Cc, MemoryMode::Panthera);
+    let windows = r.traffic.windows();
+    assert!(!windows.is_empty());
+    let total: u64 = windows.iter().map(|w| w.total()).sum();
+    assert_eq!(total, r.device_bytes[0] + r.device_bytes[1]);
+}
+
+#[test]
+fn energy_grows_with_installed_dram() {
+    let w64 = build_workload(WorkloadId::Km, SCALE, 11);
+    let c64 = SystemConfig::new(MemoryMode::DramOnly, 16 * SIM_GB, 1.0);
+    let (r64, _) = run_workload(&w64.program, w64.fns, w64.data, &c64);
+    let w120 = build_workload(WorkloadId::Km, SCALE, 11);
+    let c120 = SystemConfig::new(MemoryMode::DramOnly, 32 * SIM_GB, 1.0);
+    let (r120, _) = run_workload(&w120.program, w120.fns, w120.data, &c120);
+    assert!(
+        r120.energy.dram_static_j > r64.energy.dram_static_j,
+        "double the DRAM must burn more background energy"
+    );
+}

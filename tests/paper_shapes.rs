@@ -1,0 +1,111 @@
+//! The paper's headline claims as coarse, scale-robust assertions. These
+//! run at a reduced dataset scale, so thresholds are loose — the precise
+//! numbers live in EXPERIMENTS.md; these tests pin the *orderings*.
+
+use panthera::{run_workload, MemoryMode, RunReport, SystemConfig, SIM_GB};
+use workloads::{build_workload, WorkloadId};
+
+const SCALE: f64 = 0.5;
+
+fn run(id: WorkloadId, mode: MemoryMode) -> RunReport {
+    let w = build_workload(id, SCALE, 7);
+    let cfg = SystemConfig::new(mode, 32 * SIM_GB, 1.0 / 3.0);
+    run_workload(&w.program, w.fns, w.data, &cfg).0
+}
+
+/// Panthera's elapsed time stays close to DRAM-only (paper: 1-4% overhead)
+/// while unmanaged pays noticeably more (paper: ~21%).
+#[test]
+fn panthera_time_tracks_dram_only() {
+    let mut pan_sum = 0.0;
+    let mut unm_sum = 0.0;
+    for id in [WorkloadId::Pr, WorkloadId::Km, WorkloadId::Cc, WorkloadId::Bc] {
+        let base = run(id, MemoryMode::DramOnly);
+        pan_sum += run(id, MemoryMode::Panthera).time_vs(&base);
+        unm_sum += run(id, MemoryMode::Unmanaged).time_vs(&base);
+    }
+    let (pan, unm) = (pan_sum / 4.0, unm_sum / 4.0);
+    assert!(pan < 1.10, "panthera average time overhead too high: {pan:.3}");
+    assert!(unm > pan + 0.03, "unmanaged ({unm:.3}) should clearly trail panthera ({pan:.3})");
+}
+
+/// Hybrid memory saves a large fraction of memory energy (paper: 37-52%).
+#[test]
+fn panthera_saves_energy() {
+    for id in [WorkloadId::Km, WorkloadId::Cc] {
+        let base = run(id, MemoryMode::DramOnly);
+        let pan = run(id, MemoryMode::Panthera);
+        let ratio = pan.energy_vs(&base);
+        assert!(
+            (0.25..0.85).contains(&ratio),
+            "{id}: energy ratio {ratio:.2} outside the plausible band"
+        );
+    }
+}
+
+/// The Kingsguard baselines trail both Panthera and unmanaged (Section 5.2).
+#[test]
+fn kingsguard_baselines_trail() {
+    let base = run(WorkloadId::Cc, MemoryMode::DramOnly);
+    let pan = run(WorkloadId::Cc, MemoryMode::Panthera).time_vs(&base);
+    let kn = run(WorkloadId::Cc, MemoryMode::KingsguardNursery).time_vs(&base);
+    let kw = run(WorkloadId::Cc, MemoryMode::KingsguardWrites).time_vs(&base);
+    assert!(kn > pan, "KN ({kn:.3}) should trail panthera ({pan:.3})");
+    assert!(kw > pan, "KW ({kw:.3}) should trail panthera ({pan:.3})");
+}
+
+/// More DRAM helps Panthera (Section 5.3: sensitive to the DRAM ratio).
+#[test]
+fn panthera_improves_with_dram_ratio() {
+    let id = WorkloadId::Km;
+    let w1 = build_workload(id, SCALE, 7);
+    let quarter = SystemConfig::new(MemoryMode::Panthera, 32 * SIM_GB, 0.25);
+    let r_quarter = run_workload(&w1.program, w1.fns, w1.data, &quarter).0;
+    let w2 = build_workload(id, SCALE, 7);
+    let half = SystemConfig::new(MemoryMode::Panthera, 32 * SIM_GB, 0.5);
+    let r_half = run_workload(&w2.program, w2.fns, w2.data, &half).0;
+    assert!(
+        r_half.elapsed_s <= r_quarter.elapsed_s * 1.02,
+        "more DRAM should not hurt: 1/2 ratio {:.4}s vs 1/4 ratio {:.4}s",
+        r_half.elapsed_s,
+        r_quarter.elapsed_s
+    );
+}
+
+/// Card padding and eager promotion both reduce GC time (Sections 4.2.2-3).
+#[test]
+fn optimizations_reduce_gc_time() {
+    let id = WorkloadId::Pr;
+    let full = {
+        let w = build_workload(id, SCALE, 7);
+        let cfg = SystemConfig::new(MemoryMode::Panthera, 32 * SIM_GB, 1.0 / 3.0);
+        run_workload(&w.program, w.fns, w.data, &cfg).0
+    };
+    let no_pad = {
+        let w = build_workload(id, SCALE, 7);
+        let mut cfg = SystemConfig::new(MemoryMode::Panthera, 32 * SIM_GB, 1.0 / 3.0);
+        cfg.card_padding = false;
+        run_workload(&w.program, w.fns, w.data, &cfg).0
+    };
+    let no_eager = {
+        let w = build_workload(id, SCALE, 7);
+        let mut cfg = SystemConfig::new(MemoryMode::Panthera, 32 * SIM_GB, 1.0 / 3.0);
+        cfg.eager_promotion = false;
+        run_workload(&w.program, w.fns, w.data, &cfg).0
+    };
+    assert!(no_pad.gc_s() > full.gc_s(), "padding off must cost GC time");
+    assert!(no_eager.gc_s() > full.gc_s(), "eager promotion off must cost GC time");
+    assert!(no_pad.gc.stuck_card_rescans > 0, "pathology should appear without padding");
+    assert_eq!(full.gc.stuck_card_rescans, 0, "padding eliminates shared cards");
+}
+
+/// Table 5's shape: only the GraphX workloads trigger dynamic migration.
+#[test]
+fn only_graphx_migrates() {
+    let cc = run(WorkloadId::Cc, MemoryMode::Panthera);
+    assert!(cc.gc.rdds_migrated >= 1, "CC should demote stale graph RDDs");
+    for id in [WorkloadId::Km, WorkloadId::Bc] {
+        let r = run(id, MemoryMode::Panthera);
+        assert_eq!(r.gc.rdds_migrated, 0, "{id} should not migrate");
+    }
+}
