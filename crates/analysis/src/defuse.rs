@@ -72,12 +72,16 @@ impl DefUse {
 
     /// Is `var` defined anywhere inside loop `l`?
     pub fn defined_in(&self, var: VarId, l: LoopId) -> bool {
-        self.defs.get(&var).is_some_and(|v| v.iter().any(|o| o.in_loop(l)))
+        self.defs
+            .get(&var)
+            .is_some_and(|v| v.iter().any(|o| o.in_loop(l)))
     }
 
     /// Is `var` used anywhere inside loop `l`?
     pub fn used_in(&self, var: VarId, l: LoopId) -> bool {
-        self.uses.get(&var).is_some_and(|v| v.iter().any(|o| o.in_loop(l)))
+        self.uses
+            .get(&var)
+            .is_some_and(|v| v.iter().any(|o| o.in_loop(l)))
     }
 
     /// The *materialization point* of `var`: its first `persist` site, or
@@ -86,14 +90,22 @@ impl DefUse {
         self.persists
             .get(&var)
             .and_then(|p| p.iter().map(|s| s.stmt).min())
-            .or_else(|| self.actions.get(&var).and_then(|a| a.iter().map(|o| o.stmt).min()))
+            .or_else(|| {
+                self.actions
+                    .get(&var)
+                    .and_then(|a| a.iter().map(|o| o.stmt).min())
+            })
     }
 
     /// Variables that are materialized (persisted or action targets), in
     /// id order.
     pub fn materialized_vars(&self) -> Vec<VarId> {
-        let mut vars: Vec<VarId> =
-            self.persists.keys().chain(self.actions.keys()).copied().collect();
+        let mut vars: Vec<VarId> = self
+            .persists
+            .keys()
+            .chain(self.actions.keys())
+            .copied()
+            .collect();
         vars.sort();
         vars.dedup();
         vars
@@ -108,7 +120,10 @@ struct Collector {
 
 impl Visitor for Collector {
     fn stmt(&mut self, id: StmtId, stmt: &Stmt, loops: &[LoopId]) {
-        let occ = |id| Occurrence { stmt: id, loops: loops.to_vec() };
+        let occ = |id| Occurrence {
+            stmt: id,
+            loops: loops.to_vec(),
+        };
         match stmt {
             Stmt::Bind { var, expr } => {
                 self.out.defs.entry(*var).or_default().push(occ(id));
@@ -117,11 +132,15 @@ impl Visitor for Collector {
                 }
             }
             Stmt::Persist { var, level } => {
-                self.out.persists.entry(*var).or_default().push(PersistSite {
-                    stmt: id,
-                    level: *level,
-                    loops: loops.to_vec(),
-                });
+                self.out
+                    .persists
+                    .entry(*var)
+                    .or_default()
+                    .push(PersistSite {
+                        stmt: id,
+                        level: *level,
+                        loops: loops.to_vec(),
+                    });
             }
             Stmt::Unpersist { var } => {
                 self.out.unpersists.entry(*var).or_default().push(occ(id));
@@ -142,7 +161,14 @@ impl Visitor for Collector {
     fn exit_loop(&mut self, loop_id: LoopId, last: StmtId) {
         let (lid, start, n) = self.loop_stack.pop().expect("balanced loops");
         debug_assert_eq!(lid, loop_id);
-        self.out.loops.insert(loop_id, LoopExtent { start, end: last, n });
+        self.out.loops.insert(
+            loop_id,
+            LoopExtent {
+                start,
+                end: last,
+                n,
+            },
+        );
     }
 }
 
@@ -187,7 +213,10 @@ mod tests {
         assert!(ranks_mat > extent.end, "ranks materializes after the loop");
         assert!(du.materialization_point(links).unwrap() < extent.start);
         let cm = du.materialization_point(contribs).unwrap();
-        assert!(cm >= extent.start && cm <= extent.end, "contribs persists inside");
+        assert!(
+            cm >= extent.start && cm <= extent.end,
+            "contribs persists inside"
+        );
         assert_eq!(du.materialized_vars(), vec![links, ranks, contribs]);
     }
 

@@ -126,7 +126,9 @@ pub fn infer_from_defuse_with(
 ) -> TagAssignment {
     let mut out = TagAssignment::default();
     for var in du.materialized_vars() {
-        let Some(mat) = du.materialization_point(var) else { continue };
+        let Some(mat) = du.materialization_point(var) else {
+            continue;
+        };
         let level = du
             .persists
             .get(&var)
@@ -134,12 +136,16 @@ pub fn infer_from_defuse_with(
             .map(|s| s.level);
 
         let decision = match level {
-            Some(StorageLevel::OffHeap) => {
-                VarTag { tag: Some(MemoryTag::Nvm), reason: TagReason::OffHeapForced, mat_point: mat }
-            }
-            Some(StorageLevel::DiskOnly) => {
-                VarTag { tag: None, reason: TagReason::DiskOnly, mat_point: mat }
-            }
+            Some(StorageLevel::OffHeap) => VarTag {
+                tag: Some(MemoryTag::Nvm),
+                reason: TagReason::OffHeapForced,
+                mat_point: mat,
+            },
+            Some(StorageLevel::DiskOnly) => VarTag {
+                tag: None,
+                reason: TagReason::DiskOnly,
+                mat_point: mat,
+            },
             _ => rule_based(du, var, mat, options),
         };
         out.vars.insert(var, decision);
@@ -162,7 +168,9 @@ pub fn infer_from_defuse_with(
         .map(|(v, _)| *v)
         .collect();
     let all_nvm = !rule_based.is_empty()
-        && rule_based.iter().all(|v| out.vars[v].tag == Some(MemoryTag::Nvm));
+        && rule_based
+            .iter()
+            .all(|v| out.vars[v].tag == Some(MemoryTag::Nvm));
     if all_nvm {
         for v in rule_based {
             let t = out.vars.get_mut(&v).expect("just inserted");
@@ -206,13 +214,22 @@ fn rule_based(du: &DefUse, var: VarId, mat: StmtId, options: AnalysisOptions) ->
             };
         }
     }
-    let reason =
-        if saw_qualifying { TagReason::DefinedInLoop } else { TagReason::NoQualifyingLoop };
-    VarTag { tag: Some(MemoryTag::Nvm), reason, mat_point: mat }
+    let reason = if saw_qualifying {
+        TagReason::DefinedInLoop
+    } else {
+        TagReason::NoQualifyingLoop
+    };
+    VarTag {
+        tag: Some(MemoryTag::Nvm),
+        reason,
+        mat_point: mat,
+    }
 }
 
 fn unpersisted_in(du: &DefUse, var: VarId, l: sparklang::ast::LoopId) -> bool {
-    du.unpersists.get(&var).is_some_and(|v| v.iter().any(|o| o.in_loop(l)))
+    du.unpersists
+        .get(&var)
+        .is_some_and(|v| v.iter().any(|o| o.in_loop(l)))
 }
 
 #[cfg(test)]
@@ -299,7 +316,10 @@ mod tests {
         assert_eq!(tags.tag(x), Some(MemoryTag::Nvm));
         // y was rule-based NVM and is the only rule-based var → flipped.
         assert_eq!(tags.tag(y), Some(MemoryTag::Dram));
-        assert_eq!(tags.expanded_level(x, StorageLevel::OffHeap), "OFF_HEAP_NVM");
+        assert_eq!(
+            tags.expanded_level(x, StorageLevel::OffHeap),
+            "OFF_HEAP_NVM"
+        );
     }
 
     #[test]
@@ -393,7 +413,12 @@ mod tests {
         assert_eq!(base.tag(state), Some(MemoryTag::Nvm));
         assert_eq!(base.vars[&state].reason, TagReason::DefinedInLoop);
         // Extension: recycled => DRAM.
-        let ext = infer_tags_with(&p, AnalysisOptions { unpersist_support: true });
+        let ext = infer_tags_with(
+            &p,
+            AnalysisOptions {
+                unpersist_support: true,
+            },
+        );
         assert_eq!(ext.tag(state), Some(MemoryTag::Dram));
         assert_eq!(ext.vars[&state].reason, TagReason::RecycledInLoop);
     }
@@ -403,7 +428,12 @@ mod tests {
         // contribs is never unpersisted: the extension must not change
         // Figure 2(a)'s tags.
         let p = pagerank();
-        let ext = infer_tags_with(&p, AnalysisOptions { unpersist_support: true });
+        let ext = infer_tags_with(
+            &p,
+            AnalysisOptions {
+                unpersist_support: true,
+            },
+        );
         assert_eq!(ext.tag(VarId(0)), Some(MemoryTag::Dram), "links");
         assert_eq!(ext.tag(VarId(2)), Some(MemoryTag::Nvm), "contribs");
     }

@@ -40,7 +40,11 @@ impl InstrumentationPlan {
             for p in persists {
                 sites.insert(
                     p.stmt,
-                    RddAllocSite { stmt: p.stmt, var: *var, tag: tags.tag(*var) },
+                    RddAllocSite {
+                        stmt: p.stmt,
+                        var: *var,
+                        tag: tags.tag(*var),
+                    },
                 );
             }
         }
@@ -53,7 +57,11 @@ impl InstrumentationPlan {
             for a in actions {
                 sites.insert(
                     a.stmt,
-                    RddAllocSite { stmt: a.stmt, var: *var, tag: tags.tag(*var) },
+                    RddAllocSite {
+                        stmt: a.stmt,
+                        var: *var,
+                        tag: tags.tag(*var),
+                    },
                 );
             }
         }

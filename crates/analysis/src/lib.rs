@@ -70,8 +70,16 @@ impl AnalysisReport {
             .vars
             .iter()
             .map(|(v, t)| {
-                let tag = t.tag.map(|t| t.to_string()).unwrap_or_else(|| "-".to_string());
-                format!("{:<12} -> {:<5} ({:?})", program.var_name(*v), tag, t.reason)
+                let tag = t
+                    .tag
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".to_string());
+                format!(
+                    "{:<12} -> {:<5} ({:?})",
+                    program.var_name(*v),
+                    tag,
+                    t.reason
+                )
             })
             .collect()
     }

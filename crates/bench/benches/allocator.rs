@@ -45,7 +45,8 @@ fn bench_pretenured_array(c: &mut Criterion) {
                 let nvm = h.old_nvm().unwrap();
                 for rdd in 0..64 {
                     black_box(
-                        h.alloc_array_old(nvm, rdd, 1024, MemTag::Nvm).expect("space"),
+                        h.alloc_array_old(nvm, rdd, 1024, MemTag::Nvm)
+                            .expect("space"),
                     );
                 }
                 h
@@ -78,5 +79,10 @@ fn bench_write_barrier(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_young_alloc, bench_pretenured_array, bench_write_barrier);
+criterion_group!(
+    benches,
+    bench_young_alloc,
+    bench_pretenured_array,
+    bench_write_barrier
+);
 criterion_main!(benches);

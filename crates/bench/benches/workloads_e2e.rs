@@ -12,7 +12,11 @@ fn bench_workloads(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2e");
     g.sample_size(10);
     for id in [WorkloadId::Pr, WorkloadId::Km, WorkloadId::Cc] {
-        for mode in [MemoryMode::DramOnly, MemoryMode::Unmanaged, MemoryMode::Panthera] {
+        for mode in [
+            MemoryMode::DramOnly,
+            MemoryMode::Unmanaged,
+            MemoryMode::Panthera,
+        ] {
             g.bench_with_input(
                 BenchmarkId::new(id.name(), mode.label()),
                 &(id, mode),

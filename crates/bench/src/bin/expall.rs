@@ -4,8 +4,22 @@
 use std::process::Command;
 
 const EXPERIMENTS: [&str; 16] = [
-    "table1", "table2", "table4", "fig2c", "fig4", "fig5", "fig6", "fig7", "fig8", "table5",
-    "baselines", "ablation", "nursery", "hashjoin", "nvmtech", "matrix",
+    "table1",
+    "table2",
+    "table4",
+    "fig2c",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table5",
+    "baselines",
+    "ablation",
+    "nursery",
+    "hashjoin",
+    "nvmtech",
+    "matrix",
 ];
 
 fn main() {

@@ -12,18 +12,26 @@ fn main() {
         "Fig. 2(c); paper: 32GB-DRAM 1.42/0.55, unmanaged 1.23/0.81, panthera 1.00/0.60",
     );
     // 120 GB DRAM-only baseline.
-    let baseline =
-        run_with(WorkloadId::Pr, SystemConfig::new(MemoryMode::DramOnly, 120 * SIM_GB, 1.0));
+    let baseline = run_with(
+        WorkloadId::Pr,
+        SystemConfig::new(MemoryMode::DramOnly, 120 * SIM_GB, 1.0),
+    );
     // 32 GB DRAM only: a 32 GB heap — the workload no longer fits
     // comfortably, forcing evictions and recomputation.
-    let small =
-        run_with(WorkloadId::Pr, SystemConfig::new(MemoryMode::DramOnly, 32 * SIM_GB, 1.0));
+    let small = run_with(
+        WorkloadId::Pr,
+        SystemConfig::new(MemoryMode::DramOnly, 32 * SIM_GB, 1.0),
+    );
     // 32 GB DRAM + 88 GB NVM = 120 GB hybrid, DRAM ratio 32/120.
     let ratio = 32.0 / 120.0;
-    let unmanaged =
-        run_with(WorkloadId::Pr, SystemConfig::new(MemoryMode::Unmanaged, 120 * SIM_GB, ratio));
-    let panthera =
-        run_with(WorkloadId::Pr, SystemConfig::new(MemoryMode::Panthera, 120 * SIM_GB, ratio));
+    let unmanaged = run_with(
+        WorkloadId::Pr,
+        SystemConfig::new(MemoryMode::Unmanaged, 120 * SIM_GB, ratio),
+    );
+    let panthera = run_with(
+        WorkloadId::Pr,
+        SystemConfig::new(MemoryMode::Panthera, 120 * SIM_GB, ratio),
+    );
 
     println!("{:<34} {:>12} {:>12}", "configuration", "time", "energy");
     println!("{}", "-".repeat(60));

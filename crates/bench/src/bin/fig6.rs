@@ -6,8 +6,12 @@ use panthera::MemoryMode;
 use panthera_bench::{header, norm, run};
 use workloads::WorkloadId;
 
-const WORKLOADS: [WorkloadId; 4] =
-    [WorkloadId::Pr, WorkloadId::Lr, WorkloadId::Cc, WorkloadId::Bc];
+const WORKLOADS: [WorkloadId; 4] = [
+    WorkloadId::Pr,
+    WorkloadId::Lr,
+    WorkloadId::Cc,
+    WorkloadId::Bc,
+];
 
 fn main() {
     header(

@@ -43,8 +43,14 @@ fn main() {
         }
     }
     let base = baseline.expect("dram-only ran");
-    let pan = run_hashjoin(&input, &SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0));
-    assert_eq!(base.matches, pan.matches, "join output must not depend on mode");
+    let pan = run_hashjoin(
+        &input,
+        &SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0),
+    );
+    assert_eq!(
+        base.matches, pan.matches,
+        "join output must not depend on mode"
+    );
     println!();
     println!(
         "{} matched rows in every mode; panthera: {:.2}x time, {:.2}x energy \

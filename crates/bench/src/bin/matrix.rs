@@ -32,6 +32,9 @@ fn main() {
         for r in &reports {
             print!(" {:>5.2}", r.energy_vs(base));
         }
-        println!("  (migr {} mon {})", reports[2].gc.rdds_migrated, reports[2].monitored_calls);
+        println!(
+            "  (migr {} mon {})",
+            reports[2].gc.rdds_migrated, reports[2].monitored_calls
+        );
     }
 }

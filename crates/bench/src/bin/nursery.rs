@@ -19,7 +19,12 @@ fn main() {
     );
     println!("{}", "-".repeat(56));
     let mut sums = [0.0f64; 4];
-    let workloads = [WorkloadId::Pr, WorkloadId::Km, WorkloadId::Cc, WorkloadId::Bc];
+    let workloads = [
+        WorkloadId::Pr,
+        WorkloadId::Km,
+        WorkloadId::Cc,
+        WorkloadId::Bc,
+    ];
     for id in workloads {
         let mut cols = Vec::new();
         for (_, frac) in fractions {

@@ -30,8 +30,10 @@ fn main() {
     println!("{}", "-".repeat(72));
     for (name, spec) in techs {
         for id in [WorkloadId::Pr, WorkloadId::Cc] {
-            let base =
-                run_with(id, SystemConfig::new(MemoryMode::DramOnly, 64 * SIM_GB, 1.0));
+            let base = run_with(
+                id,
+                SystemConfig::new(MemoryMode::DramOnly, 64 * SIM_GB, 1.0),
+            );
             let mut unm_cfg = SystemConfig::new(MemoryMode::Unmanaged, 64 * SIM_GB, 1.0 / 3.0);
             unm_cfg.nvm_spec = Some(spec());
             let unm = run_with(id, unm_cfg);

@@ -1,0 +1,283 @@
+//! perfsuite: the host-performance trajectory harness (`BENCH_PR1.json`).
+//!
+//! Unlike the `fig*`/`table*` binaries, which reproduce the paper's
+//! *simulated* results, this suite measures how fast the simulator itself
+//! runs on the host — the quantity the zero-clone pipeline rework
+//! optimizes. It times four Table 4 workloads end-to-end under two engine
+//! configurations:
+//!
+//! * **new** — the current engine: `Rc`-shared payloads, fused narrow
+//!   chains, bitmap card scanning;
+//! * **legacy** — the pre-rework engine emulated faithfully:
+//!   stage-at-a-time narrow execution (`fuse_narrow: false`) plus a
+//!   structural deep copy at every record handoff
+//!   (`legacy_copies: true`), the cost profile of the seed's boxed
+//!   payloads.
+//!
+//! Both arms must report **bit-identical simulated results** (elapsed
+//! time, energy, GC counts) — the suite asserts this invariant and
+//! records it in the JSON. Host times are the median of `N` samples
+//! (`PERFSUITE_SAMPLES`, default 5).
+//!
+//! Three micro-passes cover the allocator, the minor-GC cycle, and the
+//! dirty-card sweep in isolation.
+//!
+//! Output: `BENCH_PR1.json` in the current directory (override with
+//! `PERFSUITE_OUT`).
+
+use gc::{GcCoordinator, PantheraPolicy};
+use hybridmem::{Addr, MemorySystemConfig};
+use mheap::{CardTable, Heap, HeapConfig, MemTag, ObjKind, Payload, RootSet, CARD_BYTES};
+use panthera::{run_workload_with_engine, MemoryMode, RunReport, SystemConfig, SIM_GB};
+use sparklet::EngineConfig;
+use std::hint::black_box;
+use std::time::Instant;
+use workloads::{build_workload, WorkloadId};
+
+/// Workloads timed end-to-end (PageRank, K-Means, Logistic Regression,
+/// Connected Components — the ISSUE's Table 4 picks).
+const WORKLOADS: [WorkloadId; 4] = [
+    WorkloadId::Pr,
+    WorkloadId::Km,
+    WorkloadId::Lr,
+    WorkloadId::Cc,
+];
+
+const SEED: u64 = 7;
+
+fn samples() -> usize {
+    std::env::var("PERFSUITE_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|n: &usize| *n >= 1)
+        .unwrap_or(5)
+}
+
+fn scale() -> f64 {
+    std::env::var("PANTHERA_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|s: &f64| *s > 0.0)
+        .unwrap_or(0.15)
+}
+
+/// Median of host-time samples for `f`, in nanoseconds, plus the report
+/// from the final run.
+fn median_host_ns<F: FnMut() -> RunReport>(n: usize, mut f: F) -> (u64, RunReport) {
+    let mut times = Vec::with_capacity(n);
+    let mut last = None;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        let report = black_box(f());
+        times.push(t0.elapsed().as_nanos() as u64);
+        last = Some(report);
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], last.expect("n >= 1"))
+}
+
+fn run_arm(id: WorkloadId, ecfg: EngineConfig) -> RunReport {
+    let w = build_workload(id, scale(), SEED);
+    let cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
+    run_workload_with_engine(&w.program, w.fns, w.data, &cfg, ecfg).0
+}
+
+struct WorkloadRow {
+    name: &'static str,
+    legacy_ns: u64,
+    new_ns: u64,
+    speedup: f64,
+    sim_elapsed_s: f64,
+    sim_identical: bool,
+}
+
+fn bench_workload(id: WorkloadId, n: usize) -> WorkloadRow {
+    let legacy_cfg = EngineConfig {
+        fuse_narrow: false,
+        legacy_copies: true,
+        ..EngineConfig::default()
+    };
+    let (legacy_ns, legacy_rep) = median_host_ns(n, || run_arm(id, legacy_cfg.clone()));
+    let (new_ns, new_rep) = median_host_ns(n, || run_arm(id, EngineConfig::default()));
+    // The invariant that makes the comparison meaningful: both engines
+    // simulate the same machine doing the same thing.
+    let sim_identical = legacy_rep.elapsed_s.to_bits() == new_rep.elapsed_s.to_bits()
+        && legacy_rep.energy_j().to_bits() == new_rep.energy_j().to_bits()
+        && legacy_rep.gc.minor_count == new_rep.gc.minor_count
+        && legacy_rep.gc.major_count == new_rep.gc.major_count
+        && legacy_rep.heap.allocated_bytes == new_rep.heap.allocated_bytes;
+    assert!(
+        sim_identical,
+        "{}: legacy and new engines diverged in simulated results",
+        id.name()
+    );
+    WorkloadRow {
+        name: id.name(),
+        legacy_ns,
+        new_ns,
+        speedup: legacy_ns as f64 / new_ns.max(1) as f64,
+        sim_elapsed_s: new_rep.elapsed_s,
+        sim_identical,
+    }
+}
+
+/// Allocator micro-pass: young allocations through the full coordinator
+/// path (bump allocation + automatic minor GCs when eden fills).
+fn micro_alloc_ns_per_op() -> f64 {
+    let mut heap = Heap::new(
+        HeapConfig::panthera(48_000_000, 1.0 / 3.0),
+        MemorySystemConfig::with_capacities(16_000_000, 32_000_000),
+    )
+    .unwrap();
+    let mut gc = GcCoordinator::new(Box::new(PantheraPolicy::default()));
+    let roots = RootSet::new();
+    const OPS: usize = 200_000;
+    let t0 = Instant::now();
+    for i in 0..OPS {
+        black_box(gc.alloc_young(
+            &mut heap,
+            &roots,
+            ObjKind::Tuple,
+            MemTag::None,
+            vec![],
+            Payload::Long(i as i64),
+        ));
+    }
+    t0.elapsed().as_nanos() as f64 / OPS as f64
+}
+
+/// Minor-GC micro-pass: fill eden with short-lived tuples, collect,
+/// repeat. Reports nanoseconds per collection cycle.
+fn micro_minor_gc_ns() -> f64 {
+    let mut heap = Heap::new(
+        HeapConfig::panthera(48_000_000, 1.0 / 3.0),
+        MemorySystemConfig::with_capacities(16_000_000, 32_000_000),
+    )
+    .unwrap();
+    let mut gc = GcCoordinator::new(Box::new(PantheraPolicy::default()));
+    let roots = RootSet::new();
+    const CYCLES: usize = 50;
+    const PER_CYCLE: usize = 2_000;
+    let t0 = Instant::now();
+    for _ in 0..CYCLES {
+        for i in 0..PER_CYCLE {
+            gc.alloc_young(
+                &mut heap,
+                &roots,
+                ObjKind::Tuple,
+                MemTag::None,
+                vec![],
+                Payload::Long(i as i64),
+            );
+        }
+        gc.minor_gc(&mut heap, &roots);
+    }
+    t0.elapsed().as_nanos() as f64 / CYCLES as f64
+}
+
+/// Card-scan micro-pass: sweep a 64 MiB card table with sparse dirt via
+/// the word-skipping cursor. Reports nanoseconds per full sweep.
+fn micro_card_scan() -> (f64, usize, usize) {
+    let capacity = 64u64 << 20;
+    let mut table = CardTable::new(Addr(0), capacity);
+    let n_cards = table.len();
+    // Sparse dirt, the common post-mutator state: ~1% of cards.
+    let mut dirty = 0usize;
+    let mut idx = 0usize;
+    while idx < n_cards {
+        table.mark_dirty(Addr(idx as u64 * CARD_BYTES));
+        dirty += 1;
+        idx += 97;
+    }
+    const SWEEPS: usize = 2_000;
+    let t0 = Instant::now();
+    for _ in 0..SWEEPS {
+        let mut sum = 0usize;
+        let mut cursor = 0usize;
+        while let Some(card) = table.next_dirty_from(cursor) {
+            sum += card;
+            cursor = card + 1;
+        }
+        black_box(sum);
+        black_box(table.dirty_count());
+    }
+    let per_sweep = t0.elapsed().as_nanos() as f64 / SWEEPS as f64;
+    (per_sweep, n_cards, dirty)
+}
+
+fn main() {
+    let n = samples();
+    println!("perfsuite: {} samples/arm, scale {}", n, scale());
+    println!(
+        "{:<6} | {:>12} {:>12} {:>9} | {:>12} sim-identical",
+        "wl", "legacy ms", "new ms", "speedup", "sim elapsed"
+    );
+    println!("{}", "-".repeat(72));
+
+    let rows: Vec<WorkloadRow> = WORKLOADS.iter().map(|id| bench_workload(*id, n)).collect();
+    for r in &rows {
+        println!(
+            "{:<6} | {:>12.2} {:>12.2} {:>8.2}x | {:>11.4}s {}",
+            r.name,
+            r.legacy_ns as f64 / 1e6,
+            r.new_ns as f64 / 1e6,
+            r.speedup,
+            r.sim_elapsed_s,
+            r.sim_identical
+        );
+    }
+
+    let alloc_ns = micro_alloc_ns_per_op();
+    let minor_ns = micro_minor_gc_ns();
+    let (scan_ns, scan_cards, scan_dirty) = micro_card_scan();
+    println!("{}", "-".repeat(72));
+    println!("alloc_young           : {alloc_ns:>10.1} ns/op");
+    println!("minor GC cycle        : {minor_ns:>10.1} ns/collection");
+    println!("card sweep ({scan_dirty}/{scan_cards} dirty): {scan_ns:>10.1} ns/sweep");
+
+    let max_speedup = rows
+        .iter()
+        .map(|r| r.speedup)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let invariants = rows.iter().all(|r| r.sim_identical);
+    println!("max end-to-end speedup: {max_speedup:.2}x (invariants hold: {invariants})");
+
+    // Hand-rolled JSON: the workspace is offline, and the shape is flat.
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"bench\": \"BENCH_PR1\",\n");
+    j.push_str(&format!("  \"scale\": {},\n", scale()));
+    j.push_str(&format!("  \"samples_per_arm\": {n},\n"));
+    j.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"id\": \"{}\", \"legacy_host_ns\": {}, \"new_host_ns\": {}, \
+             \"speedup\": {:.3}, \"sim_elapsed_s\": {:.6}, \"sim_identical\": {}}}{}\n",
+            r.name,
+            r.legacy_ns,
+            r.new_ns,
+            r.speedup,
+            r.sim_elapsed_s,
+            r.sim_identical,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"micro\": {\n");
+    j.push_str(&format!("    \"alloc_young_ns_per_op\": {alloc_ns:.1},\n"));
+    j.push_str(&format!(
+        "    \"minor_gc_ns_per_collection\": {minor_ns:.1},\n"
+    ));
+    j.push_str(&format!(
+        "    \"card_sweep_ns\": {scan_ns:.1}, \"card_sweep_cards\": {scan_cards}, \
+         \"card_sweep_dirty\": {scan_dirty}\n"
+    ));
+    j.push_str("  },\n");
+    j.push_str(&format!("  \"max_speedup\": {max_speedup:.3},\n"));
+    j.push_str(&format!("  \"sim_invariants_hold\": {invariants}\n"));
+    j.push_str("}\n");
+
+    let out = std::env::var("PERFSUITE_OUT").unwrap_or_else(|_| "BENCH_PR1.json".into());
+    std::fs::write(&out, j).expect("write benchmark json");
+    println!("wrote {out}");
+}

@@ -73,7 +73,13 @@ fn main() {
             ("RDD Array", initial[1], final_[1]),
             ("Data Objs", initial[2], final_[2]),
         ] {
-            println!("{:<6} {:<10} {:>18} {:>20}", tag.to_string(), kind, init, fin);
+            println!(
+                "{:<6} {:<10} {:>18} {:>20}",
+                tag.to_string(),
+                kind,
+                init,
+                fin
+            );
         }
         println!();
     }

@@ -11,11 +11,19 @@ fn main() {
         "Table 5; paper: PR 328/0, KM 550/0, LR 333/0, TC 217/0, CC 2945/1, \
          SSSP 3632/1, BC 336/0",
     );
-    println!("{:<12} {:>18} {:>16}", "Program", "# Calls monitored", "# RDDs migrated");
+    println!(
+        "{:<12} {:>18} {:>16}",
+        "Program", "# Calls monitored", "# RDDs migrated"
+    );
     println!("{}", "-".repeat(48));
     for id in WorkloadId::ALL {
         let r = run_main(id, MemoryMode::Panthera);
-        println!("{:<12} {:>18} {:>16}", id.name(), r.monitored_calls, r.gc.rdds_migrated);
+        println!(
+            "{:<12} {:>18} {:>16}",
+            id.name(),
+            r.monitored_calls,
+            r.gc.rdds_migrated
+        );
     }
     println!();
     println!(

@@ -71,7 +71,9 @@ pub fn norm(x: f64) -> String {
 /// `<dir>/<experiment>.csv` (with a header when the file is new) for
 /// plotting pipelines. Silently does nothing otherwise.
 pub fn maybe_csv(experiment: &str, reports: &[&RunReport]) {
-    let Ok(dir) = std::env::var("PANTHERA_CSV_DIR") else { return };
+    let Ok(dir) = std::env::var("PANTHERA_CSV_DIR") else {
+        return;
+    };
     let path = std::path::Path::new(&dir).join(format!("{experiment}.csv"));
     let fresh = !path.exists();
     let _ = std::fs::create_dir_all(&dir);
@@ -85,7 +87,11 @@ pub fn maybe_csv(experiment: &str, reports: &[&RunReport]) {
         body.push('\n');
     }
     use std::io::Write;
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
         let _ = f.write_all(body.as_bytes());
     }
 }

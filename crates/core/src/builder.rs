@@ -44,7 +44,9 @@ impl Simulation {
     /// Start from the paper's default setup (64 GB heap, 1/3 DRAM) in the
     /// given mode.
     pub fn new(mode: MemoryMode) -> Self {
-        Simulation { config: SystemConfig::paper_default(mode) }
+        Simulation {
+            config: SystemConfig::paper_default(mode),
+        }
     }
 
     /// Heap size in simulated gigabytes (the paper uses 64 and 120).

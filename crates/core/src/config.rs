@@ -121,7 +121,9 @@ impl SystemConfig {
                 cfg.card_padding = false;
             }
             MemoryMode::Unmanaged => {
-                cfg.old_layout = OldGenLayout::Interleaved { chunk_bytes: self.chunk_bytes };
+                cfg.old_layout = OldGenLayout::Interleaved {
+                    chunk_bytes: self.chunk_bytes,
+                };
                 cfg.card_padding = false;
             }
             MemoryMode::KingsguardNursery => {
@@ -157,9 +159,9 @@ impl SystemConfig {
         match self.mode {
             MemoryMode::DramOnly => Box::new(UnifiedPolicy { label: "dram-only" }),
             MemoryMode::Unmanaged => Box::new(UnifiedPolicy { label: "unmanaged" }),
-            MemoryMode::KingsguardNursery => {
-                Box::new(UnifiedPolicy { label: "kingsguard-nursery" })
-            }
+            MemoryMode::KingsguardNursery => Box::new(UnifiedPolicy {
+                label: "kingsguard-nursery",
+            }),
             MemoryMode::KingsguardWrites => Box::new(WriteRationingPolicy),
             MemoryMode::Panthera => Box::new(PantheraPolicy {
                 eager_promotion: self.eager_promotion,
@@ -185,9 +187,11 @@ mod tests {
     #[test]
     fn paper_default_validates_for_all_modes() {
         for mode in MemoryMode::ALL {
-            SystemConfig::paper_default(mode).validate().unwrap_or_else(|e| {
-                panic!("{mode}: {e}");
-            });
+            SystemConfig::paper_default(mode)
+                .validate()
+                .unwrap_or_else(|e| {
+                    panic!("{mode}: {e}");
+                });
         }
     }
 
@@ -234,7 +238,11 @@ mod tests {
         for mode in MemoryMode::ALL {
             let cfg = SystemConfig::paper_default(mode).heap_config();
             assert_eq!(cfg.card_padding, mode == MemoryMode::Panthera, "{mode}");
-            assert_eq!(cfg.track_writes, mode == MemoryMode::KingsguardWrites, "{mode}");
+            assert_eq!(
+                cfg.track_writes,
+                mode == MemoryMode::KingsguardWrites,
+                "{mode}"
+            );
         }
     }
 }

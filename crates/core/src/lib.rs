@@ -58,8 +58,8 @@ mod runtime;
 mod simulate;
 
 pub use builder::Simulation;
-pub use config::{SystemConfig, STATIC_POWER_TIMEBASE_SCALE, SIM_GB};
+pub use config::{SystemConfig, SIM_GB, STATIC_POWER_TIMEBASE_SCALE};
 pub use mode::MemoryMode;
 pub use report::RunReport;
 pub use runtime::{to_mem_tag, PantheraRuntime};
-pub use simulate::run_workload;
+pub use simulate::{run_workload, run_workload_with_engine};

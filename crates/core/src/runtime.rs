@@ -107,7 +107,8 @@ impl PantheraRuntime {
         slots: usize,
         tag: MemTag,
     ) -> ObjId {
-        self.gc.alloc_rdd_array(&mut self.heap, roots, rdd_id, slots, tag)
+        self.gc
+            .alloc_rdd_array(&mut self.heap, roots, rdd_id, slots, tag)
     }
 
     /// API 2 — *monitor a data structure*: track the number of calls made
@@ -134,7 +135,8 @@ impl MemoryRuntime for PantheraRuntime {
     }
 
     fn alloc_record(&mut self, roots: &RootSet, kind: ObjKind, payload: Payload) -> ObjId {
-        self.gc.alloc_young(&mut self.heap, roots, kind, MemTag::None, vec![], payload)
+        self.gc
+            .alloc_young(&mut self.heap, roots, kind, MemTag::None, vec![], payload)
     }
 
     fn alloc_rdd_array(
@@ -156,12 +158,15 @@ impl MemoryRuntime for PantheraRuntime {
             _ => None,
         };
         match armed {
-            Some(bits) => self.gc.alloc_rdd_array(&mut self.heap, roots, rdd_id, slots, bits),
+            Some(bits) => self
+                .gc
+                .alloc_rdd_array(&mut self.heap, roots, rdd_id, slots, bits),
             None => {
                 // No wait-state match: the array takes the ordinary path
                 // (young generation, or the policy's default old space if
                 // humongous). Non-semantic modes always land here.
-                self.gc.alloc_rdd_array(&mut self.heap, roots, rdd_id, slots, MemTag::None)
+                self.gc
+                    .alloc_rdd_array(&mut self.heap, roots, rdd_id, slots, MemTag::None)
             }
         }
     }
@@ -175,7 +180,11 @@ impl MemoryRuntime for PantheraRuntime {
     ) -> ObjId {
         // rdd_alloc sets the top object's MEMORY_BITS regardless of where
         // it currently lives; the root-task will move it (Section 4.2.2).
-        let bits = if self.mode.is_semantic() { to_mem_tag(tag) } else { MemTag::None };
+        let bits = if self.mode.is_semantic() {
+            to_mem_tag(tag)
+        } else {
+            MemTag::None
+        };
         self.gc.alloc_young(
             &mut self.heap,
             roots,

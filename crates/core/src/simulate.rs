@@ -5,7 +5,7 @@ use crate::report::RunReport;
 use crate::runtime::PantheraRuntime;
 use panthera_analysis::{analyze, InstrumentationPlan};
 use sparklang::{FnTable, Program};
-use sparklet::{DataRegistry, Engine, MemoryRuntime, RunOutcome};
+use sparklet::{DataRegistry, Engine, EngineConfig, MemoryRuntime, RunOutcome};
 
 /// Run `program` under `config`, returning the measurements and the
 /// action results.
@@ -24,14 +24,34 @@ pub fn run_workload(
     data: DataRegistry,
     config: &SystemConfig,
 ) -> (RunReport, RunOutcome) {
-    config.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
+    run_workload_with_engine(program, fns, data, config, EngineConfig::default())
+}
+
+/// [`run_workload`] with explicit engine cost knobs — e.g. to disable
+/// narrow-stage fusion ([`EngineConfig::fuse_narrow`]) when checking that
+/// the fused and stage-at-a-time execution paths report identical
+/// simulated results.
+///
+/// # Panics
+///
+/// Same conditions as [`run_workload`].
+pub fn run_workload_with_engine(
+    program: &Program,
+    fns: FnTable,
+    data: DataRegistry,
+    config: &SystemConfig,
+    engine_config: EngineConfig,
+) -> (RunReport, RunOutcome) {
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid config: {e}"));
     let plan = if config.mode.is_semantic() {
         analyze(program).plan
     } else {
         InstrumentationPlan::default()
     };
     let runtime = PantheraRuntime::new(config).expect("validated config");
-    let mut engine = Engine::new(runtime, fns, data);
+    let mut engine = Engine::with_config(runtime, fns, data, engine_config);
     let outcome = engine.run(program, &plan);
     let monitored = engine.runtime().monitored_calls();
     let report = RunReport::collect(

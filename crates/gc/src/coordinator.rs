@@ -226,7 +226,11 @@ impl GcCoordinator {
             .iter()
             .map(|s| (heap.old(*s).used(), heap.old(*s).capacity()))
             .fold((0, 0), |(u, c), (u2, c2)| (u + u2, c + c2));
-        let total_occ = if cap > 0 { used as f64 / cap as f64 } else { 0.0 };
+        let total_occ = if cap > 0 {
+            used as f64 / cap as f64
+        } else {
+            0.0
+        };
         let biggest_occ = spaces
             .iter()
             .max_by_key(|s| heap.old(**s).capacity())
@@ -268,8 +272,8 @@ impl GcCoordinator {
             return id;
         }
         self.major_gc(heap, roots);
-        for s in std::iter::once(space)
-            .chain(heap.old_space_ids().into_iter().filter(|s| *s != space))
+        for s in
+            std::iter::once(space).chain(heap.old_space_ids().into_iter().filter(|s| *s != space))
         {
             if let Ok(id) = heap.alloc_old(s, kind, tag, refs.clone(), payload.clone()) {
                 return id;

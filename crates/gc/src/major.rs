@@ -96,8 +96,11 @@ impl GcCoordinator {
                 .map(|id| (*id, heap.obj(*id).addr.0))
                 .collect();
             for (id, addr) in entries {
-                let has_young =
-                    heap.obj(id).refs.iter().any(|t| heap.is_live(*t) && heap.obj(*t).in_young());
+                let has_young = heap
+                    .obj(id)
+                    .refs
+                    .iter()
+                    .any(|t| heap.is_live(*t) && heap.obj(*t).in_young());
                 if has_young {
                     heap.card_table_mut(space).mark_dirty(hybridmem::Addr(addr));
                 }
@@ -165,7 +168,9 @@ impl GcCoordinator {
             let (space, ids) = (&space, &live[&space]);
             for id in ids {
                 let o = heap.obj(*id);
-                let Some(rdd_id) = o.kind.rdd_id() else { continue };
+                let Some(rdd_id) = o.kind.rdd_id() else {
+                    continue;
+                };
                 if !o.kind.is_array() {
                     continue;
                 }

@@ -76,7 +76,11 @@ impl GcCoordinator {
                 continue;
             }
             let old_tag = o.tag;
-            let new_tag = if propagate { old_tag.merge(incoming) } else { old_tag };
+            let new_tag = if propagate {
+                old_tag.merge(incoming)
+            } else {
+                old_tag
+            };
             let first = visited.insert(id);
             if first {
                 heap.obj_mut(id).tag = new_tag;
@@ -102,8 +106,11 @@ impl GcCoordinator {
         }
 
         // --- evacuation ---------------------------------------------------
-        let mut survivors: Vec<ObjId> =
-            young.iter().copied().filter(|id| visited.contains(id)).collect();
+        let mut survivors: Vec<ObjId> = young
+            .iter()
+            .copied()
+            .filter(|id| visited.contains(id))
+            .collect();
         survivors.sort_by_key(|id| heap.obj(*id).addr);
         let tenure = heap.config().tenure_threshold;
         let eager_on = self.policy.eager_promotion();
@@ -141,7 +148,10 @@ impl GcCoordinator {
         for id in promoted {
             let (addr, space, has_young_ref) = {
                 let o = heap.obj(id);
-                let hy = o.refs.iter().any(|t| heap.is_live(*t) && heap.obj(*t).in_young());
+                let hy = o
+                    .refs
+                    .iter()
+                    .any(|t| heap.is_live(*t) && heap.obj(*t).in_young());
                 (o.addr, o.space, hy)
             };
             if has_young_ref {
@@ -206,8 +216,12 @@ impl GcCoordinator {
     ) -> Vec<ScannedCard> {
         let mut scanned = Vec::new();
         for old_id in heap.old_space_ids() {
-            let dirty = heap.card_table(old_id).dirty_cards();
-            for card in dirty {
+            // Word-skipping cursor over the dirty bitmap: no snapshot
+            // allocation, and cleaning/sticking the card under the cursor
+            // never disturbs cards ahead of it.
+            let mut cursor = 0usize;
+            while let Some(card) = heap.card_table(old_id).next_dirty_from(cursor) {
+                cursor = card + 1;
                 let (start, end) = heap.card_table(old_id).card_range(card);
                 let objects = overlapping_objects(heap, old_id, start.0, end.0);
                 if objects.is_empty() {
@@ -254,7 +268,10 @@ impl GcCoordinator {
                                 target_addr,
                                 hybridmem::AccessKind::Read,
                                 header_bytes,
-                                hybridmem::AccessProfile { threads: 16.0, mlp: 1.0 },
+                                hybridmem::AccessProfile {
+                                    threads: 16.0,
+                                    mlp: 1.0,
+                                },
                             );
                             self.stats.card_scan_bytes += header_bytes;
                         }
@@ -265,7 +282,11 @@ impl GcCoordinator {
                         }
                     }
                 }
-                scanned.push(ScannedCard { space: old_id, card, objects });
+                scanned.push(ScannedCard {
+                    space: old_id,
+                    card,
+                    objects,
+                });
             }
         }
         scanned
@@ -278,15 +299,15 @@ impl GcCoordinator {
     /// source of Kingsguard-Writes' overhead on Big Data workloads
     /// (Section 5.2).
     fn write_rationing_pass(&mut self, heap: &mut Heap) {
-        let (Some(dram), Some(nvm)) = (heap.old_dram(), heap.old_nvm()) else { return };
+        let (Some(dram), Some(nvm)) = (heap.old_dram(), heap.old_nvm()) else {
+            return;
+        };
         let threshold = self.config.kw_write_threshold;
         let mut hot: Vec<ObjId> = heap
             .write_counts()
             .iter()
             .filter(|(id, n)| {
-                **n >= threshold
-                    && heap.is_live(**id)
-                    && heap.obj(**id).space == SpaceId::Old(nvm)
+                **n >= threshold && heap.is_live(**id) && heap.obj(**id).space == SpaceId::Old(nvm)
             })
             .map(|(id, _)| *id)
             .collect();

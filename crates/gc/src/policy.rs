@@ -66,7 +66,10 @@ pub struct PantheraPolicy {
 
 impl Default for PantheraPolicy {
     fn default() -> Self {
-        PantheraPolicy { eager_promotion: true, dynamic_migration: true }
+        PantheraPolicy {
+            eager_promotion: true,
+            dynamic_migration: true,
+        }
     }
 }
 

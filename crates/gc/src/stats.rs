@@ -123,7 +123,11 @@ mod tests {
 
     #[test]
     fn totals() {
-        let s = GcStats { tenured_promotions: 3, eager_promotions: 4, ..Default::default() };
+        let s = GcStats {
+            tenured_promotions: 3,
+            eager_promotions: 4,
+            ..Default::default()
+        };
         assert_eq!(s.total_promotions(), 7);
     }
 

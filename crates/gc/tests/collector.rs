@@ -4,14 +4,16 @@
 
 use gc::{GcCoordinator, PantheraPolicy, UnifiedPolicy, WriteRationingPolicy};
 use hybridmem::{DeviceKind, MemorySystemConfig, Phase};
-use mheap::{
-    Heap, HeapConfig, MemTag, ObjId, ObjKind, OldGenLayout, Payload, RootSet, SpaceId,
-};
+use mheap::{Heap, HeapConfig, MemTag, ObjId, ObjKind, OldGenLayout, Payload, RootSet, SpaceId};
 
 fn split_heap(heap_bytes: u64) -> Heap {
     let cfg = HeapConfig::panthera(heap_bytes, 1.0 / 3.0);
     let dram = (heap_bytes as f64 / 3.0) as u64;
-    Heap::new(cfg, MemorySystemConfig::with_capacities(dram, heap_bytes - dram)).unwrap()
+    Heap::new(
+        cfg,
+        MemorySystemConfig::with_capacities(dram, heap_bytes - dram),
+    )
+    .unwrap()
 }
 
 fn panthera() -> GcCoordinator {
@@ -24,7 +26,14 @@ fn minor_gc_frees_unreachable_young() {
     let mut gc = panthera();
     let roots = RootSet::new();
     for _ in 0..100 {
-        gc.alloc_young(&mut heap, &roots, ObjKind::Tuple, MemTag::None, vec![], Payload::Long(1));
+        gc.alloc_young(
+            &mut heap,
+            &roots,
+            ObjKind::Tuple,
+            MemTag::None,
+            vec![],
+            Payload::Long(1),
+        );
     }
     assert_eq!(heap.live_objects(), 100);
     gc.minor_gc(&mut heap, &roots);
@@ -38,8 +47,14 @@ fn rooted_untagged_objects_age_through_survivors() {
     let mut heap = split_heap(600_000);
     let mut gc = panthera();
     let mut roots = RootSet::new();
-    let id =
-        gc.alloc_young(&mut heap, &roots, ObjKind::Tuple, MemTag::None, vec![], Payload::Long(7));
+    let id = gc.alloc_young(
+        &mut heap,
+        &roots,
+        ObjKind::Tuple,
+        MemTag::None,
+        vec![],
+        Payload::Long(7),
+    );
     roots.push(id);
 
     gc.minor_gc(&mut heap, &roots);
@@ -59,10 +74,22 @@ fn eager_promotion_of_tagged_objects() {
     let mut heap = split_heap(600_000);
     let mut gc = panthera();
     let mut roots = RootSet::new();
-    let d =
-        gc.alloc_young(&mut heap, &roots, ObjKind::Tuple, MemTag::Dram, vec![], Payload::Long(1));
-    let n =
-        gc.alloc_young(&mut heap, &roots, ObjKind::Tuple, MemTag::Nvm, vec![], Payload::Long(2));
+    let d = gc.alloc_young(
+        &mut heap,
+        &roots,
+        ObjKind::Tuple,
+        MemTag::Dram,
+        vec![],
+        Payload::Long(1),
+    );
+    let n = gc.alloc_young(
+        &mut heap,
+        &roots,
+        ObjKind::Tuple,
+        MemTag::Nvm,
+        vec![],
+        Payload::Long(2),
+    );
     roots.push(d);
     roots.push(n);
     gc.minor_gc(&mut heap, &roots);
@@ -99,7 +126,11 @@ fn tags_propagate_from_old_arrays_through_cards() {
     for t in tuples {
         let o = heap.obj(t);
         assert_eq!(o.tag, MemTag::Nvm, "tag propagated");
-        assert_eq!(o.space, SpaceId::Old(heap.old_nvm().unwrap()), "eagerly promoted");
+        assert_eq!(
+            o.space,
+            SpaceId::Old(heap.old_nvm().unwrap()),
+            "eagerly promoted"
+        );
     }
     // Card no longer references young objects, so it was cleaned.
     assert_eq!(heap.card_table(heap.old_nvm().unwrap()).dirty_count(), 0);
@@ -116,8 +147,14 @@ fn dram_wins_tag_conflicts() {
     roots.push(dram_arr);
     // One shared tuple referenced by both arrays (the map-reuses-keys case
     // from Section 3).
-    let shared =
-        gc.alloc_young(&mut heap, &roots, ObjKind::Tuple, MemTag::None, vec![], Payload::Long(0));
+    let shared = gc.alloc_young(
+        &mut heap,
+        &roots,
+        ObjKind::Tuple,
+        MemTag::None,
+        vec![],
+        Payload::Long(0),
+    );
     heap.push_ref(nvm_arr, shared);
     heap.push_ref(dram_arr, shared);
     gc.minor_gc(&mut heap, &roots);
@@ -131,14 +168,19 @@ fn promotion_falls_back_to_nvm_when_dram_full() {
     // Tiny DRAM old space: 1/4 ratio on a small heap.
     let heap_bytes = 240_000u64;
     let cfg = HeapConfig::panthera(heap_bytes, 0.26);
-    let mut heap =
-        Heap::new(cfg, MemorySystemConfig::with_capacities(60_000, 180_000)).unwrap();
+    let mut heap = Heap::new(cfg, MemorySystemConfig::with_capacities(60_000, 180_000)).unwrap();
     let mut gc = panthera();
     let mut roots = RootSet::new();
     // Fill the DRAM old space directly.
     let dram = heap.old_dram().unwrap();
     while heap
-        .alloc_old(dram, ObjKind::Control, MemTag::Dram, vec![], Payload::Long(0))
+        .alloc_old(
+            dram,
+            ObjKind::Control,
+            MemTag::Dram,
+            vec![],
+            Payload::Long(0),
+        )
         .is_ok()
     {}
     // Now a DRAM-tagged young object (bigger than any leftover slack in the
@@ -149,7 +191,7 @@ fn promotion_falls_back_to_nvm_when_dram_full() {
         ObjKind::Tuple,
         MemTag::Dram,
         vec![],
-        Payload::Doubles(vec![1.0; 16]),
+        Payload::doubles(vec![1.0; 16]),
     );
     roots.push(id);
     gc.minor_gc(&mut heap, &roots);
@@ -161,8 +203,7 @@ fn promotion_falls_back_to_nvm_when_dram_full() {
 fn shared_cards_stick_without_padding_and_rescan_arrays() {
     let mut cfg = HeapConfig::panthera(600_000, 1.0 / 3.0);
     cfg.card_padding = false;
-    let mut heap =
-        Heap::new(cfg, MemorySystemConfig::with_capacities(200_000, 400_000)).unwrap();
+    let mut heap = Heap::new(cfg, MemorySystemConfig::with_capacities(200_000, 400_000)).unwrap();
     let mut gc = panthera();
     let mut roots = RootSet::new();
 
@@ -195,14 +236,20 @@ fn shared_cards_stick_without_padding_and_rescan_arrays() {
     gc.minor_gc(&mut heap, &roots);
     assert!(gc.stats().stuck_card_rescans > 0, "pathology triggered");
     let nvm = heap.old_nvm().unwrap();
-    assert!(heap.card_table(nvm).dirty_count() > 0, "stuck card stays dirty");
+    assert!(
+        heap.card_table(nvm).dirty_count() > 0,
+        "stuck card stays dirty"
+    );
 
     // Every further minor GC rescans both full arrays even with no writes.
     let before = gc.stats().card_scan_bytes;
     gc.minor_gc(&mut heap, &roots);
     let delta = gc.stats().card_scan_bytes - before;
     let full = heap.obj(a).size + heap.obj(b).size;
-    assert!(delta >= full, "rescan cost covers both arrays: {delta} vs {full}");
+    assert!(
+        delta >= full,
+        "rescan cost covers both arrays: {delta} vs {full}"
+    );
 }
 
 #[test]
@@ -260,7 +307,10 @@ fn major_gc_reclaims_and_compacts_old() {
     gc.major_gc(&mut heap, &roots);
     assert!(!heap.is_live(drop1));
     assert!(heap.is_live(keep) && heap.is_live(keep2));
-    assert!(heap.old(nvm).used() < used_before, "compaction reclaimed space");
+    assert!(
+        heap.old(nvm).used() < used_before,
+        "compaction reclaimed space"
+    );
     assert_eq!(gc.stats().old_freed, 1);
     // keep2 slid down into drop1's slot.
     assert_eq!(heap.obj(keep2).addr, heap.obj(keep).end());
@@ -293,9 +343,17 @@ fn dynamic_migration_moves_hot_rdd_to_dram() {
     }
     gc.major_gc(&mut heap, &roots);
     let dram = heap.old_dram().unwrap();
-    assert_eq!(heap.obj(arr).space, SpaceId::Old(dram), "hot array migrated");
+    assert_eq!(
+        heap.obj(arr).space,
+        SpaceId::Old(dram),
+        "hot array migrated"
+    );
     for t in tuples {
-        assert_eq!(heap.obj(t).space, SpaceId::Old(dram), "reachable objects follow");
+        assert_eq!(
+            heap.obj(t).space,
+            SpaceId::Old(dram),
+            "reachable objects follow"
+        );
     }
     assert_eq!(gc.stats().rdds_migrated, 1);
     // Frequencies reset after the major GC.
@@ -342,10 +400,13 @@ fn alloc_young_collects_when_eden_fills() {
             ObjKind::Tuple,
             MemTag::None,
             vec![],
-            Payload::Doubles(vec![i as f64; 8]),
+            Payload::doubles(vec![i as f64; 8]),
         );
     }
-    assert!(gc.stats().minor_count > 0, "eden pressure triggered minor GCs");
+    assert!(
+        gc.stats().minor_count > 0,
+        "eden pressure triggered minor GCs"
+    );
     assert!(heap.mem().clock().phase_ns(Phase::MinorGc) > 0.0);
 }
 
@@ -361,7 +422,7 @@ fn humongous_young_request_is_pretenured() {
         ObjKind::Control,
         MemTag::None,
         vec![],
-        Payload::Doubles(vec![0.0; 8_000]),
+        Payload::doubles(vec![0.0; 8_000]),
     );
     assert!(matches!(heap.obj(id).space, SpaceId::Old(_)));
 }
@@ -395,8 +456,7 @@ fn unified_dram_only_never_touches_nvm() {
 fn unmanaged_interleaving_spreads_old_gen() {
     let mut cfg = HeapConfig::panthera(600_000, 1.0 / 3.0);
     cfg.old_layout = OldGenLayout::Interleaved { chunk_bytes: 4096 };
-    let mut heap =
-        Heap::new(cfg, MemorySystemConfig::with_capacities(200_000, 400_000)).unwrap();
+    let mut heap = Heap::new(cfg, MemorySystemConfig::with_capacities(200_000, 400_000)).unwrap();
     let mut gc = GcCoordinator::new(Box::new(UnifiedPolicy { label: "unmanaged" }));
     let mut roots = RootSet::new();
     // Allocate many arrays across the interleaved old space.
@@ -407,15 +467,17 @@ fn unmanaged_interleaving_spreads_old_gen() {
     }
     let dram = heap.mem().stats().total_device_bytes(DeviceKind::Dram);
     let nvm = heap.mem().stats().total_device_bytes(DeviceKind::Nvm);
-    assert!(dram > 0 && nvm > 0, "traffic hits both devices: {dram} / {nvm}");
+    assert!(
+        dram > 0 && nvm > 0,
+        "traffic hits both devices: {dram} / {nvm}"
+    );
 }
 
 #[test]
 fn kingsguard_writes_migrates_write_hot_objects() {
     let mut cfg = HeapConfig::panthera(600_000, 1.0 / 3.0);
     cfg.track_writes = true;
-    let mut heap =
-        Heap::new(cfg, MemorySystemConfig::with_capacities(200_000, 400_000)).unwrap();
+    let mut heap = Heap::new(cfg, MemorySystemConfig::with_capacities(200_000, 400_000)).unwrap();
     let mut gc = GcCoordinator::new(Box::new(WriteRationingPolicy));
     let mut roots = RootSet::new();
     let arr = gc.alloc_rdd_array(&mut heap, &roots, 1, 16, MemTag::Dram);
@@ -457,7 +519,7 @@ fn survivor_overflow_promotes() {
             ObjKind::Tuple,
             MemTag::None,
             vec![],
-            Payload::Doubles(vec![i as f64; 8]),
+            Payload::doubles(vec![i as f64; 8]),
         );
         roots.push(id);
         ids.push(id);
@@ -478,8 +540,14 @@ fn major_gc_triggered_by_occupancy() {
     let nvm = heap.old_nvm().unwrap();
     // Fill the old NVM space past the trigger with garbage.
     while heap.old(nvm).occupancy() < 0.95 {
-        heap.alloc_old(nvm, ObjKind::Control, MemTag::Nvm, vec![], Payload::Doubles(vec![0.0; 32]))
-            .unwrap();
+        heap.alloc_old(
+            nvm,
+            ObjKind::Control,
+            MemTag::Nvm,
+            vec![],
+            Payload::doubles(vec![0.0; 32]),
+        )
+        .unwrap();
     }
     gc.maybe_major(&mut heap, &roots);
     assert_eq!(gc.stats().major_count, 1);
@@ -492,8 +560,14 @@ fn root_scopes_release_temporaries() {
     let mut gc = panthera();
     let mut roots = RootSet::new();
     roots.push_scope();
-    let tmp =
-        gc.alloc_young(&mut heap, &roots, ObjKind::Control, MemTag::None, vec![], Payload::Unit);
+    let tmp = gc.alloc_young(
+        &mut heap,
+        &roots,
+        ObjKind::Control,
+        MemTag::None,
+        vec![],
+        Payload::Unit,
+    );
     roots.push(tmp);
     gc.minor_gc(&mut heap, &roots);
     assert!(heap.is_live(tmp), "rooted while in scope");
@@ -541,9 +615,30 @@ fn tag_upgrade_repropagates_through_chains() {
     let dram_arr = gc.alloc_rdd_array(&mut heap, &roots, 2, 4, MemTag::Dram);
     roots.push(nvm_arr);
     roots.push(dram_arr);
-    let t3 = gc.alloc_young(&mut heap, &roots, ObjKind::Tuple, MemTag::None, vec![], Payload::Long(3));
-    let t2 = gc.alloc_young(&mut heap, &roots, ObjKind::Tuple, MemTag::None, vec![t3], Payload::Long(2));
-    let t1 = gc.alloc_young(&mut heap, &roots, ObjKind::Tuple, MemTag::None, vec![t2], Payload::Long(1));
+    let t3 = gc.alloc_young(
+        &mut heap,
+        &roots,
+        ObjKind::Tuple,
+        MemTag::None,
+        vec![],
+        Payload::Long(3),
+    );
+    let t2 = gc.alloc_young(
+        &mut heap,
+        &roots,
+        ObjKind::Tuple,
+        MemTag::None,
+        vec![t3],
+        Payload::Long(2),
+    );
+    let t1 = gc.alloc_young(
+        &mut heap,
+        &roots,
+        ObjKind::Tuple,
+        MemTag::None,
+        vec![t2],
+        Payload::Long(1),
+    );
     // NVM array reaches the chain head; DRAM array also reaches it.
     heap.push_ref(nvm_arr, t1);
     heap.push_ref(dram_arr, t1);
@@ -562,8 +657,7 @@ fn cards_stay_dirty_while_refs_point_at_survivors() {
     // collection — otherwise the survivor would be lost.
     let mut cfg = HeapConfig::panthera(600_000, 1.0 / 3.0);
     cfg.tenure_threshold = 4;
-    let mut heap =
-        Heap::new(cfg, MemorySystemConfig::with_capacities(200_000, 400_000)).unwrap();
+    let mut heap = Heap::new(cfg, MemorySystemConfig::with_capacities(200_000, 400_000)).unwrap();
     let mut gc = GcCoordinator::new(Box::new(PantheraPolicy {
         eager_promotion: false,
         dynamic_migration: false,
@@ -572,7 +666,14 @@ fn cards_stay_dirty_while_refs_point_at_survivors() {
     let nvm = heap.old_nvm().unwrap();
     let arr = heap.alloc_array_old(nvm, 1, 4, MemTag::None).unwrap();
     roots.push(arr);
-    let t = gc.alloc_young(&mut heap, &roots, ObjKind::Tuple, MemTag::None, vec![], Payload::Long(5));
+    let t = gc.alloc_young(
+        &mut heap,
+        &roots,
+        ObjKind::Tuple,
+        MemTag::None,
+        vec![],
+        Payload::Long(5),
+    );
     heap.push_ref(arr, t);
 
     // Three minor GCs with only the card keeping `t` alive.
@@ -596,8 +697,7 @@ fn cards_stay_dirty_while_refs_point_at_survivors() {
 fn interleaved_old_gen_spreads_gc_traffic() {
     let mut cfg = HeapConfig::panthera(600_000, 0.5);
     cfg.old_layout = OldGenLayout::Interleaved { chunk_bytes: 4096 };
-    let mut heap =
-        Heap::new(cfg, MemorySystemConfig::with_capacities(300_000, 300_000)).unwrap();
+    let mut heap = Heap::new(cfg, MemorySystemConfig::with_capacities(300_000, 300_000)).unwrap();
     let mut gc = GcCoordinator::new(Box::new(UnifiedPolicy { label: "unmanaged" }));
     let mut roots = RootSet::new();
     // Many tagged-less arrays + tuples promoted across the chunk map.
@@ -633,10 +733,16 @@ fn interleaved_old_gen_spreads_gc_traffic() {
                 + s.bytes(*p, DeviceKind::Nvm, hybridmem::AccessKind::Write)
         })
         .sum();
-    assert!(gc_dram > 0 && gc_nvm > 0, "GC touches both devices: {gc_dram}/{gc_nvm}");
+    assert!(
+        gc_dram > 0 && gc_nvm > 0,
+        "GC touches both devices: {gc_dram}/{gc_nvm}"
+    );
     // With a 50% chunk map, neither device should dominate absurdly.
     let ratio = gc_dram as f64 / gc_nvm as f64;
-    assert!((0.2..5.0).contains(&ratio), "interleave ratio off: {ratio:.2}");
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "interleave ratio off: {ratio:.2}"
+    );
 }
 
 #[test]
@@ -651,7 +757,7 @@ fn pause_statistics_are_recorded() {
             ObjKind::Tuple,
             MemTag::None,
             vec![],
-            Payload::Doubles(vec![i as f64; 16]),
+            Payload::doubles(vec![i as f64; 16]),
         );
         if i % 4 == 0 {
             roots.push(id);
@@ -676,7 +782,11 @@ fn heap_integrity_holds_across_collection_cycles() {
     let mut roots = RootSet::new();
     let mut arrays = Vec::new();
     for round in 0..6u32 {
-        let tag = if round % 2 == 0 { MemTag::Dram } else { MemTag::Nvm };
+        let tag = if round % 2 == 0 {
+            MemTag::Dram
+        } else {
+            MemTag::Nvm
+        };
         let arr = gc.alloc_rdd_array(&mut heap, &roots, round, 32, tag);
         roots.push(arr);
         arrays.push(arr);
@@ -691,16 +801,25 @@ fn heap_integrity_holds_across_collection_cycles() {
             );
             heap.push_ref(arr, t);
             // Plus some garbage.
-            gc.alloc_young(&mut heap, &roots, ObjKind::Control, MemTag::None, vec![], Payload::Unit);
+            gc.alloc_young(
+                &mut heap,
+                &roots,
+                ObjKind::Control,
+                MemTag::None,
+                vec![],
+                Payload::Unit,
+            );
         }
         gc.minor_gc(&mut heap, &roots);
-        heap.check_integrity().unwrap_or_else(|e| panic!("after minor {round}: {e}"));
+        heap.check_integrity()
+            .unwrap_or_else(|e| panic!("after minor {round}: {e}"));
         if round % 2 == 1 {
             // Drop an old array (unpersist-like), then major-collect.
             let victim = arrays.remove(0);
             roots.remove(victim);
             gc.major_gc(&mut heap, &roots);
-            heap.check_integrity().unwrap_or_else(|e| panic!("after major {round}: {e}"));
+            heap.check_integrity()
+                .unwrap_or_else(|e| panic!("after major {round}: {e}"));
         }
     }
 }
@@ -709,8 +828,7 @@ fn heap_integrity_holds_across_collection_cycles() {
 fn heap_integrity_holds_under_kingsguard_writes() {
     let mut cfg = HeapConfig::panthera(600_000, 1.0 / 3.0);
     cfg.track_writes = true;
-    let mut heap =
-        Heap::new(cfg, MemorySystemConfig::with_capacities(200_000, 400_000)).unwrap();
+    let mut heap = Heap::new(cfg, MemorySystemConfig::with_capacities(200_000, 400_000)).unwrap();
     let mut gc = GcCoordinator::new(Box::new(WriteRationingPolicy));
     let mut roots = RootSet::new();
     for round in 0..5u32 {
@@ -732,7 +850,8 @@ fn heap_integrity_holds_under_kingsguard_writes() {
             .unwrap_or_else(|e| panic!("KW after minor {round}: {e}"));
     }
     gc.major_gc(&mut heap, &roots);
-    heap.check_integrity().unwrap_or_else(|e| panic!("KW after major: {e}"));
+    heap.check_integrity()
+        .unwrap_or_else(|e| panic!("KW after major: {e}"));
 }
 
 #[test]
@@ -754,7 +873,14 @@ fn event_log_records_every_collection_in_order() {
         );
         heap.push_ref(arr, t);
         // Plus garbage.
-        gc.alloc_young(&mut heap, &roots, ObjKind::Control, MemTag::None, vec![], Payload::Unit);
+        gc.alloc_young(
+            &mut heap,
+            &roots,
+            ObjKind::Control,
+            MemTag::None,
+            vec![],
+            Payload::Unit,
+        );
     }
     gc.minor_gc(&mut heap, &roots);
     gc.minor_gc(&mut heap, &roots);

@@ -69,7 +69,10 @@ fn panthera_heap() -> (Heap, GcCoordinator) {
         MemorySystemConfig::with_capacities(700_000, 1_300_000),
     )
     .unwrap();
-    (heap, GcCoordinator::new(Box::new(PantheraPolicy::default())))
+    (
+        heap,
+        GcCoordinator::new(Box::new(PantheraPolicy::default())),
+    )
 }
 
 proptest! {

@@ -261,8 +261,7 @@ mod tests {
     fn nvm_reads_cheaper_than_dram_reads() {
         // Non-destructive NVM reads need no restoration (Section 5.1).
         assert!(
-            DeviceSpec::nvm().read_energy_pj_per_line
-                < DeviceSpec::dram().read_energy_pj_per_line
+            DeviceSpec::nvm().read_energy_pj_per_line < DeviceSpec::dram().read_energy_pj_per_line
         );
     }
 

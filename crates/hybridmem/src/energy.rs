@@ -79,7 +79,13 @@ impl EnergyModel {
         static_power_scale: f64,
     ) -> Self {
         assert!(static_power_scale > 0.0, "scale must be positive");
-        EnergyModel { dram, nvm, dram_capacity_bytes, nvm_capacity_bytes, static_power_scale }
+        EnergyModel {
+            dram,
+            nvm,
+            dram_capacity_bytes,
+            nvm_capacity_bytes,
+            static_power_scale,
+        }
     }
 
     /// Installed DRAM capacity in bytes.
@@ -136,8 +142,7 @@ mod tests {
 
     #[test]
     fn static_power_scales_with_capacity() {
-        let m120 =
-            EnergyModel::new(DeviceSpec::dram(), DeviceSpec::nvm(), gb(120), 0);
+        let m120 = EnergyModel::new(DeviceSpec::dram(), DeviceSpec::nvm(), gb(120), 0);
         let m32 = EnergyModel::new(DeviceSpec::dram(), DeviceSpec::nvm(), gb(32), gb(88));
         // 120 GB of DRAM burns far more background power than 32 GB DRAM +
         // 88 GB NVM — the premise of the paper's energy savings.
@@ -161,7 +166,10 @@ mod tests {
         let one_sec = m.breakdown(1e9, &stats);
         let two_sec = m.breakdown(2e9, &stats);
         assert!((two_sec.dram_static_j - 2.0 * one_sec.dram_static_j).abs() < 1e-9);
-        assert!((one_sec.dram_static_j - 3.0).abs() < 1e-9, "8 GB * 0.375 W/GB * 1 s");
+        assert!(
+            (one_sec.dram_static_j - 3.0).abs() < 1e-9,
+            "8 GB * 0.375 W/GB * 1 s"
+        );
     }
 
     #[test]

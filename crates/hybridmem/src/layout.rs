@@ -71,10 +71,17 @@ impl Region {
     ///
     /// Panics if `addr` is outside the region.
     pub fn device_of(&self, addr: Addr) -> DeviceKind {
-        assert!(self.contains(addr), "address {addr} outside region {}", self.name);
+        assert!(
+            self.contains(addr),
+            "address {addr} outside region {}",
+            self.name
+        );
         match &self.mapping {
             RegionMapping::Fixed(d) => *d,
-            RegionMapping::Interleaved { chunk_bytes, chunks } => {
+            RegionMapping::Interleaved {
+                chunk_bytes,
+                chunks,
+            } => {
                 let idx = ((addr.0 - self.base.0) / chunk_bytes) as usize;
                 chunks[idx.min(chunks.len() - 1)]
             }
@@ -91,7 +98,10 @@ impl Region {
                     0
                 }
             }
-            RegionMapping::Interleaved { chunk_bytes, chunks } => {
+            RegionMapping::Interleaved {
+                chunk_bytes,
+                chunks,
+            } => {
                 let mut total = 0u64;
                 let mut remaining = self.size;
                 for d in chunks {
@@ -157,7 +167,14 @@ impl PhysicalLayout {
                 placed += 1;
             }
         }
-        self.add_region(name, size, RegionMapping::Interleaved { chunk_bytes, chunks })
+        self.add_region(
+            name,
+            size,
+            RegionMapping::Interleaved {
+                chunk_bytes,
+                chunks,
+            },
+        )
     }
 
     fn add_region(&mut self, name: &str, size: u64, mapping: RegionMapping) -> Addr {
@@ -165,7 +182,12 @@ impl PhysicalLayout {
         let base = Addr(self.next_base);
         // Leave a guard gap between regions to catch stray offsets.
         self.next_base += size + 4096;
-        self.regions.push(Region { name: name.to_string(), base, size, mapping });
+        self.regions.push(Region {
+            name: name.to_string(),
+            base,
+            size,
+            mapping,
+        });
         base
     }
 
@@ -253,7 +275,9 @@ mod tests {
     fn interleaved_mixes_devices() {
         let mut l = PhysicalLayout::new();
         let base = l.add_interleaved("old", 16 * 1024, 1024, 0.5, 3);
-        let devices: Vec<_> = (0..16).map(|i| l.device_of(base.offset(i * 1024))).collect();
+        let devices: Vec<_> = (0..16)
+            .map(|i| l.device_of(base.offset(i * 1024)))
+            .collect();
         assert!(devices.contains(&DeviceKind::Dram));
         assert!(devices.contains(&DeviceKind::Nvm));
     }

@@ -50,20 +50,30 @@ impl MemoryStats {
 
     /// Total cache lines moved on `device` with `kind`, across all phases.
     pub fn total_lines(&self, device: DeviceKind, kind: AccessKind) -> u64 {
-        Phase::ALL.iter().map(|p| self.lines(*p, device, kind)).sum()
+        Phase::ALL
+            .iter()
+            .map(|p| self.lines(*p, device, kind))
+            .sum()
     }
 
     /// Total bytes moved on `device` across all phases and kinds.
     pub fn total_device_bytes(&self, device: DeviceKind) -> u64 {
         Phase::ALL
             .iter()
-            .flat_map(|p| AccessKind::ALL.iter().map(move |k| self.bytes(*p, device, *k)))
+            .flat_map(|p| {
+                AccessKind::ALL
+                    .iter()
+                    .map(move |k| self.bytes(*p, device, *k))
+            })
             .sum()
     }
 
     /// Total bytes moved everywhere.
     pub fn total_bytes(&self) -> u64 {
-        DeviceKind::ALL.iter().map(|d| self.total_device_bytes(*d)).sum()
+        DeviceKind::ALL
+            .iter()
+            .map(|d| self.total_device_bytes(*d))
+            .sum()
     }
 }
 
@@ -77,9 +87,18 @@ mod tests {
         s.record(Phase::Mutator, DeviceKind::Dram, AccessKind::Read, 64, 1);
         s.record(Phase::Mutator, DeviceKind::Dram, AccessKind::Read, 128, 2);
         s.record(Phase::MinorGc, DeviceKind::Nvm, AccessKind::Write, 64, 1);
-        assert_eq!(s.bytes(Phase::Mutator, DeviceKind::Dram, AccessKind::Read), 192);
-        assert_eq!(s.lines(Phase::Mutator, DeviceKind::Dram, AccessKind::Read), 3);
-        assert_eq!(s.accesses(Phase::Mutator, DeviceKind::Dram, AccessKind::Read), 2);
+        assert_eq!(
+            s.bytes(Phase::Mutator, DeviceKind::Dram, AccessKind::Read),
+            192
+        );
+        assert_eq!(
+            s.lines(Phase::Mutator, DeviceKind::Dram, AccessKind::Read),
+            3
+        );
+        assert_eq!(
+            s.accesses(Phase::Mutator, DeviceKind::Dram, AccessKind::Read),
+            2
+        );
         assert_eq!(s.total_device_bytes(DeviceKind::Nvm), 64);
         assert_eq!(s.total_bytes(), 256);
         assert_eq!(s.total_lines(DeviceKind::Nvm, AccessKind::Write), 1);
@@ -89,9 +108,21 @@ mod tests {
     fn independent_cells() {
         let mut s = MemoryStats::new();
         s.record(Phase::MajorGc, DeviceKind::Nvm, AccessKind::Read, 100, 2);
-        assert_eq!(s.bytes(Phase::MajorGc, DeviceKind::Nvm, AccessKind::Read), 100);
-        assert_eq!(s.bytes(Phase::MajorGc, DeviceKind::Nvm, AccessKind::Write), 0);
-        assert_eq!(s.bytes(Phase::MinorGc, DeviceKind::Nvm, AccessKind::Read), 0);
-        assert_eq!(s.bytes(Phase::MajorGc, DeviceKind::Dram, AccessKind::Read), 0);
+        assert_eq!(
+            s.bytes(Phase::MajorGc, DeviceKind::Nvm, AccessKind::Read),
+            100
+        );
+        assert_eq!(
+            s.bytes(Phase::MajorGc, DeviceKind::Nvm, AccessKind::Write),
+            0
+        );
+        assert_eq!(
+            s.bytes(Phase::MinorGc, DeviceKind::Nvm, AccessKind::Read),
+            0
+        );
+        assert_eq!(
+            s.bytes(Phase::MajorGc, DeviceKind::Dram, AccessKind::Read),
+            0
+        );
     }
 }

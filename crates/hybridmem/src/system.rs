@@ -38,19 +38,28 @@ pub struct AccessProfile {
 impl AccessProfile {
     /// Single-threaded mutator with moderate MLP.
     pub fn mutator() -> Self {
-        AccessProfile { threads: 1.0, mlp: 4.0 }
+        AccessProfile {
+            threads: 1.0,
+            mlp: 4.0,
+        }
     }
 
     /// The paper's 16 parallel GC threads.
     pub fn parallel_gc() -> Self {
-        AccessProfile { threads: 16.0, mlp: 4.0 }
+        AccessProfile {
+            threads: 16.0,
+            mlp: 4.0,
+        }
     }
 
     /// Sequential bulk scans (reading a materialized RDD): hardware
     /// prefetching gives deep memory-level parallelism, so throughput is
     /// bandwidth-bound rather than latency-bound.
     pub fn streaming() -> Self {
-        AccessProfile { threads: 1.0, mlp: 16.0 }
+        AccessProfile {
+            threads: 1.0,
+            mlp: 16.0,
+        }
     }
 
     /// Effective latency divisor.
@@ -188,7 +197,8 @@ impl MemorySystem {
         let latency_term = lines as f64 * spec.latency_ns(kind) / profile.overlap();
         let bandwidth_term = bytes as f64 / spec.bandwidth_bpns(kind);
         let t = latency_term.max(bandwidth_term);
-        self.stats.record(self.clock.phase(), device, kind, bytes, lines);
+        self.stats
+            .record(self.clock.phase(), device, kind, bytes, lines);
         self.meter.record(self.clock.now_ns(), device, kind, bytes);
         self.clock.advance(t);
     }
@@ -225,8 +235,10 @@ mod tests {
 
     fn sys() -> MemorySystem {
         let mut s = MemorySystem::new(MemorySystemConfig::with_capacities(1e9 as u64, 1e9 as u64));
-        s.layout_mut().add_fixed("dram-region", 1 << 20, DeviceKind::Dram);
-        s.layout_mut().add_fixed("nvm-region", 1 << 20, DeviceKind::Nvm);
+        s.layout_mut()
+            .add_fixed("dram-region", 1 << 20, DeviceKind::Dram);
+        s.layout_mut()
+            .add_fixed("nvm-region", 1 << 20, DeviceKind::Nvm);
         s
     }
 
@@ -269,7 +281,12 @@ mod tests {
         // 1 MB on NVM at 10 B/ns => 104 857.6 ns, far above the latency term
         // with 16 threads.
         s.enter_phase(Phase::MinorGc);
-        s.access(nvm_base, AccessKind::Read, 1 << 20, AccessProfile::parallel_gc());
+        s.access(
+            nvm_base,
+            AccessKind::Read,
+            1 << 20,
+            AccessProfile::parallel_gc(),
+        );
         let t = s.clock().phase_ns(Phase::MinorGc);
         assert!((t - (1u64 << 20) as f64 / 10.0).abs() < 1e-6);
     }
@@ -303,6 +320,9 @@ mod tests {
         s.access(nvm_base, AccessKind::Write, 64, AccessProfile::mutator());
         let e = s.energy();
         assert!(e.nvm_dynamic_j > 0.0);
-        assert!(e.dram_static_j > 0.0, "time passed, so static energy accrued");
+        assert!(
+            e.dram_static_j > 0.0,
+            "time passed, so static energy accrued"
+        );
     }
 }

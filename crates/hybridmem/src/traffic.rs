@@ -68,7 +68,10 @@ impl TrafficMeter {
     /// Panics if `window_ns` is not positive.
     pub fn new(window_ns: f64) -> Self {
         assert!(window_ns > 0.0, "window width must be positive");
-        TrafficMeter { window_ns, windows: Vec::new() }
+        TrafficMeter {
+            window_ns,
+            windows: Vec::new(),
+        }
     }
 
     /// Window width in nanoseconds.
@@ -107,7 +110,10 @@ impl TrafficMeter {
 
     /// Peak bandwidth in bytes/ns for one device and access kind.
     pub fn peak_gbps(&self, device: DeviceKind, kind: AccessKind) -> f64 {
-        self.series(device, kind).iter().map(|s| s.gbps).fold(0.0, f64::max)
+        self.series(device, kind)
+            .iter()
+            .map(|s| s.gbps)
+            .fold(0.0, f64::max)
     }
 
     /// Total bytes moved for one device and access kind.
@@ -127,7 +133,10 @@ mod tests {
         m.record(150.0, DeviceKind::Nvm, AccessKind::Write, 128);
         assert_eq!(m.windows().len(), 2);
         assert_eq!(m.windows()[0].bytes(DeviceKind::Dram, AccessKind::Read), 64);
-        assert_eq!(m.windows()[1].bytes(DeviceKind::Nvm, AccessKind::Write), 128);
+        assert_eq!(
+            m.windows()[1].bytes(DeviceKind::Nvm, AccessKind::Write),
+            128
+        );
         assert_eq!(m.windows()[1].bytes(DeviceKind::Dram, AccessKind::Read), 0);
     }
 

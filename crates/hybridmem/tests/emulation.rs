@@ -4,9 +4,7 @@
 //! simulated devices deliver through the public API and check they match
 //! Table 2.
 
-use hybridmem::{
-    AccessKind, AccessProfile, DeviceKind, MemorySystem, MemorySystemConfig,
-};
+use hybridmem::{AccessKind, AccessProfile, DeviceKind, MemorySystem, MemorySystemConfig};
 
 fn system() -> MemorySystem {
     let mut s = MemorySystem::new(MemorySystemConfig::with_capacities(1 << 30, 1 << 30));
@@ -28,7 +26,10 @@ fn addr(s: &MemorySystem, device: DeviceKind) -> hybridmem::Addr {
 fn measure_latency_ns(device: DeviceKind) -> f64 {
     let mut s = system();
     let a = addr(&s, device);
-    let profile = AccessProfile { threads: 1.0, mlp: 1.0 };
+    let profile = AccessProfile {
+        threads: 1.0,
+        mlp: 1.0,
+    };
     let n = 10_000u64;
     for _ in 0..n {
         s.access(a, AccessKind::Read, 64, profile);
@@ -85,7 +86,10 @@ fn parallel_tracing_is_bandwidth_limited_on_nvm() {
     let bytes = 16u64 << 20;
     s.access(a, AccessKind::Read, bytes, AccessProfile::parallel_gc());
     let gbps = bytes as f64 / s.clock().now_ns();
-    assert!((gbps - 10.0).abs() < 0.5, "parallel GC scan hits the 10 GB/s cap: {gbps:.2}");
+    assert!(
+        (gbps - 10.0).abs() < 0.5,
+        "parallel GC scan hits the 10 GB/s cap: {gbps:.2}"
+    );
 }
 
 #[test]
@@ -96,5 +100,8 @@ fn mutator_random_access_is_latency_bound() {
     let a = addr(&s, DeviceKind::Nvm);
     s.access(a, AccessKind::Read, 64, AccessProfile::mutator());
     let t = s.clock().now_ns();
-    assert!((t - 300.0 / 4.0).abs() < 1e-9, "one NVM miss at MLP 4: {t} ns");
+    assert!(
+        (t - 300.0 / 4.0).abs() < 1e-9,
+        "one NVM miss at MLP 4: {t} ns"
+    );
 }

@@ -2,8 +2,8 @@
 //! quotas, traffic conservation, and clock-phase accounting.
 
 use hybridmem::{
-    AccessKind, AccessProfile, DeviceKind, MemorySystem, MemorySystemConfig, Phase,
-    PhysicalLayout, TrafficMeter,
+    AccessKind, AccessProfile, DeviceKind, MemorySystem, MemorySystemConfig, Phase, PhysicalLayout,
+    TrafficMeter,
 };
 use proptest::prelude::*;
 

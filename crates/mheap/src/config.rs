@@ -123,9 +123,7 @@ impl HeapConfig {
         if !(0.0 < self.dram_ratio && self.dram_ratio <= 1.0) {
             return Err("DRAM ratio must be in (0, 1]".into());
         }
-        if self.old_layout == OldGenLayout::SplitDramNvm
-            && self.old_dram_bytes() == 0
-        {
+        if self.old_layout == OldGenLayout::SplitDramNvm && self.old_dram_bytes() == 0 {
             return Err(
                 "DRAM ratio too small: no DRAM left for the old generation after \
                  placing the nursery (the paper requires DRAM to hold at least one RDD)"
@@ -148,10 +146,7 @@ mod tests {
         // 20 000 DRAM total − 10 000 young = 10 000 old DRAM.
         assert_eq!(c.old_dram_bytes(), 10_000);
         assert_eq!(c.old_nvm_bytes(), 40_000);
-        assert_eq!(
-            c.eden_bytes() + 2 * c.survivor_bytes(),
-            c.young_bytes()
-        );
+        assert_eq!(c.eden_bytes() + 2 * c.survivor_bytes(), c.young_bytes());
         c.validate().unwrap();
     }
 

@@ -12,9 +12,7 @@ use crate::object::{object_bytes, ObjId, ObjKind, Object, HEADER_BYTES, REF_BYTE
 use crate::payload::Payload;
 use crate::space::{OldSpaceId, Space, SpaceId};
 use crate::tag::MemTag;
-use hybridmem::{
-    AccessKind, AccessProfile, Addr, DeviceKind, MemorySystem, MemorySystemConfig,
-};
+use hybridmem::{AccessKind, AccessProfile, Addr, DeviceKind, MemorySystem, MemorySystemConfig};
 use std::collections::HashMap;
 
 /// CPU cost of the write-barrier fast path, per reference store.
@@ -102,8 +100,9 @@ impl Heap {
         let mut mem = MemorySystem::new(mem_config);
 
         // Young generation: always DRAM (design choice in Section 1.2).
-        let eden_base =
-            mem.layout_mut().add_fixed("eden", config.eden_bytes(), DeviceKind::Dram);
+        let eden_base = mem
+            .layout_mut()
+            .add_fixed("eden", config.eden_bytes(), DeviceKind::Dram);
         let s0_base =
             mem.layout_mut()
                 .add_fixed("survivor0", config.survivor_bytes(), DeviceKind::Dram);
@@ -125,12 +124,15 @@ impl Heap {
             OldGenLayout::SplitDramNvm => {
                 let dram_bytes = config.old_dram_bytes();
                 let nvm_bytes = config.old_nvm_bytes();
-                let base =
-                    mem.layout_mut().add_fixed("old-dram", dram_bytes, DeviceKind::Dram);
+                let base = mem
+                    .layout_mut()
+                    .add_fixed("old-dram", dram_bytes, DeviceKind::Dram);
                 olds.push(Space::new(SpaceId::Old(OldSpaceId(0)), base, dram_bytes));
                 cards.push(CardTable::new(base, dram_bytes));
                 old_dram = Some(OldSpaceId(0));
-                let base = mem.layout_mut().add_fixed("old-nvm", nvm_bytes, DeviceKind::Nvm);
+                let base = mem
+                    .layout_mut()
+                    .add_fixed("old-nvm", nvm_bytes, DeviceKind::Nvm);
                 olds.push(Space::new(SpaceId::Old(OldSpaceId(1)), base, nvm_bytes));
                 cards.push(CardTable::new(base, nvm_bytes));
                 old_nvm = Some(OldSpaceId(1));
@@ -339,7 +341,16 @@ impl Heap {
                 return Err(HeapError::OldSpaceFull { space, need: size });
             }
         };
-        self.install(id, kind, size, addr, SpaceId::Old(space), tag, refs, payload);
+        self.install(
+            id,
+            kind,
+            size,
+            addr,
+            SpaceId::Old(space),
+            tag,
+            refs,
+            payload,
+        );
         self.stats.pretenured_allocs += 1;
         self.stats.allocated_bytes += size;
         self.charge(addr, AccessKind::Write, size);
@@ -391,11 +402,7 @@ impl Heap {
     /// # Errors
     ///
     /// [`HeapError::EdenFull`] if eden cannot hold the array.
-    pub fn alloc_array_young(
-        &mut self,
-        rdd_id: u32,
-        slots: usize,
-    ) -> Result<ObjId, HeapError> {
+    pub fn alloc_array_young(&mut self, rdd_id: u32, slots: usize) -> Result<ObjId, HeapError> {
         let payload_bytes = REF_BYTES * slots as u64;
         let size = object_bytes(payload_bytes, 0);
         let id = self.reserve_id();
@@ -457,8 +464,17 @@ impl Heap {
         refs: Vec<ObjId>,
         payload: Payload,
     ) {
-        self.objects[id.0 as usize] =
-            Some(Object { kind, size, addr, space, tag, age: 0, marked: false, refs, payload });
+        self.objects[id.0 as usize] = Some(Object {
+            kind,
+            size,
+            addr,
+            space,
+            tag,
+            age: 0,
+            marked: false,
+            refs,
+            payload,
+        });
     }
 
     fn reserve_id(&mut self) -> ObjId {
@@ -500,7 +516,8 @@ impl Heap {
             let o = self.obj(id);
             (o.addr, o.size)
         };
-        self.mem.access(addr, AccessKind::Read, size, AccessProfile::streaming());
+        self.mem
+            .access(addr, AccessKind::Read, size, AccessProfile::streaming());
     }
 
     /// Charge a read of `bytes` bytes of the object.
@@ -542,7 +559,8 @@ impl Heap {
             let o = self.obj_mut(src);
             o.refs.push(target);
             let idx = o.refs.len() as u64 - 1;
-            o.addr.offset((HEADER_BYTES + REF_BYTES * idx).min(o.size.saturating_sub(1)))
+            o.addr
+                .offset((HEADER_BYTES + REF_BYTES * idx).min(o.size.saturating_sub(1)))
         };
         self.barrier(src, slot_addr);
     }
@@ -640,9 +658,13 @@ impl Heap {
             let o = self.obj(id);
             (o.addr, o.size)
         };
-        let new_addr = self.olds[dest.0 as usize]
-            .alloc(id, size)
-            .ok_or(HeapError::OldSpaceFull { space: dest, need: size })?;
+        let new_addr =
+            self.olds[dest.0 as usize]
+                .alloc(id, size)
+                .ok_or(HeapError::OldSpaceFull {
+                    space: dest,
+                    need: size,
+                })?;
         self.charge(src_addr, AccessKind::Read, size);
         self.charge(new_addr, AccessKind::Write, size);
         let o = self.obj_mut(id);
@@ -804,9 +826,7 @@ impl Heap {
                         o.space
                     ));
                 }
-                if o.addr.0 < space.base().0
-                    || o.end().0 > space.base().0 + space.capacity()
-                {
+                if o.addr.0 < space.base().0 || o.end().0 > space.base().0 + space.capacity() {
                     return Err(format!("{id} outside {}", space.id()));
                 }
                 if o.addr.0 < prev_end {
@@ -822,7 +842,10 @@ impl Heap {
             let Some(o) = slot else { continue };
             let id = ObjId(i as u32);
             if !seen.contains_key(&id) {
-                return Err(format!("live {id} in {} missing from resident lists", o.space));
+                return Err(format!(
+                    "live {id} in {} missing from resident lists",
+                    o.space
+                ));
             }
             for r in &o.refs {
                 if !self.is_live(*r) {
@@ -871,8 +894,10 @@ mod tests {
     #[test]
     fn eden_exhaustion_reports_error() {
         let mut h = heap();
-        let huge = Payload::Doubles(vec![0.0; 100_000]);
-        let err = h.alloc_young(ObjKind::Tuple, MemTag::None, vec![], huge).unwrap_err();
+        let huge = Payload::doubles(vec![0.0; 100_000]);
+        let err = h
+            .alloc_young(ObjKind::Tuple, MemTag::None, vec![], huge)
+            .unwrap_err();
         assert!(matches!(err, HeapError::EdenFull { .. }));
     }
 
@@ -893,12 +918,17 @@ mod tests {
         let mut h = heap();
         let nvm = h.old_nvm().unwrap();
         // Disturb alignment with a small tuple first.
-        h.alloc_old(nvm, ObjKind::Tuple, MemTag::Nvm, vec![], Payload::Long(1)).unwrap();
+        h.alloc_old(nvm, ObjKind::Tuple, MemTag::Nvm, vec![], Payload::Long(1))
+            .unwrap();
         let id = h.alloc_array_old(nvm, 7, 3, MemTag::Nvm).unwrap();
         let o = h.obj(id);
         let base = h.old(nvm).base();
         let end_rel = o.addr.0 - base.0 + o.size;
-        assert_eq!(end_rel % crate::card::CARD_BYTES, 0, "array end is card-aligned");
+        assert_eq!(
+            end_rel % crate::card::CARD_BYTES,
+            0,
+            "array end is card-aligned"
+        );
     }
 
     #[test]
@@ -985,9 +1015,15 @@ mod tests {
     fn compaction_slides_objects() {
         let mut h = heap();
         let nvm = h.old_nvm().unwrap();
-        let a = h.alloc_old(nvm, ObjKind::Tuple, MemTag::Nvm, vec![], Payload::Long(1)).unwrap();
-        let b = h.alloc_old(nvm, ObjKind::Tuple, MemTag::Nvm, vec![], Payload::Long(2)).unwrap();
-        let c = h.alloc_old(nvm, ObjKind::Tuple, MemTag::Nvm, vec![], Payload::Long(3)).unwrap();
+        let a = h
+            .alloc_old(nvm, ObjKind::Tuple, MemTag::Nvm, vec![], Payload::Long(1))
+            .unwrap();
+        let b = h
+            .alloc_old(nvm, ObjKind::Tuple, MemTag::Nvm, vec![], Payload::Long(2))
+            .unwrap();
+        let c = h
+            .alloc_old(nvm, ObjKind::Tuple, MemTag::Nvm, vec![], Payload::Long(3))
+            .unwrap();
         let base = h.old(nvm).base();
         let size = h.obj(a).size;
         // Kill b, compact: c slides into b's slot.

@@ -4,10 +4,25 @@
 //! paths), so tuple objects hold actual values. A payload also knows how
 //! many bytes it would occupy in a real heap, which feeds the object-size
 //! model.
+//!
+//! # Sharing
+//!
+//! Composite payloads (`Pair`, `Longs`, `Doubles`, `List`) hold their
+//! contents behind [`Rc`], so `Payload::clone()` is a reference-count bump
+//! — O(1) regardless of structural depth. The engine hands the same record
+//! to many simulated heap objects (one per stage that streams it, one per
+//! materialized copy); sharing the immutable contents instead of deep-
+//! copying them is what keeps the simulator's host time proportional to the
+//! *number* of records rather than their *size*. Use [`Payload::deep_clone`]
+//! only where a structural copy is explicitly wanted (the legacy-engine
+//! performance baseline).
 
 use std::fmt;
+use std::rc::Rc;
 
 /// A scalar or small-composite value stored inside one heap object.
+///
+/// Cloning is O(1): composite variants share their contents via [`Rc`].
 #[derive(Debug, Clone, PartialEq, Default)]
 pub enum Payload {
     /// No payload (RDD top objects, arrays, control objects).
@@ -26,14 +41,14 @@ pub enum Payload {
         len: u32,
     },
     /// A key/value pair (the backbone tuple shape of Figure 1).
-    Pair(Box<Payload>, Box<Payload>),
+    Pair(Rc<Payload>, Rc<Payload>),
     /// A vector of integers (adjacency lists, document word ids).
-    Longs(Vec<i64>),
+    Longs(Rc<Vec<i64>>),
     /// A vector of floats (points, feature vectors, weight vectors).
-    Doubles(Vec<f64>),
+    Doubles(Rc<Vec<f64>>),
     /// A list of payloads (grouped values, compact buffers — Figure 1's
     /// `CompactBuffer`).
-    List(Vec<Payload>),
+    List(Rc<Vec<Payload>>),
     /// An opaque serialized buffer of `len` bytes (the `byte[]` backing a
     /// `*_SER` storage level).
     Bytes {
@@ -43,6 +58,44 @@ pub enum Payload {
 }
 
 impl Payload {
+    /// A pair of two payloads.
+    pub fn pair(a: Payload, b: Payload) -> Payload {
+        Payload::Pair(Rc::new(a), Rc::new(b))
+    }
+
+    /// A pair built from already-shared halves (no reallocation).
+    pub fn pair_shared(a: Rc<Payload>, b: Rc<Payload>) -> Payload {
+        Payload::Pair(a, b)
+    }
+
+    /// An integer vector.
+    pub fn longs(v: Vec<i64>) -> Payload {
+        Payload::Longs(Rc::new(v))
+    }
+
+    /// A float vector.
+    pub fn doubles(v: Vec<f64>) -> Payload {
+        Payload::Doubles(Rc::new(v))
+    }
+
+    /// A list of payloads.
+    pub fn list(v: Vec<Payload>) -> Payload {
+        Payload::List(Rc::new(v))
+    }
+
+    /// A structural copy that shares nothing with `self` — every `Rc` in
+    /// the result is freshly allocated. This is what `clone()` used to do
+    /// before payloads became shareable; it exists so the benchmark
+    /// harness can reproduce the old engine's per-record copying cost.
+    pub fn deep_clone(&self) -> Payload {
+        match self {
+            Payload::Pair(a, b) => Payload::pair(a.deep_clone(), b.deep_clone()),
+            Payload::Longs(v) => Payload::longs(v.as_ref().clone()),
+            Payload::Doubles(v) => Payload::doubles(v.as_ref().clone()),
+            Payload::List(v) => Payload::list(v.iter().map(Payload::deep_clone).collect()),
+            scalar => scalar.clone(),
+        }
+    }
     /// Modelled storage footprint of the payload in bytes (unscaled).
     pub fn model_bytes(&self) -> u64 {
         match self {
@@ -89,19 +142,19 @@ impl Payload {
                 }
                 Payload::Longs(v) => {
                     mix(h, 5);
-                    for x in v {
+                    for x in v.iter() {
                         mix(h, *x as u64);
                     }
                 }
                 Payload::Doubles(v) => {
                     mix(h, 6);
-                    for x in v {
+                    for x in v.iter() {
                         mix(h, x.to_bits());
                     }
                 }
                 Payload::List(v) => {
                     mix(h, 7);
-                    for x in v {
+                    for x in v.iter() {
                         go(x, h);
                     }
                 }
@@ -158,7 +211,7 @@ impl Payload {
 
     /// Convenience constructor for a `(long, payload)` pair.
     pub fn keyed(key: i64, value: Payload) -> Payload {
-        Payload::Pair(Box::new(Payload::Long(key)), Box::new(value))
+        Payload::pair(Payload::Long(key), value)
     }
 }
 
@@ -195,17 +248,14 @@ mod tests {
     fn model_bytes_compose() {
         let p = Payload::keyed(1, Payload::Double(0.5));
         assert_eq!(p.model_bytes(), 16 + 8 + 8);
-        assert_eq!(Payload::Longs(vec![1, 2, 3]).model_bytes(), 16 + 24);
+        assert_eq!(Payload::longs(vec![1, 2, 3]).model_bytes(), 16 + 24);
         assert_eq!(Payload::Unit.model_bytes(), 0);
     }
 
     #[test]
     fn shuffle_keys() {
         assert_eq!(Payload::Long(7).shuffle_key(), Key::Long(7));
-        assert_eq!(
-            Payload::keyed(9, Payload::Unit).shuffle_key(),
-            Key::Long(9)
-        );
+        assert_eq!(Payload::keyed(9, Payload::Unit).shuffle_key(), Key::Long(9));
         let t = Payload::Text { sym: 3, len: 10 };
         assert_eq!(t.shuffle_key(), Key::Sym(3));
     }
@@ -218,13 +268,22 @@ mod tests {
 
     #[test]
     fn fingerprints_distinguish_values() {
-        assert_eq!(Payload::Long(1).fingerprint(), Payload::Long(1).fingerprint());
-        assert_ne!(Payload::Long(1).fingerprint(), Payload::Long(2).fingerprint());
-        assert_ne!(Payload::Long(1).fingerprint(), Payload::Double(1.0).fingerprint());
-        let a = Payload::keyed(3, Payload::List(vec![Payload::Long(1)]));
-        let b = Payload::keyed(3, Payload::List(vec![Payload::Long(1)]));
+        assert_eq!(
+            Payload::Long(1).fingerprint(),
+            Payload::Long(1).fingerprint()
+        );
+        assert_ne!(
+            Payload::Long(1).fingerprint(),
+            Payload::Long(2).fingerprint()
+        );
+        assert_ne!(
+            Payload::Long(1).fingerprint(),
+            Payload::Double(1.0).fingerprint()
+        );
+        let a = Payload::keyed(3, Payload::list(vec![Payload::Long(1)]));
+        let b = Payload::keyed(3, Payload::list(vec![Payload::Long(1)]));
         assert_eq!(a.fingerprint(), b.fingerprint());
-        let c = Payload::keyed(3, Payload::List(vec![Payload::Long(2)]));
+        let c = Payload::keyed(3, Payload::list(vec![Payload::Long(2)]));
         assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
@@ -239,8 +298,26 @@ mod tests {
 
     #[test]
     fn list_model_bytes() {
-        let l = Payload::List(vec![Payload::Long(1), Payload::Long(2)]);
+        let l = Payload::list(vec![Payload::Long(1), Payload::Long(2)]);
         assert_eq!(l.model_bytes(), 16 + 16);
+    }
+
+    #[test]
+    fn clone_shares_deep_clone_does_not() {
+        let v = Payload::longs((0..1024).collect());
+        let shallow = v.clone();
+        let deep = v.deep_clone();
+        assert_eq!(v, shallow);
+        assert_eq!(v, deep);
+        match (&v, &shallow, &deep) {
+            (Payload::Longs(a), Payload::Longs(b), Payload::Longs(c)) => {
+                assert!(Rc::ptr_eq(a, b), "clone() must share storage");
+                assert!(!Rc::ptr_eq(a, c), "deep_clone() must copy storage");
+            }
+            _ => unreachable!(),
+        }
+        let p = Payload::keyed(1, v);
+        assert_eq!(p.deep_clone(), p);
     }
 
     #[test]

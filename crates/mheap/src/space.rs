@@ -69,7 +69,13 @@ pub struct Space {
 impl Space {
     /// A new empty space at `base` with the given byte capacity.
     pub fn new(id: SpaceId, base: Addr, capacity: u64) -> Self {
-        Space { id, base, capacity, top: 0, objects: Vec::new() }
+        Space {
+            id,
+            base,
+            capacity,
+            top: 0,
+            objects: Vec::new(),
+        }
     }
 
     /// This space's id.
@@ -131,7 +137,11 @@ impl Space {
     /// Replace the resident-object list and set the bump pointer to
     /// `used_bytes` (used by collectors after evacuation or compaction).
     pub fn reset_with(&mut self, objects: Vec<ObjId>, used_bytes: u64) {
-        assert!(used_bytes <= self.capacity, "reset beyond capacity of {}", self.id);
+        assert!(
+            used_bytes <= self.capacity,
+            "reset beyond capacity of {}",
+            self.id
+        );
         self.objects = objects;
         self.top = used_bytes;
     }

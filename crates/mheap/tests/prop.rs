@@ -12,16 +12,17 @@ fn payload() -> impl Strategy<Value = Payload> {
     let leaf = prop_oneof![
         Just(Payload::Unit),
         any::<i64>().prop_map(Payload::Long),
-        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Payload::Double),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Payload::Double),
         (any::<u64>(), 0u32..100).prop_map(|(sym, len)| Payload::Text { sym, len }),
-        prop::collection::vec(any::<i64>(), 0..8).prop_map(Payload::Longs),
-        prop::collection::vec(-1e9f64..1e9, 0..8).prop_map(Payload::Doubles),
+        prop::collection::vec(any::<i64>(), 0..8).prop_map(Payload::longs),
+        prop::collection::vec(-1e9f64..1e9, 0..8).prop_map(Payload::doubles),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Payload::Pair(Box::new(a), Box::new(b))),
-            prop::collection::vec(inner, 0..4).prop_map(Payload::List),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Payload::pair(a, b)),
+            prop::collection::vec(inner, 0..4).prop_map(Payload::list),
         ]
     })
 }
@@ -38,7 +39,7 @@ proptest! {
     /// between a value and its 1-tuple).
     #[test]
     fn fingerprint_sees_structure(p in payload()) {
-        let wrapped = Payload::List(vec![p.clone()]);
+        let wrapped = Payload::list(vec![p.clone()]);
         prop_assert_ne!(p.fingerprint(), wrapped.fingerprint());
     }
 
@@ -46,7 +47,7 @@ proptest! {
     /// plus a constant.
     #[test]
     fn pair_bytes_compose(a in payload(), b in payload()) {
-        let pair = Payload::Pair(Box::new(a.clone()), Box::new(b.clone()));
+        let pair = Payload::pair(a.clone(), b.clone());
         prop_assert_eq!(pair.model_bytes(), 16 + a.model_bytes() + b.model_bytes());
     }
 
@@ -80,7 +81,7 @@ proptest! {
                     ObjKind::Tuple,
                     MemTag::None,
                     vec![],
-                    Payload::Doubles(vec![0.0; n]),
+                    Payload::doubles(vec![0.0; n]),
                 )
                 .unwrap();
             let o = heap.obj(id);
@@ -110,7 +111,7 @@ proptest! {
                 let o = heap.obj(id);
                 prop_assert_eq!((o.end().0 - base) % CARD_BYTES, 0);
             } else {
-                heap.alloc_old(nvm, ObjKind::Tuple, MemTag::Nvm, vec![], Payload::Longs(vec![0; n]))
+                heap.alloc_old(nvm, ObjKind::Tuple, MemTag::Nvm, vec![], Payload::longs(vec![0; n]))
                     .unwrap();
             }
         }

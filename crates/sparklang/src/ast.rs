@@ -347,7 +347,11 @@ mod tests {
         assert!(!Transform::Map(FuncId(0)).is_wide());
         assert!(!Transform::Union.is_wide());
         assert!(!Transform::Values.is_wide());
-        assert!(!Transform::Sample { fraction: 0.5, seed: 1 }.is_wide());
+        assert!(!Transform::Sample {
+            fraction: 0.5,
+            seed: 1
+        }
+        .is_wide());
     }
 
     #[test]
@@ -368,8 +372,10 @@ mod tests {
     #[test]
     fn storage_level_expansion_rule() {
         // Section 3: every level except OFF_HEAP and DISK_ONLY expands.
-        let expanding =
-            StorageLevel::ALL.iter().filter(|l| l.expands_to_tagged()).count();
+        let expanding = StorageLevel::ALL
+            .iter()
+            .filter(|l| l.expands_to_tagged())
+            .count();
         assert_eq!(expanding, 8);
         assert!(!StorageLevel::OffHeap.expands_to_tagged());
         assert!(!StorageLevel::DiskOnly.expands_to_tagged());

@@ -96,11 +96,17 @@ pub struct Expr(pub(crate) RddExpr);
 
 impl Expr {
     fn apply1(self, transform: Transform) -> Expr {
-        Expr(RddExpr::Apply { transform, inputs: vec![self.0] })
+        Expr(RddExpr::Apply {
+            transform,
+            inputs: vec![self.0],
+        })
     }
 
     fn apply2(self, transform: Transform, other: Expr) -> Expr {
-        Expr(RddExpr::Apply { transform, inputs: vec![self.0, other.0] })
+        Expr(RddExpr::Apply {
+            transform,
+            inputs: vec![self.0, other.0],
+        })
     }
 
     /// `rdd.map(f)`
@@ -165,7 +171,10 @@ impl Expr {
 
     /// `rdd.sample(false, fraction, seed)` — Bernoulli sampling.
     pub fn sample(self, fraction: f64, seed: u64) -> Expr {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         self.apply1(Transform::Sample { fraction, seed })
     }
 
@@ -347,11 +356,17 @@ mod tests {
         let src = b.source("s");
         let e = src.map(f).reduce_by_key(g);
         match e.into_inner() {
-            RddExpr::Apply { transform: Transform::ReduceByKey(got), inputs } => {
+            RddExpr::Apply {
+                transform: Transform::ReduceByKey(got),
+                inputs,
+            } => {
                 assert_eq!(got, g);
                 assert!(matches!(
                     inputs[0],
-                    RddExpr::Apply { transform: Transform::Map(_), .. }
+                    RddExpr::Apply {
+                        transform: Transform::Map(_),
+                        ..
+                    }
                 ));
             }
             other => panic!("unexpected {other:?}"),

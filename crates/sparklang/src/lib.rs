@@ -43,8 +43,8 @@ mod validate;
 pub mod visit;
 
 pub use ast::{
-    ActionKind, FuncId, LoopId, MemoryTag, Program, RddExpr, Stmt, StmtId, StorageLevel,
-    Transform, VarId,
+    ActionKind, FuncId, LoopId, MemoryTag, Program, RddExpr, Stmt, StmtId, StorageLevel, Transform,
+    VarId,
 };
 pub use builder::{Expr, FilterFn, FlatMapFn, FnTable, MapFn, ProgramBuilder, ReduceFn, UserFn};
 pub use parse::{parse, ParseError};

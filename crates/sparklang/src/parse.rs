@@ -61,11 +61,18 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, pos: 0, line: 1 }
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, message: message.into() }
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
     }
 
     fn rest(&self) -> &str {
@@ -105,7 +112,9 @@ impl<'a> Lexer<'a> {
         self.skip_ws();
         let line = self.line;
         let rest = self.rest();
-        let Some(c) = rest.chars().next() else { return Ok(None) };
+        let Some(c) = rest.chars().next() else {
+            return Ok(None);
+        };
         let tok = match c {
             '.' => {
                 // "1..=10" range dots are consumed by number parsing; a
@@ -157,18 +166,16 @@ impl<'a> Lexer<'a> {
                 while len < bytes.len() && bytes[len].is_ascii_digit() {
                     len += 1;
                 }
-                if len < bytes.len()
-                    && bytes[len] == b'.'
-                    && !rest[len..].starts_with("..")
-                {
+                if len < bytes.len() && bytes[len] == b'.' && !rest[len..].starts_with("..") {
                     len += 1;
                     while len < bytes.len() && bytes[len].is_ascii_digit() {
                         len += 1;
                     }
                 }
                 let text = &rest[..len];
-                let n: f64 =
-                    text.parse().map_err(|_| self.err(format!("bad number {text:?}")))?;
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| self.err(format!("bad number {text:?}")))?;
                 self.bump(len);
                 Tok::Number(n)
             }
@@ -205,7 +212,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), message: message.into() }
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -335,11 +345,20 @@ impl Parser {
                         Stmt::Persist { var, level }
                     }
                     "unpersist" => Stmt::Unpersist { var },
-                    "count" => Stmt::Action { var, action: ActionKind::Count },
-                    "collect" => Stmt::Action { var, action: ActionKind::Collect },
+                    "count" => Stmt::Action {
+                        var,
+                        action: ActionKind::Count,
+                    },
+                    "collect" => Stmt::Action {
+                        var,
+                        action: ActionKind::Collect,
+                    },
                     "reduce" => {
                         let f = self.func_id()?;
-                        Stmt::Action { var, action: ActionKind::Reduce(f) }
+                        Stmt::Action {
+                            var,
+                            action: ActionKind::Reduce(f),
+                        }
                     }
                     other => {
                         return Err(self.err(format!(
@@ -411,7 +430,13 @@ impl Parser {
                 let Tok::Number(seed) = self.next()? else {
                     return Err(self.err("sample() takes (fraction, seed)"));
                 };
-                (Transform::Sample { fraction, seed: seed as u64 }, vec![recv])
+                (
+                    Transform::Sample {
+                        fraction,
+                        seed: seed as u64,
+                    },
+                    vec![recv],
+                )
             }
             "join" => {
                 let rhs = self.expr()?;
@@ -456,8 +481,13 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
     while let Some(t) = lexer.next()? {
         toks.push(t);
     }
-    let mut parser =
-        Parser { toks, pos: 0, vars: HashMap::new(), var_names: Vec::new(), max_func: 0 };
+    let mut parser = Parser {
+        toks,
+        pos: 0,
+        vars: HashMap::new(),
+        var_names: Vec::new(),
+        max_func: 0,
+    };
     parser.program()
 }
 
@@ -499,7 +529,12 @@ mod tests {
         let y = b.bind("y", s2);
         b.persist(x, crate::StorageLevel::MemoryOnlySer);
         b.loop_n(3, |b| {
-            let e = b.var(x).join(b.var(y)).values().reduce_by_key(g).sort_by_key();
+            let e = b
+                .var(x)
+                .join(b.var(y))
+                .values()
+                .reduce_by_key(g)
+                .sort_by_key();
             b.rebind(x, e);
             b.action(y, crate::ActionKind::Count);
         });

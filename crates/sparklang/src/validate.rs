@@ -35,7 +35,11 @@ impl fmt::Display for ValidateProgramError {
             ValidateProgramError::UseBeforeDef(v) => {
                 write!(f, "variable v{} used before definition", v.0)
             }
-            ValidateProgramError::BadArity { transform, got, want } => {
+            ValidateProgramError::BadArity {
+                transform,
+                got,
+                want,
+            } => {
                 write!(f, "{transform} takes {want} input(s), got {got}")
             }
             ValidateProgramError::UnknownFunc(id) => write!(f, "unknown function f{id}"),
@@ -175,24 +179,39 @@ mod tests {
     #[test]
     fn catches_unknown_var() {
         let p = raw_program(
-            vec![Stmt::Action { var: VarId(3), action: ActionKind::Count }],
+            vec![Stmt::Action {
+                var: VarId(3),
+                action: ActionKind::Count,
+            }],
             1,
             0,
         );
-        assert_eq!(validate(&p), Err(ValidateProgramError::UnknownVar(VarId(3))));
+        assert_eq!(
+            validate(&p),
+            Err(ValidateProgramError::UnknownVar(VarId(3)))
+        );
     }
 
     #[test]
     fn catches_use_before_def() {
         let p = raw_program(
             vec![
-                Stmt::Bind { var: VarId(0), expr: RddExpr::Var(VarId(1)) },
-                Stmt::Bind { var: VarId(1), expr: RddExpr::Source("s".into()) },
+                Stmt::Bind {
+                    var: VarId(0),
+                    expr: RddExpr::Var(VarId(1)),
+                },
+                Stmt::Bind {
+                    var: VarId(1),
+                    expr: RddExpr::Source("s".into()),
+                },
             ],
             2,
             0,
         );
-        assert_eq!(validate(&p), Err(ValidateProgramError::UseBeforeDef(VarId(1))));
+        assert_eq!(
+            validate(&p),
+            Err(ValidateProgramError::UseBeforeDef(VarId(1)))
+        );
     }
 
     #[test]
@@ -210,7 +229,11 @@ mod tests {
         );
         assert!(matches!(
             validate(&p),
-            Err(ValidateProgramError::BadArity { transform: "join", got: 1, want: 2 })
+            Err(ValidateProgramError::BadArity {
+                transform: "join",
+                got: 1,
+                want: 2
+            })
         ));
     }
 
@@ -236,7 +259,10 @@ mod tests {
             vec![Stmt::Bind {
                 var: VarId(0),
                 expr: RddExpr::Apply {
-                    transform: Transform::Sample { fraction: 1.5, seed: 0 },
+                    transform: Transform::Sample {
+                        fraction: 1.5,
+                        seed: 0,
+                    },
                     inputs: vec![RddExpr::Source("a".into())],
                 },
             }],

@@ -24,7 +24,13 @@ pub fn walk(program: &Program, visitor: &mut impl Visitor) -> u32 {
     let mut next = 0u32;
     let mut next_loop = 0u32;
     let mut loops = Vec::new();
-    walk_block(&program.stmts, visitor, &mut next, &mut next_loop, &mut loops);
+    walk_block(
+        &program.stmts,
+        visitor,
+        &mut next,
+        &mut next_loop,
+        &mut loops,
+    );
     next
 }
 
@@ -72,15 +78,18 @@ mod tests {
                 Stmt::Action { .. } => "action",
                 Stmt::Loop { .. } => unreachable!(),
             };
-            self.events.push(format!("{kind}@{} in{:?}", id.0, loops.len()));
+            self.events
+                .push(format!("{kind}@{} in{:?}", id.0, loops.len()));
         }
 
         fn enter_loop(&mut self, id: StmtId, loop_id: LoopId, n: u32) {
-            self.events.push(format!("loop{}@{} n={n}", loop_id.0, id.0));
+            self.events
+                .push(format!("loop{}@{} n={n}", loop_id.0, id.0));
         }
 
         fn exit_loop(&mut self, loop_id: LoopId, last: StmtId) {
-            self.events.push(format!("end{} last={}", loop_id.0, last.0));
+            self.events
+                .push(format!("end{} last={}", loop_id.0, last.0));
         }
     }
 
@@ -89,11 +98,17 @@ mod tests {
         let program = Program {
             name: "t".into(),
             stmts: vec![
-                Stmt::Bind { var: VarId(0), expr: RddExpr::Source("s".into()) },
+                Stmt::Bind {
+                    var: VarId(0),
+                    expr: RddExpr::Source("s".into()),
+                },
                 Stmt::Loop {
                     n: 2,
                     body: vec![
-                        Stmt::Action { var: VarId(0), action: ActionKind::Count },
+                        Stmt::Action {
+                            var: VarId(0),
+                            action: ActionKind::Count,
+                        },
                         Stmt::Loop {
                             n: 3,
                             body: vec![Stmt::Action {
@@ -103,7 +118,10 @@ mod tests {
                         },
                     ],
                 },
-                Stmt::Action { var: VarId(0), action: ActionKind::Count },
+                Stmt::Action {
+                    var: VarId(0),
+                    action: ActionKind::Count,
+                },
             ],
             var_names: vec!["x".into()],
             n_funcs: 0,

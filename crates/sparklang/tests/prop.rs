@@ -2,9 +2,7 @@
 //! validation totality over randomly built programs.
 
 use proptest::prelude::*;
-use sparklang::{
-    parse, validate, ActionKind, Expr, Pretty, Program, ProgramBuilder, StorageLevel,
-};
+use sparklang::{parse, validate, ActionKind, Expr, Pretty, Program, ProgramBuilder, StorageLevel};
 
 #[derive(Debug, Clone)]
 enum Op {

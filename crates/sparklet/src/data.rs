@@ -1,13 +1,84 @@
 //! Input sources: named, pre-generated datasets standing in for
-//! `ctx.textFile(...)` over HDFS.
+//! `ctx.textFile(...)` over HDFS, plus the string intern table backing
+//! [`Payload::Text`].
 
+use crate::shuffle::FxBuildHasher;
 use mheap::Payload;
 use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A deterministic string intern table.
+///
+/// Symbols are dense ids assigned in first-intern order, so the same
+/// sequence of `intern` calls always yields the same ids regardless of
+/// process, platform, or hash-map iteration order. Strings are stored
+/// once as `Rc<str>`; [`InternTable::resolve`] hands out shared
+/// references, never copies. [`Payload::Text`] carries only the symbol
+/// id and modelled length, so text records stay two words no matter how
+/// long the underlying string is.
+#[derive(Debug, Clone, Default)]
+pub struct InternTable {
+    by_string: HashMap<Rc<str>, u64, FxBuildHasher>,
+    by_sym: Vec<Rc<str>>,
+}
+
+impl InternTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The symbol for `s`, interning it on first sight.
+    pub fn intern(&mut self, s: &str) -> u64 {
+        if let Some(&sym) = self.by_string.get(s) {
+            return sym;
+        }
+        let sym = self.by_sym.len() as u64;
+        let shared: Rc<str> = Rc::from(s);
+        self.by_sym.push(Rc::clone(&shared));
+        self.by_string.insert(shared, sym);
+        sym
+    }
+
+    /// The interned string for `sym`, if assigned.
+    pub fn resolve(&self, sym: u64) -> Option<Rc<str>> {
+        self.by_sym.get(sym as usize).cloned()
+    }
+
+    /// The symbol already assigned to `s`, if any (no interning).
+    pub fn lookup(&self, s: &str) -> Option<u64> {
+        self.by_string.get(s).copied()
+    }
+
+    /// Intern `s` and wrap it as a [`Payload::Text`] whose modelled
+    /// length is the string's UTF-8 length.
+    pub fn text(&mut self, s: &str) -> Payload {
+        let sym = self.intern(s);
+        Payload::Text {
+            sym,
+            len: s.len() as u32,
+        }
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.by_sym.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_sym.is_empty()
+    }
+}
 
 /// Registry of named input datasets.
+///
+/// Datasets are stored behind `Rc` so the engine can hold a source RDD's
+/// records without copying the vector every time a lineage re-computation
+/// re-reads the input.
 #[derive(Debug, Clone, Default)]
 pub struct DataRegistry {
-    sources: HashMap<String, Vec<Payload>>,
+    sources: HashMap<String, Rc<Vec<Payload>>>,
 }
 
 impl DataRegistry {
@@ -18,7 +89,7 @@ impl DataRegistry {
 
     /// Register a dataset under `name`, replacing any previous one.
     pub fn register(&mut self, name: &str, records: Vec<Payload>) {
-        self.sources.insert(name.to_string(), records);
+        self.sources.insert(name.to_string(), Rc::new(records));
     }
 
     /// The records of `name`.
@@ -28,6 +99,19 @@ impl DataRegistry {
     /// Panics if no dataset was registered under `name` — a mis-wired
     /// workload, not a runtime condition.
     pub fn records(&self, name: &str) -> &[Payload] {
+        self.records_shared_ref(name)
+    }
+
+    /// The records of `name`, shared (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no dataset was registered under `name`.
+    pub fn records_shared(&self, name: &str) -> Rc<Vec<Payload>> {
+        Rc::clone(self.records_shared_ref(name))
+    }
+
+    fn records_shared_ref(&self, name: &str) -> &Rc<Vec<Payload>> {
         self.sources
             .get(name)
             .unwrap_or_else(|| panic!("no dataset registered under {name:?}"))
@@ -63,5 +147,44 @@ mod tests {
     #[should_panic(expected = "no dataset registered")]
     fn missing_dataset_panics() {
         DataRegistry::new().records("nope");
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut t = InternTable::new();
+        let a = t.intern("spark.apache.org");
+        let b = t.intern("wikipedia.org");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(t.intern("spark.apache.org"), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup("wikipedia.org"), Some(b));
+        assert_eq!(t.lookup("nope"), None);
+        assert_eq!(t.resolve(a).as_deref(), Some("spark.apache.org"));
+        assert!(t.resolve(99).is_none());
+    }
+
+    #[test]
+    fn interned_text_payloads_compare_by_symbol() {
+        let mut t = InternTable::new();
+        let x = t.text("alpha");
+        let y = t.text("alpha");
+        let z = t.text("beta");
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+        assert_eq!(x.fingerprint(), y.fingerprint());
+        match x {
+            Payload::Text { len, .. } => assert_eq!(len, 5),
+            other => panic!("expected text, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolve_shares_storage() {
+        let mut t = InternTable::new();
+        let sym = t.intern("shared");
+        let a = t.resolve(sym).unwrap();
+        let b = t.resolve(sym).unwrap();
+        assert!(Rc::ptr_eq(&a, &b));
     }
 }

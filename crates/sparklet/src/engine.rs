@@ -22,11 +22,10 @@ use crate::shuffle::{reduce_side, Buckets};
 use hybridmem::{AccessKind, AccessProfile, DeviceKind};
 use mheap::{ObjKind, Payload, RootSet};
 use panthera_analysis::InstrumentationPlan;
-use sparklang::ast::{
-    ActionKind, Program, RddExpr, Stmt, StmtId, StorageLevel, Transform, VarId,
-};
+use sparklang::ast::{ActionKind, Program, RddExpr, Stmt, StmtId, StorageLevel, Transform, VarId};
 use sparklang::{FnTable, FuncId, UserFn};
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Cost knobs of the engine's non-heap activities.
 #[derive(Debug, Clone)]
@@ -45,6 +44,22 @@ pub struct EngineConfig {
     /// CPU cost of serializing or deserializing one record (`*_SER`
     /// storage levels trade this for a compact heap footprint).
     pub serde_cpu_ns: f64,
+    /// Fuse maximal chains of narrow transformations into one host-side
+    /// streaming pass (records flow record-at-a-time through the whole
+    /// chain; no intermediate stage ever materializes a `Vec<Payload>`).
+    /// Simulated costs are charged from per-stage event logs in exactly
+    /// the stage-at-a-time order the unfused engine uses, so simulated
+    /// time/energy/GC behaviour is bit-identical either way. `false`
+    /// selects the legacy stage-at-a-time execution (kept for A/B
+    /// benchmarking and the fused-vs-unfused equivalence tests).
+    pub fuse_narrow: bool,
+    /// Benchmark-only emulation of the pre-rework engine's host cost:
+    /// every record handoff performs a structural [`Payload::deep_clone`]
+    /// where the engine now bumps an `Rc` refcount. Pair with
+    /// `fuse_narrow: false` to reproduce the seed engine's copy-per-stage
+    /// behaviour for before/after trajectory benchmarks. Simulated
+    /// time/energy is unaffected — only host CPU burns.
+    pub legacy_copies: bool,
 }
 
 impl Default for EngineConfig {
@@ -55,6 +70,8 @@ impl Default for EngineConfig {
             driver_cpu_ns: 1_000.0,
             partitions: 8,
             serde_cpu_ns: 60.0,
+            fuse_narrow: true,
+            legacy_copies: false,
         }
     }
 }
@@ -130,10 +147,11 @@ pub struct Engine<R: MemoryRuntime> {
     vars: Vec<Option<RddId>>,
     roots: RootSet,
     stats: ExecStats,
-    /// Driver-side storage for DISK_ONLY persists.
-    disk_store: HashMap<RddId, Vec<Payload>>,
+    /// Driver-side storage for DISK_ONLY persists. Stored behind `Rc` so
+    /// re-reads hand out the same vector instead of copying it.
+    disk_store: HashMap<RddId, Rc<Vec<Payload>>>,
     /// Native (off-heap) storage — placed entirely in NVM (Section 4.1).
-    native_store: HashMap<RddId, Vec<Payload>>,
+    native_store: HashMap<RddId, Rc<Vec<Payload>>>,
     /// ShuffledRDDs (and action targets) materialized for the current
     /// evaluation only; reclaimed when it completes.
     transients: Vec<RddId>,
@@ -142,7 +160,7 @@ pub struct Engine<R: MemoryRuntime> {
     /// Record contents of RDDs materialized in *serialized* form — their
     /// heap footprint is modelled by compact byte-buffer objects, so the
     /// payloads live driver-side.
-    ser_store: HashMap<RddId, Vec<Payload>>,
+    ser_store: HashMap<RddId, Rc<Vec<Payload>>>,
     /// Non-zero while computing the inputs of a join: hash-probe access is
     /// random (latency-bound), not streaming.
     random_read_depth: u32,
@@ -155,12 +173,7 @@ impl<R: MemoryRuntime> Engine<R> {
     }
 
     /// Build an engine with explicit cost knobs.
-    pub fn with_config(
-        runtime: R,
-        fns: FnTable,
-        data: DataRegistry,
-        config: EngineConfig,
-    ) -> Self {
+    pub fn with_config(runtime: R, fns: FnTable, data: DataRegistry, config: EngineConfig) -> Self {
         Engine {
             runtime,
             fns,
@@ -213,7 +226,10 @@ impl<R: MemoryRuntime> Engine<R> {
         let mut results = Vec::new();
         let mut next = 0u32;
         self.exec_block(program, &program.stmts, plan, &mut next, &mut results);
-        RunOutcome { results, stats: self.stats }
+        RunOutcome {
+            results,
+            stats: self.stats,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -231,7 +247,10 @@ impl<R: MemoryRuntime> Engine<R> {
         for s in stmts {
             let id = StmtId(*next);
             *next += 1;
-            self.runtime.heap_mut().mem_mut().compute(self.config.driver_cpu_ns);
+            self.runtime
+                .heap_mut()
+                .mem_mut()
+                .compute(self.config.driver_cpu_ns);
             match s {
                 Stmt::Loop { n, body } => {
                     let body_count = count_stmts(body);
@@ -243,8 +262,7 @@ impl<R: MemoryRuntime> Engine<R> {
                 }
                 Stmt::Bind { var, expr } => {
                     let rdd = self.build_expr(expr);
-                    self.rdds[rdd.0 as usize].label =
-                        Some(program.var_name(*var).to_string());
+                    self.rdds[rdd.0 as usize].label = Some(program.var_name(*var).to_string());
                     self.vars[var.0 as usize] = Some(rdd);
                 }
                 Stmt::Persist { var, level } => {
@@ -291,7 +309,10 @@ impl<R: MemoryRuntime> Engine<R> {
             RddExpr::Source(name) => self.new_node(RddOp::Source(name.clone())),
             RddExpr::Apply { transform, inputs } => {
                 let parents: Vec<RddId> = inputs.iter().map(|e| self.build_expr(e)).collect();
-                self.new_node(RddOp::Transformed { transform: transform.clone(), parents })
+                self.new_node(RddOp::Transformed {
+                    transform: transform.clone(),
+                    parents,
+                })
             }
         }
     }
@@ -447,13 +468,15 @@ impl<R: MemoryRuntime> Engine<R> {
             }
             match action {
                 ActionKind::Count => ActionResult::Count(records.len() as u64),
-                ActionKind::Collect => ActionResult::Collected(records),
+                ActionKind::Collect => ActionResult::Collected(
+                    Rc::try_unwrap(records).unwrap_or_else(|rc| rc.as_ref().clone()),
+                ),
                 ActionKind::Reduce(f) => {
-                    let mut it = records.into_iter();
-                    let first = it.next();
+                    let mut it = records.iter();
+                    let first = it.next().cloned();
                     let folded = first.map(|mut acc| {
                         for r in it {
-                            acc = e.apply_reduce(*f, &acc, &r);
+                            acc = e.apply_reduce(*f, &acc, r);
                         }
                         acc
                     });
@@ -475,7 +498,9 @@ impl<R: MemoryRuntime> Engine<R> {
         if !self.runtime.lineage_propagation() {
             return;
         }
-        let Some(tag) = self.rdds[rdd.0 as usize].tag else { return };
+        let Some(tag) = self.rdds[rdd.0 as usize].tag else {
+            return;
+        };
         let mut queue = vec![rdd];
         let mut seen = std::collections::HashSet::new();
         while let Some(id) = queue.pop() {
@@ -497,7 +522,7 @@ impl<R: MemoryRuntime> Engine<R> {
     /// Materialize `records` in serialized form: one compact byte buffer
     /// per partition (a `byte[]` in Spark), pretenured like any RDD array.
     /// Reads deserialize on the fly; the heap holds no per-tuple objects.
-    fn materialize_serialized(&mut self, rdd: RddId, records: Vec<Payload>) {
+    fn materialize_serialized(&mut self, rdd: RddId, records: Rc<Vec<Payload>>) {
         debug_assert!(
             self.rdds[rdd.0 as usize].materialized.is_none(),
             "double materialization of {rdd}"
@@ -525,7 +550,9 @@ impl<R: MemoryRuntime> Engine<R> {
             self.roots.push(array);
             arrays.push(array);
         }
-        let top = self.runtime.alloc_rdd_top(&self.roots, rdd.0, arrays[0], tag);
+        let top = self
+            .runtime
+            .alloc_rdd_top(&self.roots, rdd.0, arrays[0], tag);
         for a in &arrays[1..] {
             self.runtime.heap_mut().push_ref(top, *a);
         }
@@ -533,8 +560,12 @@ impl<R: MemoryRuntime> Engine<R> {
         self.roots.push_global(top);
         let len = records.len();
         self.ser_store.insert(rdd, records);
-        self.rdds[rdd.0 as usize].materialized =
-            Some(MatData { top, arrays, len, serialized: true });
+        self.rdds[rdd.0 as usize].materialized = Some(MatData {
+            top,
+            arrays,
+            len,
+            serialized: true,
+        });
         self.stats.materializations += 1;
     }
 
@@ -554,18 +585,26 @@ impl<R: MemoryRuntime> Engine<R> {
         let per_part = records.len().div_ceil(n_parts).max(1);
         let mut arrays = Vec::with_capacity(n_parts);
         for chunk_len in partition_sizes(records.len(), n_parts) {
-            let array = self.runtime.alloc_rdd_array(&self.roots, rdd.0, chunk_len, tag);
+            let array = self
+                .runtime
+                .alloc_rdd_array(&self.roots, rdd.0, chunk_len, tag);
             self.roots.push(array);
             arrays.push(array);
         }
-        let top = self.runtime.alloc_rdd_top(&self.roots, rdd.0, arrays[0], tag);
+        let top = self
+            .runtime
+            .alloc_rdd_top(&self.roots, rdd.0, arrays[0], tag);
         for a in &arrays[1..] {
             self.runtime.heap_mut().push_ref(top, *a);
         }
         self.roots.push(top);
         for (i, r) in records.iter().enumerate() {
-            let tuple = self.runtime.alloc_record(&self.roots, ObjKind::Tuple, r.clone());
-            self.runtime.heap_mut().push_ref(arrays[i / per_part], tuple);
+            let tuple = self
+                .runtime
+                .alloc_record(&self.roots, ObjKind::Tuple, r.clone());
+            self.runtime
+                .heap_mut()
+                .push_ref(arrays[i / per_part], tuple);
         }
         self.roots.pop_scope();
         if transient {
@@ -576,8 +615,12 @@ impl<R: MemoryRuntime> Engine<R> {
             // Long-lived: registered like Spark's block manager would.
             self.roots.push_global(top);
         }
-        self.rdds[rdd.0 as usize].materialized =
-            Some(MatData { top, arrays, len: records.len(), serialized: false });
+        self.rdds[rdd.0 as usize].materialized = Some(MatData {
+            top,
+            arrays,
+            len: records.len(),
+            serialized: false,
+        });
         self.stats.materializations += 1;
     }
 
@@ -585,18 +628,22 @@ impl<R: MemoryRuntime> Engine<R> {
     // Record computation
     // ------------------------------------------------------------------
 
-    /// Produce the records of `rdd`, charging all memory traffic.
-    fn compute(&mut self, rdd: RddId) -> Vec<Payload> {
+    /// Produce the records of `rdd`, charging all memory traffic. The
+    /// result is shared: callers that only read (materialization, charge
+    /// accounting, bucket filling) never copy the vector.
+    fn compute(&mut self, rdd: RddId) -> Rc<Vec<Payload>> {
         if self.rdds[rdd.0 as usize].materialized.is_some() {
             return self.read_materialized(rdd);
         }
         if let Some(records) = self.disk_store.get(&rdd) {
-            let records = records.clone();
+            let records = Rc::clone(records);
+            self.emulate_legacy_copies(&records);
             self.charge_disk(&records);
             return records;
         }
         if let Some(records) = self.native_store.get(&rdd) {
-            let records = records.clone();
+            let records = Rc::clone(records);
+            self.emulate_legacy_copies(&records);
             self.charge_native(&records, AccessKind::Read);
             return records;
         }
@@ -606,59 +653,150 @@ impl<R: MemoryRuntime> Engine<R> {
             RddOp::Transformed { transform, parents } => {
                 if transform.is_wide() {
                     self.compute_shuffle(rdd, &transform, &parents)
+                } else if let Transform::Union = transform {
+                    let mut out: Vec<Payload> = self.compute(parents[0]).as_ref().clone();
+                    out.extend(self.compute(parents[1]).iter().cloned());
+                    self.emulate_legacy_copies(&out);
+                    Rc::new(out)
+                } else if self.config.fuse_narrow {
+                    self.compute_fused(rdd)
                 } else {
-                    self.compute_narrow(&transform, &parents)
+                    let input = self.compute(parents[0]);
+                    self.stream(&input, &transform)
                 }
             }
         }
     }
 
-    fn compute_source(&mut self, name: &str) -> Vec<Payload> {
-        let records = self.data.records(name).to_vec();
+    /// Host-cost emulation hook: one record crossing an engine boundary.
+    /// Normally an `Rc` refcount bump; a structural copy when
+    /// [`EngineConfig::legacy_copies`] benchmarks the pre-rework engine.
+    fn copy_record(&self, r: &Payload) -> Payload {
+        if self.config.legacy_copies {
+            r.deep_clone()
+        } else {
+            r.clone()
+        }
+    }
+
+    /// With [`EngineConfig::legacy_copies`] set, burn the pre-rework
+    /// engine's per-record structural copy of `records` (copies are
+    /// dropped; only host CPU is spent). No-op otherwise.
+    fn emulate_legacy_copies(&self, records: &[Payload]) {
+        if self.config.legacy_copies {
+            for r in records {
+                std::hint::black_box(r.deep_clone());
+            }
+        }
+    }
+
+    fn compute_source(&mut self, name: &str) -> Rc<Vec<Payload>> {
+        let records = self.data.records_shared(name);
         self.charge_disk(&records);
         // Parsing allocates one short-lived young object per record.
-        for r in &records {
+        for i in 0..records.len() {
+            let r = self.copy_record(&records[i]);
             self.stream_alloc(r);
         }
         records
     }
 
-    fn compute_narrow(&mut self, transform: &Transform, parents: &[RddId]) -> Vec<Payload> {
-        if let Transform::Union = transform {
-            let mut out = self.compute(parents[0]);
-            out.extend(self.compute(parents[1]));
-            return out;
-        }
-        let input = self.compute(parents[0]);
-        let transform = transform.clone();
-        self.stream(input, move |fns, r| apply_narrow(fns, &transform, r))
-    }
-
-    /// Apply a per-record function to every input record, allocating a
-    /// short-lived young object per output record (the streaming behaviour
-    /// of Section 2).
-    fn stream(
-        &mut self,
-        input: Vec<Payload>,
-        f: impl Fn(&FnTable, &Payload) -> Vec<Payload>,
-    ) -> Vec<Payload> {
+    /// Fused execution of the maximal narrow chain ending at `rdd`: every
+    /// record flows through the whole chain depth-first, so intermediate
+    /// stages never materialize a `Vec<Payload>` — only the chain's final
+    /// output is collected. Simulated costs are *not* charged during the
+    /// host-side pass; each stage logs its charge events (one CPU tick per
+    /// input record, one young allocation per output record, in record
+    /// order) and the logs are replayed stage-by-stage afterwards. The
+    /// replayed sequence is exactly what the unfused engine would have
+    /// issued, so simulated time, energy, and GC scheduling are
+    /// bit-identical to stage-at-a-time execution.
+    fn compute_fused(&mut self, rdd: RddId) -> Rc<Vec<Payload>> {
+        let (base, stages) = self.narrow_chain(rdd);
+        let input = self.compute(base);
+        debug_assert!(!stages.is_empty(), "narrow node must contribute a stage");
+        let mut logs: Vec<StageLog> = stages.iter().map(|_| StageLog::default()).collect();
+        logs[0].outputs_per_input.reserve(input.len());
+        logs[0].alloc_bytes.reserve(input.len());
         let mut out = Vec::with_capacity(input.len());
-        for r in &input {
-            self.runtime.heap_mut().mem_mut().compute(self.config.record_cpu_ns);
-            let produced = f(&self.fns, r);
-            for p in produced {
-                self.stream_alloc(&p);
-                out.push(p);
+        for r in input.iter() {
+            drive_chain(&self.fns, &stages, r, &mut logs, &mut out);
+        }
+        for log in &logs {
+            let mut next = 0usize;
+            for &n_out in &log.outputs_per_input {
+                self.runtime
+                    .heap_mut()
+                    .mem_mut()
+                    .compute(self.config.record_cpu_ns);
+                for &bytes in &log.alloc_bytes[next..next + n_out as usize] {
+                    self.stream_alloc(size_stand_in(bytes));
+                }
+                next += n_out as usize;
             }
         }
-        out
+        Rc::new(out)
+    }
+
+    /// The maximal chain of fusable narrow transformations ending at
+    /// `rdd`, bottom-up, plus the base RDD feeding it. Fusion stops at
+    /// wide nodes, unions, sources, and anything already materialized or
+    /// stored — those produce their records through their own paths.
+    fn narrow_chain(&self, rdd: RddId) -> (RddId, Vec<Transform>) {
+        let mut stages = Vec::new();
+        let mut cur = rdd;
+        loop {
+            let node = &self.rdds[cur.0 as usize];
+            if cur != rdd
+                && (node.materialized.is_some()
+                    || self.disk_store.contains_key(&cur)
+                    || self.native_store.contains_key(&cur))
+            {
+                break;
+            }
+            match &node.op {
+                RddOp::Transformed { transform, parents }
+                    if !transform.is_wide() && !matches!(transform, Transform::Union) =>
+                {
+                    stages.push(transform.clone());
+                    cur = parents[0];
+                }
+                _ => break,
+            }
+        }
+        stages.reverse();
+        (cur, stages)
+    }
+
+    /// Legacy stage-at-a-time streaming: apply one narrow transformation
+    /// to every input record, allocating a short-lived young object per
+    /// output record (the streaming behaviour of Section 2).
+    fn stream(&mut self, input: &[Payload], transform: &Transform) -> Rc<Vec<Payload>> {
+        let legacy = self.config.legacy_copies;
+        let mut out = Vec::with_capacity(input.len());
+        for r in input {
+            self.runtime
+                .heap_mut()
+                .mem_mut()
+                .compute(self.config.record_cpu_ns);
+            let (runtime, stats) = (&mut self.runtime, &mut self.stats);
+            let roots = &self.roots;
+            apply_narrow(&self.fns, transform, r, &mut |p: Payload| {
+                stats.records_streamed += 1;
+                let stored = if legacy { p.deep_clone() } else { p.clone() };
+                runtime.alloc_record(roots, ObjKind::Tuple, stored);
+                out.push(p);
+            });
+        }
+        Rc::new(out)
     }
 
     /// Allocate (and immediately abandon) the young object modelling one
     /// streamed record.
-    fn stream_alloc(&mut self, record: &Payload) {
+    fn stream_alloc(&mut self, record: Payload) {
         self.stats.records_streamed += 1;
-        self.runtime.alloc_record(&self.roots, ObjKind::Tuple, record.clone());
+        self.runtime
+            .alloc_record(&self.roots, ObjKind::Tuple, record);
     }
 
     fn compute_shuffle(
@@ -666,7 +804,7 @@ impl<R: MemoryRuntime> Engine<R> {
         rdd: RddId,
         transform: &Transform,
         parents: &[RddId],
-    ) -> Vec<Payload> {
+    ) -> Rc<Vec<Payload>> {
         self.stats.shuffles += 1;
         // Joins build and probe per-key hash structures: their input
         // accesses are random, unlike the streaming scans of aggregations.
@@ -681,15 +819,15 @@ impl<R: MemoryRuntime> Engine<R> {
         let left_records = self.compute(parents[0]);
         self.charge_shuffle(&left_records);
         let mut left = Buckets::new();
-        for r in left_records {
-            left.add(r);
+        for r in left_records.iter() {
+            left.add(self.copy_record(r));
         }
         let right = if parents.len() > 1 {
             let right_records = self.compute(parents[1]);
             self.charge_shuffle(&right_records);
             let mut b = Buckets::new();
-            for r in right_records {
-                b.add(r);
+            for r in right_records.iter() {
+                b.add(self.copy_record(r));
             }
             Some(b)
         } else {
@@ -700,20 +838,22 @@ impl<R: MemoryRuntime> Engine<R> {
         self.runtime.stage_boundary(&self.roots);
         let out = reduce_side(transform, &self.fns, &left, right.as_ref());
         for _ in &out {
-            self.runtime.heap_mut().mem_mut().compute(self.config.record_cpu_ns);
+            self.runtime
+                .heap_mut()
+                .mem_mut()
+                .compute(self.config.record_cpu_ns);
         }
         self.charge_shuffle(&out);
         // The ShuffledRDD is materialized immediately — it holds data read
         // freshly from shuffle files (Section 2). It dies with the current
         // evaluation unless this node is itself a heap-persisted RDD, in
         // which case the shuffle output *is* the persisted materialization.
-        let persist_heap =
-            matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
+        let persist_heap = matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
         self.materialize_into_heap(rdd, &out, !persist_heap);
-        out
+        Rc::new(out)
     }
 
-    fn read_materialized(&mut self, rdd: RddId) -> Vec<Payload> {
+    fn read_materialized(&mut self, rdd: RddId) -> Rc<Vec<Payload>> {
         let mat = self.rdds[rdd.0 as usize]
             .materialized
             .clone()
@@ -724,12 +864,13 @@ impl<R: MemoryRuntime> Engine<R> {
             for array in &mat.arrays {
                 self.runtime.heap_mut().read_object_streaming(*array);
             }
-            let records = self.ser_store.get(&rdd).cloned().unwrap_or_default();
+            let records = self.ser_store.get(&rdd).map(Rc::clone).unwrap_or_default();
             self.runtime
                 .heap_mut()
                 .mem_mut()
                 .compute(self.config.serde_cpu_ns * records.len() as f64);
-            for r in &records {
+            for i in 0..records.len() {
+                let r = self.copy_record(&records[i]);
                 self.stream_alloc(r);
             }
             return records;
@@ -752,10 +893,17 @@ impl<R: MemoryRuntime> Engine<R> {
                 } else {
                     self.runtime.heap_mut().read_object_streaming(t);
                 }
-                out.push(self.runtime.heap().obj(t).payload.clone());
+                // Shallow: the payload's contents stay shared with the
+                // heap object.
+                let p = self.runtime.heap().obj(t).payload.clone();
+                out.push(if self.config.legacy_copies {
+                    p.deep_clone()
+                } else {
+                    p
+                });
             }
         }
-        out
+        Rc::new(out)
     }
 
     // ------------------------------------------------------------------
@@ -790,7 +938,10 @@ impl<R: MemoryRuntime> Engine<R> {
     }
 
     fn apply_reduce(&mut self, f: FuncId, a: &Payload, b: &Payload) -> Payload {
-        self.runtime.heap_mut().mem_mut().compute(self.config.record_cpu_ns);
+        self.runtime
+            .heap_mut()
+            .mem_mut()
+            .compute(self.config.record_cpu_ns);
         match self.fns.get(f) {
             UserFn::Reduce(f) => f(a, b),
             other => panic!("expected a reduce function, got {other:?}"),
@@ -798,51 +949,110 @@ impl<R: MemoryRuntime> Engine<R> {
     }
 }
 
-/// Record-level semantics of the narrow transformations.
-fn apply_narrow(fns: &FnTable, transform: &Transform, r: &Payload) -> Vec<Payload> {
+/// The deferred simulated-cost log of one fused narrow stage, compact
+/// enough to build on the hot path: entry `i` of `outputs_per_input` is
+/// how many records input `i` produced, and `alloc_bytes` holds every
+/// output's `model_bytes` in production order. Replaying charges, per
+/// input: one CPU tick, then one young allocation per output — the exact
+/// sequence the stage-at-a-time engine issues.
+#[derive(Debug, Default)]
+struct StageLog {
+    outputs_per_input: Vec<u32>,
+    alloc_bytes: Vec<u64>,
+}
+
+/// A payload with exactly the given modelled size, standing in for a
+/// streamed temporary whose young object is never read back — only its
+/// size matters to the allocator, the GC, and the access model.
+fn size_stand_in(model_bytes: u64) -> Payload {
+    match model_bytes {
+        0 => Payload::Unit,
+        8 => Payload::Long(0),
+        m => {
+            debug_assert!(m >= 16, "composite payloads model at least 16 bytes");
+            Payload::Bytes { len: m - 16 }
+        }
+    }
+}
+
+/// Push one record depth-first through the chain's remaining stages,
+/// logging each stage's charge events in the order the stage-at-a-time
+/// engine would issue them and collecting the chain's final outputs into
+/// `out`. `stages` and `logs` both start at the current stage (the caller
+/// passes the full chain; recursion passes the tail).
+fn drive_chain(
+    fns: &FnTable,
+    stages: &[Transform],
+    r: &Payload,
+    logs: &mut [StageLog],
+    out: &mut Vec<Payload>,
+) {
+    let (transform, deeper_stages) = stages.split_first().expect("non-empty chain");
+    // Split the log slice so the closure can log this stage while the
+    // recursion logs the deeper ones.
+    let (log_k, deeper_logs) = logs.split_first_mut().expect("one log per stage");
+    let mut n_out: u32 = 0;
+    let mut sink = |p: Payload| {
+        n_out += 1;
+        log_k.alloc_bytes.push(p.model_bytes());
+        if deeper_stages.is_empty() {
+            out.push(p);
+        } else {
+            drive_chain(fns, deeper_stages, &p, deeper_logs, out);
+        }
+    };
+    apply_narrow(fns, transform, r, &mut sink);
+    log_k.outputs_per_input.push(n_out);
+}
+
+/// Record-level semantics of the narrow transformations: feed every output
+/// record for input `r` to `sink`, in order. Sink style keeps the hot path
+/// free of a per-record `Vec` allocation (map/filter produce at most one
+/// output).
+fn apply_narrow(fns: &FnTable, transform: &Transform, r: &Payload, sink: &mut dyn FnMut(Payload)) {
     match transform {
         Transform::Map(f) => match fns.get(*f) {
-            UserFn::Map(f) => vec![f(r)],
+            UserFn::Map(f) => sink(f(r)),
             other => panic!("map expects a map function, got {other:?}"),
         },
         Transform::MapValues(f) => match fns.get(*f) {
             UserFn::Map(f) => match r.as_pair() {
-                Some((k, v)) => vec![Payload::Pair(Box::new(k.clone()), Box::new(f(v)))],
-                None => vec![f(r)],
+                Some((k, v)) => sink(Payload::pair(k.clone(), f(v))),
+                None => sink(f(r)),
             },
             other => panic!("mapValues expects a map function, got {other:?}"),
         },
         Transform::FlatMap(f) => match fns.get(*f) {
-            UserFn::FlatMap(f) => f(r),
-            UserFn::Map(f) => vec![f(r)],
+            UserFn::FlatMap(f) => {
+                for p in f(r) {
+                    sink(p);
+                }
+            }
+            UserFn::Map(f) => sink(f(r)),
             other => panic!("flatMap expects a flatMap function, got {other:?}"),
         },
         Transform::Filter(f) => match fns.get(*f) {
             UserFn::Filter(f) => {
                 if f(r) {
-                    vec![r.clone()]
-                } else {
-                    vec![]
+                    sink(r.clone());
                 }
             }
             other => panic!("filter expects a filter function, got {other:?}"),
         },
         Transform::Values => match r.as_pair() {
-            Some((_, v)) => vec![v.clone()],
-            None => vec![r.clone()],
+            Some((_, v)) => sink(v.clone()),
+            None => sink(r.clone()),
         },
         Transform::Keys => match r.as_pair() {
-            Some((k, _)) => vec![k.clone()],
-            None => vec![r.clone()],
+            Some((k, _)) => sink(k.clone()),
+            None => sink(r.clone()),
         },
         Transform::Sample { fraction, seed } => {
             // Deterministic Bernoulli: hash the record with the seed.
             let h = r.fingerprint() ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
             let u = (h >> 11) as f64 / (1u64 << 53) as f64;
             if u < *fraction {
-                vec![r.clone()]
-            } else {
-                vec![]
+                sink(r.clone());
             }
         }
         wide => panic!("{} is not narrow", wide.name()),

@@ -22,7 +22,7 @@ mod rdd;
 mod runtime;
 mod shuffle;
 
-pub use data::DataRegistry;
+pub use data::{DataRegistry, InternTable};
 pub use engine::{ActionResult, Engine, EngineConfig, ExecStats, RunOutcome};
 pub use rdd::{MatData, RddId, RddNode, RddOp};
 pub use runtime::MemoryRuntime;

@@ -72,7 +72,14 @@ pub struct RddNode {
 impl RddNode {
     /// Create an unmaterialized node.
     pub fn new(id: RddId, op: RddOp) -> Self {
-        RddNode { id, op, label: None, persisted: None, tag: None, materialized: None }
+        RddNode {
+            id,
+            op,
+            label: None,
+            persisted: None,
+            tag: None,
+            materialized: None,
+        }
     }
 
     /// Merge a tag into the node (DRAM wins conflicts).
@@ -121,7 +128,10 @@ mod tests {
         assert!(src.parents().is_empty());
         let shuffled = RddNode::new(
             RddId(1),
-            RddOp::Transformed { transform: Transform::GroupByKey, parents: vec![RddId(0)] },
+            RddOp::Transformed {
+                transform: Transform::GroupByKey,
+                parents: vec![RddId(0)],
+            },
         );
         assert!(shuffled.is_wide());
         assert_eq!(shuffled.parents(), &[RddId(0)]);

@@ -8,13 +8,68 @@
 use mheap::{Key, Payload};
 use sparklang::{FnTable, FuncId, Transform, UserFn};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash-style multiplicative hasher: one rotate-xor-multiply per 8-byte
+/// word. Shuffle keys are one or two words, so this is a handful of
+/// instructions per insert versus SipHash's full rounds — and unlike
+/// `RandomState` it is deterministic across processes, which keeps bucket
+/// iteration order (and therefore simulated cost) reproducible.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.write_u64(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(FX_SEED);
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// Deterministic build-hasher for shuffle-side hash maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// Map-side output grouped by key, in first-appearance order (kept
 /// deterministic for reproducible runs).
 #[derive(Debug, Clone, Default)]
 pub struct Buckets {
     order: Vec<Key>,
-    by_key: HashMap<Key, Vec<Payload>>,
+    by_key: HashMap<Key, Vec<Payload>, FxBuildHasher>,
 }
 
 impl Buckets {
@@ -51,7 +106,9 @@ impl Buckets {
 
     /// Iterate `(key, records)` in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (Key, &[Payload])> + '_ {
-        self.order.iter().map(move |k| (*k, self.by_key[k].as_slice()))
+        self.order
+            .iter()
+            .map(move |k| (*k, self.by_key[k].as_slice()))
     }
 }
 
@@ -110,7 +167,7 @@ fn reduce_by_key(fns: &FnTable, f: FuncId, buckets: &Buckets) -> Vec<Payload> {
         for r in &records[1..] {
             acc = combine(&acc, &value_of(r));
         }
-        out.push(Payload::Pair(Box::new(key_payload(&records[0])), Box::new(acc)));
+        out.push(Payload::pair(key_payload(&records[0]), acc));
     }
     out
 }
@@ -120,7 +177,7 @@ fn group_by_key(buckets: &Buckets) -> Vec<Payload> {
         .iter()
         .map(|(_, records)| {
             let values: Vec<Payload> = records.iter().map(value_of).collect();
-            Payload::Pair(Box::new(key_payload(&records[0])), Box::new(Payload::List(values)))
+            Payload::pair(key_payload(&records[0]), Payload::list(values))
         })
         .collect()
 }
@@ -141,18 +198,23 @@ fn distinct(buckets: &Buckets) -> Vec<Payload> {
 fn sort_by_key(buckets: &Buckets) -> Vec<Payload> {
     let mut keyed: Vec<(Key, &[Payload])> = buckets.iter().collect();
     keyed.sort_by_key(|(k, _)| *k);
-    keyed.into_iter().flat_map(|(_, records)| records.iter().cloned()).collect()
+    keyed
+        .into_iter()
+        .flat_map(|(_, records)| records.iter().cloned())
+        .collect()
 }
 
 fn join(left: &Buckets, right: &Buckets) -> Vec<Payload> {
     let mut out = Vec::new();
     for (key, lrecords) in left.iter() {
-        let Some(rrecords) = right.by_key.get(&key) else { continue };
+        let Some(rrecords) = right.by_key.get(&key) else {
+            continue;
+        };
         for l in lrecords {
             for r in rrecords {
-                out.push(Payload::Pair(
-                    Box::new(key_payload(l)),
-                    Box::new(Payload::Pair(Box::new(value_of(l)), Box::new(value_of(r)))),
+                out.push(Payload::pair(
+                    key_payload(l),
+                    Payload::pair(value_of(l), value_of(r)),
                 ));
             }
         }
@@ -180,9 +242,7 @@ mod tests {
     #[test]
     fn reduce_by_key_sums() {
         let mut b = ProgramBuilder::new("t");
-        let add = b.reduce_fn(|a, c| {
-            Payload::Long(a.as_long().unwrap() + c.as_long().unwrap())
-        });
+        let add = b.reduce_fn(|a, c| Payload::Long(a.as_long().unwrap() + c.as_long().unwrap()));
         let (_, fns) = b.finish();
         let buckets = bucket(vec![keyed(1, 10), keyed(2, 5), keyed(1, 7)]);
         let out = reduce_side(&Transform::ReduceByKey(add), &fns, &buckets, None);

@@ -22,7 +22,10 @@ impl TestRuntime {
             MemorySystemConfig::with_capacities(666_666, 1_333_334),
         )
         .unwrap();
-        TestRuntime { heap, gc: GcCoordinator::new(Box::new(PantheraPolicy::default())) }
+        TestRuntime {
+            heap,
+            gc: GcCoordinator::new(Box::new(PantheraPolicy::default())),
+        }
     }
 }
 
@@ -44,7 +47,8 @@ impl MemoryRuntime for TestRuntime {
     }
 
     fn alloc_record(&mut self, roots: &RootSet, kind: ObjKind, payload: Payload) -> ObjId {
-        self.gc.alloc_young(&mut self.heap, roots, kind, MemTag::None, vec![], payload)
+        self.gc
+            .alloc_young(&mut self.heap, roots, kind, MemTag::None, vec![], payload)
     }
 
     fn alloc_rdd_array(
@@ -54,7 +58,8 @@ impl MemoryRuntime for TestRuntime {
         slots: usize,
         tag: Option<MemoryTag>,
     ) -> ObjId {
-        self.gc.alloc_rdd_array(&mut self.heap, roots, rdd_id, slots, to_memtag(tag))
+        self.gc
+            .alloc_rdd_array(&mut self.heap, roots, rdd_id, slots, to_memtag(tag))
     }
 
     fn alloc_rdd_top(
@@ -131,14 +136,17 @@ fn filter_and_flatmap() {
     data.register("nums", long_records(&[1, 2, 3, 4, 5]));
     let mut e = engine_with(data, fns);
     let out = e.run(&p, &Default::default());
-    assert_eq!(out.results[0].1.as_count(), Some(6), "3 odd numbers duplicated");
+    assert_eq!(
+        out.results[0].1.as_count(),
+        Some(6),
+        "3 odd numbers duplicated"
+    );
 }
 
 #[test]
 fn reduce_by_key_through_shuffle() {
     let mut b = ProgramBuilder::new("t");
-    let add =
-        b.reduce_fn(|a, c| Payload::Long(a.as_long().unwrap() + c.as_long().unwrap()));
+    let add = b.reduce_fn(|a, c| Payload::Long(a.as_long().unwrap() + c.as_long().unwrap()));
     let src = b.source("pairs");
     let x = b.bind("x", src.reduce_by_key(add));
     b.action(x, ActionKind::Collect);
@@ -158,7 +166,10 @@ fn reduce_by_key_through_shuffle() {
     let collected = out.results[0].1.as_collected().unwrap();
     assert_eq!(
         collected,
-        &[Payload::keyed(1, Payload::Long(15)), Payload::keyed(2, Payload::Long(1))]
+        &[
+            Payload::keyed(1, Payload::Long(15)),
+            Payload::keyed(2, Payload::Long(1))
+        ]
     );
     assert_eq!(out.stats.shuffles, 1);
     assert!(out.stats.shuffle_bytes > 0);
@@ -180,11 +191,17 @@ fn join_distinct_and_union() {
     let mut data = DataRegistry::new();
     data.register(
         "a",
-        vec![Payload::keyed(1, Payload::Long(10)), Payload::keyed(2, Payload::Long(20))],
+        vec![
+            Payload::keyed(1, Payload::Long(10)),
+            Payload::keyed(2, Payload::Long(20)),
+        ],
     );
     data.register(
         "b",
-        vec![Payload::keyed(1, Payload::Long(100)), Payload::keyed(1, Payload::Long(10))],
+        vec![
+            Payload::keyed(1, Payload::Long(100)),
+            Payload::keyed(1, Payload::Long(10)),
+        ],
     );
     let mut e = engine_with(data, fns);
     let out = e.run(&p, &Default::default());
@@ -274,8 +291,7 @@ fn nvm_tagged_rdd_pretenures_in_nvm() {
 fn lineage_backprop_tags_shuffled_rdds() {
     // contribs-like pattern: persist(NVM) of a chain ending in a shuffle.
     let mut b = ProgramBuilder::new("t");
-    let add =
-        b.reduce_fn(|a, c| Payload::Long(a.as_long().unwrap() + c.as_long().unwrap()));
+    let add = b.reduce_fn(|a, c| Payload::Long(a.as_long().unwrap() + c.as_long().unwrap()));
     let keep = b.map_fn(|p| p.clone());
     let src = b.source("pairs");
     let base = b.bind("base", src);
@@ -347,7 +363,10 @@ fn disk_only_persist_touches_no_heap_array() {
     let out = e.run(&p, &analyze(&p).plan);
     assert_eq!(out.results[0].1.as_count(), Some(2));
     let node = e.rdds().iter().find(|n| n.persisted.is_some()).unwrap();
-    assert!(node.materialized.is_none(), "DISK_ONLY stores no heap objects");
+    assert!(
+        node.materialized.is_none(),
+        "DISK_ONLY stores no heap objects"
+    );
 }
 
 #[test]
@@ -383,8 +402,7 @@ fn off_heap_persist_charges_nvm_traffic() {
 fn iterative_program_reclaims_transients() {
     // A loop of shuffles must not leak ShuffledRDD materializations.
     let mut b = ProgramBuilder::new("t");
-    let add =
-        b.reduce_fn(|a, c| Payload::Long(a.as_long().unwrap() + c.as_long().unwrap()));
+    let add = b.reduce_fn(|a, c| Payload::Long(a.as_long().unwrap() + c.as_long().unwrap()));
     let src = b.source("pairs");
     let x = b.bind("x", src);
     b.persist(x, StorageLevel::MemoryOnly);
@@ -397,14 +415,15 @@ fn iterative_program_reclaims_transients() {
     let mut data = DataRegistry::new();
     data.register(
         "pairs",
-        (0..64).map(|i| Payload::keyed(i % 8, Payload::Long(i))).collect(),
+        (0..64)
+            .map(|i| Payload::keyed(i % 8, Payload::Long(i)))
+            .collect(),
     );
     let mut e = engine_with(data, fns);
     let out = e.run(&p, &Default::default());
     assert_eq!(out.stats.shuffles, 5);
     // Only the persisted x should still be materialized.
-    let live_mats =
-        e.rdds().iter().filter(|n| n.materialized.is_some()).count();
+    let live_mats = e.rdds().iter().filter(|n| n.materialized.is_some()).count();
     assert_eq!(live_mats, 1);
     // And a GC drops everything not reachable from x's top.
     let mat = e
@@ -428,8 +447,7 @@ fn iterative_program_reclaims_transients() {
 #[test]
 fn reduce_action_folds() {
     let mut b = ProgramBuilder::new("t");
-    let add =
-        b.reduce_fn(|a, c| Payload::Long(a.as_long().unwrap() + c.as_long().unwrap()));
+    let add = b.reduce_fn(|a, c| Payload::Long(a.as_long().unwrap() + c.as_long().unwrap()));
     let src = b.source("nums");
     let x = b.bind("x", src);
     b.action(x, ActionKind::Reduce(add));
@@ -530,8 +548,7 @@ fn serialized_form_is_smaller_than_deserialized() {
 fn serialized_results_match_deserialized() {
     let run_level = |level: StorageLevel| {
         let mut b = ProgramBuilder::new("t");
-        let add =
-            b.reduce_fn(|a, c| Payload::Long(a.as_long().unwrap() + c.as_long().unwrap()));
+        let add = b.reduce_fn(|a, c| Payload::Long(a.as_long().unwrap() + c.as_long().unwrap()));
         let src = b.source("pairs");
         let x = b.bind("x", src.reduce_by_key(add));
         let y = b.bind("y", b.var(x).values());
@@ -541,7 +558,9 @@ fn serialized_results_match_deserialized() {
         let mut data = DataRegistry::new();
         data.register(
             "pairs",
-            (0..64).map(|i| Payload::keyed(i % 8, Payload::Long(i))).collect(),
+            (0..64)
+                .map(|i| Payload::keyed(i % 8, Payload::Long(i)))
+                .collect(),
         );
         let mut e = engine_with(data, fns);
         e.run(&p, &Default::default()).results
@@ -605,8 +624,7 @@ fn sample_is_deterministic_and_proportional() {
 #[test]
 fn empty_source_flows_through_everything() {
     let mut b = ProgramBuilder::new("t");
-    let add =
-        b.reduce_fn(|a, c| Payload::Long(a.as_long().unwrap() + c.as_long().unwrap()));
+    let add = b.reduce_fn(|a, c| Payload::Long(a.as_long().unwrap() + c.as_long().unwrap()));
     let keep = b.map_fn(|p| p.clone());
     let src = b.source("empty");
     let x = b.bind("x", src.map(keep).distinct().reduce_by_key(add));
@@ -668,7 +686,7 @@ fn diamond_lineage_reuses_one_materialization() {
     let mut b = ProgramBuilder::new("t");
     let swap = b.map_fn(|r| {
         let (k, v) = r.as_pair().unwrap();
-        Payload::Pair(Box::new(v.clone()), Box::new(k.clone()))
+        Payload::pair(v.clone(), k.clone())
     });
     let src = b.source("pairs");
     let base = b.bind("base", src);
@@ -680,7 +698,10 @@ fn diamond_lineage_reuses_one_materialization() {
     let mut data = DataRegistry::new();
     data.register(
         "pairs",
-        vec![Payload::keyed(1, Payload::Long(2)), Payload::keyed(2, Payload::Long(1))],
+        vec![
+            Payload::keyed(1, Payload::Long(2)),
+            Payload::keyed(2, Payload::Long(1)),
+        ],
     );
     let mut e = engine_with(data, fns);
     let out = e.run(&p, &Default::default());
@@ -736,7 +757,10 @@ fn tiny_engine(data: DataRegistry, fns: sparklang::FnTable) -> Engine<TestRuntim
         MemorySystemConfig::with_capacities(133_333, 266_667),
     )
     .unwrap();
-    let rt = TestRuntime { heap, gc: GcCoordinator::new(Box::new(PantheraPolicy::default())) };
+    let rt = TestRuntime {
+        heap,
+        gc: GcCoordinator::new(Box::new(PantheraPolicy::default())),
+    };
     Engine::new(rt, fns, data)
 }
 
@@ -762,7 +786,9 @@ fn memory_pressure_spills_memory_and_disk_blocks() {
     for i in 0..3 {
         data.register(
             &format!("s{i}"),
-            (0..900).map(|k| Payload::keyed(k, Payload::Doubles(vec![i as f64; 24]))).collect(),
+            (0..900)
+                .map(|k| Payload::keyed(k, Payload::doubles(vec![i as f64; 24])))
+                .collect(),
         );
     }
     let mut e = tiny_engine(data, fns);
@@ -792,7 +818,9 @@ fn memory_only_blocks_are_dropped_and_recomputed() {
     for i in 0..4 {
         data.register(
             &format!("s{i}"),
-            (0..650).map(|k| Payload::keyed(k, Payload::Doubles(vec![i as f64; 16]))).collect(),
+            (0..650)
+                .map(|k| Payload::keyed(k, Payload::doubles(vec![i as f64; 16])))
+                .collect(),
         );
     }
     let mut e = tiny_engine(data, fns);

@@ -23,7 +23,9 @@ pub fn naive_bayes(
     let explode = b.flat_map_fn(move |r| {
         let (label, words) = r.as_pair().expect("(label, words)");
         let label = label.as_long().expect("label");
-        let Payload::Longs(words) = words else { panic!("expected word ids") };
+        let Payload::Longs(words) = words else {
+            panic!("expected word ids")
+        };
         words
             .iter()
             .map(|w| Payload::keyed(label * vocab_i + w, Payload::Long(1)))
@@ -32,11 +34,10 @@ pub fn naive_bayes(
     // (label, words) -> (label, 1): class priors.
     let label_one = b.map_fn(|r| {
         let (label, _) = r.as_pair().expect("(label, words)");
-        Payload::Pair(Box::new(label.clone()), Box::new(Payload::Long(1)))
+        Payload::pair(label.clone(), Payload::Long(1))
     });
-    let add = b.reduce_fn(|a, c| {
-        Payload::Long(a.as_long().expect("count") + c.as_long().expect("count"))
-    });
+    let add = b
+        .reduce_fn(|a, c| Payload::Long(a.as_long().expect("count") + c.as_long().expect("count")));
     // Laplace-smoothed log-likelihood per (class, word) cell; applied via
     // mapValues, so it sees the count only.
     let smooth = b.map_fn(move |count| {
@@ -48,7 +49,10 @@ pub fn naive_bayes(
     let docs = b.bind("docs", src);
     b.persist(docs, StorageLevel::MemoryOnly);
 
-    let counts = b.bind("wordCounts", b.var(docs).flat_map(explode).reduce_by_key(add));
+    let counts = b.bind(
+        "wordCounts",
+        b.var(docs).flat_map(explode).reduce_by_key(add),
+    );
     b.persist(counts, StorageLevel::MemoryOnly);
     let model = b.bind("model", b.var(counts).map_values(smooth));
     b.action(model, ActionKind::Count);
@@ -58,7 +62,10 @@ pub fn naive_bayes(
 
     let (program, fns) = b.finish();
     let mut data = DataRegistry::new();
-    data.register("kdd-2012", labeled_documents(n_docs, vocab, n_labels, words_per_doc, seed));
+    data.register(
+        "kdd-2012",
+        labeled_documents(n_docs, vocab, n_labels, words_per_doc, seed),
+    );
     BuiltWorkload { program, fns, data }
 }
 

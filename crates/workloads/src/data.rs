@@ -10,6 +10,7 @@
 use mheap::Payload;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use sparklet::InternTable;
 
 /// A directed graph as `(src, dst)` pair records, with a skewed
 /// out-degree distribution (sources drawn quadratically toward low ids,
@@ -22,7 +23,10 @@ pub fn power_law_edges(n_vertices: usize, n_edges: usize, seed: u64) -> Vec<Payl
         let u: f64 = rng.random();
         let src = ((u * u) * n_vertices as f64) as i64;
         let dst = rng.random_range(0..n_vertices as i64);
-        out.push(Payload::keyed(src.min(n_vertices as i64 - 1), Payload::Long(dst)));
+        out.push(Payload::keyed(
+            src.min(n_vertices as i64 - 1),
+            Payload::Long(dst),
+        ));
     }
     out
 }
@@ -36,15 +40,24 @@ pub fn power_law_edges_text(
     url_len: u32,
     seed: u64,
 ) -> Vec<Payload> {
+    // URLs go through the deterministic intern table: symbols are dense
+    // first-appearance ids, so equal URLs share one symbol (and one
+    // backing string) while the modelled footprint stays `url_len`.
+    let mut urls = InternTable::new();
     power_law_edges(n_vertices, n_edges, seed)
         .into_iter()
         .map(|e| {
             let (s, d) = e.as_pair().expect("edge pair");
-            let text = |v: &Payload| Payload::Text {
-                sym: v.as_long().expect("vertex") as u64,
-                len: url_len,
+            let mut text = |v: &Payload| {
+                let sym = urls.intern(&format!(
+                    "https://en.wikipedia.org/wiki/v{:07}",
+                    v.as_long().expect("vertex")
+                ));
+                Payload::Text { sym, len: url_len }
             };
-            Payload::Pair(Box::new(text(s)), Box::new(text(d)))
+            let s = text(s);
+            let d = text(d);
+            Payload::pair(s, d)
         })
         .collect()
 }
@@ -72,10 +85,7 @@ pub fn weighted_edges(n_vertices: usize, n_edges: usize, seed: u64) -> Vec<Paylo
         .map(|e| {
             let (k, v) = e.as_pair().expect("edge pair");
             let w: f64 = rng.random_range(1.0..10.0);
-            Payload::Pair(
-                Box::new(k.clone()),
-                Box::new(Payload::Pair(Box::new(v.clone()), Box::new(Payload::Double(w)))),
-            )
+            Payload::pair(k.clone(), Payload::pair(v.clone(), Payload::Double(w)))
         })
         .collect()
 }
@@ -89,9 +99,8 @@ pub fn clustered_points(n: usize, dims: usize, k: usize, seed: u64) -> Vec<Paylo
     (0..n)
         .map(|i| {
             let c = &centres[i % k];
-            let p: Vec<f64> =
-                c.iter().map(|x| x + rng.random_range(-1.0..1.0)).collect();
-            Payload::Doubles(p)
+            let p: Vec<f64> = c.iter().map(|x| x + rng.random_range(-1.0..1.0)).collect();
+            Payload::doubles(p)
         })
         .collect()
 }
@@ -107,7 +116,7 @@ pub fn labeled_points(n: usize, dims: usize, seed: u64) -> Vec<Payload> {
             let dot: f64 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
             let noise: f64 = rng.random_range(-0.1..0.1);
             let y = if dot + noise >= 0.0 { 1 } else { -1 };
-            Payload::Pair(Box::new(Payload::Long(y)), Box::new(Payload::Doubles(x)))
+            Payload::pair(Payload::Long(y), Payload::doubles(x))
         })
         .collect()
 }
@@ -133,7 +142,7 @@ pub fn labeled_documents(
                     ((base + u * u * vocab as f64) as i64) % vocab as i64
                 })
                 .collect();
-            Payload::Pair(Box::new(Payload::Long(label)), Box::new(Payload::Longs(words)))
+            Payload::pair(Payload::Long(label), Payload::longs(words))
         })
         .collect()
 }
@@ -185,7 +194,9 @@ mod tests {
     fn points_have_requested_shape() {
         let pts = clustered_points(100, 4, 5, 2);
         assert_eq!(pts.len(), 100);
-        assert!(pts.iter().all(|p| matches!(p, Payload::Doubles(v) if v.len() == 4)));
+        assert!(pts
+            .iter()
+            .all(|p| matches!(p, Payload::Doubles(v) if v.len() == 4)));
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub fn connected_components(
     // (src, (dst, label)) -> (dst, label): send my label to my neighbour.
     let to_msg = b.map_fn(|r| {
         let (dst, label) = r.as_pair().expect("(dst, label)");
-        Payload::Pair(Box::new(dst.clone()), Box::new(label.clone()))
+        Payload::pair(dst.clone(), label.clone())
     });
     let min_label = b.reduce_fn(|a, c| {
         Payload::Long(a.as_long().expect("label").min(c.as_long().expect("label")))
@@ -97,7 +97,10 @@ pub fn connected_components(
 
     let (program, fns) = b.finish();
     let mut data = DataRegistry::new();
-    data.register("wikipedia-graph", symmetric_edges(n_vertices, n_edges, seed));
+    data.register(
+        "wikipedia-graph",
+        symmetric_edges(n_vertices, n_edges, seed),
+    );
     BuiltWorkload { program, fns, data }
 }
 
@@ -120,9 +123,9 @@ pub fn sssp(n_vertices: usize, n_edges: usize, supersteps: u32, seed: u64) -> Bu
         let (dst, w) = dw.as_pair().expect("(dst, w)");
         let d = dist.as_double().expect("dist");
         let w = w.as_double().expect("weight");
-        Payload::Pair(
-            Box::new(dst.clone()),
-            Box::new(Payload::Double(if d >= INF { INF } else { d + w })),
+        Payload::pair(
+            dst.clone(),
+            Payload::Double(if d >= INF { INF } else { d + w }),
         )
     });
     let min_dist = b.reduce_fn(|a, c| {
@@ -144,7 +147,10 @@ pub fn sssp(n_vertices: usize, n_edges: usize, supersteps: u32, seed: u64) -> Bu
 
     let (program, fns) = b.finish();
     let mut data = DataRegistry::new();
-    data.register("wikipedia-weighted", weighted_edges(n_vertices, n_edges, seed));
+    data.register(
+        "wikipedia-weighted",
+        weighted_edges(n_vertices, n_edges, seed),
+    );
     BuiltWorkload { program, fns, data }
 }
 

@@ -54,7 +54,10 @@ pub fn hashjoin_input(
                 .collect()
         })
         .collect();
-    HashJoinInput { build, probe_partitions }
+    HashJoinInput {
+        build,
+        probe_partitions,
+    }
 }
 
 /// Outcome of a HashJoin run.
@@ -173,10 +176,14 @@ mod tests {
     #[test]
     fn kingsguard_nursery_pays_nvm_probes() {
         let input = input();
-        let kn =
-            run_hashjoin(&input, &SystemConfig::new(MemoryMode::KingsguardNursery, 8 * SIM_GB, 1.0 / 3.0));
-        let pan =
-            run_hashjoin(&input, &SystemConfig::new(MemoryMode::Panthera, 8 * SIM_GB, 1.0 / 3.0));
+        let kn = run_hashjoin(
+            &input,
+            &SystemConfig::new(MemoryMode::KingsguardNursery, 8 * SIM_GB, 1.0 / 3.0),
+        );
+        let pan = run_hashjoin(
+            &input,
+            &SystemConfig::new(MemoryMode::Panthera, 8 * SIM_GB, 1.0 / 3.0),
+        );
         assert!(
             kn.report.elapsed_s > pan.report.elapsed_s,
             "KN probes the build table in NVM and pays latency: {} vs {}",

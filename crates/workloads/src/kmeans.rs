@@ -26,7 +26,7 @@ pub fn kmeans(n_points: usize, dims: usize, k: usize, iters: u32, seed: u64) -> 
     let init: Vec<Vec<f64>> = points[..k]
         .iter()
         .map(|p| match p {
-            Payload::Doubles(v) => v.clone(),
+            Payload::Doubles(v) => v.as_ref().clone(),
             other => panic!("expected point, got {other:?}"),
         })
         .collect();
@@ -35,7 +35,9 @@ pub fn kmeans(n_points: usize, dims: usize, k: usize, iters: u32, seed: u64) -> 
     let assign = {
         let centres = Rc::clone(&centres);
         b.map_fn(move |p| {
-            let Payload::Doubles(x) = p else { panic!("expected point, got {p:?}") };
+            let Payload::Doubles(x) = p else {
+                panic!("expected point, got {p:?}")
+            };
             let cs = centres.borrow();
             let (best, _) = cs
                 .iter()
@@ -43,13 +45,11 @@ pub fn kmeans(n_points: usize, dims: usize, k: usize, iters: u32, seed: u64) -> 
                 .map(|(i, c)| (i, squared_distance(x, c)))
                 .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("k > 0");
-            // (cluster, (sum_vector, count))
+            // (cluster, (sum_vector, count)); the sum vector shares the
+            // cached point's storage until a reduce replaces it.
             Payload::keyed(
                 best as i64,
-                Payload::Pair(
-                    Box::new(Payload::Doubles(x.clone())),
-                    Box::new(Payload::Long(1)),
-                ),
+                Payload::pair(Payload::Doubles(x.clone()), Payload::Long(1)),
             )
         })
     };
@@ -59,12 +59,10 @@ pub fn kmeans(n_points: usize, dims: usize, k: usize, iters: u32, seed: u64) -> 
         let (Payload::Doubles(va), Payload::Doubles(vc)) = (va, vc) else {
             panic!("expected vector sums");
         };
-        let sum: Vec<f64> = va.iter().zip(vc).map(|(x, y)| x + y).collect();
-        Payload::Pair(
-            Box::new(Payload::Doubles(sum)),
-            Box::new(Payload::Long(
-                na.as_long().expect("count") + nc.as_long().expect("count"),
-            )),
+        let sum: Vec<f64> = va.iter().zip(vc.iter()).map(|(x, y)| x + y).collect();
+        Payload::pair(
+            Payload::doubles(sum),
+            Payload::Long(na.as_long().expect("count") + nc.as_long().expect("count")),
         )
     });
     let update = {
@@ -72,12 +70,14 @@ pub fn kmeans(n_points: usize, dims: usize, k: usize, iters: u32, seed: u64) -> 
         b.map_fn(move |r| {
             let (cluster, sum_count) = r.as_pair().expect("(cluster, (sum, count))");
             let (sum, count) = sum_count.as_pair().expect("(sum, count)");
-            let Payload::Doubles(sum) = sum else { panic!("expected sum vector") };
+            let Payload::Doubles(sum) = sum else {
+                panic!("expected sum vector")
+            };
             let n = count.as_long().expect("count").max(1) as f64;
             let centre: Vec<f64> = sum.iter().map(|x| x / n).collect();
             let idx = cluster.as_long().expect("cluster") as usize;
             centres.borrow_mut()[idx] = centre.clone();
-            Payload::keyed(idx as i64, Payload::Doubles(centre))
+            Payload::keyed(idx as i64, Payload::doubles(centre))
         })
     };
 
@@ -107,7 +107,15 @@ mod tests {
     fn cached_points_are_dram() {
         let w = kmeans(100, 4, 3, 2, 1);
         let tags = infer_tags(&w.program);
-        assert_eq!(tags.tag(VarId(0)), Some(MemoryTag::Dram), "points used-only");
-        assert_eq!(tags.tag(VarId(1)), Some(MemoryTag::Nvm), "centres defined in loop");
+        assert_eq!(
+            tags.tag(VarId(0)),
+            Some(MemoryTag::Dram),
+            "points used-only"
+        );
+        assert_eq!(
+            tags.tag(VarId(1)),
+            Some(MemoryTag::Nvm),
+            "centres defined in loop"
+        );
     }
 }

@@ -40,8 +40,8 @@ mod wordcount;
 
 pub use bayes::naive_bayes;
 pub use data::{
-    clustered_points, labeled_documents, labeled_points, power_law_edges,
-    power_law_edges_text, symmetric_edges, weighted_edges,
+    clustered_points, labeled_documents, labeled_points, power_law_edges, power_law_edges_text,
+    symmetric_edges, weighted_edges,
 };
 pub use graphx::{connected_components, sssp};
 pub use hashjoin::{hashjoin_input, run_hashjoin, HashJoinInput, HashJoinOutcome};

@@ -11,12 +11,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Build logistic regression over synthetic labeled points.
-pub fn logistic_regression(
-    n_points: usize,
-    dims: usize,
-    iters: u32,
-    seed: u64,
-) -> BuiltWorkload {
+pub fn logistic_regression(n_points: usize, dims: usize, iters: u32, seed: u64) -> BuiltWorkload {
     let mut b = ProgramBuilder::new("logistic-regression");
     let weights = Rc::new(RefCell::new(vec![0.0f64; dims]));
     const LEARNING_RATE: f64 = 0.1;
@@ -26,30 +21,34 @@ pub fn logistic_regression(
         b.map_fn(move |r| {
             let (y, x) = r.as_pair().expect("(label, features)");
             let y = y.as_long().expect("label") as f64;
-            let Payload::Doubles(x) = x else { panic!("expected features") };
+            let Payload::Doubles(x) = x else {
+                panic!("expected features")
+            };
             let w = weights.borrow();
-            let margin: f64 = w.iter().zip(x).map(|(wi, xi)| wi * xi).sum();
+            let margin: f64 = w.iter().zip(x.iter()).map(|(wi, xi)| wi * xi).sum();
             let scale = (1.0 / (1.0 + (-y * margin).exp()) - 1.0) * y;
             let g: Vec<f64> = x.iter().map(|xi| xi * scale).collect();
-            Payload::keyed(0, Payload::Doubles(g))
+            Payload::keyed(0, Payload::doubles(g))
         })
     };
     let add_vec = b.reduce_fn(|a, c| {
         let (Payload::Doubles(a), Payload::Doubles(c)) = (a, c) else {
             panic!("expected gradient vectors");
         };
-        Payload::Doubles(a.iter().zip(c).map(|(x, y)| x + y).collect())
+        Payload::doubles(a.iter().zip(c.iter()).map(|(x, y)| x + y).collect())
     });
     let apply = {
         let weights = Rc::clone(&weights);
         b.map_fn(move |r| {
             let (_, g) = r.as_pair().expect("(0, gradient)");
-            let Payload::Doubles(g) = g else { panic!("expected gradient") };
+            let Payload::Doubles(g) = g else {
+                panic!("expected gradient")
+            };
             let mut w = weights.borrow_mut();
-            for (wi, gi) in w.iter_mut().zip(g) {
+            for (wi, gi) in w.iter_mut().zip(g.iter()) {
                 *wi -= LEARNING_RATE * gi;
             }
-            Payload::Doubles(w.clone())
+            Payload::doubles(w.clone())
         })
     };
 

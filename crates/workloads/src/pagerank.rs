@@ -27,12 +27,7 @@ pub fn pagerank(n_vertices: usize, n_edges: usize, iters: u32, seed: u64) -> Bui
             Payload::List(urls) => {
                 let size = urls.len().max(1) as f64;
                 urls.iter()
-                    .map(|u| {
-                        Payload::Pair(
-                            Box::new(u.clone()),
-                            Box::new(Payload::Double(rank / size)),
-                        )
-                    })
+                    .map(|u| Payload::pair(u.clone(), Payload::Double(rank / size)))
                     .collect()
             }
             other => panic!("expected adjacency list, got {other:?}"),
@@ -67,7 +62,10 @@ pub fn pagerank(n_vertices: usize, n_edges: usize, iters: u32, seed: u64) -> Bui
 
     let (program, fns) = b.finish();
     let mut data = DataRegistry::new();
-    data.register("wikipedia-links", power_law_edges_text(n_vertices, n_edges, URL_LEN, seed));
+    data.register(
+        "wikipedia-links",
+        power_law_edges_text(n_vertices, n_edges, URL_LEN, seed),
+    );
     BuiltWorkload { program, fns, data }
 }
 

@@ -21,12 +21,12 @@ pub fn transitive_closure(
     // (x, y) -> (y, x): key paths by their endpoint for the join.
     let swap = b.map_fn(|r| {
         let (x, y) = r.as_pair().expect("(x, y)");
-        Payload::Pair(Box::new(y.clone()), Box::new(x.clone()))
+        Payload::pair(y.clone(), x.clone())
     });
     // (mid, (x, z)) joined records -> (x, z) paths.
     let to_path = b.map_fn(|r| {
         let (x, z) = r.as_pair().expect("(x, z)");
-        Payload::Pair(Box::new(x.clone()), Box::new(z.clone()))
+        Payload::pair(x.clone(), z.clone())
     });
 
     let src = b.source("notre-dame");
@@ -36,8 +36,7 @@ pub fn transitive_closure(
     b.loop_n(iters, |b| {
         // tc = tc.union(tc.map(swap).join(edges).values.map(toPath))
         //        .distinct()
-        let grown =
-            b.var(tc).map(swap).join(b.var(edges)).values().map(to_path);
+        let grown = b.var(tc).map(swap).join(b.var(edges)).values().map(to_path);
         let e = b.var(tc).union(grown).distinct();
         b.rebind(tc, e);
         b.persist(tc, StorageLevel::MemoryOnly);
@@ -62,6 +61,10 @@ mod tests {
         let w = transitive_closure(40, 80, 3, 1);
         let tags = infer_tags(&w.program);
         assert_eq!(tags.tag(VarId(0)), Some(MemoryTag::Dram), "edges used-only");
-        assert_eq!(tags.tag(VarId(1)), Some(MemoryTag::Nvm), "tc redefined per iter");
+        assert_eq!(
+            tags.tag(VarId(1)),
+            Some(MemoryTag::Nvm),
+            "tc redefined per iter"
+        );
     }
 }

@@ -12,23 +12,22 @@ use sparklang::{ActionKind, ProgramBuilder, StorageLevel};
 use sparklet::DataRegistry;
 
 /// Build WordCount over synthetic documents.
-pub fn wordcount(
-    n_docs: usize,
-    vocab: usize,
-    words_per_doc: usize,
-    seed: u64,
-) -> BuiltWorkload {
+pub fn wordcount(n_docs: usize, vocab: usize, words_per_doc: usize, seed: u64) -> BuiltWorkload {
     let mut b = ProgramBuilder::new("wordcount");
 
     // (label, words) -> one (word, 1) pair per word.
     let explode = b.flat_map_fn(|r| {
         let (_, words) = r.as_pair().expect("(label, words)");
-        let Payload::Longs(words) = words else { panic!("expected word ids") };
-        words.iter().map(|w| Payload::keyed(*w, Payload::Long(1))).collect()
+        let Payload::Longs(words) = words else {
+            panic!("expected word ids")
+        };
+        words
+            .iter()
+            .map(|w| Payload::keyed(*w, Payload::Long(1)))
+            .collect()
     });
-    let add = b.reduce_fn(|a, c| {
-        Payload::Long(a.as_long().expect("count") + c.as_long().expect("count"))
-    });
+    let add = b
+        .reduce_fn(|a, c| Payload::Long(a.as_long().expect("count") + c.as_long().expect("count")));
 
     let src = b.source("documents");
     let docs = b.bind("docs", src);
@@ -44,7 +43,10 @@ pub fn wordcount(
 
     let (program, fns) = b.finish();
     let mut data = DataRegistry::new();
-    data.register("documents", labeled_documents(n_docs, vocab, 2, words_per_doc, seed));
+    data.register(
+        "documents",
+        labeled_documents(n_docs, vocab, 2, words_per_doc, seed),
+    );
     BuiltWorkload { program, fns, data }
 }
 
@@ -79,7 +81,7 @@ mod tests {
         for d in &docs {
             let (_, words) = d.as_pair().unwrap();
             if let Payload::Longs(ws) = words {
-                for w in ws {
+                for w in ws.iter() {
                     *expect.entry(*w).or_insert(0) += 1;
                 }
             }

@@ -78,8 +78,10 @@ fn cc_matches_union_find() {
         let e = min_label.entry(root).or_insert(*v);
         *e = (*e).min(*v);
     }
-    let expect: BTreeMap<i64, i64> =
-        present.iter().map(|v| (*v, min_label[&uf.find(*v as usize)])).collect();
+    let expect: BTreeMap<i64, i64> = present
+        .iter()
+        .map(|v| (*v, min_label[&uf.find(*v as usize)]))
+        .collect();
 
     let got: BTreeMap<i64, i64> = labels
         .iter()
@@ -88,7 +90,10 @@ fn cc_matches_union_find() {
             (v.as_long().unwrap(), l.as_long().unwrap())
         })
         .collect();
-    assert_eq!(got, expect, "connected-components labels diverge from union-find");
+    assert_eq!(
+        got, expect,
+        "connected-components labels diverge from union-find"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -109,7 +114,11 @@ fn sssp_matches_dijkstra() {
     for e in &raw {
         let (s, dw) = e.as_pair().unwrap();
         let (d, wgt) = dw.as_pair().unwrap();
-        let (s, d, wgt) = (s.as_long().unwrap(), d.as_long().unwrap(), wgt.as_double().unwrap());
+        let (s, d, wgt) = (
+            s.as_long().unwrap(),
+            d.as_long().unwrap(),
+            wgt.as_double().unwrap(),
+        );
         adj.entry(s).or_default().push((d, wgt));
         present.insert(s);
         present.insert(d);
@@ -161,8 +170,9 @@ fn tc_matches_bounded_reachability() {
 
     // The loop grows paths by one edge per iteration: after k iterations,
     // tc holds pairs (x, z) connected by a path of 1..=k+1 edges.
-    let edges: BTreeSet<(i64, i64)> =
-        edge_pairs(&power_law_edges(n, m, SEED)).into_iter().collect();
+    let edges: BTreeSet<(i64, i64)> = edge_pairs(&power_law_edges(n, m, SEED))
+        .into_iter()
+        .collect();
     let mut closure: BTreeSet<(i64, i64)> = edges.clone();
     for _ in 0..iters {
         let grown: BTreeSet<(i64, i64)> = closure
@@ -176,7 +186,11 @@ fn tc_matches_bounded_reachability() {
             .collect();
         closure.extend(grown);
     }
-    assert_eq!(count, closure.len() as u64, "transitive closure size diverges");
+    assert_eq!(
+        count,
+        closure.len() as u64,
+        "transitive closure size diverges"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -194,8 +208,9 @@ fn pagerank_count_matches_reference() {
     // grouped by src; ranks_0 = 1.0 for every src; each iteration spreads
     // rank/deg along links for srcs present in ranks, then ranks = damped
     // sums keyed by dst. The final count is |ranks_iters|.
-    let edges: BTreeSet<(i64, i64)> =
-        edge_pairs(&power_law_edges(n, m, SEED)).into_iter().collect();
+    let edges: BTreeSet<(i64, i64)> = edge_pairs(&power_law_edges(n, m, SEED))
+        .into_iter()
+        .collect();
     let mut links: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
     for (s, d) in &edges {
         links.entry(*s).or_default().push(*d);
@@ -211,7 +226,10 @@ fn pagerank_count_matches_reference() {
                 }
             }
         }
-        ranks = contribs.into_iter().map(|(d, c)| (d, 0.15 + 0.85 * c)).collect();
+        ranks = contribs
+            .into_iter()
+            .map(|(d, c)| (d, 0.15 + 0.85 * c))
+            .collect();
     }
     assert_eq!(count, ranks.len() as u64, "pagerank rank-set size diverges");
 }
@@ -237,12 +255,16 @@ fn bayes_priors_and_cells_match() {
         let l = l.as_long().unwrap();
         *label_counts.entry(l).or_insert(0) += 1;
         if let Payload::Longs(ws) = ws {
-            for w in ws {
+            for w in ws.iter() {
                 cells.insert(l * vocab as i64 + w);
             }
         }
     }
-    assert_eq!(model_cells, cells.len() as u64, "distinct (class, word) cells");
+    assert_eq!(
+        model_cells,
+        cells.len() as u64,
+        "distinct (class, word) cells"
+    );
     let got: BTreeMap<i64, i64> = priors
         .iter()
         .map(|r| {
@@ -263,8 +285,7 @@ fn every_workload_program_roundtrips_through_text() {
     for id in workloads::WorkloadId::ALL {
         let w = workloads::build_workload(id, 0.05, SEED);
         let text = Pretty(&w.program).to_string();
-        let reparsed = parse(&text)
-            .unwrap_or_else(|e| panic!("{id}: {e}\n--- source ---\n{text}"));
+        let reparsed = parse(&text).unwrap_or_else(|e| panic!("{id}: {e}\n--- source ---\n{text}"));
         assert_eq!(w.program.stmts, reparsed.stmts, "{id}: AST changed");
         assert_eq!(
             Pretty(&reparsed).to_string(),

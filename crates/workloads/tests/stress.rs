@@ -76,9 +76,7 @@ const LEVELS: [StorageLevel; 4] = [
 /// A group value (list) reduced to something comparable and keyable.
 fn normalize(p: &Payload) -> Payload {
     match p {
-        Payload::Pair(k, v) => {
-            Payload::Pair(Box::new(normalize(k)), Box::new(normalize(v)))
-        }
+        Payload::Pair(k, v) => Payload::pair(normalize(k), normalize(v)),
         Payload::List(items) => Payload::Long(items.len() as i64),
         other => other.clone(),
     }
@@ -88,16 +86,11 @@ fn build(pipe: &Pipeline) -> (Program, FnTable, DataRegistry) {
     let mut b = ProgramBuilder::new("stress");
     let add_one = b.map_fn(|r| {
         let (k, v) = r.as_pair().expect("pair");
-        Payload::Pair(
-            Box::new(k.clone()),
-            Box::new(Payload::Long(v.as_long().unwrap_or(0) + 1)),
-        )
+        Payload::pair(k.clone(), Payload::Long(v.as_long().unwrap_or(0) + 1))
     });
     let double = b.map_fn(|v| Payload::Long(v.as_long().unwrap_or(1) * 2));
     let dup = b.flat_map_fn(|r| vec![r.clone(), r.clone()]);
-    let even = b.filter_fn(|r| {
-        r.as_pair().and_then(|(k, _)| k.as_long()).unwrap_or(0) % 2 == 0
-    });
+    let even = b.filter_fn(|r| r.as_pair().and_then(|(k, _)| k.as_long()).unwrap_or(0) % 2 == 0);
     let sum = b.reduce_fn(|a, c| {
         // Values may be longs or grouped lists; count lists as lengths.
         let x = match a {
@@ -111,8 +104,11 @@ fn build(pipe: &Pipeline) -> (Program, FnTable, DataRegistry) {
         Payload::Long(x + y)
     });
     let key_self = b.map_fn(|r| {
-        let k = r.as_pair().map(|(k, _)| k.clone()).unwrap_or_else(|| r.clone());
-        Payload::Pair(Box::new(k.clone()), Box::new(k))
+        let k = r
+            .as_pair()
+            .map(|(k, _)| k.clone())
+            .unwrap_or_else(|| r.clone());
+        Payload::pair(k.clone(), k)
     });
     // groupByKey produces list values the next steps can't always digest:
     // normalize after every step to keep the pipeline total.

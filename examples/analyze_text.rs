@@ -30,7 +30,11 @@ program text-demo {
 
 fn main() {
     let program = parse(SOURCE).expect("the program parses");
-    println!("parsed `{}` with {} variables", program.name, program.n_vars());
+    println!(
+        "parsed `{}` with {} variables",
+        program.name,
+        program.n_vars()
+    );
     println!();
 
     // Static analysis on the parsed program.
@@ -61,7 +65,9 @@ fn main() {
     let mut data = DataRegistry::new();
     data.register(
         "pairs",
-        (0..2_000).map(|i| Payload::keyed(i % 50, Payload::Long(i))).collect(),
+        (0..2_000)
+            .map(|i| Payload::keyed(i % 50, Payload::Long(i)))
+            .collect(),
     );
 
     let config = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);

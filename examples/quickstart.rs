@@ -18,9 +18,8 @@ fn main() {
         let v = p.as_long().expect("long record");
         Payload::keyed(v % 10, Payload::Long(v * v))
     });
-    let add = b.reduce_fn(|a, c| {
-        Payload::Long(a.as_long().unwrap_or(0) + c.as_long().unwrap_or(0))
-    });
+    let add =
+        b.reduce_fn(|a, c| Payload::Long(a.as_long().unwrap_or(0) + c.as_long().unwrap_or(0)));
 
     let src = b.source("numbers");
     let nums = b.bind("numbers", src);
@@ -58,9 +57,8 @@ fn main() {
         let v = p.as_long().expect("long record");
         Payload::keyed(v % 10, Payload::Long(v * v))
     });
-    let add = b2.reduce_fn(|a, c| {
-        Payload::Long(a.as_long().unwrap_or(0) + c.as_long().unwrap_or(0))
-    });
+    let add =
+        b2.reduce_fn(|a, c| Payload::Long(a.as_long().unwrap_or(0) + c.as_long().unwrap_or(0)));
     let src = b2.source("numbers");
     let nums = b2.bind("numbers", src);
     b2.persist(nums, StorageLevel::MemoryOnly);

@@ -7,7 +7,7 @@
 //! ```
 
 use panthera_analysis::{analyze, infer_tags};
-use sparklang::{ActionKind, Pretty, ProgramBuilder, Program, StorageLevel};
+use sparklang::{ActionKind, Pretty, Program, ProgramBuilder, StorageLevel};
 
 fn show(title: &str, program: &Program) {
     println!("## {title}");

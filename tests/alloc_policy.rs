@@ -27,7 +27,9 @@ impl Fixture {
 
     /// Build one RDD structure (top + array + one tuple) with `tag`.
     fn rdd(&mut self, tag: MemTag) -> (ObjId, ObjId, ObjId) {
-        let array = self.gc.alloc_rdd_array(&mut self.heap, &self.roots, 1, 512, tag);
+        let array = self
+            .gc
+            .alloc_rdd_array(&mut self.heap, &self.roots, 1, 512, tag);
         let top = self.gc.alloc_young(
             &mut self.heap,
             &self.roots,
@@ -77,7 +79,11 @@ fn dram_tag_row() {
     assert_eq!(f.heap.obj(top).space, f.dram());
     assert_eq!(f.heap.obj(array).space, f.dram());
     assert_eq!(f.heap.obj(tuple).space, f.dram());
-    assert_eq!(f.heap.obj(tuple).tag, MemTag::Dram, "tag propagated to data");
+    assert_eq!(
+        f.heap.obj(tuple).tag,
+        MemTag::Dram,
+        "tag propagated to data"
+    );
 }
 
 #[test]
@@ -120,5 +126,8 @@ fn short_lived_untagged_objects_die_young() {
         Payload::Long(1),
     );
     f.gc.minor_gc(&mut f.heap, &f.roots);
-    assert!(!f.heap.is_live(tuple), "unreferenced intermediate data dies in eden");
+    assert!(
+        !f.heap.is_live(tuple),
+        "unreferenced intermediate data dies in eden"
+    );
 }

@@ -12,22 +12,45 @@ fn run_once(id: WorkloadId, mode: MemoryMode, seed: u64) -> RunReport {
 }
 
 fn assert_identical(a: &RunReport, b: &RunReport, what: &str) {
-    assert_eq!(a.elapsed_s.to_bits(), b.elapsed_s.to_bits(), "{what}: elapsed");
-    assert_eq!(a.mutator_s.to_bits(), b.mutator_s.to_bits(), "{what}: mutator");
-    assert_eq!(a.energy_j().to_bits(), b.energy_j().to_bits(), "{what}: energy");
+    assert_eq!(
+        a.elapsed_s.to_bits(),
+        b.elapsed_s.to_bits(),
+        "{what}: elapsed"
+    );
+    assert_eq!(
+        a.mutator_s.to_bits(),
+        b.mutator_s.to_bits(),
+        "{what}: mutator"
+    );
+    assert_eq!(
+        a.energy_j().to_bits(),
+        b.energy_j().to_bits(),
+        "{what}: energy"
+    );
     assert_eq!(a.gc.minor_count, b.gc.minor_count, "{what}: minor GCs");
     assert_eq!(a.gc.major_count, b.gc.major_count, "{what}: major GCs");
     assert_eq!(a.gc.rdds_migrated, b.gc.rdds_migrated, "{what}: migrations");
-    assert_eq!(a.heap.allocated_bytes, b.heap.allocated_bytes, "{what}: allocation");
+    assert_eq!(
+        a.heap.allocated_bytes, b.heap.allocated_bytes,
+        "{what}: allocation"
+    );
     assert_eq!(a.device_bytes, b.device_bytes, "{what}: traffic");
     assert_eq!(a.monitored_calls, b.monitored_calls, "{what}: monitoring");
 }
 
 #[test]
 fn repeated_runs_are_bit_identical() {
-    for id in [WorkloadId::Pr, WorkloadId::Cc, WorkloadId::Km, WorkloadId::Tc] {
-        for mode in [MemoryMode::Panthera, MemoryMode::Unmanaged, MemoryMode::KingsguardWrites]
-        {
+    for id in [
+        WorkloadId::Pr,
+        WorkloadId::Cc,
+        WorkloadId::Km,
+        WorkloadId::Tc,
+    ] {
+        for mode in [
+            MemoryMode::Panthera,
+            MemoryMode::Unmanaged,
+            MemoryMode::KingsguardWrites,
+        ] {
             let a = run_once(id, mode, 3);
             let b = run_once(id, mode, 3);
             assert_identical(&a, &b, &format!("{id}/{mode}"));
@@ -51,7 +74,9 @@ fn interleaved_chunk_map_is_seeded() {
     let map_of = |seed: u64| -> Vec<DeviceKind> {
         let mut l = PhysicalLayout::new();
         let base = l.add_interleaved("old", 64 << 20, 1 << 20, 1.0 / 3.0, seed);
-        (0..64).map(|i| l.device_of(base.offset(i * (1 << 20)))).collect()
+        (0..64)
+            .map(|i| l.device_of(base.offset(i * (1 << 20))))
+            .collect()
     };
     assert_eq!(map_of(99), map_of(99), "same seed, same map");
     assert_ne!(map_of(99), map_of(100), "different seed, different map");

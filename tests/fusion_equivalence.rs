@@ -1,0 +1,116 @@
+//! Fused narrow-stage execution is an observational no-op: for every
+//! workload, running with [`EngineConfig::fuse_narrow`] on and off yields
+//! identical action results AND a bit-identical simulated report — same
+//! clock, same energy, same GC counts, same allocation totals.
+//!
+//! This is the guard for the zero-copy pipeline rework: fusion changes
+//! *host* execution (no intermediate `Vec<Payload>` per narrow stage) but
+//! must not change anything the simulator can observe, because the fused
+//! path replays the exact per-stage charge sequence the stage-at-a-time
+//! interpreter would have issued.
+
+use panthera::{run_workload_with_engine, MemoryMode, RunReport, SystemConfig, SIM_GB};
+use proptest::prelude::*;
+use sparklet::{ActionResult, EngineConfig, RunOutcome};
+use workloads::{build_workload, WorkloadId};
+
+fn run_once(id: WorkloadId, mode: MemoryMode, seed: u64, fuse: bool) -> (RunReport, RunOutcome) {
+    let w = build_workload(id, 0.08, seed);
+    let cfg = SystemConfig::new(mode, 16 * SIM_GB, 1.0 / 3.0);
+    let ecfg = EngineConfig {
+        fuse_narrow: fuse,
+        ..EngineConfig::default()
+    };
+    run_workload_with_engine(&w.program, w.fns, w.data, &cfg, ecfg)
+}
+
+fn assert_equivalent(id: WorkloadId, mode: MemoryMode, seed: u64) {
+    let (fused_rep, fused_out) = run_once(id, mode, seed, true);
+    let (plain_rep, plain_out) = run_once(id, mode, seed, false);
+    let what = format!("{id}/{mode}/seed{seed}");
+
+    // Observable program results: same actions, same values.
+    assert_eq!(
+        fused_out.results.len(),
+        plain_out.results.len(),
+        "{what}: action count"
+    );
+    for ((fv, fr), (pv, pr)) in fused_out.results.iter().zip(plain_out.results.iter()) {
+        assert_eq!(fv, pv, "{what}: action order");
+        assert_action_eq(fr, pr, &format!("{what}: {fv}"));
+    }
+
+    // Simulated physics: bit-identical.
+    assert_eq!(
+        fused_rep.elapsed_s.to_bits(),
+        plain_rep.elapsed_s.to_bits(),
+        "{what}: elapsed"
+    );
+    assert_eq!(
+        fused_rep.mutator_s.to_bits(),
+        plain_rep.mutator_s.to_bits(),
+        "{what}: mutator"
+    );
+    assert_eq!(
+        fused_rep.energy_j().to_bits(),
+        plain_rep.energy_j().to_bits(),
+        "{what}: energy"
+    );
+    assert_eq!(
+        fused_rep.gc.minor_count, plain_rep.gc.minor_count,
+        "{what}: minor GCs"
+    );
+    assert_eq!(
+        fused_rep.gc.major_count, plain_rep.gc.major_count,
+        "{what}: major GCs"
+    );
+    assert_eq!(
+        fused_rep.heap.allocated_bytes, plain_rep.heap.allocated_bytes,
+        "{what}: allocation"
+    );
+    assert_eq!(
+        fused_rep.device_bytes, plain_rep.device_bytes,
+        "{what}: traffic"
+    );
+}
+
+/// ActionResult comparison that treats floats bit-exactly (NaN-safe).
+fn assert_action_eq(a: &ActionResult, b: &ActionResult, what: &str) {
+    match (a, b) {
+        (ActionResult::Count(x), ActionResult::Count(y)) => {
+            assert_eq!(x, y, "{what}: count");
+        }
+        _ => assert_eq!(a, b, "{what}: result"),
+    }
+}
+
+#[test]
+fn fusion_is_invisible_on_every_workload() {
+    for id in WorkloadId::ALL {
+        assert_equivalent(id, MemoryMode::Panthera, 7);
+    }
+}
+
+#[test]
+fn fusion_is_invisible_across_memory_modes() {
+    for mode in [
+        MemoryMode::Unmanaged,
+        MemoryMode::KingsguardWrites,
+        MemoryMode::Panthera,
+    ] {
+        assert_equivalent(WorkloadId::Pr, mode, 11);
+        assert_equivalent(WorkloadId::Km, mode, 11);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random seeds: fused and unfused stay equivalent on the workloads
+    /// with the longest narrow chains.
+    #[test]
+    fn fusion_is_invisible_under_random_seeds(seed in 0u64..1_000) {
+        assert_equivalent(WorkloadId::Pr, MemoryMode::Panthera, seed);
+        assert_equivalent(WorkloadId::Tc, MemoryMode::Unmanaged, seed);
+    }
+}

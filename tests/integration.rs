@@ -18,8 +18,14 @@ fn every_workload_runs_under_every_mode() {
         for mode in MemoryMode::ALL {
             let (report, outcome) = run(id, mode);
             assert!(report.elapsed_s > 0.0, "{id}/{mode}: no time elapsed");
-            assert!(!outcome.results.is_empty(), "{id}/{mode}: no action results");
-            assert!(outcome.stats.records_streamed > 0, "{id}/{mode}: nothing streamed");
+            assert!(
+                !outcome.results.is_empty(),
+                "{id}/{mode}: no action results"
+            );
+            assert!(
+                outcome.stats.records_streamed > 0,
+                "{id}/{mode}: nothing streamed"
+            );
         }
     }
 }
@@ -29,8 +35,11 @@ fn results_are_mode_independent() {
     // Memory management must never change computed answers.
     for id in WorkloadId::ALL {
         let (_, base) = run(id, MemoryMode::DramOnly);
-        for mode in [MemoryMode::Unmanaged, MemoryMode::Panthera, MemoryMode::KingsguardWrites]
-        {
+        for mode in [
+            MemoryMode::Unmanaged,
+            MemoryMode::Panthera,
+            MemoryMode::KingsguardWrites,
+        ] {
             let (_, other) = run(id, mode);
             assert_eq!(
                 base.results, other.results,
@@ -63,7 +72,11 @@ fn dram_only_never_touches_nvm() {
 
 #[test]
 fn hybrid_modes_use_both_devices() {
-    for mode in [MemoryMode::Unmanaged, MemoryMode::Panthera, MemoryMode::KingsguardNursery] {
+    for mode in [
+        MemoryMode::Unmanaged,
+        MemoryMode::Panthera,
+        MemoryMode::KingsguardNursery,
+    ] {
         let (r, _) = run(WorkloadId::Pr, mode);
         assert!(r.device_bytes[0] > 0, "{mode}: no DRAM traffic");
         assert!(r.device_bytes[1] > 0, "{mode}: no NVM traffic");
@@ -74,7 +87,11 @@ fn hybrid_modes_use_both_devices() {
 fn panthera_monitors_baselines_do_not() {
     let (pan, _) = run(WorkloadId::Cc, MemoryMode::Panthera);
     assert!(pan.monitored_calls > 0);
-    for mode in [MemoryMode::DramOnly, MemoryMode::Unmanaged, MemoryMode::KingsguardNursery] {
+    for mode in [
+        MemoryMode::DramOnly,
+        MemoryMode::Unmanaged,
+        MemoryMode::KingsguardNursery,
+    ] {
         let (r, _) = run(WorkloadId::Cc, mode);
         assert_eq!(r.monitored_calls, 0, "{mode} should not monitor");
     }
@@ -84,8 +101,14 @@ fn panthera_monitors_baselines_do_not() {
 fn gc_actually_collects_garbage() {
     let (r, _) = run(WorkloadId::Pr, MemoryMode::Panthera);
     assert!(r.gc.minor_count > 0, "no minor GCs under memory pressure");
-    assert!(r.gc.young_freed > 0, "streaming garbage was never reclaimed");
-    assert!(r.heap.young_allocs > 1_000, "workload too small to be meaningful");
+    assert!(
+        r.gc.young_freed > 0,
+        "streaming garbage was never reclaimed"
+    );
+    assert!(
+        r.heap.young_allocs > 1_000,
+        "workload too small to be meaningful"
+    );
 }
 
 #[test]

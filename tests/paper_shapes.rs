@@ -19,14 +19,25 @@ fn run(id: WorkloadId, mode: MemoryMode) -> RunReport {
 fn panthera_time_tracks_dram_only() {
     let mut pan_sum = 0.0;
     let mut unm_sum = 0.0;
-    for id in [WorkloadId::Pr, WorkloadId::Km, WorkloadId::Cc, WorkloadId::Bc] {
+    for id in [
+        WorkloadId::Pr,
+        WorkloadId::Km,
+        WorkloadId::Cc,
+        WorkloadId::Bc,
+    ] {
         let base = run(id, MemoryMode::DramOnly);
         pan_sum += run(id, MemoryMode::Panthera).time_vs(&base);
         unm_sum += run(id, MemoryMode::Unmanaged).time_vs(&base);
     }
     let (pan, unm) = (pan_sum / 4.0, unm_sum / 4.0);
-    assert!(pan < 1.10, "panthera average time overhead too high: {pan:.3}");
-    assert!(unm > pan + 0.03, "unmanaged ({unm:.3}) should clearly trail panthera ({pan:.3})");
+    assert!(
+        pan < 1.10,
+        "panthera average time overhead too high: {pan:.3}"
+    );
+    assert!(
+        unm > pan + 0.03,
+        "unmanaged ({unm:.3}) should clearly trail panthera ({pan:.3})"
+    );
 }
 
 /// Hybrid memory saves a large fraction of memory energy (paper: 37-52%).
@@ -94,16 +105,28 @@ fn optimizations_reduce_gc_time() {
         run_workload(&w.program, w.fns, w.data, &cfg).0
     };
     assert!(no_pad.gc_s() > full.gc_s(), "padding off must cost GC time");
-    assert!(no_eager.gc_s() > full.gc_s(), "eager promotion off must cost GC time");
-    assert!(no_pad.gc.stuck_card_rescans > 0, "pathology should appear without padding");
-    assert_eq!(full.gc.stuck_card_rescans, 0, "padding eliminates shared cards");
+    assert!(
+        no_eager.gc_s() > full.gc_s(),
+        "eager promotion off must cost GC time"
+    );
+    assert!(
+        no_pad.gc.stuck_card_rescans > 0,
+        "pathology should appear without padding"
+    );
+    assert_eq!(
+        full.gc.stuck_card_rescans, 0,
+        "padding eliminates shared cards"
+    );
 }
 
 /// Table 5's shape: only the GraphX workloads trigger dynamic migration.
 #[test]
 fn only_graphx_migrates() {
     let cc = run(WorkloadId::Cc, MemoryMode::Panthera);
-    assert!(cc.gc.rdds_migrated >= 1, "CC should demote stale graph RDDs");
+    assert!(
+        cc.gc.rdds_migrated >= 1,
+        "CC should demote stale graph RDDs"
+    );
     for id in [WorkloadId::Km, WorkloadId::Bc] {
         let r = run(id, MemoryMode::Panthera);
         assert_eq!(r.gc.rdds_migrated, 0, "{id} should not migrate");

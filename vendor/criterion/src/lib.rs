@@ -1,0 +1,351 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! small wall-clock harness with criterion's calling conventions:
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! `Bencher::iter` / `iter_batched`, and `BatchSize`. Reporting is
+//! intentionally simple: per benchmark it prints the median, mean, and
+//! minimum of the per-iteration times over a fixed number of timed samples
+//! (no statistical regression analysis, no plots).
+//!
+//! Baselines: set `CRITERION_SAVE_BASELINE=<name>` to write each result to
+//! `target/criterion-baselines/<name>.json`-style lines, and
+//! `CRITERION_BASELINE=<name>` to print the ratio against a saved baseline.
+
+use std::collections::BTreeMap;
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched setup output is sized (accepted for API compatibility; the
+/// harness always runs one setup per timed routine call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: Vec<f64>,
+    target: usize,
+}
+
+impl Bencher {
+    fn new(target: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(target),
+            target,
+        }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup.
+        for _ in 0..2 {
+            std_black_box(routine());
+        }
+        for _ in 0..self.target {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.samples.push(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        std_black_box(routine(setup()));
+        for _ in 0..self.target {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows its input.
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut first = setup();
+        std_black_box(routine(&mut first));
+        for _ in 0..self.target {
+            let mut input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(&mut input));
+            self.samples.push(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn baseline_dir() -> PathBuf {
+    PathBuf::from("target").join("criterion-baselines")
+}
+
+fn load_baseline(name: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let path = baseline_dir().join(format!("{name}.tsv"));
+    if let Ok(body) = std::fs::read_to_string(path) {
+        for line in body.lines() {
+            if let Some((k, v)) = line.rsplit_once('\t') {
+                if let Ok(v) = v.parse::<f64>() {
+                    out.insert(k.to_string(), v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_count: usize,
+    save_baseline: Option<String>,
+    compare_baseline: BTreeMap<String, f64>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_count = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(15);
+        let save_baseline = std::env::var("CRITERION_SAVE_BASELINE").ok();
+        let compare_baseline = std::env::var("CRITERION_BASELINE")
+            .ok()
+            .map(|n| load_baseline(&n))
+            .unwrap_or_default();
+        Criterion {
+            sample_count,
+            save_baseline,
+            compare_baseline,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse criterion-style CLI args (accepted and ignored: the harness
+    /// has no filtering or plotting).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Override the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_count = n.max(3);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_count: None,
+        }
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_count);
+        f(&mut b);
+        let mut sorted = b.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let med = median(&sorted);
+        let mean = sorted.iter().sum::<f64>() / sorted.len().max(1) as f64;
+        let min = sorted.first().copied().unwrap_or(0.0);
+        print!(
+            "{name:<44} median {:>10}  mean {:>10}  min {:>10}",
+            fmt_time(med),
+            fmt_time(mean),
+            fmt_time(min)
+        );
+        if let Some(base) = self.compare_baseline.get(name) {
+            if med > 0.0 {
+                print!("  baseline x{:.2}", base / med);
+            }
+        }
+        println!();
+        if let Some(ref base) = self.save_baseline {
+            let dir = baseline_dir();
+            let _ = std::fs::create_dir_all(&dir);
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(dir.join(format!("{base}.tsv")))
+            {
+                let _ = writeln!(f, "{name}\t{med}");
+            }
+        }
+        self
+    }
+}
+
+/// A composite benchmark name (`function/parameter`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Name a benchmark `function/parameter`.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Name a benchmark by its parameter only.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing a sample-size override.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n.max(3));
+        self
+    }
+
+    /// Run one benchmark named `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.run(&full, f);
+        self
+    }
+
+    /// Run one parameterized benchmark named `group/id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.full);
+        self.run(&full, |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, full_name: &str, mut f: F) {
+        let saved = self.criterion.sample_count;
+        if let Some(n) = self.sample_count {
+            self.criterion.sample_count = n;
+        }
+        self.criterion.bench_function(full_name, &mut f);
+        self.criterion.sample_count = saved;
+    }
+
+    /// End the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// A measured duration (compat alias used by some bench code).
+pub type MeasuredDuration = Duration;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&[1.0, 2.0, 9.0]), 2.0);
+        assert_eq!(median(&[1.0, 3.0]), 2.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion {
+            sample_count: 3,
+            save_baseline: None,
+            compare_baseline: BTreeMap::new(),
+        };
+        let mut hits = 0u32;
+        c.bench_function("t", |b| b.iter(|| hits += 1));
+        assert!(hits >= 3);
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-5).ends_with("µs"));
+        assert!(fmt_time(5e-2).ends_with("ms"));
+        assert!(fmt_time(2.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,671 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! deterministic re-implementation of the slice of proptest it uses:
+//! strategies (ranges, tuples, `Just`, `prop_oneof!`, collections, options,
+//! `sample::Index`, `prop_map` / `prop_filter` / `prop_flat_map`), the
+//! `proptest!` macro, and the `prop_assert*` family. Differences from real
+//! proptest:
+//!
+//! * generation is seeded per test function (FNV of the function name), so
+//!   every run explores the same cases — reproducibility over novelty;
+//! * there is no shrinking: a failing case panics with the regular
+//!   assertion message;
+//! * `prop_assert*` are plain `assert*` wrappers.
+
+/// Deterministic test-case generator state.
+pub mod test_runner {
+    /// Per-function pseudo-random generator (xoshiro-style SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded from a test-function name.
+        pub fn for_fn(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            self.next_u64() % n
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// A test-case failure raised from inside a property body (via `?`).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A hard failure with a reason.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError(reason.into())
+        }
+
+        /// A rejection (treated identically to failure here).
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Runner configuration (only `cases` is meaningful here).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test function.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Strategies: deterministic value factories.
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A value factory. Unlike real proptest there is no shrinking, so a
+    /// strategy is just "generate one value from the rng".
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Retain only values satisfying `f` (bounded retry).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        /// Generate a value, then generate from the strategy it induces.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(self))
+        }
+
+        /// Recursive structures: `self` generates leaves, `recurse` wraps an
+        /// inner strategy one level deeper. Up to `depth` levels; the size
+        /// hints of real proptest are accepted but unused.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..depth {
+                let inner = strat.clone();
+                strat = Union(vec![strat, recurse(inner).boxed()]).boxed();
+            }
+            strat
+        }
+    }
+
+    /// Object-safe erased strategy.
+    pub struct BoxedStrategy<T>(std::rc::Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Always the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) whence: &'static str,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter {:?} rejected 1000 candidates in a row",
+                self.whence
+            );
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between erased strategies (`prop_oneof!`).
+    pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "prop_oneof! of zero strategies");
+            let i = rng.below(self.0.len() as u64) as usize;
+            self.0[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (s, e) = (*self.start() as i128, *self.end() as i128);
+                    assert!(s <= e, "empty range strategy");
+                    let span = (e - s + 1) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (s + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(i64, u64, i32, u32, u16, i16, u8, i8, usize, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (s, e) = (*self.start(), *self.end());
+            assert!(s <= e, "empty range strategy");
+            s + rng.unit_f64() * (e - s)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident $i:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(i64, u64, i32, u32, u16, i16, u8, i8, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        /// Mostly moderate finite values, occasionally extreme bit patterns
+        /// (infinities/NaN included) so `prop_filter("finite", ...)` guards
+        /// are exercised.
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            match rng.below(8) {
+                0 => f64::from_bits(rng.next_u64()),
+                1 => (rng.next_u64() as i64 as f64) * 1e-3,
+                _ => (rng.unit_f64() - 0.5) * 2e6,
+            }
+        }
+    }
+
+    /// The `any::<T>()` strategy.
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (real proptest: `any::<T>()`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::default()
+    }
+
+    /// String-pattern strategies: a `&str` used as a strategy generates
+    /// strings. Real proptest interprets the pattern as a regex; this shim
+    /// generates printable strings of length 0..64 (with occasional
+    /// non-ASCII), which is what the fuzz-style patterns in this workspace
+    /// (`"\\PC*"`) need.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let len = rng.below(64) as usize;
+            (0..len)
+                .map(|_| match rng.below(16) {
+                    0 => char::from_u32(0xA1 + rng.below(0x2000) as u32).unwrap_or('¿'),
+                    1 => '\n',
+                    _ => (0x20 + rng.below(0x5f) as u8) as char,
+                })
+                .collect()
+        }
+    }
+}
+
+/// The `prop::` module tree mirrored from real proptest.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Element-count specification for [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end,
+                }
+            }
+        }
+
+        impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end() + 1,
+                }
+            }
+        }
+
+        /// Strategy producing `Vec`s of `element` values.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `prop::collection::vec(element, len_range)`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo) as u64;
+                let n = self.size.lo
+                    + if span == 0 {
+                        0
+                    } else {
+                        rng.below(span) as usize
+                    };
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy producing `Option<S::Value>` (`None` one time in four).
+        pub struct OptionStrategy<S>(S);
+
+        /// `prop::option::of(strategy)`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use crate::strategy::Arbitrary;
+        use crate::test_runner::TestRng;
+
+        /// An abstract index resolvable against any collection length.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct Index(usize);
+
+        impl Index {
+            /// This index within a collection of `len` elements.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `len == 0`.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index(0)");
+                self.0 % len
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index(rng.next_u64() as usize)
+            }
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert inside a property (plain `assert!`: no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when an assumption fails (the property body runs
+/// inside a `Result`-returning closure, so early return works).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// The `proptest!` block: one or more `#[test]` functions whose arguments
+/// are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_fn(stringify!($name));
+                for __case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    // The immediately-invoked closure is the `?`-catching
+                    // boundary (a stable stand-in for try blocks).
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = __outcome {
+                        panic!("property case {} failed: {e}", __case);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = prop::collection::vec(0i64..100, 1..8);
+        let mut a = crate::test_runner::TestRng::for_fn("x");
+        let mut b = crate::test_runner::TestRng::for_fn("x");
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_in_bounds(x in 3i64..9, y in any::<u8>(), v in prop::collection::vec(0usize..4, 0..5)) {
+            prop_assert!((3..9).contains(&x));
+            let _ = y;
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|e| *e < 4));
+        }
+
+        #[test]
+        fn oneof_and_combinators(p in prop_oneof![Just(0i64), 5i64..10, (20i64..30).prop_map(|v| v * 2)]) {
+            prop_assert!(p == 0 || (5..10).contains(&p) || (40..60).contains(&p));
+        }
+    }
+}
