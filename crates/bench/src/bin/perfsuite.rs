@@ -24,13 +24,26 @@
 //!
 //! Output: `BENCH_PR1.json` in the current directory (override with
 //! `PERFSUITE_OUT`).
+//!
+//! Flags:
+//!
+//! * `--quick` — one sample per arm at scale 0.05 (CI smoke), unless the
+//!   `PERFSUITE_SAMPLES` / `PANTHERA_SCALE` environment overrides are set;
+//! * `--trace [PATH]` — after the benchmark, run PageRank under Panthera
+//!   with the structured event stream attached and write it as JSONL to
+//!   `PATH` (default `trace.jsonl`). Feed the file to `trace_summary`.
 
 use gc::{GcCoordinator, PantheraPolicy};
 use hybridmem::{Addr, MemorySystemConfig};
 use mheap::{CardTable, Heap, HeapConfig, MemTag, ObjKind, Payload, RootSet, CARD_BYTES};
-use panthera::{run_workload_with_engine, MemoryMode, RunReport, SystemConfig, SIM_GB};
+use obs::{Json, JsonlSink, MetricsAggregator, Observer};
+use panthera::{
+    run_workload_with_engine, try_run_workload, MemoryMode, RunReport, SystemConfig, SIM_GB,
+};
 use sparklet::EngineConfig;
+use std::cell::RefCell;
 use std::hint::black_box;
+use std::rc::Rc;
 use std::time::Instant;
 use workloads::{build_workload, WorkloadId};
 
@@ -45,20 +58,54 @@ const WORKLOADS: [WorkloadId; 4] = [
 
 const SEED: u64 = 7;
 
-fn samples() -> usize {
+/// Parsed command line: `--quick` and `--trace [PATH]`.
+struct Cli {
+    quick: bool,
+    trace: Option<String>,
+}
+
+impl Cli {
+    fn parse() -> Cli {
+        let mut cli = Cli {
+            quick: false,
+            trace: None,
+        };
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => cli.quick = true,
+                "--trace" => {
+                    let path = match args.peek() {
+                        Some(next) if !next.starts_with("--") => args.next().unwrap(),
+                        _ => "trace.jsonl".to_string(),
+                    };
+                    cli.trace = Some(path);
+                }
+                other => {
+                    eprintln!("perfsuite: unknown flag `{other}`");
+                    eprintln!("usage: perfsuite [--quick] [--trace [PATH]]");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cli
+    }
+}
+
+fn samples(cli: &Cli) -> usize {
     std::env::var("PERFSUITE_SAMPLES")
         .ok()
         .and_then(|s| s.parse().ok())
         .filter(|n: &usize| *n >= 1)
-        .unwrap_or(5)
+        .unwrap_or(if cli.quick { 1 } else { 5 })
 }
 
-fn scale() -> f64 {
+fn scale_with(cli: &Cli) -> f64 {
     std::env::var("PANTHERA_SCALE")
         .ok()
         .and_then(|s| s.parse().ok())
         .filter(|s: &f64| *s > 0.0)
-        .unwrap_or(0.15)
+        .unwrap_or(if cli.quick { 0.05 } else { 0.15 })
 }
 
 /// Median of host-time samples for `f`, in nanoseconds, plus the report
@@ -76,8 +123,8 @@ fn median_host_ns<F: FnMut() -> RunReport>(n: usize, mut f: F) -> (u64, RunRepor
     (times[times.len() / 2], last.expect("n >= 1"))
 }
 
-fn run_arm(id: WorkloadId, ecfg: EngineConfig) -> RunReport {
-    let w = build_workload(id, scale(), SEED);
+fn run_arm(id: WorkloadId, ecfg: EngineConfig, scale: f64) -> RunReport {
+    let w = build_workload(id, scale, SEED);
     let cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
     run_workload_with_engine(&w.program, w.fns, w.data, &cfg, ecfg).0
 }
@@ -89,16 +136,17 @@ struct WorkloadRow {
     speedup: f64,
     sim_elapsed_s: f64,
     sim_identical: bool,
+    report: RunReport,
 }
 
-fn bench_workload(id: WorkloadId, n: usize) -> WorkloadRow {
+fn bench_workload(id: WorkloadId, n: usize, scale: f64) -> WorkloadRow {
     let legacy_cfg = EngineConfig {
         fuse_narrow: false,
         legacy_copies: true,
         ..EngineConfig::default()
     };
-    let (legacy_ns, legacy_rep) = median_host_ns(n, || run_arm(id, legacy_cfg.clone()));
-    let (new_ns, new_rep) = median_host_ns(n, || run_arm(id, EngineConfig::default()));
+    let (legacy_ns, legacy_rep) = median_host_ns(n, || run_arm(id, legacy_cfg.clone(), scale));
+    let (new_ns, new_rep) = median_host_ns(n, || run_arm(id, EngineConfig::default(), scale));
     // The invariant that makes the comparison meaningful: both engines
     // simulate the same machine doing the same thing.
     let sim_identical = legacy_rep.elapsed_s.to_bits() == new_rep.elapsed_s.to_bits()
@@ -118,7 +166,46 @@ fn bench_workload(id: WorkloadId, n: usize) -> WorkloadRow {
         speedup: legacy_ns as f64 / new_ns.max(1) as f64,
         sim_elapsed_s: new_rep.elapsed_s,
         sim_identical,
+        report: new_rep,
     }
+}
+
+/// The `--trace` run: PageRank under Panthera on a heap tight enough to
+/// force dynamic migration (scale 0.2, 8 GB — the configuration the
+/// observability tests pin down), with a JSONL sink and a metrics
+/// aggregator attached. Events observe, never charge, so the trace run's
+/// simulated results are identical to an untraced run of the same config.
+fn write_trace(path: &str) {
+    let jsonl = match JsonlSink::create(std::path::Path::new(path)) {
+        Ok(sink) => Rc::new(RefCell::new(sink)),
+        Err(e) => {
+            eprintln!("perfsuite: cannot create {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let metrics = Rc::new(RefCell::new(MetricsAggregator::new()));
+    let observer = Observer::with_sink(jsonl.clone());
+    observer.attach(metrics.clone());
+
+    let w = build_workload(WorkloadId::Pr, 0.2, 3);
+    let mut cfg = SystemConfig::new(MemoryMode::Panthera, 8 * SIM_GB, 1.0 / 3.0);
+    cfg.observer = observer;
+    let (report, _) = try_run_workload(&w.program, w.fns, w.data, &cfg)
+        .unwrap_or_else(|e| panic!("trace config invalid: {e}"));
+    jsonl.borrow_mut().flush().expect("flush trace");
+
+    let m = metrics.borrow();
+    println!();
+    println!(
+        "trace: {} events -> {path} ({} RDDs migrated)",
+        m.events_seen(),
+        report.gc.rdds_migrated
+    );
+    print!("{}", m.summary_table());
+    assert!(
+        report.gc.rdds_migrated >= 1,
+        "the trace run must exercise dynamic migration"
+    );
 }
 
 /// Allocator micro-pass: young allocations through the full coordinator
@@ -206,15 +293,20 @@ fn micro_card_scan() -> (f64, usize, usize) {
 }
 
 fn main() {
-    let n = samples();
-    println!("perfsuite: {} samples/arm, scale {}", n, scale());
+    let cli = Cli::parse();
+    let n = samples(&cli);
+    let scale = scale_with(&cli);
+    println!("perfsuite: {n} samples/arm, scale {scale}");
     println!(
         "{:<6} | {:>12} {:>12} {:>9} | {:>12} sim-identical",
         "wl", "legacy ms", "new ms", "speedup", "sim elapsed"
     );
     println!("{}", "-".repeat(72));
 
-    let rows: Vec<WorkloadRow> = WORKLOADS.iter().map(|id| bench_workload(*id, n)).collect();
+    let rows: Vec<WorkloadRow> = WORKLOADS
+        .iter()
+        .map(|id| bench_workload(*id, n, scale))
+        .collect();
     for r in &rows {
         println!(
             "{:<6} | {:>12.2} {:>12.2} {:>8.2}x | {:>11.4}s {}",
@@ -242,42 +334,49 @@ fn main() {
     let invariants = rows.iter().all(|r| r.sim_identical);
     println!("max end-to-end speedup: {max_speedup:.2}x (invariants hold: {invariants})");
 
-    // Hand-rolled JSON: the workspace is offline, and the shape is flat.
-    let mut j = String::new();
-    j.push_str("{\n");
-    j.push_str("  \"bench\": \"BENCH_PR1\",\n");
-    j.push_str(&format!("  \"scale\": {},\n", scale()));
-    j.push_str(&format!("  \"samples_per_arm\": {n},\n"));
-    j.push_str("  \"workloads\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        j.push_str(&format!(
-            "    {{\"id\": \"{}\", \"legacy_host_ns\": {}, \"new_host_ns\": {}, \
-             \"speedup\": {:.3}, \"sim_elapsed_s\": {:.6}, \"sim_identical\": {}}}{}\n",
-            r.name,
-            r.legacy_ns,
-            r.new_ns,
-            r.speedup,
-            r.sim_elapsed_s,
-            r.sim_identical,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    j.push_str("  ],\n");
-    j.push_str("  \"micro\": {\n");
-    j.push_str(&format!("    \"alloc_young_ns_per_op\": {alloc_ns:.1},\n"));
-    j.push_str(&format!(
-        "    \"minor_gc_ns_per_collection\": {minor_ns:.1},\n"
-    ));
-    j.push_str(&format!(
-        "    \"card_sweep_ns\": {scan_ns:.1}, \"card_sweep_cards\": {scan_cards}, \
-         \"card_sweep_dirty\": {scan_dirty}\n"
-    ));
-    j.push_str("  },\n");
-    j.push_str(&format!("  \"max_speedup\": {max_speedup:.3},\n"));
-    j.push_str(&format!("  \"sim_invariants_hold\": {invariants}\n"));
-    j.push_str("}\n");
+    // One serialization path: host timings inline, full simulated results
+    // through `RunReport::to_json`.
+    let j = Json::obj(vec![
+        ("bench", Json::Str("BENCH_PR1".into())),
+        ("scale", Json::Num(scale)),
+        ("samples_per_arm", Json::UInt(n as u64)),
+        (
+            "workloads",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("id", Json::Str(r.name.into())),
+                            ("legacy_host_ns", Json::UInt(r.legacy_ns)),
+                            ("new_host_ns", Json::UInt(r.new_ns)),
+                            ("speedup", Json::Num(r.speedup)),
+                            ("sim_elapsed_s", Json::Num(r.sim_elapsed_s)),
+                            ("sim_identical", Json::Bool(r.sim_identical)),
+                            ("report", r.report.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "micro",
+            Json::obj(vec![
+                ("alloc_young_ns_per_op", Json::Num(alloc_ns)),
+                ("minor_gc_ns_per_collection", Json::Num(minor_ns)),
+                ("card_sweep_ns", Json::Num(scan_ns)),
+                ("card_sweep_cards", Json::UInt(scan_cards as u64)),
+                ("card_sweep_dirty", Json::UInt(scan_dirty as u64)),
+            ]),
+        ),
+        ("max_speedup", Json::Num(max_speedup)),
+        ("sim_invariants_hold", Json::Bool(invariants)),
+    ]);
 
     let out = std::env::var("PERFSUITE_OUT").unwrap_or_else(|_| "BENCH_PR1.json".into());
-    std::fs::write(&out, j).expect("write benchmark json");
+    std::fs::write(&out, j.to_pretty() + "\n").expect("write benchmark json");
     println!("wrote {out}");
+
+    if let Some(path) = &cli.trace {
+        write_trace(path);
+    }
 }

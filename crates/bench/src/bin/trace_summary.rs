@@ -1,0 +1,42 @@
+//! trace_summary: replay a JSONL event trace (from `perfsuite --trace` or
+//! any [`obs::JsonlSink`]) through the metrics aggregator and print the
+//! derived aggregates — pause histograms, per-stage NVM-write ratios,
+//! migration churn — followed by the full aggregate JSON.
+//!
+//! ```sh
+//! cargo run -p panthera-bench --bin trace_summary -- trace.jsonl
+//! ```
+//!
+//! Exits non-zero if the file is missing, malformed, or contains no
+//! events, so CI can use it as a trace-integrity check.
+
+use obs::{replay_path, MetricsAggregator};
+use std::path::Path;
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: trace_summary TRACE.jsonl");
+            std::process::exit(2);
+        }
+    };
+
+    let mut metrics = MetricsAggregator::new();
+    let n = match replay_path(Path::new(&path), &mut metrics) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("trace_summary: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if n == 0 {
+        eprintln!("trace_summary: {path}: trace is empty");
+        std::process::exit(1);
+    }
+
+    println!("{path}: {n} events");
+    print!("{}", metrics.summary_table());
+    println!();
+    println!("{}", metrics.to_json().to_pretty());
+}

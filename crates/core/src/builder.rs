@@ -22,15 +22,16 @@
 //! let (report, results) = Simulation::new(MemoryMode::Panthera)
 //!     .heap_gb(16)
 //!     .dram_ratio(1.0 / 3.0)
-//!     .run(&program, fns, data);
+//!     .run(&program, fns, data)
+//!     .expect("valid configuration");
 //! assert_eq!(results.results.len(), 3);
 //! assert!(report.elapsed_s > 0.0);
 //! ```
 
-use crate::config::{SystemConfig, SIM_GB};
+use crate::config::{ConfigError, SystemConfig, SIM_GB};
 use crate::mode::MemoryMode;
 use crate::report::RunReport;
-use crate::simulate::run_workload;
+use crate::simulate::try_run_workload;
 use sparklang::{FnTable, Program};
 use sparklet::{DataRegistry, RunOutcome};
 
@@ -91,24 +92,60 @@ impl Simulation {
         self
     }
 
+    /// Install an event-observer handle: its sinks receive the run's
+    /// structured event stream (see the [`obs`] crate). Events observe,
+    /// never charge, so this changes no simulated quantity.
+    pub fn observer(mut self, observer: obs::Observer) -> Self {
+        self.config.observer = observer;
+        self
+    }
+
     /// The assembled configuration, for inspection or further tweaking.
     pub fn config(&self) -> &SystemConfig {
         &self.config
     }
 
-    /// Run `program` over `data` and return the measurements and results.
+    /// Validate and return the assembled configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the assembled configuration is invalid (e.g. a DRAM ratio
-    /// too small to hold the nursery).
+    /// The first violated configuration constraint.
+    pub fn try_build(&self) -> Result<SystemConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config.clone())
+    }
+
+    /// Run `program` over `data` and return the measurements and results,
+    /// or a [`ConfigError`] if the assembled configuration is invalid
+    /// (e.g. a DRAM ratio too small to hold the nursery).
+    ///
+    /// # Errors
+    ///
+    /// The first violated configuration constraint.
     pub fn run(
         &self,
         program: &Program,
         fns: FnTable,
         data: DataRegistry,
+    ) -> Result<(RunReport, RunOutcome), ConfigError> {
+        try_run_workload(program, fns, data, &self.config)
+    }
+
+    /// Deprecated panicking shim over [`Simulation::run`], kept so
+    /// pre-`Result` callers compile during the transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assembled configuration is invalid.
+    #[deprecated(since = "0.1.0", note = "use `run`, which returns a Result")]
+    pub fn run_unchecked(
+        &self,
+        program: &Program,
+        fns: FnTable,
+        data: DataRegistry,
     ) -> (RunReport, RunOutcome) {
-        run_workload(program, fns, data, &self.config)
+        self.run(program, fns, data)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 

@@ -12,6 +12,33 @@ use crate::mode::MemoryMode;
 use gc::{PantheraPolicy, PlacementPolicy, UnifiedPolicy, WriteRationingPolicy};
 use hybridmem::{DeviceKind, DeviceSpec, MemorySystemConfig};
 use mheap::{HeapConfig, OldGenLayout};
+use std::fmt;
+
+/// A configuration constraint violation, reported by
+/// [`SystemConfig::validate`] and the `try_*` run entry points instead
+/// of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl ConfigError {
+    /// Wrap a constraint-violation message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        ConfigError(msg.into())
+    }
+
+    /// The violated constraint, as text.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// One simulated "gigabyte" (scaled to a megabyte).
 pub const SIM_GB: u64 = 1 << 20;
@@ -66,6 +93,11 @@ pub struct SystemConfig {
     pub nvm_spec: Option<DeviceSpec>,
     /// Seed for the interleaved chunk map.
     pub seed: u64,
+    /// Event-observer handle: sinks attached here receive the structured
+    /// event stream ([`obs::Event`]) from every layer. Disabled by
+    /// default; events observe, never charge, so attaching sinks changes
+    /// no simulated quantity.
+    pub observer: obs::Observer,
 }
 
 impl SystemConfig {
@@ -84,6 +116,7 @@ impl SystemConfig {
             tuple_bloat_bytes: 240,
             nvm_spec: None,
             seed: 0x9a77,
+            observer: obs::Observer::disabled(),
         }
     }
 
@@ -175,8 +208,8 @@ impl SystemConfig {
     /// # Errors
     ///
     /// Returns the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
-        self.heap_config().validate()
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.heap_config().validate().map_err(ConfigError::new)
     }
 }
 

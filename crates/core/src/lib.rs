@@ -58,8 +58,42 @@ mod runtime;
 mod simulate;
 
 pub use builder::Simulation;
-pub use config::{SystemConfig, SIM_GB, STATIC_POWER_TIMEBASE_SCALE};
+pub use config::{ConfigError, SystemConfig, SIM_GB, STATIC_POWER_TIMEBASE_SCALE};
 pub use mode::MemoryMode;
 pub use report::RunReport;
 pub use runtime::{to_mem_tag, PantheraRuntime};
-pub use simulate::{run_workload, run_workload_with_engine};
+pub use simulate::{
+    run_workload, run_workload_with_engine, try_run_workload, try_run_workload_with_engine,
+};
+
+// Re-export the observability crate so downstream users attach sinks
+// without naming `obs` as a direct dependency.
+pub use obs;
+
+/// One-stop imports for driving a simulation end to end.
+///
+/// ```
+/// use panthera::prelude::*;
+///
+/// let mut b = ProgramBuilder::new("p");
+/// let src = b.source("xs");
+/// let ys = b.bind("ys", src.distinct());
+/// b.persist(ys, StorageLevel::MemoryOnly);
+/// b.action(ys, ActionKind::Count);
+/// let (program, fns) = b.finish();
+///
+/// let mut data = DataRegistry::new();
+/// data.register("xs", (0..128).map(Payload::Long).collect());
+///
+/// let (report, _outcome) = Simulation::new(MemoryMode::Panthera)
+///     .heap_gb(2)
+///     .run(&program, fns, data)
+///     .expect("valid configuration");
+/// assert!(report.elapsed_s > 0.0);
+/// ```
+pub mod prelude {
+    pub use crate::{ConfigError, MemoryMode, RunReport, Simulation, SystemConfig, SIM_GB};
+    pub use mheap::Payload;
+    pub use sparklang::{ActionKind, ProgramBuilder, StorageLevel};
+    pub use sparklet::{DataRegistry, RunOutcome};
+}

@@ -132,6 +132,33 @@ impl RunReport {
         self.minor_pauses.max_ns().max(self.major_pauses.max_ns()) / 1e6
     }
 
+    /// Serialize the report as one JSON object: headline times and
+    /// energy, the full counter blocks (`gc`, `heap`, `exec`, `mem`),
+    /// and the pause distributions. This is the single serialization
+    /// path shared by reports and the bench suite's `BENCH_*.json`.
+    pub fn to_json(&self) -> obs::Json {
+        use obs::Json;
+        Json::obj(vec![
+            ("workload", Json::Str(self.workload.clone())),
+            ("mode", Json::Str(self.mode.clone())),
+            ("elapsed_s", Json::Num(self.elapsed_s)),
+            ("mutator_s", Json::Num(self.mutator_s)),
+            ("minor_gc_s", Json::Num(self.minor_gc_s)),
+            ("major_gc_s", Json::Num(self.major_gc_s)),
+            ("energy", self.energy.to_json()),
+            ("gc", self.gc.to_json()),
+            ("heap", self.heap.to_json()),
+            ("exec", self.exec.to_json()),
+            ("monitored_calls", Json::UInt(self.monitored_calls)),
+            ("dram_bytes", Json::UInt(self.device_bytes[0])),
+            ("nvm_bytes", Json::UInt(self.device_bytes[1])),
+            ("mem", self.mem.to_json()),
+            ("minor_pauses", self.minor_pauses.to_json()),
+            ("major_pauses", self.major_pauses.to_json()),
+            ("max_pause_ms", Json::Num(self.max_pause_ms())),
+        ])
+    }
+
     /// Header line for [`RunReport::csv_row`].
     pub fn csv_header() -> &'static str {
         "workload,mode,elapsed_s,mutator_s,minor_gc_s,major_gc_s,energy_j,\
@@ -209,6 +236,30 @@ mod tests {
     #[test]
     fn summary_is_nonempty() {
         assert!(dummy(1.0, 1.0).summary().contains("time"));
+    }
+
+    #[test]
+    fn to_json_parses_back_and_keeps_headline_numbers() {
+        let r = dummy(2.5, 7.0);
+        let text = r.to_json().to_pretty();
+        let parsed = obs::Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("workload").unwrap().as_str(), Some("w"));
+        assert_eq!(
+            parsed.get("elapsed_s").unwrap().as_f64().unwrap().to_bits(),
+            2.5f64.to_bits()
+        );
+        assert_eq!(
+            parsed
+                .get("energy")
+                .unwrap()
+                .get("total_j")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .to_bits(),
+            7.0f64.to_bits()
+        );
+        assert!(parsed.get("gc").unwrap().get("minor_count").is_some());
     }
 
     #[test]

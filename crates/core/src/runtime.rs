@@ -50,7 +50,8 @@ impl PantheraRuntime {
     ///
     /// Returns an error string if the configuration is invalid.
     pub fn new(config: &SystemConfig) -> Result<Self, String> {
-        let heap = Heap::new(config.heap_config(), config.mem_config())?;
+        let mut heap = Heap::new(config.heap_config(), config.mem_config())?;
+        heap.set_observer(config.observer.clone());
         let gc = GcCoordinator::new(config.policy());
         Ok(PantheraRuntime {
             heap,

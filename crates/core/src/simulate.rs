@@ -1,6 +1,6 @@
 //! The end-to-end simulation driver: analyze, run, report.
 
-use crate::config::SystemConfig;
+use crate::config::{ConfigError, SystemConfig};
 use crate::report::RunReport;
 use crate::runtime::PantheraRuntime;
 use panthera_analysis::{analyze, InstrumentationPlan};
@@ -8,49 +8,55 @@ use sparklang::{FnTable, Program};
 use sparklet::{DataRegistry, Engine, EngineConfig, MemoryRuntime, RunOutcome};
 
 /// Run `program` under `config`, returning the measurements and the
-/// action results.
+/// action results — or a [`ConfigError`] if the configuration violates a
+/// constraint (e.g. a DRAM ratio too small to hold the nursery).
 ///
-/// Under Panthera the program is statically analyzed and instrumented; the
-/// baselines run it unmodified.
+/// Under Panthera the program is statically analyzed and instrumented;
+/// the baselines run it unmodified.
+///
+/// # Errors
+///
+/// The first violated configuration constraint.
 ///
 /// # Panics
 ///
-/// Panics if the configuration is invalid or the simulated heap is
-/// exhausted — both indicate a mis-sized experiment, not a runtime
-/// condition a caller should handle.
-pub fn run_workload(
+/// Panics if the simulated heap is exhausted mid-run — a mis-sized
+/// experiment, not a runtime condition a caller should handle.
+pub fn try_run_workload(
     program: &Program,
     fns: FnTable,
     data: DataRegistry,
     config: &SystemConfig,
-) -> (RunReport, RunOutcome) {
-    run_workload_with_engine(program, fns, data, config, EngineConfig::default())
+) -> Result<(RunReport, RunOutcome), ConfigError> {
+    try_run_workload_with_engine(program, fns, data, config, EngineConfig::default())
 }
 
-/// [`run_workload`] with explicit engine cost knobs — e.g. to disable
+/// [`try_run_workload`] with explicit engine cost knobs — e.g. to disable
 /// narrow-stage fusion ([`EngineConfig::fuse_narrow`]) when checking that
 /// the fused and stage-at-a-time execution paths report identical
 /// simulated results.
 ///
+/// # Errors
+///
+/// The first violated configuration constraint.
+///
 /// # Panics
 ///
-/// Same conditions as [`run_workload`].
-pub fn run_workload_with_engine(
+/// Same mid-run conditions as [`try_run_workload`].
+pub fn try_run_workload_with_engine(
     program: &Program,
     fns: FnTable,
     data: DataRegistry,
     config: &SystemConfig,
     engine_config: EngineConfig,
-) -> (RunReport, RunOutcome) {
-    config
-        .validate()
-        .unwrap_or_else(|e| panic!("invalid config: {e}"));
+) -> Result<(RunReport, RunOutcome), ConfigError> {
+    config.validate()?;
     let plan = if config.mode.is_semantic() {
         analyze(program).plan
     } else {
         InstrumentationPlan::default()
     };
-    let runtime = PantheraRuntime::new(config).expect("validated config");
+    let runtime = PantheraRuntime::new(config).map_err(ConfigError::new)?;
     let mut engine = Engine::with_config(runtime, fns, data, engine_config);
     let outcome = engine.run(program, &plan);
     let monitored = engine.runtime().monitored_calls();
@@ -62,5 +68,37 @@ pub fn run_workload_with_engine(
         outcome.stats,
         monitored,
     );
-    (report, outcome)
+    Ok((report, outcome))
+}
+
+/// Panicking convenience wrapper over [`try_run_workload`], for drivers
+/// and tests whose configurations are known-good.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the simulated heap is
+/// exhausted.
+pub fn run_workload(
+    program: &Program,
+    fns: FnTable,
+    data: DataRegistry,
+    config: &SystemConfig,
+) -> (RunReport, RunOutcome) {
+    try_run_workload(program, fns, data, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Panicking convenience wrapper over [`try_run_workload_with_engine`].
+///
+/// # Panics
+///
+/// Same conditions as [`run_workload`].
+pub fn run_workload_with_engine(
+    program: &Program,
+    fns: FnTable,
+    data: DataRegistry,
+    config: &SystemConfig,
+    engine_config: EngineConfig,
+) -> (RunReport, RunOutcome) {
+    try_run_workload_with_engine(program, fns, data, config, engine_config)
+        .unwrap_or_else(|e| panic!("{e}"))
 }

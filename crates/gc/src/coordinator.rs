@@ -246,15 +246,33 @@ impl GcCoordinator {
     /// everything goes to NVM regardless of tags).
     pub(crate) fn promote(&mut self, heap: &mut Heap, id: ObjId, preferred: OldSpaceId) {
         if heap.move_to_old(id, preferred).is_ok() {
+            Self::note_promotion(heap, id);
             return;
         }
         self.stats.promotion_fallbacks += 1;
         for alt in heap.old_space_ids() {
             if alt != preferred && heap.move_to_old(id, alt).is_ok() {
+                Self::note_promotion(heap, id);
                 return;
             }
         }
         panic!("out of memory: promotion failed in every old space");
+    }
+
+    /// Emit an [`obs::Event::Promotion`] for a just-promoted object
+    /// (observes only; the move itself already charged the traffic).
+    fn note_promotion(heap: &Heap, id: ObjId) {
+        let observer = heap.observer();
+        if observer.enabled() {
+            let o = heap.obj(id);
+            observer.emit(
+                heap.mem().clock().now_ns(),
+                &obs::Event::Promotion {
+                    bytes: o.size,
+                    to: heap.device_of(o.addr).into(),
+                },
+            );
+        }
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -19,6 +19,7 @@ impl GcCoordinator {
     pub fn major_gc(&mut self, heap: &mut Heap, roots: &RootSet) {
         let prev = heap.mem_mut().enter_phase(Phase::MajorGc);
         let pause_start = heap.mem().clock().now_ns();
+        heap.observer().emit(pause_start, &obs::Event::MajorGcStart);
         self.stats.major_count += 1;
         heap.mem_mut().compute(crate::coordinator::MAJOR_BASE_NS);
 
@@ -65,10 +66,30 @@ impl GcCoordinator {
         // --- apply migrations after compaction ------------------------------
         let mut migrated_arrays = 0u64;
         for (id, dest) in movers {
-            let is_array = heap.obj(id).kind.is_array();
+            let (is_array, rdd, bytes, from_dev) = {
+                let o = heap.obj(id);
+                (
+                    o.kind.is_array(),
+                    o.kind.rdd_id(),
+                    o.size,
+                    heap.device_of(o.addr),
+                )
+            };
             if heap.move_to_old(id, dest).is_ok() {
                 if is_array {
                     migrated_arrays += 1;
+                    let observer = heap.observer();
+                    if observer.enabled() {
+                        observer.emit(
+                            heap.mem().clock().now_ns(),
+                            &obs::Event::Migration {
+                                rdd: rdd.unwrap_or(u32::MAX),
+                                from: from_dev.into(),
+                                to: heap.device_of(heap.obj(id).addr).into(),
+                                bytes,
+                            },
+                        );
+                    }
                 }
             } else {
                 self.stats.promotion_fallbacks += 1;
@@ -114,13 +135,23 @@ impl GcCoordinator {
         self.freq.reset();
         let pause_ns = heap.mem().clock().now_ns() - pause_start;
         self.major_pauses.record(pause_ns);
+        let migrated = self.stats.rdds_migrated - migrated_before;
+        let freed = self.stats.old_freed - freed_before;
         self.events.push(crate::stats::GcEvent {
             kind: crate::stats::GcKind::Major,
             start_ns: pause_start,
             pause_ns,
-            moved: self.stats.rdds_migrated - migrated_before,
-            freed: self.stats.old_freed - freed_before,
+            moved: migrated,
+            freed,
         });
+        heap.observer().emit(
+            heap.mem().clock().now_ns(),
+            &obs::Event::MajorGcEnd {
+                pause_ns,
+                migrated,
+                freed,
+            },
+        );
         heap.mem_mut().enter_phase(prev);
     }
 

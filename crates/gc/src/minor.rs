@@ -34,11 +34,15 @@ impl GcCoordinator {
     pub fn minor_gc(&mut self, heap: &mut Heap, roots: &RootSet) {
         let prev = heap.mem_mut().enter_phase(Phase::MinorGc);
         let pause_start = heap.mem().clock().now_ns();
+        heap.observer().emit(pause_start, &obs::Event::MinorGcStart);
         self.stats.minor_count += 1;
         heap.mem_mut().compute(crate::coordinator::MINOR_BASE_NS);
 
         let moved_before = self.stats.total_promotions() + self.stats.survivor_copies;
         let freed_before = self.stats.young_freed;
+        let cards_before = self.stats.cards_scanned;
+        let card_bytes_before = self.stats.card_scan_bytes;
+        let stuck_before = self.stats.stuck_card_rescans;
 
         // Snapshot the young population before anything moves.
         let young: Vec<ObjId> = heap
@@ -53,6 +57,16 @@ impl GcCoordinator {
 
         // --- DRAM-to-young-task and NVM-to-young-task ------------------
         let scanned = self.scan_dirty_cards(heap, &mut queue);
+        if heap.observer().enabled() && self.stats.cards_scanned > cards_before {
+            heap.observer().emit(
+                heap.mem().clock().now_ns(),
+                &obs::Event::CardScan {
+                    cards: self.stats.cards_scanned - cards_before,
+                    bytes: self.stats.card_scan_bytes - card_bytes_before,
+                    stuck: self.stats.stuck_card_rescans - stuck_before,
+                },
+            );
+        }
 
         // --- root-task --------------------------------------------------
         for r in roots.iter() {
@@ -196,13 +210,23 @@ impl GcCoordinator {
 
         let pause_ns = heap.mem().clock().now_ns() - pause_start;
         self.minor_pauses.record(pause_ns);
+        let moved = self.stats.total_promotions() + self.stats.survivor_copies - moved_before;
+        let freed = self.stats.young_freed - freed_before;
         self.events.push(crate::stats::GcEvent {
             kind: crate::stats::GcKind::Minor,
             start_ns: pause_start,
             pause_ns,
-            moved: self.stats.total_promotions() + self.stats.survivor_copies - moved_before,
-            freed: self.stats.young_freed - freed_before,
+            moved,
+            freed,
         });
+        heap.observer().emit(
+            heap.mem().clock().now_ns(),
+            &obs::Event::MinorGcEnd {
+                pause_ns,
+                moved,
+                freed,
+            },
+        );
         heap.mem_mut().enter_phase(prev);
     }
 

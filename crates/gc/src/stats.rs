@@ -1,20 +1,38 @@
 //! Collector statistics for the evaluation's GC breakdowns (Figure 5,
 //! Table 5, and the Section 5.3 optimization accounting).
 
+use std::cell::RefCell;
+use std::fmt;
+
 /// Distribution of individual GC pause durations, in nanoseconds.
 ///
 /// Section 5.2 notes that one node's GC pause holds up the whole cluster,
 /// so *individual* pause times matter beyond the aggregate: these feed the
 /// pause percentiles in run reports.
-#[derive(Debug, Clone, Default)]
+///
+/// Quantile queries sort lazily: the first [`PauseStats::quantile_ns`]
+/// call after a [`PauseStats::record`] sorts a cached copy once, and
+/// subsequent queries reuse it.
+#[derive(Clone, Default)]
 pub struct PauseStats {
     pauses_ns: Vec<f64>,
+    sorted: RefCell<Option<Vec<f64>>>,
+}
+
+impl fmt::Debug for PauseStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The sort cache is a query-side memo, not state.
+        f.debug_struct("PauseStats")
+            .field("pauses_ns", &self.pauses_ns)
+            .finish()
+    }
 }
 
 impl PauseStats {
     /// Record one pause.
     pub fn record(&mut self, ns: f64) {
         self.pauses_ns.push(ns);
+        *self.sorted.get_mut() = None;
     }
 
     /// Number of pauses recorded.
@@ -36,20 +54,40 @@ impl PauseStats {
         }
     }
 
-    /// The `q`-quantile pause (nearest-rank), `q` in `[0, 1]`.
+    /// The `q`-quantile pause (nearest-rank). Out-of-range `q` is a bug
+    /// in the caller: debug builds panic, release builds clamp `q` into
+    /// `[0, 1]` and answer anyway.
     ///
     /// # Panics
     ///
-    /// Panics if `q` is outside `[0, 1]`.
+    /// In debug builds, panics if `q` is outside `[0, 1]`.
     pub fn quantile_ns(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        debug_assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let q = q.clamp(0.0, 1.0);
         if self.pauses_ns.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.pauses_ns.clone();
-        sorted.sort_by(f64::total_cmp);
+        let mut cache = self.sorted.borrow_mut();
+        let sorted = cache.get_or_insert_with(|| {
+            let mut s = self.pauses_ns.clone();
+            s.sort_by(f64::total_cmp);
+            s
+        });
         let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
         sorted[idx]
+    }
+
+    /// Serialize count, mean, key quantiles, and max as a JSON object.
+    pub fn to_json(&self) -> obs::Json {
+        use obs::Json;
+        Json::obj(vec![
+            ("count", Json::UInt(self.count() as u64)),
+            ("mean_ns", Json::Num(self.mean_ns())),
+            ("p50_ns", Json::Num(self.quantile_ns(0.50))),
+            ("p90_ns", Json::Num(self.quantile_ns(0.90))),
+            ("p99_ns", Json::Num(self.quantile_ns(0.99))),
+            ("max_ns", Json::Num(self.max_ns())),
+        ])
     }
 }
 
@@ -115,6 +153,26 @@ impl GcStats {
     pub fn total_promotions(&self) -> u64 {
         self.tenured_promotions + self.eager_promotions
     }
+
+    /// Serialize every counter as a JSON object with stable key order.
+    pub fn to_json(&self) -> obs::Json {
+        use obs::Json;
+        Json::obj(vec![
+            ("minor_count", Json::UInt(self.minor_count)),
+            ("major_count", Json::UInt(self.major_count)),
+            ("survivor_copies", Json::UInt(self.survivor_copies)),
+            ("tenured_promotions", Json::UInt(self.tenured_promotions)),
+            ("eager_promotions", Json::UInt(self.eager_promotions)),
+            ("promotion_fallbacks", Json::UInt(self.promotion_fallbacks)),
+            ("young_freed", Json::UInt(self.young_freed)),
+            ("old_freed", Json::UInt(self.old_freed)),
+            ("cards_scanned", Json::UInt(self.cards_scanned)),
+            ("card_scan_bytes", Json::UInt(self.card_scan_bytes)),
+            ("stuck_card_rescans", Json::UInt(self.stuck_card_rescans)),
+            ("rdds_migrated", Json::UInt(self.rdds_migrated)),
+            ("write_migrations", Json::UInt(self.write_migrations)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +212,17 @@ mod tests {
     }
 
     #[test]
+    fn quantile_cache_invalidates_on_record() {
+        let mut p = PauseStats::default();
+        p.record(10.0);
+        assert_eq!(p.quantile_ns(1.0), 10.0); // builds the cache
+        p.record(50.0);
+        assert_eq!(p.quantile_ns(1.0), 50.0); // must see the new pause
+        assert_eq!(p.quantile_ns(0.0), 10.0); // and reuse the rebuilt cache
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "quantile out of range")]
     fn bad_quantile_panics() {
         PauseStats::default().quantile_ns(1.5);

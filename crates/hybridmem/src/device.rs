@@ -43,6 +43,15 @@ impl fmt::Display for DeviceKind {
     }
 }
 
+impl From<DeviceKind> for obs::Mem {
+    fn from(kind: DeviceKind) -> obs::Mem {
+        match kind {
+            DeviceKind::Dram => obs::Mem::Dram,
+            DeviceKind::Nvm => obs::Mem::Nvm,
+        }
+    }
+}
+
 /// Whether an access reads or writes memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {

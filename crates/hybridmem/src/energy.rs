@@ -38,6 +38,18 @@ impl EnergyBreakdown {
             (self.dram_static_j + self.nvm_static_j) / t
         }
     }
+
+    /// Serialize the breakdown (plus the derived total) as a JSON object.
+    pub fn to_json(&self) -> obs::Json {
+        use obs::Json;
+        Json::obj(vec![
+            ("dram_static_j", Json::Num(self.dram_static_j)),
+            ("nvm_static_j", Json::Num(self.nvm_static_j)),
+            ("dram_dynamic_j", Json::Num(self.dram_dynamic_j)),
+            ("nvm_dynamic_j", Json::Num(self.nvm_dynamic_j)),
+            ("total_j", Json::Num(self.total_j())),
+        ])
+    }
 }
 
 /// Computes energy from device specs, installed capacities, elapsed time,

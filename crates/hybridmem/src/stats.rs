@@ -68,12 +68,83 @@ impl MemoryStats {
             .sum()
     }
 
+    /// Total bytes moved on `device` with `kind`, across all phases.
+    pub fn total_kind_bytes(&self, device: DeviceKind, kind: AccessKind) -> u64 {
+        Phase::ALL
+            .iter()
+            .map(|p| self.bytes(*p, device, kind))
+            .sum()
+    }
+
     /// Total bytes moved everywhere.
     pub fn total_bytes(&self) -> u64 {
         DeviceKind::ALL
             .iter()
             .map(|d| self.total_device_bytes(*d))
             .sum()
+    }
+
+    /// Serialize as nested `{phase: {device: {kind: {accesses, bytes,
+    /// lines}}}}` objects with stable key order.
+    pub fn to_json(&self) -> obs::Json {
+        use obs::Json;
+        let phase_key = |p: Phase| match p {
+            Phase::Mutator => "mutator",
+            Phase::MinorGc => "minor_gc",
+            Phase::MajorGc => "major_gc",
+        };
+        let device_key = |d: DeviceKind| match d {
+            DeviceKind::Dram => "dram",
+            DeviceKind::Nvm => "nvm",
+        };
+        let kind_key = |k: AccessKind| match k {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        };
+        Json::Obj(
+            Phase::ALL
+                .iter()
+                .map(|&p| {
+                    (
+                        phase_key(p).to_string(),
+                        Json::Obj(
+                            DeviceKind::ALL
+                                .iter()
+                                .map(|&d| {
+                                    (
+                                        device_key(d).to_string(),
+                                        Json::Obj(
+                                            AccessKind::ALL
+                                                .iter()
+                                                .map(|&k| {
+                                                    (
+                                                        kind_key(k).to_string(),
+                                                        Json::obj(vec![
+                                                            (
+                                                                "accesses",
+                                                                Json::UInt(self.accesses(p, d, k)),
+                                                            ),
+                                                            (
+                                                                "bytes",
+                                                                Json::UInt(self.bytes(p, d, k)),
+                                                            ),
+                                                            (
+                                                                "lines",
+                                                                Json::UInt(self.lines(p, d, k)),
+                                                            ),
+                                                        ]),
+                                                    )
+                                                })
+                                                .collect(),
+                                        ),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        )
     }
 }
 

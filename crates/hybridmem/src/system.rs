@@ -110,6 +110,7 @@ pub struct MemorySystem {
     stats: MemoryStats,
     meter: TrafficMeter,
     energy: EnergyModel,
+    observer: obs::Observer,
 }
 
 impl MemorySystem {
@@ -130,7 +131,19 @@ impl MemorySystem {
             stats: MemoryStats::new(),
             meter: TrafficMeter::new(config.traffic_window_ns),
             energy,
+            observer: obs::Observer::disabled(),
         }
+    }
+
+    /// Install the event-observer handle. Events observe, never charge:
+    /// attaching sinks changes no simulated quantity.
+    pub fn set_observer(&mut self, observer: obs::Observer) {
+        self.observer = observer;
+    }
+
+    /// The event-observer handle (disabled by default).
+    pub fn observer(&self) -> &obs::Observer {
+        &self.observer
     }
 
     /// Mutable access to the layout, for registering heap regions.
@@ -199,7 +212,26 @@ impl MemorySystem {
         let t = latency_term.max(bandwidth_term);
         self.stats
             .record(self.clock.phase(), device, kind, bytes, lines);
+        let prev_windows = self.meter.windows().len();
         self.meter.record(self.clock.now_ns(), device, kind, bytes);
+        if self.observer.enabled() && prev_windows > 0 && self.meter.windows().len() > prev_windows
+        {
+            // A later window just opened, so window `prev_windows - 1` is
+            // final: publish its watermark. The clock is monotone, hence no
+            // earlier window can receive traffic after this point.
+            let closed = prev_windows - 1;
+            let w = self.meter.windows()[closed];
+            self.observer.emit(
+                self.clock.now_ns(),
+                &obs::Event::TrafficWindow {
+                    window: closed as u64,
+                    dram_read: w.bytes(DeviceKind::Dram, AccessKind::Read),
+                    dram_write: w.bytes(DeviceKind::Dram, AccessKind::Write),
+                    nvm_read: w.bytes(DeviceKind::Nvm, AccessKind::Read),
+                    nvm_write: w.bytes(DeviceKind::Nvm, AccessKind::Write),
+                },
+            );
+        }
         self.clock.advance(t);
     }
 

@@ -69,6 +69,22 @@ pub struct HeapStats {
     pub frees: u64,
 }
 
+impl HeapStats {
+    /// Serialize every counter as a JSON object with stable key order.
+    pub fn to_json(&self) -> obs::Json {
+        use obs::Json;
+        Json::obj(vec![
+            ("young_allocs", Json::UInt(self.young_allocs)),
+            ("pretenured_allocs", Json::UInt(self.pretenured_allocs)),
+            ("allocated_bytes", Json::UInt(self.allocated_bytes)),
+            ("ref_stores", Json::UInt(self.ref_stores)),
+            ("cards_dirtied", Json::UInt(self.cards_dirtied)),
+            ("moves", Json::UInt(self.moves)),
+            ("frees", Json::UInt(self.frees)),
+        ])
+    }
+}
+
 /// The simulated heap. See the crate docs for the overall model.
 #[derive(Debug)]
 pub struct Heap {
@@ -189,6 +205,39 @@ impl Heap {
         &mut self.mem
     }
 
+    /// Install the event-observer handle on the underlying memory system.
+    pub fn set_observer(&mut self, observer: obs::Observer) {
+        self.mem.set_observer(observer);
+    }
+
+    /// The event-observer handle (disabled by default).
+    pub fn observer(&self) -> &obs::Observer {
+        self.mem.observer()
+    }
+
+    /// The [`obs::AllocSpace`] label for an old space, for `AllocFail`
+    /// events.
+    fn alloc_space_of(&self, space: OldSpaceId) -> obs::AllocSpace {
+        if self.old_dram == Some(space) {
+            obs::AllocSpace::OldDram
+        } else if self.old_nvm == Some(space) {
+            obs::AllocSpace::OldNvm
+        } else {
+            obs::AllocSpace::Old
+        }
+    }
+
+    /// Emit an [`obs::Event::AllocFail`] observation (never charges).
+    fn note_alloc_fail(&self, space: obs::AllocSpace, need: u64) {
+        let observer = self.mem.observer();
+        if observer.enabled() {
+            observer.emit(
+                self.mem.clock().now_ns(),
+                &obs::Event::AllocFail { space, need },
+            );
+        }
+    }
+
     /// Aggregate counters.
     pub fn stats(&self) -> &HeapStats {
         &self.stats
@@ -307,6 +356,7 @@ impl Heap {
             Some(a) => a,
             None => {
                 self.release_id(id);
+                self.note_alloc_fail(obs::AllocSpace::Eden, size);
                 return Err(HeapError::EdenFull { need: size });
             }
         };
@@ -338,6 +388,7 @@ impl Heap {
             Some(a) => a,
             None => {
                 self.release_id(id);
+                self.note_alloc_fail(self.alloc_space_of(space), size);
                 return Err(HeapError::OldSpaceFull { space, need: size });
             }
         };
@@ -377,6 +428,7 @@ impl Heap {
             Some(a) => a,
             None => {
                 self.release_id(id);
+                self.note_alloc_fail(self.alloc_space_of(space), size);
                 return Err(HeapError::OldSpaceFull { space, need: size });
             }
         };
@@ -410,6 +462,7 @@ impl Heap {
             Some(a) => a,
             None => {
                 self.release_id(id);
+                self.note_alloc_fail(obs::AllocSpace::Eden, size);
                 return Err(HeapError::EdenFull { need: size });
             }
         };

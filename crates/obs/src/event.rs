@@ -1,0 +1,458 @@
+//! The structured event vocabulary of the simulator.
+//!
+//! Events are *observations*: emitting one never charges simulated time,
+//! energy, or traffic (see the crate docs for the observe-never-charge
+//! rule). Each event is timestamped with the simulated clock's nanosecond
+//! reading at the emit point; the timestamp travels next to the event (it
+//! is passed to [`crate::EventSink::on_event`] and serialized as `"t"`),
+//! not inside it, because this crate sits below the clock and must not
+//! depend on it.
+
+use crate::json::Json;
+
+/// Which memory device an object lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mem {
+    /// Fast, expensive, volatile DRAM.
+    Dram,
+    /// Slow, capacious non-volatile memory.
+    Nvm,
+}
+
+impl Mem {
+    fn label(self) -> &'static str {
+        match self {
+            Mem::Dram => "dram",
+            Mem::Nvm => "nvm",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<Mem> {
+        match s {
+            "dram" => Some(Mem::Dram),
+            "nvm" => Some(Mem::Nvm),
+            _ => None,
+        }
+    }
+}
+
+/// Which heap space refused an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocSpace {
+    /// The young generation's eden space.
+    Eden,
+    /// The DRAM part of a split old generation.
+    OldDram,
+    /// The NVM part of a split old generation.
+    OldNvm,
+    /// A unified or interleaved old space.
+    Old,
+}
+
+impl AllocSpace {
+    fn label(self) -> &'static str {
+        match self {
+            AllocSpace::Eden => "eden",
+            AllocSpace::OldDram => "old_dram",
+            AllocSpace::OldNvm => "old_nvm",
+            AllocSpace::Old => "old",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<AllocSpace> {
+        match s {
+            "eden" => Some(AllocSpace::Eden),
+            "old_dram" => Some(AllocSpace::OldDram),
+            "old_nvm" => Some(AllocSpace::OldNvm),
+            "old" => Some(AllocSpace::Old),
+            _ => None,
+        }
+    }
+}
+
+/// One structured observation of the simulated runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A minor (young-generation) collection began.
+    MinorGcStart,
+    /// A minor collection finished.
+    MinorGcEnd {
+        /// Pause duration in simulated nanoseconds.
+        pause_ns: f64,
+        /// Objects copied to survivors or promoted this cycle.
+        moved: u64,
+        /// Young objects reclaimed this cycle.
+        freed: u64,
+    },
+    /// A major (full-heap) collection began.
+    MajorGcStart,
+    /// A major collection finished.
+    MajorGcEnd {
+        /// Pause duration in simulated nanoseconds.
+        pause_ns: f64,
+        /// RDD arrays migrated between DRAM and NVM this cycle.
+        migrated: u64,
+        /// Old objects reclaimed this cycle.
+        freed: u64,
+    },
+    /// A young object was promoted into the old generation.
+    Promotion {
+        /// Object size in bytes.
+        bytes: u64,
+        /// Device of the old space it landed on.
+        to: Mem,
+    },
+    /// Dynamic re-assessment migrated an RDD array between devices
+    /// (Section 5.5's "# RDDs migrated").
+    Migration {
+        /// The RDD whose backbone array moved.
+        rdd: u32,
+        /// Source device.
+        from: Mem,
+        /// Destination device.
+        to: Mem,
+        /// Array size in bytes.
+        bytes: u64,
+    },
+    /// An engine evaluation (persist materialization or action) began.
+    StageStart {
+        /// Monotonically increasing evaluation sequence number.
+        stage: u32,
+        /// Cumulative DRAM write bytes at stage start.
+        dram_write_bytes: u64,
+        /// Cumulative NVM write bytes at stage start.
+        nvm_write_bytes: u64,
+    },
+    /// An engine evaluation finished; paired with the matching
+    /// [`Event::StageStart`] by `stage`. The cumulative write counters
+    /// let an aggregator derive the per-stage NVM-write ratio.
+    StageEnd {
+        /// Sequence number of the evaluation that finished.
+        stage: u32,
+        /// Cumulative DRAM write bytes at stage end.
+        dram_write_bytes: u64,
+        /// Cumulative NVM write bytes at stage end.
+        nvm_write_bytes: u64,
+    },
+    /// A shuffle wrote (and re-read) records through simulated disk files.
+    ShuffleSpill {
+        /// Record bytes spilled.
+        bytes: u64,
+    },
+    /// One minor GC's dirty-card sweep, summarized.
+    CardScan {
+        /// Dirty cards scanned.
+        cards: u64,
+        /// Bytes read while scanning.
+        bytes: u64,
+        /// Full-array rescans forced by stuck (shared) cards.
+        stuck: u64,
+    },
+    /// A space refused an allocation (the caller will collect and retry,
+    /// fall back, or declare the experiment mis-sized).
+    AllocFail {
+        /// The space that was full.
+        space: AllocSpace,
+        /// Bytes requested.
+        need: u64,
+    },
+    /// A traffic-meter window closed (bandwidth watermark; Figure 8's
+    /// series, live). Emitted when the first access of a *later* window
+    /// arrives.
+    TrafficWindow {
+        /// Index of the completed window.
+        window: u64,
+        /// DRAM read bytes in the window.
+        dram_read: u64,
+        /// DRAM write bytes in the window.
+        dram_write: u64,
+        /// NVM read bytes in the window.
+        nvm_read: u64,
+        /// NVM write bytes in the window.
+        nvm_write: u64,
+    },
+}
+
+impl Event {
+    /// The event's type label, as serialized in the `"ev"` field.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Event::MinorGcStart => "minor_gc_start",
+            Event::MinorGcEnd { .. } => "minor_gc_end",
+            Event::MajorGcStart => "major_gc_start",
+            Event::MajorGcEnd { .. } => "major_gc_end",
+            Event::Promotion { .. } => "promotion",
+            Event::Migration { .. } => "migration",
+            Event::StageStart { .. } => "stage_start",
+            Event::StageEnd { .. } => "stage_end",
+            Event::ShuffleSpill { .. } => "shuffle_spill",
+            Event::CardScan { .. } => "card_scan",
+            Event::AllocFail { .. } => "alloc_fail",
+            Event::TrafficWindow { .. } => "traffic_window",
+        }
+    }
+
+    /// Serialize as one JSON object: `{"t": <ns>, "ev": <label>, ...}`.
+    pub fn to_json(&self, t_ns: f64) -> Json {
+        let mut pairs = vec![
+            ("t".to_string(), Json::Num(t_ns)),
+            ("ev".to_string(), Json::Str(self.label().to_string())),
+        ];
+        let mut put = |k: &str, v: Json| pairs.push((k.to_string(), v));
+        match self {
+            Event::MinorGcStart | Event::MajorGcStart => {}
+            Event::MinorGcEnd {
+                pause_ns,
+                moved,
+                freed,
+            } => {
+                put("pause_ns", Json::Num(*pause_ns));
+                put("moved", Json::UInt(*moved));
+                put("freed", Json::UInt(*freed));
+            }
+            Event::MajorGcEnd {
+                pause_ns,
+                migrated,
+                freed,
+            } => {
+                put("pause_ns", Json::Num(*pause_ns));
+                put("migrated", Json::UInt(*migrated));
+                put("freed", Json::UInt(*freed));
+            }
+            Event::Promotion { bytes, to } => {
+                put("bytes", Json::UInt(*bytes));
+                put("to", Json::Str(to.label().to_string()));
+            }
+            Event::Migration {
+                rdd,
+                from,
+                to,
+                bytes,
+            } => {
+                put("rdd", Json::UInt(u64::from(*rdd)));
+                put("from", Json::Str(from.label().to_string()));
+                put("to", Json::Str(to.label().to_string()));
+                put("bytes", Json::UInt(*bytes));
+            }
+            Event::StageStart {
+                stage,
+                dram_write_bytes,
+                nvm_write_bytes,
+            }
+            | Event::StageEnd {
+                stage,
+                dram_write_bytes,
+                nvm_write_bytes,
+            } => {
+                put("stage", Json::UInt(u64::from(*stage)));
+                put("dram_write_bytes", Json::UInt(*dram_write_bytes));
+                put("nvm_write_bytes", Json::UInt(*nvm_write_bytes));
+            }
+            Event::ShuffleSpill { bytes } => put("bytes", Json::UInt(*bytes)),
+            Event::CardScan {
+                cards,
+                bytes,
+                stuck,
+            } => {
+                put("cards", Json::UInt(*cards));
+                put("bytes", Json::UInt(*bytes));
+                put("stuck", Json::UInt(*stuck));
+            }
+            Event::AllocFail { space, need } => {
+                put("space", Json::Str(space.label().to_string()));
+                put("need", Json::UInt(*need));
+            }
+            Event::TrafficWindow {
+                window,
+                dram_read,
+                dram_write,
+                nvm_read,
+                nvm_write,
+            } => {
+                put("window", Json::UInt(*window));
+                put("dram_read", Json::UInt(*dram_read));
+                put("dram_write", Json::UInt(*dram_write));
+                put("nvm_read", Json::UInt(*nvm_read));
+                put("nvm_write", Json::UInt(*nvm_write));
+            }
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Deserialize a `(timestamp, event)` pair produced by
+    /// [`Event::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Describes the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<(f64, Event), String> {
+        let t = v
+            .get("t")
+            .and_then(Json::as_f64)
+            .ok_or("event missing \"t\"")?;
+        let label = v
+            .get("ev")
+            .and_then(Json::as_str)
+            .ok_or("event missing \"ev\"")?;
+        let u = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or(format!("{label} missing {k:?}"))
+        };
+        let f = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or(format!("{label} missing {k:?}"))
+        };
+        let mem = |k: &str| -> Result<Mem, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .and_then(Mem::from_label)
+                .ok_or(format!("{label} missing {k:?}"))
+        };
+        let event = match label {
+            "minor_gc_start" => Event::MinorGcStart,
+            "minor_gc_end" => Event::MinorGcEnd {
+                pause_ns: f("pause_ns")?,
+                moved: u("moved")?,
+                freed: u("freed")?,
+            },
+            "major_gc_start" => Event::MajorGcStart,
+            "major_gc_end" => Event::MajorGcEnd {
+                pause_ns: f("pause_ns")?,
+                migrated: u("migrated")?,
+                freed: u("freed")?,
+            },
+            "promotion" => Event::Promotion {
+                bytes: u("bytes")?,
+                to: mem("to")?,
+            },
+            "migration" => Event::Migration {
+                rdd: u("rdd")? as u32,
+                from: mem("from")?,
+                to: mem("to")?,
+                bytes: u("bytes")?,
+            },
+            "stage_start" => Event::StageStart {
+                stage: u("stage")? as u32,
+                dram_write_bytes: u("dram_write_bytes")?,
+                nvm_write_bytes: u("nvm_write_bytes")?,
+            },
+            "stage_end" => Event::StageEnd {
+                stage: u("stage")? as u32,
+                dram_write_bytes: u("dram_write_bytes")?,
+                nvm_write_bytes: u("nvm_write_bytes")?,
+            },
+            "shuffle_spill" => Event::ShuffleSpill { bytes: u("bytes")? },
+            "card_scan" => Event::CardScan {
+                cards: u("cards")?,
+                bytes: u("bytes")?,
+                stuck: u("stuck")?,
+            },
+            "alloc_fail" => Event::AllocFail {
+                space: v
+                    .get("space")
+                    .and_then(Json::as_str)
+                    .and_then(AllocSpace::from_label)
+                    .ok_or("alloc_fail missing \"space\"")?,
+                need: u("need")?,
+            },
+            "traffic_window" => Event::TrafficWindow {
+                window: u("window")?,
+                dram_read: u("dram_read")?,
+                dram_write: u("dram_write")?,
+                nvm_read: u("nvm_read")?,
+                nvm_write: u("nvm_write")?,
+            },
+            other => return Err(format!("unknown event type {other:?}")),
+        };
+        Ok((t, event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_events() -> Vec<Event> {
+        vec![
+            Event::MinorGcStart,
+            Event::MinorGcEnd {
+                pause_ns: 1234.5,
+                moved: 10,
+                freed: 20,
+            },
+            Event::MajorGcStart,
+            Event::MajorGcEnd {
+                pause_ns: 1e6,
+                migrated: 3,
+                freed: 400,
+            },
+            Event::Promotion {
+                bytes: 64,
+                to: Mem::Nvm,
+            },
+            Event::Migration {
+                rdd: 7,
+                from: Mem::Nvm,
+                to: Mem::Dram,
+                bytes: 4096,
+            },
+            Event::StageStart {
+                stage: 0,
+                dram_write_bytes: 0,
+                nvm_write_bytes: 0,
+            },
+            Event::StageEnd {
+                stage: 0,
+                dram_write_bytes: 1024,
+                nvm_write_bytes: 2048,
+            },
+            Event::ShuffleSpill { bytes: 9000 },
+            Event::CardScan {
+                cards: 12,
+                bytes: 6144,
+                stuck: 1,
+            },
+            Event::AllocFail {
+                space: AllocSpace::OldDram,
+                need: 1 << 20,
+            },
+            Event::TrafficWindow {
+                window: 4,
+                dram_read: 1,
+                dram_write: 2,
+                nvm_read: 3,
+                nvm_write: 4,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_json() {
+        for (i, e) in all_events().into_iter().enumerate() {
+            let t = 17.25 * (i as f64 + 1.0);
+            let line = e.to_json(t).to_compact();
+            let (t2, e2) = Event::from_json(&Json::parse(&line).unwrap()).unwrap();
+            assert_eq!(t2.to_bits(), t.to_bits(), "{e:?}");
+            assert_eq!(e2, e);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<&str> =
+            all_events().iter().map(|e| e.label()).collect();
+        assert_eq!(labels.len(), all_events().len());
+    }
+
+    #[test]
+    fn rejects_unknown_and_incomplete_events() {
+        let bad = Json::parse("{\"t\":1.0,\"ev\":\"warp_core_breach\"}").unwrap();
+        assert!(Event::from_json(&bad).is_err());
+        let missing = Json::parse("{\"t\":1.0,\"ev\":\"promotion\",\"bytes\":1}").unwrap();
+        assert!(Event::from_json(&missing).is_err());
+        let no_t = Json::parse("{\"ev\":\"minor_gc_start\"}").unwrap();
+        assert!(Event::from_json(&no_t).is_err());
+    }
+}

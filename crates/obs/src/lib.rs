@@ -1,0 +1,50 @@
+//! Structured event tracing and metrics aggregation for the Panthera
+//! simulator.
+//!
+//! The runtime crates (`mheap`, `gc`, `hybridmem`, `sparklet`) emit
+//! [`Event`]s through a shared [`Observer`] handle installed via
+//! `SystemConfig::observer`. The default handle is disabled and every
+//! emit is a single branch, so tracing costs nothing when unused.
+//!
+//! **Observe, never charge.** Emit points read the simulated clock but
+//! never advance it, never touch the memory system, and never change
+//! control flow: a run with sinks attached produces a bit-identical
+//! `RunReport` to the same run without them. This is a tier-1
+//! guarantee, enforced by `tests/observability.rs`.
+//!
+//! Three sinks are built in:
+//! - [`RingBufferSink`] — bounded in-memory capture, for tests;
+//! - [`JsonlSink`] — one JSON object per line, replayable with
+//!   [`replay`] / [`replay_path`];
+//! - [`MetricsAggregator`] — derives pause histograms, per-stage
+//!   NVM-write ratios, and migration churn, and renders a summary table.
+//!
+//! ```
+//! use obs::{Event, EventSink, MetricsAggregator, Observer, RingBufferSink};
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! let ring = Rc::new(RefCell::new(RingBufferSink::new(1024)));
+//! let observer = Observer::with_sink(ring.clone());
+//! // ... install `observer` in a SystemConfig and run; here, emit directly:
+//! observer.emit(42.0, &Event::MinorGcStart);
+//! assert_eq!(ring.borrow().total_seen(), 1);
+//!
+//! let mut metrics = MetricsAggregator::new();
+//! for (t, e) in ring.borrow().events() {
+//!     metrics.on_event(*t, e);
+//! }
+//! assert_eq!(metrics.events_seen(), 1);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{AllocSpace, Event, Mem};
+pub use json::Json;
+pub use metrics::{MetricsAggregator, MigrationChurn, PauseHistogram, StageRow};
+pub use sink::{replay, replay_path, EventSink, JsonlSink, Observer, RingBufferSink};

@@ -1,0 +1,540 @@
+//! A metrics-aggregating sink: consumes the event stream (live or
+//! replayed from JSONL) and derives the evaluation-grade aggregates —
+//! pause distributions, per-stage NVM-write ratios, migration churn.
+
+use crate::event::{Event, Mem};
+use crate::json::Json;
+use crate::sink::EventSink;
+
+/// Pause-duration distribution for one GC kind, in nanoseconds.
+#[derive(Debug, Clone, Default)]
+pub struct PauseHistogram {
+    pauses_ns: Vec<f64>,
+}
+
+impl PauseHistogram {
+    fn record(&mut self, pause_ns: f64) {
+        self.pauses_ns.push(pause_ns);
+    }
+
+    /// Number of pauses recorded.
+    pub fn count(&self) -> usize {
+        self.pauses_ns.len()
+    }
+
+    /// Mean pause, or 0 if none.
+    pub fn mean_ns(&self) -> f64 {
+        if self.pauses_ns.is_empty() {
+            0.0
+        } else {
+            self.pauses_ns.iter().sum::<f64>() / self.pauses_ns.len() as f64
+        }
+    }
+
+    /// Longest pause, or 0 if none.
+    pub fn max_ns(&self) -> f64 {
+        self.pauses_ns.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Nearest-rank quantile (`q` clamped to `[0, 1]`), or 0 if none.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.pauses_ns.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let mut sorted = self.pauses_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("pause is not NaN"));
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[idx]
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::UInt(self.count() as u64)),
+            ("mean_ns", Json::Num(self.mean_ns())),
+            ("p50_ns", Json::Num(self.quantile_ns(0.50))),
+            ("p90_ns", Json::Num(self.quantile_ns(0.90))),
+            ("p99_ns", Json::Num(self.quantile_ns(0.99))),
+            ("max_ns", Json::Num(self.max_ns())),
+        ])
+    }
+}
+
+/// Per-stage write traffic derived from paired `StageStart`/`StageEnd`
+/// events' cumulative counters.
+#[derive(Debug, Clone)]
+pub struct StageRow {
+    /// Stage sequence number.
+    pub stage: u32,
+    /// Simulated time at stage start (ns).
+    pub start_ns: f64,
+    /// Simulated time at stage end (ns); `NaN` until the end arrives.
+    pub end_ns: f64,
+    /// DRAM bytes written during the stage.
+    pub dram_write_bytes: u64,
+    /// NVM bytes written during the stage.
+    pub nvm_write_bytes: u64,
+}
+
+impl StageRow {
+    /// Fraction of the stage's writes that hit NVM, or 0 if it wrote
+    /// nothing.
+    pub fn nvm_write_ratio(&self) -> f64 {
+        let total = self.dram_write_bytes + self.nvm_write_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.nvm_write_bytes as f64 / total as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("stage", Json::UInt(u64::from(self.stage))),
+            ("start_ns", Json::Num(self.start_ns)),
+            ("end_ns", Json::Num(self.end_ns)),
+            ("dram_write_bytes", Json::UInt(self.dram_write_bytes)),
+            ("nvm_write_bytes", Json::UInt(self.nvm_write_bytes)),
+            ("nvm_write_ratio", Json::Num(self.nvm_write_ratio())),
+        ])
+    }
+}
+
+/// Migration churn between devices: object counts and bytes moved in
+/// each direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationChurn {
+    /// Arrays migrated NVM → DRAM (promoted hot data).
+    pub to_dram: u64,
+    /// Arrays migrated DRAM → NVM (demoted cold data).
+    pub to_nvm: u64,
+    /// Bytes moved NVM → DRAM.
+    pub to_dram_bytes: u64,
+    /// Bytes moved DRAM → NVM.
+    pub to_nvm_bytes: u64,
+}
+
+impl MigrationChurn {
+    /// Total arrays migrated in either direction.
+    pub fn total(&self) -> u64 {
+        self.to_dram + self.to_nvm
+    }
+}
+
+/// The aggregating sink. Feed it events (directly, via an
+/// [`crate::Observer`], or by replaying a JSONL trace) and read the
+/// aggregates or render [`MetricsAggregator::summary_table`].
+///
+/// Aggregation is deterministic: the same event sequence always yields
+/// the same [`MetricsAggregator::to_json`] output, which is how the
+/// JSONL round-trip test proves a written trace is complete.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsAggregator {
+    events_seen: u64,
+    last_t_ns: f64,
+    minor_pauses: PauseHistogram,
+    major_pauses: PauseHistogram,
+    promotions: u64,
+    promotion_bytes: u64,
+    promotions_to_nvm: u64,
+    churn: MigrationChurn,
+    stages: Vec<StageRow>,
+    open_stage: Option<(u32, u64, u64, f64)>,
+    shuffle_spills: u64,
+    shuffle_bytes: u64,
+    card_scans: u64,
+    cards_scanned: u64,
+    card_scan_bytes: u64,
+    stuck_rescans: u64,
+    alloc_fails: u64,
+    traffic_windows: u64,
+    peak_window_bytes: u64,
+    peak_window_nvm_write: u64,
+}
+
+impl MetricsAggregator {
+    /// A fresh, empty aggregator.
+    pub fn new() -> MetricsAggregator {
+        MetricsAggregator::default()
+    }
+
+    /// Total events consumed.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Timestamp of the last event consumed (ns), or 0 if none.
+    pub fn last_t_ns(&self) -> f64 {
+        self.last_t_ns
+    }
+
+    /// Minor-GC pause distribution.
+    pub fn minor_pauses(&self) -> &PauseHistogram {
+        &self.minor_pauses
+    }
+
+    /// Major-GC pause distribution.
+    pub fn major_pauses(&self) -> &PauseHistogram {
+        &self.major_pauses
+    }
+
+    /// Migration churn between DRAM and NVM.
+    pub fn migration_churn(&self) -> MigrationChurn {
+        self.churn
+    }
+
+    /// Per-stage write-traffic rows, in stage order.
+    pub fn stages(&self) -> &[StageRow] {
+        &self.stages
+    }
+
+    /// Promotions observed (count, total bytes, count landing on NVM).
+    pub fn promotions(&self) -> (u64, u64, u64) {
+        (
+            self.promotions,
+            self.promotion_bytes,
+            self.promotions_to_nvm,
+        )
+    }
+
+    /// Allocation failures observed.
+    pub fn alloc_fails(&self) -> u64 {
+        self.alloc_fails
+    }
+
+    /// Deterministic JSON form of every aggregate (used by
+    /// `trace_summary` and the round-trip tests).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("events_seen", Json::UInt(self.events_seen)),
+            ("last_t_ns", Json::Num(self.last_t_ns)),
+            ("minor_pauses", self.minor_pauses.to_json()),
+            ("major_pauses", self.major_pauses.to_json()),
+            (
+                "promotions",
+                Json::obj(vec![
+                    ("count", Json::UInt(self.promotions)),
+                    ("bytes", Json::UInt(self.promotion_bytes)),
+                    ("to_nvm", Json::UInt(self.promotions_to_nvm)),
+                ]),
+            ),
+            (
+                "migration",
+                Json::obj(vec![
+                    ("to_dram", Json::UInt(self.churn.to_dram)),
+                    ("to_nvm", Json::UInt(self.churn.to_nvm)),
+                    ("to_dram_bytes", Json::UInt(self.churn.to_dram_bytes)),
+                    ("to_nvm_bytes", Json::UInt(self.churn.to_nvm_bytes)),
+                ]),
+            ),
+            (
+                "stages",
+                Json::Arr(self.stages.iter().map(StageRow::to_json).collect()),
+            ),
+            (
+                "shuffle",
+                Json::obj(vec![
+                    ("spills", Json::UInt(self.shuffle_spills)),
+                    ("bytes", Json::UInt(self.shuffle_bytes)),
+                ]),
+            ),
+            (
+                "card_scan",
+                Json::obj(vec![
+                    ("scans", Json::UInt(self.card_scans)),
+                    ("cards", Json::UInt(self.cards_scanned)),
+                    ("bytes", Json::UInt(self.card_scan_bytes)),
+                    ("stuck_rescans", Json::UInt(self.stuck_rescans)),
+                ]),
+            ),
+            ("alloc_fails", Json::UInt(self.alloc_fails)),
+            (
+                "traffic",
+                Json::obj(vec![
+                    ("windows", Json::UInt(self.traffic_windows)),
+                    ("peak_window_bytes", Json::UInt(self.peak_window_bytes)),
+                    (
+                        "peak_window_nvm_write",
+                        Json::UInt(self.peak_window_nvm_write),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Render a human-readable summary table of the aggregates.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let ms = 1e-6;
+        out.push_str(&format!(
+            "events: {}  (last t = {:.3} ms)\n",
+            self.events_seen,
+            self.last_t_ns * ms
+        ));
+        out.push_str(&format!(
+            "{:<10} {:>7} {:>11} {:>11} {:>11} {:>11}\n",
+            "pauses", "count", "mean ms", "p50 ms", "p99 ms", "max ms"
+        ));
+        for (name, h) in [("minor", &self.minor_pauses), ("major", &self.major_pauses)] {
+            out.push_str(&format!(
+                "{:<10} {:>7} {:>11.4} {:>11.4} {:>11.4} {:>11.4}\n",
+                name,
+                h.count(),
+                h.mean_ns() * ms,
+                h.quantile_ns(0.50) * ms,
+                h.quantile_ns(0.99) * ms,
+                h.max_ns() * ms,
+            ));
+        }
+        out.push_str(&format!(
+            "promotions: {} ({} B, {} to NVM)   alloc fails: {}\n",
+            self.promotions, self.promotion_bytes, self.promotions_to_nvm, self.alloc_fails
+        ));
+        out.push_str(&format!(
+            "migration churn: {} to DRAM ({} B), {} to NVM ({} B)\n",
+            self.churn.to_dram,
+            self.churn.to_dram_bytes,
+            self.churn.to_nvm,
+            self.churn.to_nvm_bytes
+        ));
+        out.push_str(&format!(
+            "shuffle: {} spills ({} B)   card scans: {} ({} cards, {} stuck rescans)\n",
+            self.shuffle_spills,
+            self.shuffle_bytes,
+            self.card_scans,
+            self.cards_scanned,
+            self.stuck_rescans
+        ));
+        out.push_str(&format!(
+            "traffic windows: {} (peak {} B total, peak {} B NVM writes)\n",
+            self.traffic_windows, self.peak_window_bytes, self.peak_window_nvm_write
+        ));
+        if !self.stages.is_empty() {
+            out.push_str(&format!(
+                "{:<7} {:>12} {:>16} {:>16} {:>9}\n",
+                "stage", "dur ms", "DRAM wr B", "NVM wr B", "NVM frac"
+            ));
+            for row in &self.stages {
+                let dur = if row.end_ns.is_finite() {
+                    (row.end_ns - row.start_ns) * ms
+                } else {
+                    f64::NAN
+                };
+                out.push_str(&format!(
+                    "{:<7} {:>12.4} {:>16} {:>16} {:>9.3}\n",
+                    row.stage,
+                    dur,
+                    row.dram_write_bytes,
+                    row.nvm_write_bytes,
+                    row.nvm_write_ratio()
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl EventSink for MetricsAggregator {
+    fn on_event(&mut self, t_ns: f64, event: &Event) {
+        self.events_seen += 1;
+        self.last_t_ns = t_ns;
+        match event {
+            Event::MinorGcStart | Event::MajorGcStart => {}
+            Event::MinorGcEnd { pause_ns, .. } => self.minor_pauses.record(*pause_ns),
+            Event::MajorGcEnd { pause_ns, .. } => self.major_pauses.record(*pause_ns),
+            Event::Promotion { bytes, to } => {
+                self.promotions += 1;
+                self.promotion_bytes += bytes;
+                if *to == Mem::Nvm {
+                    self.promotions_to_nvm += 1;
+                }
+            }
+            Event::Migration {
+                from, to, bytes, ..
+            } => match (from, to) {
+                (Mem::Nvm, Mem::Dram) => {
+                    self.churn.to_dram += 1;
+                    self.churn.to_dram_bytes += bytes;
+                }
+                (Mem::Dram, Mem::Nvm) => {
+                    self.churn.to_nvm += 1;
+                    self.churn.to_nvm_bytes += bytes;
+                }
+                _ => {}
+            },
+            Event::StageStart {
+                stage,
+                dram_write_bytes,
+                nvm_write_bytes,
+            } => {
+                self.open_stage = Some((*stage, *dram_write_bytes, *nvm_write_bytes, t_ns));
+            }
+            Event::StageEnd {
+                stage,
+                dram_write_bytes,
+                nvm_write_bytes,
+            } => {
+                // Pair with the open start; a mismatched or missing start
+                // (truncated trace) yields a row with zero deltas.
+                let (dram0, nvm0, start_ns) = match self.open_stage.take() {
+                    Some((s, d, n, t0)) if s == *stage => (d, n, t0),
+                    _ => (*dram_write_bytes, *nvm_write_bytes, f64::NAN),
+                };
+                self.stages.push(StageRow {
+                    stage: *stage,
+                    start_ns,
+                    end_ns: t_ns,
+                    dram_write_bytes: dram_write_bytes.saturating_sub(dram0),
+                    nvm_write_bytes: nvm_write_bytes.saturating_sub(nvm0),
+                });
+            }
+            Event::ShuffleSpill { bytes } => {
+                self.shuffle_spills += 1;
+                self.shuffle_bytes += bytes;
+            }
+            Event::CardScan {
+                cards,
+                bytes,
+                stuck,
+            } => {
+                self.card_scans += 1;
+                self.cards_scanned += cards;
+                self.card_scan_bytes += bytes;
+                self.stuck_rescans += stuck;
+            }
+            Event::AllocFail { .. } => self.alloc_fails += 1,
+            Event::TrafficWindow {
+                dram_read,
+                dram_write,
+                nvm_read,
+                nvm_write,
+                ..
+            } => {
+                self.traffic_windows += 1;
+                let total = dram_read + dram_write + nvm_read + nvm_write;
+                self.peak_window_bytes = self.peak_window_bytes.max(total);
+                self.peak_window_nvm_write = self.peak_window_nvm_write.max(*nvm_write);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_pause_histograms_and_churn() {
+        let mut m = MetricsAggregator::new();
+        for (i, pause) in [100.0, 300.0, 200.0].iter().enumerate() {
+            m.on_event(i as f64 * 1e6, &Event::MinorGcStart);
+            m.on_event(
+                i as f64 * 1e6 + pause,
+                &Event::MinorGcEnd {
+                    pause_ns: *pause,
+                    moved: 1,
+                    freed: 1,
+                },
+            );
+        }
+        m.on_event(
+            4e6,
+            &Event::Migration {
+                rdd: 1,
+                from: Mem::Nvm,
+                to: Mem::Dram,
+                bytes: 100,
+            },
+        );
+        m.on_event(
+            5e6,
+            &Event::Migration {
+                rdd: 2,
+                from: Mem::Dram,
+                to: Mem::Nvm,
+                bytes: 50,
+            },
+        );
+        assert_eq!(m.minor_pauses().count(), 3);
+        assert_eq!(m.minor_pauses().max_ns(), 300.0);
+        assert_eq!(m.minor_pauses().quantile_ns(0.5), 200.0);
+        assert_eq!(
+            m.migration_churn(),
+            MigrationChurn {
+                to_dram: 1,
+                to_nvm: 1,
+                to_dram_bytes: 100,
+                to_nvm_bytes: 50,
+            }
+        );
+        assert!(m.summary_table().contains("migration churn: 1 to DRAM"));
+    }
+
+    #[test]
+    fn stage_rows_use_cumulative_counter_deltas() {
+        let mut m = MetricsAggregator::new();
+        m.on_event(
+            10.0,
+            &Event::StageStart {
+                stage: 0,
+                dram_write_bytes: 1000,
+                nvm_write_bytes: 500,
+            },
+        );
+        m.on_event(
+            90.0,
+            &Event::StageEnd {
+                stage: 0,
+                dram_write_bytes: 1600,
+                nvm_write_bytes: 900,
+            },
+        );
+        let rows = m.stages();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].dram_write_bytes, 600);
+        assert_eq!(rows[0].nvm_write_bytes, 400);
+        assert!((rows[0].nvm_write_ratio() - 0.4).abs() < 1e-12);
+        assert_eq!(rows[0].start_ns, 10.0);
+        assert_eq!(rows[0].end_ns, 90.0);
+    }
+
+    #[test]
+    fn unmatched_stage_end_yields_zero_delta_row() {
+        let mut m = MetricsAggregator::new();
+        m.on_event(
+            50.0,
+            &Event::StageEnd {
+                stage: 7,
+                dram_write_bytes: 123,
+                nvm_write_bytes: 456,
+            },
+        );
+        assert_eq!(m.stages().len(), 1);
+        assert_eq!(m.stages()[0].dram_write_bytes, 0);
+        assert_eq!(m.stages()[0].nvm_write_bytes, 0);
+        assert!(m.stages()[0].start_ns.is_nan());
+    }
+
+    #[test]
+    fn json_output_is_deterministic() {
+        let mut a = MetricsAggregator::new();
+        let mut b = MetricsAggregator::new();
+        let seq = [
+            (1.0, Event::MinorGcStart),
+            (
+                2.0,
+                Event::MinorGcEnd {
+                    pause_ns: 1.0,
+                    moved: 0,
+                    freed: 0,
+                },
+            ),
+            (3.0, Event::ShuffleSpill { bytes: 10 }),
+        ];
+        for (t, e) in &seq {
+            a.on_event(*t, e);
+            b.on_event(*t, e);
+        }
+        assert_eq!(a.to_json().to_compact(), b.to_json().to_compact());
+    }
+}

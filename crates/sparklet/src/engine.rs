@@ -126,6 +126,22 @@ pub struct ExecStats {
     pub evictions: u64,
 }
 
+impl ExecStats {
+    /// Serialize every counter as a JSON object with stable key order.
+    pub fn to_json(&self) -> obs::Json {
+        use obs::Json;
+        Json::obj(vec![
+            ("records_streamed", Json::UInt(self.records_streamed)),
+            ("shuffles", Json::UInt(self.shuffles)),
+            ("shuffle_bytes", Json::UInt(self.shuffle_bytes)),
+            ("materializations", Json::UInt(self.materializations)),
+            ("actions", Json::UInt(self.actions)),
+            ("rdd_instances", Json::UInt(self.rdd_instances)),
+            ("evictions", Json::UInt(self.evictions)),
+        ])
+    }
+}
+
 /// Everything a run produces.
 #[derive(Debug)]
 pub struct RunOutcome {
@@ -164,6 +180,8 @@ pub struct Engine<R: MemoryRuntime> {
     /// Non-zero while computing the inputs of a join: hash-probe access is
     /// random (latency-bound), not streaming.
     random_read_depth: u32,
+    /// Sequence number for `StageStart`/`StageEnd` events.
+    stage_seq: u32,
 }
 
 impl<R: MemoryRuntime> Engine<R> {
@@ -189,6 +207,7 @@ impl<R: MemoryRuntime> Engine<R> {
             persist_order: Vec::new(),
             ser_store: HashMap::new(),
             random_read_depth: 0,
+            stage_seq: 0,
         }
     }
 
@@ -342,7 +361,16 @@ impl<R: MemoryRuntime> Engine<R> {
     /// Run one top-level evaluation (a persist materialization or an
     /// action): opens a root scope, cleans up transient ShuffledRDDs at
     /// the end, and gives the runtime a stage boundary.
+    ///
+    /// Emits paired `StageStart`/`StageEnd` events carrying *cumulative*
+    /// device write counters, so an aggregator derives per-evaluation
+    /// write traffic by differencing. (Wide transformations inside one
+    /// evaluation also pass a GC stage boundary but do not emit stage
+    /// events: the event granularity is the top-level evaluation.)
     fn evaluation<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        let stage = self.stage_seq;
+        self.stage_seq += 1;
+        self.emit_stage_event(stage, true);
         self.roots.push_scope();
         let out = f(self);
         for rdd in std::mem::take(&mut self.transients) {
@@ -352,7 +380,37 @@ impl<R: MemoryRuntime> Engine<R> {
         }
         self.roots.pop_scope();
         self.runtime.stage_boundary(&self.roots);
+        self.emit_stage_event(stage, false);
         out
+    }
+
+    /// Emit one `StageStart`/`StageEnd` observation (never charges).
+    fn emit_stage_event(&self, stage: u32, start: bool) {
+        let mem = self.runtime.heap().mem();
+        let observer = mem.observer();
+        if !observer.enabled() {
+            return;
+        }
+        let dram_write_bytes = mem
+            .stats()
+            .total_kind_bytes(DeviceKind::Dram, AccessKind::Write);
+        let nvm_write_bytes = mem
+            .stats()
+            .total_kind_bytes(DeviceKind::Nvm, AccessKind::Write);
+        let event = if start {
+            obs::Event::StageStart {
+                stage,
+                dram_write_bytes,
+                nvm_write_bytes,
+            }
+        } else {
+            obs::Event::StageEnd {
+                stage,
+                dram_write_bytes,
+                nvm_write_bytes,
+            }
+        };
+        observer.emit(mem.clock().now_ns(), &event);
     }
 
     /// Materialize a persisted RDD immediately (Section 2: "persisted RDDs
@@ -921,6 +979,13 @@ impl<R: MemoryRuntime> Engine<R> {
     fn charge_shuffle(&mut self, records: &[Payload]) {
         let bytes: u64 = records.iter().map(Payload::model_bytes).sum();
         self.stats.shuffle_bytes += bytes;
+        {
+            let mem = self.runtime.heap().mem();
+            let observer = mem.observer();
+            if observer.enabled() {
+                observer.emit(mem.clock().now_ns(), &obs::Event::ShuffleSpill { bytes });
+            }
+        }
         self.runtime
             .heap_mut()
             .mem_mut()

@@ -5,11 +5,9 @@
 //! cargo run -p panthera-examples --bin analyze_text
 //! ```
 
-use mheap::Payload;
-use panthera::{run_workload, MemoryMode, SystemConfig, SIM_GB};
+use panthera::prelude::*;
 use panthera_analysis::analyze;
 use sparklang::{parse, FnTable, UserFn};
-use sparklet::DataRegistry;
 
 const SOURCE: &str = r#"
 program text-demo {
@@ -70,8 +68,11 @@ fn main() {
             .collect(),
     );
 
-    let config = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
-    let (run_report, outcome) = run_workload(&program, fns, data, &config);
+    let (run_report, outcome) = Simulation::new(MemoryMode::Panthera)
+        .heap_gb(16)
+        .dram_ratio(1.0 / 3.0)
+        .run(&program, fns, data)
+        .expect("valid configuration");
     println!("executed: {}", run_report.summary());
     let (var, last) = outcome.results.last().expect("actions ran");
     println!("final {var}.count() = {last:?}");

@@ -11,8 +11,9 @@
 //! cargo run -p panthera-examples --bin hashjoin_api
 //! ```
 
-use mheap::{MemTag, ObjKind, Payload, RootSet, SpaceId};
-use panthera::{MemoryMode, PantheraRuntime, SystemConfig, SIM_GB};
+use mheap::{MemTag, ObjKind, RootSet, SpaceId};
+use panthera::prelude::*;
+use panthera::PantheraRuntime;
 use sparklet::MemoryRuntime;
 
 fn main() {

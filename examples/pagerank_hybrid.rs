@@ -6,7 +6,7 @@
 //! cargo run -p panthera-examples --bin pagerank_hybrid
 //! ```
 
-use panthera::{run_workload, MemoryMode, SystemConfig, SIM_GB};
+use panthera::prelude::*;
 use panthera_analysis::analyze;
 use sparklang::Pretty;
 use workloads::pagerank;
@@ -30,8 +30,11 @@ fn main() {
     );
     for mode in MemoryMode::ALL {
         let w = pagerank(2_000, 10_000, 6, 42);
-        let config = SystemConfig::new(mode, 64 * SIM_GB, 1.0 / 3.0);
-        let (r, _) = run_workload(&w.program, w.fns, w.data, &config);
+        let (r, _) = Simulation::new(mode)
+            .heap_gb(64)
+            .dram_ratio(1.0 / 3.0)
+            .run(&w.program, w.fns, w.data)
+            .expect("valid configuration");
         println!(
             "{:<20} {:>9.4} {:>9.4} {:>9.3} {:>8} {:>8} {:>9}",
             r.mode,

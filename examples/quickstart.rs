@@ -5,10 +5,7 @@
 //! cargo run -p panthera-examples --bin quickstart
 //! ```
 
-use mheap::Payload;
-use panthera::{run_workload, MemoryMode, SystemConfig, SIM_GB};
-use sparklang::{ActionKind, ProgramBuilder, StorageLevel};
-use sparklet::DataRegistry;
+use panthera::prelude::*;
 
 fn main() {
     // 1. A driver program, as in the paper's Figure 2(a): a cached dataset
@@ -35,8 +32,11 @@ fn main() {
     data.register("numbers", (0..20_000).map(Payload::Long).collect());
 
     // 3. Run it on a "64 GB" heap with one third DRAM under Panthera.
-    let config = SystemConfig::new(MemoryMode::Panthera, 64 * SIM_GB, 1.0 / 3.0);
-    let (report, outcome) = run_workload(&program, fns, data, &config);
+    let (report, outcome) = Simulation::new(MemoryMode::Panthera)
+        .heap_gb(64)
+        .dram_ratio(1.0 / 3.0)
+        .run(&program, fns, data)
+        .expect("valid configuration");
 
     println!("results:");
     for (var, result) in &outcome.results {
@@ -69,8 +69,11 @@ fn main() {
     let (program2, fns2) = b2.finish();
     let mut data2 = DataRegistry::new();
     data2.register("numbers", (0..20_000).map(Payload::Long).collect());
-    let base_cfg = SystemConfig::new(MemoryMode::DramOnly, 64 * SIM_GB, 1.0);
-    let (base, _) = run_workload(&program2, fns2, data2, &base_cfg);
+    let (base, _) = Simulation::new(MemoryMode::DramOnly)
+        .heap_gb(64)
+        .dram_ratio(1.0)
+        .run(&program2, fns2, data2)
+        .expect("valid configuration");
 
     println!();
     println!(

@@ -6,8 +6,9 @@
 //! cargo run -p panthera-examples --bin static_analysis
 //! ```
 
+use panthera::prelude::*;
 use panthera_analysis::{analyze, infer_tags};
-use sparklang::{ActionKind, Pretty, Program, ProgramBuilder, StorageLevel};
+use sparklang::{Pretty, Program};
 
 fn show(title: &str, program: &Program) {
     println!("## {title}");
