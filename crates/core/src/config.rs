@@ -98,6 +98,12 @@ pub struct SystemConfig {
     /// default; events observe, never charge, so attaching sinks changes
     /// no simulated quantity.
     pub observer: obs::Observer,
+    /// Verify every heap invariant at collection entry and exit
+    /// (HotSpot's `VerifyBeforeGC`/`VerifyAfterGC`; DESIGN.md §7).
+    /// Defaults to the `PANTHERA_VERIFY` environment variable. The
+    /// verifier observes, never charges: enabling it changes no simulated
+    /// quantity, and a violation aborts the run.
+    pub verify_heap: bool,
 }
 
 impl SystemConfig {
@@ -117,6 +123,7 @@ impl SystemConfig {
             nvm_spec: None,
             seed: 0x9a77,
             observer: obs::Observer::disabled(),
+            verify_heap: gc::verify_env_enabled(),
         }
     }
 

@@ -16,7 +16,7 @@
 
 use crate::config::SystemConfig;
 use crate::mode::MemoryMode;
-use gc::GcCoordinator;
+use gc::{GcConfig, GcCoordinator};
 use mheap::{Heap, MemTag, ObjId, ObjKind, Payload, RootSet};
 use sparklang::ast::MemoryTag;
 use sparklet::MemoryRuntime;
@@ -52,7 +52,13 @@ impl PantheraRuntime {
     pub fn new(config: &SystemConfig) -> Result<Self, String> {
         let mut heap = Heap::new(config.heap_config(), config.mem_config())?;
         heap.set_observer(config.observer.clone());
-        let gc = GcCoordinator::new(config.policy());
+        let gc = GcCoordinator::with_config(
+            config.policy(),
+            GcConfig {
+                verify: config.verify_heap,
+                ..GcConfig::default()
+            },
+        );
         Ok(PantheraRuntime {
             heap,
             gc,

@@ -4,7 +4,9 @@
 use crate::freq::AccessFreqTable;
 use crate::policy::PlacementPolicy;
 use crate::stats::{GcEvent, GcStats, PauseStats};
-use mheap::{Heap, HeapError, MemTag, ObjId, ObjKind, OldSpaceId, Payload, RootSet};
+use mheap::{
+    Heap, HeapError, MemTag, ObjId, ObjKind, OldSpaceId, Payload, RootSet, VerifyError, VerifyPoint,
+};
 
 /// CPU cost per object processed during tracing (queue and mark
 /// bookkeeping), charged on top of the memory traffic.
@@ -34,6 +36,17 @@ pub struct GcConfig {
     /// Objects at least this large count as "large arrays" for the
     /// shared-card pathology.
     pub large_array_bytes: u64,
+    /// Verify every heap invariant at collection entry and exit
+    /// (HotSpot's `VerifyBeforeGC`/`VerifyAfterGC`). Defaults to the
+    /// `PANTHERA_VERIFY` environment variable; a violation panics after
+    /// emitting [`obs::Event::VerifyFailure`].
+    pub verify: bool,
+}
+
+/// True when the `PANTHERA_VERIFY` environment variable force-enables
+/// heap verification (set and not `"0"`).
+pub fn verify_env_enabled() -> bool {
+    std::env::var("PANTHERA_VERIFY").is_ok_and(|v| v != "0")
 }
 
 impl Default for GcConfig {
@@ -44,6 +57,7 @@ impl Default for GcConfig {
             cold_call_threshold: 1,
             kw_write_threshold: 4,
             large_array_bytes: 2 * mheap::CARD_BYTES,
+            verify: verify_env_enabled(),
         }
     }
 }
@@ -108,6 +122,38 @@ impl GcCoordinator {
     /// The chronological log of every collection this coordinator ran.
     pub fn events(&self) -> &[GcEvent] {
         &self.events
+    }
+
+    /// Run a heap verification pass if verification is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first invariant violation, after emitting
+    /// [`obs::Event::VerifyFailure`] so the trace captures it.
+    pub(crate) fn run_verify(&self, heap: &Heap, roots: &RootSet, point: VerifyPoint) {
+        if !self.config.verify {
+            return;
+        }
+        if let Err(e) = heap.verify(roots, point) {
+            Self::verify_fail(heap, e);
+        }
+    }
+
+    /// Report a verification failure: trace event, then panic. Never
+    /// returns.
+    pub(crate) fn verify_fail(heap: &Heap, e: VerifyError) -> ! {
+        let observer = heap.observer();
+        if observer.enabled() {
+            observer.emit(
+                heap.mem().clock().now_ns(),
+                &obs::Event::VerifyFailure {
+                    point: e.point.label().to_string(),
+                    invariant: e.invariant.label().to_string(),
+                    detail: e.to_string(),
+                },
+            );
+        }
+        panic!("{e}");
     }
 
     /// Record a monitored method call on an RDD (instrumented call sites,

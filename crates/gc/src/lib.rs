@@ -47,7 +47,7 @@ mod minor;
 mod policy;
 mod stats;
 
-pub use coordinator::{GcConfig, GcCoordinator};
+pub use coordinator::{verify_env_enabled, GcConfig, GcCoordinator};
 pub use freq::AccessFreqTable;
 pub use minor::card_population;
 pub use policy::{PantheraPolicy, PlacementPolicy, UnifiedPolicy, WriteRationingPolicy};

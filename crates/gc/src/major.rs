@@ -11,7 +11,7 @@
 
 use crate::coordinator::{GcCoordinator, TRACE_CPU_NS_PER_OBJ};
 use hybridmem::Phase;
-use mheap::{Heap, ObjId, OldSpaceId, RootSet};
+use mheap::{Heap, Invariant, ObjId, OldSpaceId, RootSet, VerifyError, VerifyPoint};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 impl GcCoordinator {
@@ -20,6 +20,7 @@ impl GcCoordinator {
         let prev = heap.mem_mut().enter_phase(Phase::MajorGc);
         let pause_start = heap.mem().clock().now_ns();
         heap.observer().emit(pause_start, &obs::Event::MajorGcStart);
+        self.run_verify(heap, roots, VerifyPoint::BeforeMajor);
         self.stats.major_count += 1;
         heap.mem_mut().compute(crate::coordinator::MAJOR_BASE_NS);
 
@@ -28,6 +29,21 @@ impl GcCoordinator {
 
         // --- mark ---------------------------------------------------------
         let marked = self.mark(heap, roots);
+
+        // Footprint conservation (verifier invariant d): the marked bytes
+        // entering compaction+migration must equal the old-generation bytes
+        // that come out — migration moves bytes, it never creates or
+        // destroys them.
+        let live_old_bytes_in: u64 = if self.config.verify {
+            heap.old_space_ids()
+                .iter()
+                .flat_map(|s| heap.old(*s).objects())
+                .filter(|id| marked.contains(id))
+                .map(|id| heap.obj(*id).size)
+                .sum()
+        } else {
+            0
+        };
 
         // --- per-space live lists ------------------------------------------
         let mut live: HashMap<OldSpaceId, Vec<ObjId>> = HashMap::new();
@@ -51,12 +67,12 @@ impl GcCoordinator {
         }
 
         // --- compact each space (staying objects only) ----------------------
-        let mut movers: Vec<(ObjId, OldSpaceId)> = Vec::new();
+        let mut movers: Vec<(ObjId, OldSpaceId, OldSpaceId)> = Vec::new();
         for space in heap.old_space_ids() {
             let mut staying = Vec::new();
             for id in live.remove(&space).unwrap_or_default() {
                 match migrate.get(&id) {
-                    Some(dest) if *dest != space => movers.push((id, *dest)),
+                    Some(dest) if *dest != space => movers.push((id, space, *dest)),
                     _ => staying.push(id),
                 }
             }
@@ -65,7 +81,7 @@ impl GcCoordinator {
 
         // --- apply migrations after compaction ------------------------------
         let mut migrated_arrays = 0u64;
-        for (id, dest) in movers {
+        for (id, src, dest) in movers {
             let (is_array, rdd, bytes, from_dev) = {
                 let o = heap.obj(id);
                 (
@@ -92,7 +108,16 @@ impl GcCoordinator {
                     }
                 }
             } else {
-                self.stats.promotion_fallbacks += 1;
+                // The destination is full. The object was excluded from its
+                // source space's compaction staying-list, so dropping it
+                // here would orphan it from every resident list — invisible
+                // to the sweep and re-dirty walks while still holding a
+                // slab slot. Re-append it to its (just-compacted) source
+                // space, which is guaranteed to have room: compaction freed
+                // at least this object's own bytes.
+                heap.move_to_old(id, src)
+                    .expect("compacted source space has room for a failed migration");
+                self.stats.migration_fallbacks += 1;
             }
         }
         self.stats.rdds_migrated += migrated_arrays;
@@ -103,27 +128,53 @@ impl GcCoordinator {
             self.stats.old_freed += 1;
         }
 
+        if self.config.verify {
+            let out: u64 = heap
+                .old_space_ids()
+                .iter()
+                .map(|s| heap.old(*s).used())
+                .sum();
+            if out != live_old_bytes_in {
+                Self::verify_fail(
+                    heap,
+                    VerifyError {
+                        point: VerifyPoint::AfterMajor,
+                        invariant: Invariant::Accounting,
+                        object: None,
+                        space: None,
+                        detail: format!(
+                            "footprint not conserved across compaction: \
+                             {live_old_bytes_in} live bytes in, {out} bytes out"
+                        ),
+                    },
+                );
+            }
+        }
+
         // --- epilogue ---------------------------------------------------------
         for space in heap.old_space_ids() {
             heap.card_table_mut(space).clear_all();
         }
         // Re-dirty cards for old objects that reference the young
-        // generation, so the next minor GC still sees them.
+        // generation, so the next minor GC still sees them. Each
+        // young-pointing *slot's* card is dirtied, not the header's: a
+        // multi-card RDD array's young reference can sit many cards past
+        // the header, and a header-only mark would let the next minor GC's
+        // card scan miss it entirely.
         for space in heap.old_space_ids() {
-            let entries: Vec<(ObjId, u64)> = heap
-                .old(space)
-                .objects()
-                .iter()
-                .map(|id| (*id, heap.obj(*id).addr.0))
-                .collect();
-            for (id, addr) in entries {
-                let has_young = heap
-                    .obj(id)
-                    .refs
-                    .iter()
-                    .any(|t| heap.is_live(*t) && heap.obj(*t).in_young());
-                if has_young {
-                    heap.card_table_mut(space).mark_dirty(hybridmem::Addr(addr));
+            let ids: Vec<ObjId> = heap.old(space).objects().to_vec();
+            for id in ids {
+                let young_slots: Vec<hybridmem::Addr> = {
+                    let o = heap.obj(id);
+                    o.refs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| heap.is_live(**t) && heap.obj(**t).in_young())
+                        .map(|(i, _)| o.slot_addr(i))
+                        .collect()
+                };
+                for slot in young_slots {
+                    heap.card_table_mut(space).mark_dirty(slot);
                 }
             }
         }
@@ -133,6 +184,7 @@ impl GcCoordinator {
             }
         }
         self.freq.reset();
+        self.run_verify(heap, roots, VerifyPoint::AfterMajor);
         let pause_ns = heap.mem().clock().now_ns() - pause_start;
         self.major_pauses.record(pause_ns);
         let migrated = self.stats.rdds_migrated - migrated_before;

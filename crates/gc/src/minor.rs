@@ -35,6 +35,7 @@ impl GcCoordinator {
         let prev = heap.mem_mut().enter_phase(Phase::MinorGc);
         let pause_start = heap.mem().clock().now_ns();
         heap.observer().emit(pause_start, &obs::Event::MinorGcStart);
+        self.run_verify(heap, roots, mheap::VerifyPoint::BeforeMinor);
         self.stats.minor_count += 1;
         heap.mem_mut().compute(crate::coordinator::MINOR_BASE_NS);
 
@@ -128,7 +129,6 @@ impl GcCoordinator {
         survivors.sort_by_key(|id| heap.obj(*id).addr);
         let tenure = heap.config().tenure_threshold;
         let eager_on = self.policy.eager_promotion();
-        let mut promoted: Vec<ObjId> = Vec::new();
         for id in survivors {
             let (tag, age) = {
                 let o = heap.obj(id);
@@ -139,7 +139,6 @@ impl GcCoordinator {
             if eager || tenured {
                 let dest = self.policy.promotion_space(heap, tag);
                 self.promote(heap, id, dest);
-                promoted.push(id);
                 if eager {
                     self.stats.eager_promotions += 1;
                 } else {
@@ -151,29 +150,16 @@ impl GcCoordinator {
                 // Survivor space overflow: promote instead.
                 let dest = self.policy.promotion_space(heap, tag);
                 self.promote(heap, id, dest);
-                promoted.push(id);
                 self.stats.tenured_promotions += 1;
             }
         }
 
         // --- remembered-set maintenance ----------------------------------
-        // Newly promoted objects that still reference young survivors must
-        // be found by the next old-to-young scan.
-        for id in promoted {
-            let (addr, space, has_young_ref) = {
-                let o = heap.obj(id);
-                let hy = o
-                    .refs
-                    .iter()
-                    .any(|t| heap.is_live(*t) && heap.obj(*t).in_young());
-                (o.addr, o.space, hy)
-            };
-            if has_young_ref {
-                if let SpaceId::Old(old_id) = space {
-                    heap.card_table_mut(old_id).mark_dirty(addr);
-                }
-            }
-        }
+        // Newly promoted objects that still reference young survivors are
+        // already covered: `move_to_old` dirties the card of every
+        // young-pointing *slot* as part of the move (a header-only mark
+        // here used to under-dirty multi-card arrays).
+        //
         // Scanned cards stay dirty if their objects still point into the
         // young generation (e.g. a reference to an object that merely moved
         // to a survivor space); otherwise they are cleaned — unless stuck.
@@ -207,6 +193,7 @@ impl GcCoordinator {
         if self.policy.write_migration() {
             self.write_rationing_pass(heap);
         }
+        self.run_verify(heap, roots, mheap::VerifyPoint::AfterMinor);
 
         let pause_ns = heap.mem().clock().now_ns() - pause_start;
         self.minor_pauses.record(pause_ns);

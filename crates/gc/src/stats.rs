@@ -131,6 +131,9 @@ pub struct GcStats {
     /// Promotions that fell back to NVM because the preferred DRAM old
     /// space was full.
     pub promotion_fallbacks: u64,
+    /// Dynamic migrations abandoned because the destination old space was
+    /// full; the object was re-appended to its source space.
+    pub migration_fallbacks: u64,
     /// Young objects reclaimed.
     pub young_freed: u64,
     /// Old objects reclaimed.
@@ -164,6 +167,7 @@ impl GcStats {
             ("tenured_promotions", Json::UInt(self.tenured_promotions)),
             ("eager_promotions", Json::UInt(self.eager_promotions)),
             ("promotion_fallbacks", Json::UInt(self.promotion_fallbacks)),
+            ("migration_fallbacks", Json::UInt(self.migration_fallbacks)),
             ("young_freed", Json::UInt(self.young_freed)),
             ("old_freed", Json::UInt(self.old_freed)),
             ("cards_scanned", Json::UInt(self.cards_scanned)),

@@ -2,9 +2,11 @@
 //! arranges an object graph the paper cares about, runs collections, and
 //! checks both placement and cost accounting.
 
-use gc::{GcCoordinator, PantheraPolicy, UnifiedPolicy, WriteRationingPolicy};
+use gc::{GcConfig, GcCoordinator, PantheraPolicy, UnifiedPolicy, WriteRationingPolicy};
 use hybridmem::{DeviceKind, MemorySystemConfig, Phase};
-use mheap::{Heap, HeapConfig, MemTag, ObjId, ObjKind, OldGenLayout, Payload, RootSet, SpaceId};
+use mheap::{
+    Heap, HeapConfig, MemTag, ObjId, ObjKind, OldGenLayout, Payload, RootSet, SpaceId, VerifyPoint,
+};
 
 fn split_heap(heap_bytes: u64) -> Heap {
     let cfg = HeapConfig::panthera(heap_bytes, 1.0 / 3.0);
@@ -18,6 +20,18 @@ fn split_heap(heap_bytes: u64) -> Heap {
 
 fn panthera() -> GcCoordinator {
     GcCoordinator::new(Box::new(PantheraPolicy::default()))
+}
+
+/// A Panthera coordinator with heap verification forced on, so the
+/// regression tests below also exercise the verifier at every GC point.
+fn verified_panthera() -> GcCoordinator {
+    GcCoordinator::with_config(
+        Box::new(PantheraPolicy::default()),
+        GcConfig {
+            verify: true,
+            ..GcConfig::default()
+        },
+    )
 }
 
 #[test]
@@ -904,4 +918,97 @@ fn event_log_records_every_collection_in_order() {
         .map(|e| e.pause_ns)
         .sum();
     assert!((minor_total - gc.minor_pauses().mean_ns() * 2.0).abs() < 1e-6);
+}
+
+#[test]
+fn failed_migration_reappends_to_source_space() {
+    // Regression: a mover whose destination is too full used to be
+    // orphaned — removed from its source resident list but never
+    // re-appended anywhere, leaving a live object that no card scan or
+    // compaction would ever visit again. It must instead stay put in its
+    // source space and be counted under `migration_fallbacks`.
+    let mut heap = split_heap(600_000);
+    let mut gc = verified_panthera();
+    let mut roots = RootSet::new();
+    let nvm = heap.old_nvm().unwrap();
+    let dram = heap.old_dram().unwrap();
+    // A cold DRAM-resident RDD: zero recorded calls puts it under the
+    // cold threshold, so the major GC plans a demotion to NVM.
+    let arr = gc.alloc_rdd_array(&mut heap, &roots, 11, 256, MemTag::Dram);
+    roots.push(arr);
+    // Fill the NVM destination with rooted objects so the demotion
+    // cannot possibly fit.
+    while let Ok(filler) = heap.alloc_old(
+        nvm,
+        ObjKind::Control,
+        MemTag::Nvm,
+        vec![],
+        Payload::doubles(vec![0.0; 32]),
+    ) {
+        roots.push(filler);
+    }
+    gc.major_gc(&mut heap, &roots);
+    // The mover fell back: still live, still resident in its source
+    // space, and the fallback was counted (not as a promotion fallback).
+    assert!(heap.is_live(arr));
+    assert_eq!(heap.obj(arr).space, SpaceId::Old(dram));
+    assert!(
+        heap.old(dram).objects().contains(&arr),
+        "failed mover must be re-appended to the source resident list"
+    );
+    assert_eq!(gc.stats().migration_fallbacks, 1);
+    assert_eq!(gc.stats().promotion_fallbacks, 0);
+    assert_eq!(gc.stats().rdds_migrated, 0);
+    // The old code's orphan is exactly what the verifier's resident-list
+    // invariant catches; a manual pass must be clean.
+    heap.verify(&roots, VerifyPoint::Manual).unwrap();
+}
+
+#[test]
+fn major_gc_redirties_the_referencing_slot_card() {
+    // Regression: the post-major re-dirty loop marked only the card of
+    // the *header* of an old object holding young references. For an
+    // array spanning several cards, the next minor GC's card scan then
+    // missed the referencing slot and freed its young target, leaving a
+    // dangling reference.
+    let mut heap = split_heap(600_000);
+    let mut gc = verified_panthera();
+    let mut roots = RootSet::new();
+    let nvm = heap.old_nvm().unwrap();
+    // A 300-slot NVM array spans several 512-byte cards. Pad the first
+    // 200 slots with self-references so the young reference lands in a
+    // card well past the header's.
+    let arr = gc.alloc_rdd_array(&mut heap, &roots, 21, 300, MemTag::Nvm);
+    roots.push(arr);
+    for _ in 0..200 {
+        heap.push_ref(arr, arr);
+    }
+    let t = gc.alloc_young(
+        &mut heap,
+        &roots,
+        ObjKind::Tuple,
+        MemTag::None,
+        vec![],
+        Payload::Long(7),
+    );
+    heap.push_ref(arr, t);
+    gc.major_gc(&mut heap, &roots);
+    // The card holding slot 200 (not just the header card) must be dirty.
+    let slot_addr = heap.obj(arr).slot_addr(200);
+    let header_addr = heap.obj(arr).addr;
+    let table = heap.card_table(nvm);
+    assert_ne!(
+        table.card_of(slot_addr),
+        table.card_of(header_addr),
+        "test must place the reference on a non-header card"
+    );
+    assert!(
+        table.is_dirty(table.card_of(slot_addr)),
+        "the referencing slot's card must be re-dirtied after major GC"
+    );
+    // And the card scan of the next minor GC must therefore keep the
+    // young target (reachable only through the old array) alive.
+    gc.minor_gc(&mut heap, &roots);
+    assert!(heap.is_live(t), "young target reachable only via the card");
+    heap.verify(&roots, VerifyPoint::Manual).unwrap();
 }

@@ -29,6 +29,14 @@ impl WindowTraffic {
     fn add(&mut self, device: DeviceKind, kind: AccessKind, bytes: u64) {
         self.bytes[device.index()][kind.index()] += bytes;
     }
+
+    fn merge(&mut self, other: &WindowTraffic) {
+        for (row, o) in self.bytes.iter_mut().zip(other.bytes.iter()) {
+            for (b, ob) in row.iter_mut().zip(o.iter()) {
+                *b += ob;
+            }
+        }
+    }
 }
 
 /// One sample of a bandwidth time series.
@@ -80,15 +88,67 @@ impl TrafficMeter {
     }
 
     /// Record `bytes` moved at simulated time `now_ns`.
+    ///
+    /// A non-finite or negative `now_ns` is a caller bug: debug builds
+    /// panic, release builds saturate (NaN and negatives land in the first
+    /// window, `+∞` in the last) instead of letting the cast pick an
+    /// arbitrary index. Timestamps that would need more than
+    /// [`TrafficMeter::MAX_WINDOWS`] windows trigger coarsening: the
+    /// window width doubles and adjacent windows fold together (totals
+    /// preserved) until the timestamp fits, so the vector never grows
+    /// unboundedly.
     pub fn record(&mut self, now_ns: f64, device: DeviceKind, kind: AccessKind, bytes: u64) {
         if bytes == 0 {
             return;
         }
-        let idx = (now_ns / self.window_ns) as usize;
+        debug_assert!(
+            now_ns.is_finite() && now_ns >= 0.0,
+            "non-finite or negative traffic timestamp: {now_ns}"
+        );
+        if !now_ns.is_finite() || now_ns < 0.0 {
+            let idx = if now_ns == f64::INFINITY {
+                self.windows.len().saturating_sub(1)
+            } else {
+                0
+            };
+            if self.windows.is_empty() {
+                self.windows.push(WindowTraffic::default());
+            }
+            self.windows[idx].add(device, kind, bytes);
+            return;
+        }
+        // `as usize` saturates, so a huge quotient becomes usize::MAX and
+        // enters the coarsening loop rather than an absurd allocation.
+        let mut idx = (now_ns / self.window_ns) as usize;
+        while idx >= Self::MAX_WINDOWS {
+            self.coarsen();
+            idx = (now_ns / self.window_ns) as usize;
+        }
         if idx >= self.windows.len() {
             self.windows.resize(idx + 1, WindowTraffic::default());
         }
         self.windows[idx].add(device, kind, bytes);
+    }
+
+    /// Hard cap on the number of windows; recording past it coarsens the
+    /// meter instead of growing the vector.
+    pub const MAX_WINDOWS: usize = 1 << 16;
+
+    /// Double the window width and fold adjacent windows together,
+    /// preserving per-device/kind totals.
+    fn coarsen(&mut self) {
+        self.window_ns *= 2.0;
+        self.windows = self
+            .windows
+            .chunks(2)
+            .map(|pair| {
+                let mut w = pair[0];
+                if let Some(second) = pair.get(1) {
+                    w.merge(second);
+                }
+                w
+            })
+            .collect();
     }
 
     /// Raw per-window traffic, in chronological order.
@@ -154,6 +214,54 @@ mod tests {
         let mut m = TrafficMeter::new(10.0);
         m.record(5.0, DeviceKind::Dram, AccessKind::Read, 0);
         assert!(m.windows().is_empty());
+    }
+
+    #[test]
+    fn huge_timestamps_coarsen_instead_of_allocating() {
+        let mut m = TrafficMeter::new(10.0);
+        m.record(5.0, DeviceKind::Dram, AccessKind::Read, 64);
+        m.record(15.0, DeviceKind::Dram, AccessKind::Write, 32);
+        // Needs ~1e14 windows at the original width: must coarsen, not
+        // resize.
+        m.record(1e15, DeviceKind::Nvm, AccessKind::Write, 128);
+        assert!(m.windows().len() <= TrafficMeter::MAX_WINDOWS);
+        assert!(m.window_ns() > 10.0);
+        // Totals survive the folding.
+        assert_eq!(m.total_bytes(DeviceKind::Dram, AccessKind::Read), 64);
+        assert_eq!(m.total_bytes(DeviceKind::Dram, AccessKind::Write), 32);
+        assert_eq!(m.total_bytes(DeviceKind::Nvm, AccessKind::Write), 128);
+        // The two early records folded into the first window.
+        assert_eq!(m.windows()[0].bytes(DeviceKind::Dram, AccessKind::Read), 64);
+        assert_eq!(
+            m.windows()[0].bytes(DeviceKind::Dram, AccessKind::Write),
+            32
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-finite or negative traffic timestamp")]
+    fn non_finite_timestamp_panics_in_debug() {
+        let mut m = TrafficMeter::new(10.0);
+        m.record(f64::NAN, DeviceKind::Dram, AccessKind::Read, 1);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn non_finite_timestamps_saturate_in_release() {
+        let mut m = TrafficMeter::new(10.0);
+        m.record(25.0, DeviceKind::Dram, AccessKind::Read, 8);
+        m.record(f64::NAN, DeviceKind::Dram, AccessKind::Read, 1);
+        m.record(f64::NEG_INFINITY, DeviceKind::Dram, AccessKind::Read, 2);
+        m.record(f64::INFINITY, DeviceKind::Dram, AccessKind::Read, 4);
+        assert_eq!(m.windows().len(), 3);
+        // NaN and -inf land in the first window, +inf in the last.
+        assert_eq!(m.windows()[0].bytes(DeviceKind::Dram, AccessKind::Read), 3);
+        assert_eq!(
+            m.windows()[2].bytes(DeviceKind::Dram, AccessKind::Read),
+            8 + 4
+        );
+        assert_eq!(m.total_bytes(DeviceKind::Dram, AccessKind::Read), 15);
     }
 
     #[test]

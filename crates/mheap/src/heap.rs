@@ -316,6 +316,16 @@ impl Heap {
         self.objects.iter().filter(|o| o.is_some()).count()
     }
 
+    /// Ids of every live object in the slab, ascending (the verifier's
+    /// whole-heap walk).
+    pub fn live_ids(&self) -> impl Iterator<Item = ObjId> + '_ {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_some())
+            .map(|(i, _)| ObjId(i as u32))
+    }
+
     // ------------------------------------------------------------------
     // Allocation
     // ------------------------------------------------------------------
@@ -601,7 +611,7 @@ impl Heap {
             let o = self.obj_mut(src);
             assert!(index < o.refs.len(), "ref slot {index} out of bounds");
             o.refs[index] = target;
-            o.addr.offset(HEADER_BYTES + REF_BYTES * index as u64)
+            o.slot_addr(index)
         };
         self.barrier(src, slot_addr);
     }
@@ -611,9 +621,7 @@ impl Heap {
         let slot_addr = {
             let o = self.obj_mut(src);
             o.refs.push(target);
-            let idx = o.refs.len() as u64 - 1;
-            o.addr
-                .offset((HEADER_BYTES + REF_BYTES * idx).min(o.size.saturating_sub(1)))
+            o.slot_addr(o.refs.len() - 1)
         };
         self.barrier(src, slot_addr);
     }
@@ -724,16 +732,22 @@ impl Heap {
         o.addr = new_addr;
         o.space = SpaceId::Old(dest);
         self.stats.moves += 1;
-        // The object's remembered-set state must move with it: if it still
-        // references the young generation, the destination card is dirty.
-        let has_young_ref = self
-            .obj(id)
-            .refs
-            .clone()
-            .into_iter()
-            .any(|t| self.is_live(t) && self.obj(t).in_young());
-        if has_young_ref {
-            self.cards[dest.0 as usize].mark_dirty(new_addr);
+        // The object's remembered-set state must move with it: every slot
+        // that still references the young generation dirties the card *the
+        // slot itself* lands on — a multi-card array's young pointer can sit
+        // many cards past the header, and dirtying only the header card
+        // would let the next minor GC miss it.
+        let young_slots: Vec<Addr> = {
+            let o = self.obj(id);
+            o.refs
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| self.is_live(**t) && self.obj(**t).in_young())
+                .map(|(i, _)| o.slot_addr(i))
+                .collect()
+        };
+        for slot in young_slots {
+            self.cards[dest.0 as usize].mark_dirty(slot);
         }
         Ok(())
     }

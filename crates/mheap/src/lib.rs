@@ -48,6 +48,7 @@ mod payload;
 mod roots;
 mod space;
 mod tag;
+mod verify;
 
 pub use card::{pad_to_card, CardTable, CARD_BYTES};
 pub use config::{HeapConfig, OldGenLayout};
@@ -57,3 +58,4 @@ pub use payload::{Key, Payload};
 pub use roots::RootSet;
 pub use space::{OldSpaceId, Space, SpaceId};
 pub use tag::MemTag;
+pub use verify::{Invariant, VerifyError, VerifyPoint};

@@ -102,6 +102,19 @@ impl Object {
         self.addr.offset(self.size)
     }
 
+    /// Modelled address of reference slot `index`, clamped to the object's
+    /// extent. Slots normally sit at `HEADER_BYTES + REF_BYTES * index`,
+    /// but `refs` may legitimately outgrow the modelled size (e.g. an
+    /// appended backbone array), so the last byte of the object is used as
+    /// the overflow slot address. The write barrier, the collectors'
+    /// re-dirty passes, and the heap verifier must all agree on this
+    /// mapping — a slot dirtied at one address and checked at another
+    /// would be a false card-table violation.
+    pub fn slot_addr(&self, index: usize) -> Addr {
+        self.addr
+            .offset((HEADER_BYTES + REF_BYTES * index as u64).min(self.size.saturating_sub(1)))
+    }
+
     /// True if the object is in either young-generation space.
     pub fn in_young(&self) -> bool {
         self.space.is_young()
@@ -143,5 +156,25 @@ mod tests {
         };
         assert_eq!(o.end(), Addr(132));
         assert!(o.in_young());
+    }
+
+    #[test]
+    fn slot_addresses_clamp_to_extent() {
+        let o = Object {
+            kind: ObjKind::RddArray { rdd_id: 0 },
+            size: HEADER_BYTES + 2 * REF_BYTES,
+            addr: Addr(1000),
+            space: SpaceId::Old(crate::space::OldSpaceId(0)),
+            tag: MemTag::None,
+            age: 0,
+            marked: false,
+            refs: vec![],
+            payload: Payload::Unit,
+        };
+        assert_eq!(o.slot_addr(0), Addr(1000 + HEADER_BYTES));
+        assert_eq!(o.slot_addr(1), Addr(1000 + HEADER_BYTES + REF_BYTES));
+        // Slot 2 would start at the object's end: clamped to the last byte.
+        assert_eq!(o.slot_addr(2), Addr(1000 + o.size - 1));
+        assert_eq!(o.slot_addr(1000), Addr(1000 + o.size - 1));
     }
 }

@@ -1,11 +1,65 @@
 //! Property tests for the heap: payload sizing/hashing, card geometry,
 //! bump allocation, and root-scope discipline.
 
-use hybridmem::MemorySystemConfig;
+use hybridmem::{Addr, MemorySystemConfig};
 use mheap::{
-    pad_to_card, Heap, HeapConfig, Key, MemTag, ObjId, ObjKind, Payload, RootSet, CARD_BYTES,
+    pad_to_card, CardTable, Heap, HeapConfig, Key, MemTag, ObjId, ObjKind, Payload, RootSet,
+    CARD_BYTES,
 };
 use proptest::prelude::*;
+
+/// One step of a card-table torture schedule.
+#[derive(Debug, Clone, Copy)]
+enum CardOp {
+    Dirty(usize),
+    Stuck(usize),
+    Clean(usize),
+    ClearAll,
+}
+
+/// A naive reference model of the card table: one bool per card, no
+/// bitmaps, no word skipping.
+#[derive(Debug, Clone)]
+struct NaiveCards {
+    dirty: Vec<bool>,
+    stuck: Vec<bool>,
+}
+
+impl NaiveCards {
+    fn new(cards: usize) -> Self {
+        NaiveCards {
+            dirty: vec![false; cards],
+            stuck: vec![false; cards],
+        }
+    }
+
+    fn apply(&mut self, op: CardOp) {
+        match op {
+            CardOp::Dirty(i) => self.dirty[i] = true,
+            CardOp::Stuck(i) => {
+                self.dirty[i] = true;
+                self.stuck[i] = true;
+            }
+            CardOp::Clean(i) => {
+                if !self.stuck[i] {
+                    self.dirty[i] = false;
+                }
+            }
+            CardOp::ClearAll => {
+                self.dirty.iter_mut().for_each(|b| *b = false);
+                self.stuck.iter_mut().for_each(|b| *b = false);
+            }
+        }
+    }
+
+    fn next_dirty_from(&self, from: usize) -> Option<usize> {
+        (from..self.dirty.len()).find(|i| self.dirty[*i])
+    }
+
+    fn iter_dirty(&self) -> Vec<usize> {
+        (0..self.dirty.len()).filter(|i| self.dirty[*i]).collect()
+    }
+}
 
 /// Generator for arbitrary payloads (recursion bounded).
 fn payload() -> impl Strategy<Value = Payload> {
@@ -113,6 +167,59 @@ proptest! {
             } else {
                 heap.alloc_old(nvm, ObjKind::Tuple, MemTag::Nvm, vec![], Payload::longs(vec![0; n]))
                     .unwrap();
+            }
+        }
+    }
+
+    /// The bitmap card table agrees with a naive per-card bool model under
+    /// arbitrary mark/stick/clean/clear schedules: same dirty set, same
+    /// word-skipping cursor answers from every start index, same counts.
+    #[test]
+    fn card_table_matches_naive_reference(
+        cards in 1usize..200,
+        ops in prop::collection::vec((any::<u64>(), any::<u64>()), 0..64),
+    ) {
+        let base = Addr(CARD_BYTES * 3); // non-zero base: card_of must offset
+        let mut table = CardTable::new(base, cards as u64 * CARD_BYTES);
+        let mut naive = NaiveCards::new(cards);
+        prop_assert_eq!(table.len(), cards);
+        for (a, b) in ops {
+            // Derive an op from two raw u64s so the schedule shrinks well.
+            let op = match a % 9 {
+                0..=3 => CardOp::Dirty(b as usize % cards),
+                4 => CardOp::Stuck(b as usize % cards),
+                5..=7 => CardOp::Clean(b as usize % cards),
+                _ => CardOp::ClearAll,
+            };
+            match op {
+                CardOp::Dirty(i) => {
+                    // Any address within the card must mark it.
+                    let within = b % CARD_BYTES;
+                    table.mark_dirty(Addr(base.0 + i as u64 * CARD_BYTES + within));
+                }
+                CardOp::Stuck(i) => table.mark_stuck(Addr(base.0 + i as u64 * CARD_BYTES)),
+                CardOp::Clean(i) => {
+                    let cleaned = table.clean(i);
+                    prop_assert_eq!(cleaned, !naive.stuck[i], "clean({i})");
+                }
+                CardOp::ClearAll => table.clear_all(),
+            }
+            naive.apply(op);
+            // Full dirty-set agreement after every step.
+            prop_assert_eq!(table.iter_dirty().collect::<Vec<_>>(), naive.iter_dirty());
+            prop_assert_eq!(table.dirty_count(), naive.iter_dirty().len());
+            for i in 0..cards {
+                prop_assert_eq!(table.is_dirty(i), naive.dirty[i], "card {i}");
+                prop_assert_eq!(table.is_stuck(i), naive.stuck[i], "card {i}");
+            }
+            // The word-skipping cursor agrees with a linear scan from every
+            // start position, including past-the-end.
+            for from in 0..=cards {
+                prop_assert_eq!(
+                    table.next_dirty_from(from),
+                    naive.next_dirty_from(from),
+                    "from {from}"
+                );
             }
         }
     }

@@ -156,6 +156,17 @@ pub enum Event {
         /// Bytes requested.
         need: u64,
     },
+    /// A heap verification pass found an invariant violation. Emitted
+    /// just before the verifier aborts the run, so the trace records what
+    /// was violated and where.
+    VerifyFailure {
+        /// Verification point label (`before_minor`, `after_major`, ...).
+        point: String,
+        /// Violated invariant label (`card_coverage`, `accounting`, ...).
+        invariant: String,
+        /// Full rendered violation, including object and space.
+        detail: String,
+    },
     /// A traffic-meter window closed (bandwidth watermark; Figure 8's
     /// series, live). Emitted when the first access of a *later* window
     /// arrives.
@@ -188,6 +199,7 @@ impl Event {
             Event::ShuffleSpill { .. } => "shuffle_spill",
             Event::CardScan { .. } => "card_scan",
             Event::AllocFail { .. } => "alloc_fail",
+            Event::VerifyFailure { .. } => "verify_failure",
             Event::TrafficWindow { .. } => "traffic_window",
         }
     }
@@ -261,6 +273,15 @@ impl Event {
             Event::AllocFail { space, need } => {
                 put("space", Json::Str(space.label().to_string()));
                 put("need", Json::UInt(*need));
+            }
+            Event::VerifyFailure {
+                point,
+                invariant,
+                detail,
+            } => {
+                put("point", Json::Str(point.clone()));
+                put("invariant", Json::Str(invariant.clone()));
+                put("detail", Json::Str(detail.clone()));
             }
             Event::TrafficWindow {
                 window,
@@ -357,6 +378,19 @@ impl Event {
                     .ok_or("alloc_fail missing \"space\"")?,
                 need: u("need")?,
             },
+            "verify_failure" => {
+                let s = |k: &str| -> Result<String, String> {
+                    v.get(k)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or(format!("{label} missing {k:?}"))
+                };
+                Event::VerifyFailure {
+                    point: s("point")?,
+                    invariant: s("invariant")?,
+                    detail: s("detail")?,
+                }
+            }
             "traffic_window" => Event::TrafficWindow {
                 window: u("window")?,
                 dram_read: u("dram_read")?,
@@ -417,6 +451,11 @@ mod tests {
             Event::AllocFail {
                 space: AllocSpace::OldDram,
                 need: 1 << 20,
+            },
+            Event::VerifyFailure {
+                point: "after_major".to_string(),
+                invariant: "card_coverage".to_string(),
+                detail: "obj#7 slot 3 on clean card".to_string(),
             },
             Event::TrafficWindow {
                 window: 4,

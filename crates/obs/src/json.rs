@@ -391,6 +391,24 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_floats_emit_null_and_round_trip() {
+        // JSON has no NaN/Infinity lexemes: a raw `NaN` in the output
+        // would make the whole trace unreplayable. Non-finite numbers
+        // degrade to null, which parses back cleanly.
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let line = Json::Num(x).to_compact();
+            assert_eq!(line, "null", "{x}");
+            assert_eq!(Json::parse(&line).unwrap(), Json::Null, "{x}");
+        }
+        // Same inside a structure, pretty or compact.
+        let v = Json::obj(vec![("bad", Json::Num(f64::NAN)), ("ok", Json::Num(1.5))]);
+        let parsed = Json::parse(&v.to_compact()).unwrap();
+        assert_eq!(parsed.get("bad"), Some(&Json::Null));
+        assert_eq!(parsed.get("ok").and_then(Json::as_f64), Some(1.5));
+        assert!(Json::parse(&v.to_pretty()).is_ok());
+    }
+
+    #[test]
     fn round_trips_structures_and_strings() {
         let v = Json::obj(vec![
             ("name", Json::Str("line\n\"quoted\"\\".into())),

@@ -147,6 +147,7 @@ pub struct MetricsAggregator {
     card_scan_bytes: u64,
     stuck_rescans: u64,
     alloc_fails: u64,
+    verify_failures: u64,
     traffic_windows: u64,
     peak_window_bytes: u64,
     peak_window_nvm_write: u64,
@@ -202,6 +203,11 @@ impl MetricsAggregator {
         self.alloc_fails
     }
 
+    /// Heap-verification failures observed (a healthy trace has zero).
+    pub fn verify_failures(&self) -> u64 {
+        self.verify_failures
+    }
+
     /// Deterministic JSON form of every aggregate (used by
     /// `trace_summary` and the round-trip tests).
     pub fn to_json(&self) -> Json {
@@ -248,6 +254,7 @@ impl MetricsAggregator {
                 ]),
             ),
             ("alloc_fails", Json::UInt(self.alloc_fails)),
+            ("verify_failures", Json::UInt(self.verify_failures)),
             (
                 "traffic",
                 Json::obj(vec![
@@ -290,6 +297,9 @@ impl MetricsAggregator {
             "promotions: {} ({} B, {} to NVM)   alloc fails: {}\n",
             self.promotions, self.promotion_bytes, self.promotions_to_nvm, self.alloc_fails
         ));
+        if self.verify_failures > 0 {
+            out.push_str(&format!("VERIFY FAILURES: {}\n", self.verify_failures));
+        }
         out.push_str(&format!(
             "migration churn: {} to DRAM ({} B), {} to NVM ({} B)\n",
             self.churn.to_dram,
@@ -403,6 +413,7 @@ impl EventSink for MetricsAggregator {
                 self.stuck_rescans += stuck;
             }
             Event::AllocFail { .. } => self.alloc_fails += 1,
+            Event::VerifyFailure { .. } => self.verify_failures += 1,
             Event::TrafficWindow {
                 dram_read,
                 dram_write,

@@ -347,4 +347,24 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("unknown event"), "{err}");
     }
+
+    #[test]
+    fn replay_reports_the_offending_line_number() {
+        // Two good lines, then garbage: the error must name line 3, so a
+        // user can jump straight to the bad record in a long trace.
+        let trace = b"{\"t\":1.0,\"ev\":\"minor_gc_start\"}\n\
+                      {\"t\":2.0,\"ev\":\"major_gc_start\"}\n\
+                      {broken\n"
+            .to_vec();
+        let mut sink = CollectSink(Vec::new());
+        let err = replay(io::Cursor::new(trace), &mut sink).unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+        // Parseable JSON that is not a known event also carries its line.
+        let trace = b"{\"t\":1.0,\"ev\":\"minor_gc_start\"}\n\
+                      {\"t\":2.0,\"ev\":\"warp_core_breach\"}\n"
+            .to_vec();
+        let err = replay(io::Cursor::new(trace), &mut CollectSink(Vec::new())).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("unknown event"), "{err}");
+    }
 }

@@ -1,0 +1,57 @@
+//! Cross-crate heap-verification contract (DESIGN.md §7): with
+//! [`SystemConfig::verify_heap`] on, every workload on every memory mode
+//! runs every minor/major GC entry and exit through the full invariant
+//! set with zero violations — and the verifier observes, never charges,
+//! so the report is bit-identical to an unverified run.
+
+use panthera::{run_workload, MemoryMode, RunReport, SystemConfig, SIM_GB};
+use workloads::{build_workload, WorkloadId};
+
+const SCALE: f64 = 0.1;
+const SEED: u64 = 5;
+
+fn run_once(id: WorkloadId, mode: MemoryMode, verify: bool) -> RunReport {
+    let w = build_workload(id, SCALE, SEED);
+    let mut cfg = SystemConfig::new(mode, 16 * SIM_GB, 1.0 / 3.0);
+    cfg.verify_heap = verify;
+    run_workload(&w.program, w.fns, w.data, &cfg).0
+}
+
+/// A verified run completing at all is the invariant check: any
+/// violation panics with the typed `VerifyError`. Every mode exercises a
+/// different old-generation layout (unified DRAM, interleaved, unified
+/// NVM, split with write rationing, split with semantic placement).
+#[test]
+fn all_modes_pass_verification() {
+    for mode in MemoryMode::ALL {
+        let report = run_once(WorkloadId::Pr, mode, true);
+        assert!(report.gc.minor_count > 0, "{mode}: workload must collect");
+    }
+}
+
+/// The GC-heaviest workloads under the two split-old-generation modes,
+/// where promotion fallbacks, write rationing, and dynamic migration all
+/// interact with the card table.
+#[test]
+fn split_generation_workloads_pass_verification() {
+    for id in [WorkloadId::Tc, WorkloadId::Km, WorkloadId::Cc] {
+        for mode in [MemoryMode::KingsguardWrites, MemoryMode::Panthera] {
+            run_once(id, mode, true);
+        }
+    }
+}
+
+/// Verify-never-charge: enabling verification changes nothing the
+/// simulator can observe.
+#[test]
+fn verification_does_not_perturb_the_report() {
+    for mode in [MemoryMode::Unmanaged, MemoryMode::Panthera] {
+        let bare = run_once(WorkloadId::Pr, mode, false);
+        let verified = run_once(WorkloadId::Pr, mode, true);
+        assert_eq!(
+            bare.to_json().to_compact(),
+            verified.to_json().to_compact(),
+            "{mode}: verified run must be bit-identical"
+        );
+    }
+}
