@@ -1,4 +1,4 @@
-//! perfsuite: the host-performance trajectory harness (`BENCH_PR1.json`).
+//! perfsuite: the host-performance trajectory harness (`BENCH_PR4.json`).
 //!
 //! Unlike the `fig*`/`table*` binaries, which reproduce the paper's
 //! *simulated* results, this suite measures how fast the simulator itself
@@ -22,13 +22,24 @@
 //! Three micro-passes cover the allocator, the minor-GC cycle, and the
 //! dirty-card sweep in isolation.
 //!
-//! Output: `BENCH_PR1.json` in the current directory (override with
-//! `PERFSUITE_OUT`).
+//! An **executor-scaling arm** runs PageRank and an inline hash join on
+//! the `panthera-cluster` driver at E = 1, 2, 4 executors (host threads
+//! from `PANTHERA_HOST_THREADS`, default one per executor), asserting
+//! that the E = 1 cluster report is bit-identical to the single-runtime
+//! path and that host-thread count is invisible to the simulation.
+//!
+//! Output: `BENCH_PR4.json` in the current directory (override with
+//! `PERFSUITE_OUT`), plus a host-time-free companion at `<out>.sim`
+//! containing only simulated quantities — two perfsuite runs with
+//! different host-thread budgets must produce byte-identical `.sim`
+//! files, which CI checks with `cmp`.
 //!
 //! Flags:
 //!
 //! * `--quick` — one sample per arm at scale 0.05 (CI smoke), unless the
 //!   `PERFSUITE_SAMPLES` / `PANTHERA_SCALE` environment overrides are set;
+//! * `--executors N` — replace the default E = 1, 2, 4 scaling ladder
+//!   with E = 1, N (E = 1 always runs, anchoring the legacy check);
 //! * `--trace [PATH]` — after the benchmark, run PageRank under Panthera
 //!   with the structured event stream attached and write it as JSONL to
 //!   `PATH` (default `trace.jsonl`). Feed the file to `trace_summary`.
@@ -40,7 +51,9 @@ use obs::{Json, JsonlSink, MetricsAggregator, Observer};
 use panthera::{
     run_workload_with_engine, try_run_workload, MemoryMode, RunReport, SystemConfig, SIM_GB,
 };
-use sparklet::EngineConfig;
+use panthera_cluster::{host_threads_from_env, run_cluster, ClusterOutcome};
+use sparklang::{ActionKind, FnTable, Program, ProgramBuilder};
+use sparklet::{DataRegistry, EngineConfig};
 use std::cell::RefCell;
 use std::hint::black_box;
 use std::rc::Rc;
@@ -58,9 +71,10 @@ const WORKLOADS: [WorkloadId; 4] = [
 
 const SEED: u64 = 7;
 
-/// Parsed command line: `--quick` and `--trace [PATH]`.
+/// Parsed command line: `--quick`, `--executors N`, and `--trace [PATH]`.
 struct Cli {
     quick: bool,
+    executors: Option<u16>,
     trace: Option<String>,
 }
 
@@ -68,12 +82,26 @@ impl Cli {
     fn parse() -> Cli {
         let mut cli = Cli {
             quick: false,
+            executors: None,
             trace: None,
         };
         let mut args = std::env::args().skip(1).peekable();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => cli.quick = true,
+                "--executors" => {
+                    let n = args
+                        .next()
+                        .and_then(|v| v.parse::<u16>().ok())
+                        .filter(|&n| n >= 1);
+                    match n {
+                        Some(n) => cli.executors = Some(n),
+                        None => {
+                            eprintln!("perfsuite: --executors needs a positive integer");
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 "--trace" => {
                     let path = match args.peek() {
                         Some(next) if !next.starts_with("--") => args.next().unwrap(),
@@ -83,12 +111,23 @@ impl Cli {
                 }
                 other => {
                     eprintln!("perfsuite: unknown flag `{other}`");
-                    eprintln!("usage: perfsuite [--quick] [--trace [PATH]]");
+                    eprintln!("usage: perfsuite [--quick] [--executors N] [--trace [PATH]]");
                     std::process::exit(2);
                 }
             }
         }
         cli
+    }
+
+    /// The executor-count ladder for the scaling arm: `1, 2, 4` by
+    /// default, or `1, N` under `--executors N` (E = 1 always runs so
+    /// the legacy-equivalence check has its anchor).
+    fn executor_ladder(&self) -> Vec<u16> {
+        match self.executors {
+            None => vec![1, 2, 4],
+            Some(1) => vec![1],
+            Some(n) => vec![1, n],
+        }
     }
 }
 
@@ -108,9 +147,9 @@ fn scale_with(cli: &Cli) -> f64 {
         .unwrap_or(if cli.quick { 0.05 } else { 0.15 })
 }
 
-/// Median of host-time samples for `f`, in nanoseconds, plus the report
+/// Median of host-time samples for `f`, in nanoseconds, plus the value
 /// from the final run.
-fn median_host_ns<F: FnMut() -> RunReport>(n: usize, mut f: F) -> (u64, RunReport) {
+fn median_host_ns<T, F: FnMut() -> T>(n: usize, mut f: F) -> (u64, T) {
     let mut times = Vec::with_capacity(n);
     let mut last = None;
     for _ in 0..n {
@@ -168,6 +207,136 @@ fn bench_workload(id: WorkloadId, n: usize, scale: f64) -> WorkloadRow {
         sim_identical,
         report: new_rep,
     }
+}
+
+/// An inline two-source hash join (no `WorkloadId` covers one): `n`
+/// keyed records joined against `n / 2`, keys folded so buckets collide,
+/// counted once. Exercises the two-parent shuffle path the cluster
+/// exchange has to merge from both sides.
+fn hashjoin_build(scale: f64) -> (Program, FnTable, DataRegistry) {
+    let n = ((40_000.0 * scale) as usize).max(64);
+    let keys = (n / 8).max(1) as i64;
+    let mut b = ProgramBuilder::new("hashjoin");
+    let left = b.source("left");
+    let right = b.source("right");
+    let joined = b.bind("joined", left.join(right));
+    b.action(joined, ActionKind::Count);
+    let (program, fns) = b.finish();
+    let mut data = DataRegistry::new();
+    data.register(
+        "left",
+        (0..n)
+            .map(|i| Payload::keyed(i as i64 % keys, Payload::Long(i as i64 * 31 + 7)))
+            .collect(),
+    );
+    data.register(
+        "right",
+        (0..n / 2)
+            .map(|i| Payload::keyed(i as i64 % keys, Payload::Long(i as i64 * 13 + 1)))
+            .collect(),
+    );
+    (program, fns, data)
+}
+
+fn cluster_run_once(wl: &str, scale: f64, executors: u16, host_threads: usize) -> ClusterOutcome {
+    let mut cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
+    cfg.executors = executors;
+    let out = match wl {
+        "pr" => run_cluster(
+            || {
+                let w = build_workload(WorkloadId::Pr, scale, SEED);
+                (w.program, w.fns, w.data)
+            },
+            &cfg,
+            EngineConfig::default(),
+            host_threads,
+        ),
+        _ => run_cluster(
+            || hashjoin_build(scale),
+            &cfg,
+            EngineConfig::default(),
+            host_threads,
+        ),
+    };
+    out.expect("valid cluster config")
+}
+
+struct ScalingRow {
+    workload: &'static str,
+    executors: u16,
+    host_ns: u64,
+    e1_matches_legacy: Option<bool>,
+    report: RunReport,
+}
+
+/// The executor-scaling arm: each workload across the E ladder, plus the
+/// two cluster invariants — E = 1 must be bit-identical to the
+/// single-runtime path, and (spot-checked at the ladder's top) the report
+/// must not depend on the host-thread budget.
+fn bench_scaling(ladder: &[u16], n: usize, scale: f64) -> (Vec<ScalingRow>, bool) {
+    let mut rows = Vec::new();
+    let mut determinism = true;
+    let top = *ladder.last().expect("non-empty ladder");
+    for wl in ["pr", "hashjoin"] {
+        for &e in ladder {
+            let host_threads = host_threads_from_env(usize::from(e));
+            let (host_ns, out) = median_host_ns(n, || cluster_run_once(wl, scale, e, host_threads));
+            let e1_matches_legacy = (e == 1).then(|| {
+                let legacy = match wl {
+                    "pr" => run_arm(WorkloadId::Pr, EngineConfig::default(), scale),
+                    _ => {
+                        let (program, fns, data) = hashjoin_build(scale);
+                        let cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
+                        run_workload_with_engine(&program, fns, data, &cfg, EngineConfig::default())
+                            .0
+                    }
+                };
+                let ok = out.report.to_json().to_compact() == legacy.to_json().to_compact();
+                assert!(
+                    ok,
+                    "{wl}: E=1 cluster diverged from the single-runtime path"
+                );
+                ok
+            });
+            if e == top && e > 1 {
+                let serial = cluster_run_once(wl, scale, e, 1);
+                let ok = serial.report.to_json().to_compact() == out.report.to_json().to_compact();
+                assert!(ok, "{wl} E={e}: report depends on the host-thread budget");
+                determinism &= ok;
+            }
+            rows.push(ScalingRow {
+                workload: wl,
+                executors: e,
+                host_ns,
+                e1_matches_legacy,
+                report: out.report,
+            });
+        }
+    }
+    (rows, determinism)
+}
+
+fn scaling_json(rows: &[ScalingRow], sim_only: bool) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("workload", Json::Str(r.workload.into())),
+                    ("executors", Json::UInt(u64::from(r.executors))),
+                    ("sim_elapsed_s", Json::Num(r.report.elapsed_s)),
+                    ("sim_energy_j", Json::Num(r.report.energy_j())),
+                ];
+                if !sim_only {
+                    fields.push(("host_ns", Json::UInt(r.host_ns)));
+                }
+                if let Some(ok) = r.e1_matches_legacy {
+                    fields.push(("e1_matches_legacy", Json::Bool(ok)));
+                }
+                fields.push(("report", r.report.to_json()));
+                Json::obj(fields)
+            })
+            .collect(),
+    )
 }
 
 /// The `--trace` run: PageRank under Panthera on a heap tight enough to
@@ -334,10 +503,30 @@ fn main() {
     let invariants = rows.iter().all(|r| r.sim_identical);
     println!("max end-to-end speedup: {max_speedup:.2}x (invariants hold: {invariants})");
 
+    let ladder = cli.executor_ladder();
+    println!("{}", "-".repeat(72));
+    println!("executor scaling (E = {ladder:?}):");
+    let (scaling_rows, determinism) = bench_scaling(&ladder, n, scale);
+    for r in &scaling_rows {
+        println!(
+            "{:<10} E={:<2} | {:>12.2} ms host | {:>11.4}s sim {}",
+            r.workload,
+            r.executors,
+            r.host_ns as f64 / 1e6,
+            r.report.elapsed_s,
+            match r.e1_matches_legacy {
+                Some(true) => "(matches single-runtime)",
+                Some(false) => "(DIVERGED)",
+                None => "",
+            }
+        );
+    }
+    println!("host-thread determinism holds: {determinism}");
+
     // One serialization path: host timings inline, full simulated results
     // through `RunReport::to_json`.
     let j = Json::obj(vec![
-        ("bench", Json::Str("BENCH_PR1".into())),
+        ("bench", Json::Str("BENCH_PR4".into())),
         ("scale", Json::Num(scale)),
         ("samples_per_arm", Json::UInt(n as u64)),
         (
@@ -368,13 +557,44 @@ fn main() {
                 ("card_sweep_dirty", Json::UInt(scan_dirty as u64)),
             ]),
         ),
+        ("executor_scaling", scaling_json(&scaling_rows, false)),
         ("max_speedup", Json::Num(max_speedup)),
         ("sim_invariants_hold", Json::Bool(invariants)),
+        ("cluster_determinism_holds", Json::Bool(determinism)),
     ]);
 
-    let out = std::env::var("PERFSUITE_OUT").unwrap_or_else(|_| "BENCH_PR1.json".into());
+    let out = std::env::var("PERFSUITE_OUT").unwrap_or_else(|_| "BENCH_PR4.json".into());
     std::fs::write(&out, j.to_pretty() + "\n").expect("write benchmark json");
     println!("wrote {out}");
+
+    // The host-time-free companion: only simulated quantities, so two
+    // perfsuite runs under different host-thread budgets must produce
+    // byte-identical files (CI `cmp`s them).
+    let sim = Json::obj(vec![
+        ("bench", Json::Str("BENCH_PR4.sim".into())),
+        ("scale", Json::Num(scale)),
+        (
+            "workloads",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("id", Json::Str(r.name.into())),
+                            ("sim_elapsed_s", Json::Num(r.sim_elapsed_s)),
+                            ("sim_identical", Json::Bool(r.sim_identical)),
+                            ("report", r.report.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("executor_scaling", scaling_json(&scaling_rows, true)),
+        ("sim_invariants_hold", Json::Bool(invariants)),
+        ("cluster_determinism_holds", Json::Bool(determinism)),
+    ]);
+    let sim_out = format!("{out}.sim");
+    std::fs::write(&sim_out, sim.to_pretty() + "\n").expect("write sim-side json");
+    println!("wrote {sim_out}");
 
     if let Some(path) = &cli.trace {
         write_trace(path);

@@ -1,0 +1,246 @@
+//! The in-process shuffle exchange: a deterministic rendezvous hub.
+//!
+//! Executors run on host OS threads but interact only through *gathers* —
+//! all-to-all collective operations keyed by a value every executor
+//! derives from the (shared, deterministic) program structure: the
+//! shuffled RDD's id, the action sequence number, or the statement
+//! barrier index. Each gather blocks until all `E` executors have
+//! deposited their contribution, then hands every participant the same
+//! `Arc`-shared result vector in executor-id order together with the
+//! barrier time `t_bar = max` over the participants' virtual clocks.
+//! Because the result depends only on *what* was deposited (never on
+//! deposit order), the exchange is a Kahn network: host scheduling cannot
+//! change any simulated value.
+//!
+//! The exchange also rations *host* parallelism. Each executor thread
+//! holds a run permit while it computes; a thread that blocks in a gather
+//! returns its permit to the pool so that, even with a single permit,
+//! the remaining executors can run and complete the collective. This
+//! makes `host_threads = 1` a true serialization of the same computation
+//! — used by the determinism checks — without changing any value.
+
+use sparklet::{ActionContrib, ExchangeClient, ShuffleContrib};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One collective gather in flight (or completed and cached).
+struct Slot<T> {
+    /// Per-executor deposits: `(contribution, clock at deposit)`.
+    contribs: Vec<Option<(T, f64)>>,
+    /// Finalized result, kept for idempotent re-requests (an executor
+    /// that evicted and recomputed a shuffled RDD gathers it again).
+    result: Option<(Arc<Vec<T>>, f64)>,
+}
+
+impl<T> Slot<T> {
+    fn new(n: usize) -> Self {
+        Slot {
+            contribs: (0..n).map(|_| None).collect(),
+            result: None,
+        }
+    }
+}
+
+/// One statement barrier in flight. Unlike shuffles, barriers are never
+/// re-requested (the barrier index is monotone per executor), so the slot
+/// is reclaimed once every executor has observed the result.
+struct BarrierSlot {
+    clocks: Vec<Option<f64>>,
+    result: Option<f64>,
+    served: usize,
+}
+
+struct ExState {
+    /// Host-thread run permits currently available.
+    permits_free: usize,
+    /// Shuffle gathers keyed by the shuffled RDD's id.
+    shuffles: HashMap<u32, Slot<ShuffleContrib>>,
+    /// Action gathers keyed by the action sequence number.
+    actions: HashMap<u64, Slot<ActionContrib>>,
+    /// Statement barriers keyed by the barrier index.
+    barriers: HashMap<u64, BarrierSlot>,
+}
+
+/// The shared exchange for one cluster run: `E` executors, a bounded pool
+/// of host-thread run permits, and the collective state behind one lock.
+pub struct Exchange {
+    n_exec: usize,
+    state: Mutex<ExState>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for Exchange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Exchange")
+            .field("n_exec", &self.n_exec)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Exchange {
+    /// An exchange for `n_exec` executors with `host_threads` run
+    /// permits. `host_threads` is clamped to `1..=n_exec`; it bounds how
+    /// many executors *compute* concurrently and has no effect on any
+    /// simulated value.
+    pub fn new(n_exec: u16, host_threads: usize) -> Arc<Exchange> {
+        let n = usize::from(n_exec.max(1));
+        Arc::new(Exchange {
+            n_exec: n,
+            state: Mutex::new(ExState {
+                permits_free: host_threads.clamp(1, n),
+                shuffles: HashMap::new(),
+                actions: HashMap::new(),
+                barriers: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Block until a run permit is free and take it. Called by each
+    /// executor thread before it starts computing.
+    pub fn acquire_permit(&self) {
+        let mut st = self.state.lock().expect("exchange lock poisoned");
+        while st.permits_free == 0 {
+            st = self.cv.wait(st).expect("exchange lock poisoned");
+        }
+        st.permits_free -= 1;
+    }
+
+    /// Return a run permit to the pool. Called by each executor thread
+    /// after its run completes.
+    pub fn release_permit(&self) {
+        let mut st = self.state.lock().expect("exchange lock poisoned");
+        st.permits_free += 1;
+        self.cv.notify_all();
+    }
+
+    /// The shared gather protocol for shuffles and actions.
+    ///
+    /// The caller holds a run permit. If the slot already has a result
+    /// (an idempotent re-request), serve it without depositing. Otherwise
+    /// deposit; the last depositor finalizes (contributions in
+    /// executor-id order, `t_bar = max` clock) and returns still holding
+    /// its permit. A non-final depositor returns its permit to the pool,
+    /// waits for the result, then re-acquires a permit before resuming.
+    fn gather<K, T>(
+        &self,
+        select: impl Fn(&mut ExState) -> &mut HashMap<K, Slot<T>>,
+        key: K,
+        exec: u16,
+        contrib: T,
+        clock_ns: f64,
+    ) -> (Arc<Vec<T>>, f64)
+    where
+        K: Eq + Hash + Copy,
+    {
+        let mut st = self.state.lock().expect("exchange lock poisoned");
+        let n = self.n_exec;
+        let slot = select(&mut st).entry(key).or_insert_with(|| Slot::new(n));
+        if let Some((res, t_bar)) = &slot.result {
+            return (Arc::clone(res), *t_bar);
+        }
+        assert!(
+            slot.contribs[usize::from(exec)].is_none(),
+            "executor {exec} deposited twice into one gather"
+        );
+        slot.contribs[usize::from(exec)] = Some((contrib, clock_ns));
+        if slot.contribs.iter().all(Option::is_some) {
+            let mut items = Vec::with_capacity(n);
+            let mut t_bar = f64::NEG_INFINITY;
+            for c in slot.contribs.drain(..) {
+                let (item, t) = c.expect("checked all deposits present");
+                t_bar = t_bar.max(t);
+                items.push(item);
+            }
+            let res = Arc::new(items);
+            slot.result = Some((Arc::clone(&res), t_bar));
+            self.cv.notify_all();
+            return (res, t_bar);
+        }
+        // Not complete yet: hand the permit back so peers can run even
+        // under a single-permit host budget, and wait for the result.
+        st.permits_free += 1;
+        self.cv.notify_all();
+        loop {
+            st = self.cv.wait(st).expect("exchange lock poisoned");
+            let ready = select(&mut st)
+                .get(&key)
+                .and_then(|s| s.result.as_ref().map(|(r, t)| (Arc::clone(r), *t)));
+            if let Some(res) = ready {
+                if st.permits_free > 0 {
+                    st.permits_free -= 1;
+                    return res;
+                }
+            }
+        }
+    }
+}
+
+impl ExchangeClient for Exchange {
+    fn gather_shuffle(
+        &self,
+        exec: u16,
+        rdd: u32,
+        contrib: ShuffleContrib,
+        clock_ns: f64,
+    ) -> (Arc<Vec<ShuffleContrib>>, f64) {
+        self.gather(|st| &mut st.shuffles, rdd, exec, contrib, clock_ns)
+    }
+
+    fn gather_action(
+        &self,
+        exec: u16,
+        seq: u64,
+        contrib: ActionContrib,
+        clock_ns: f64,
+    ) -> (Arc<Vec<ActionContrib>>, f64) {
+        self.gather(|st| &mut st.actions, seq, exec, contrib, clock_ns)
+    }
+
+    fn barrier(&self, exec: u16, index: u64, clock_ns: f64) -> f64 {
+        let mut st = self.state.lock().expect("exchange lock poisoned");
+        let n = self.n_exec;
+        let slot = st.barriers.entry(index).or_insert_with(|| BarrierSlot {
+            clocks: vec![None; n],
+            result: None,
+            served: 0,
+        });
+        assert!(
+            slot.clocks[usize::from(exec)].is_none() && slot.result.is_none(),
+            "executor {exec} re-entered barrier {index}"
+        );
+        slot.clocks[usize::from(exec)] = Some(clock_ns);
+        if slot.clocks.iter().all(Option::is_some) {
+            let t_bar = slot
+                .clocks
+                .iter()
+                .map(|c| c.expect("checked all clocks present"))
+                .fold(f64::NEG_INFINITY, f64::max);
+            slot.result = Some(t_bar);
+            slot.served = 1;
+            if slot.served == n {
+                st.barriers.remove(&index);
+            }
+            self.cv.notify_all();
+            return t_bar;
+        }
+        st.permits_free += 1;
+        self.cv.notify_all();
+        loop {
+            st = self.cv.wait(st).expect("exchange lock poisoned");
+            let ready = st.barriers.get(&index).and_then(|s| s.result);
+            if let Some(t_bar) = ready {
+                if st.permits_free > 0 {
+                    st.permits_free -= 1;
+                    let slot = st.barriers.get_mut(&index).expect("barrier slot live");
+                    slot.served += 1;
+                    if slot.served == n {
+                        st.barriers.remove(&index);
+                    }
+                    return t_bar;
+                }
+            }
+        }
+    }
+}

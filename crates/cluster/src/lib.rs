@@ -1,0 +1,319 @@
+#![deny(missing_docs)]
+
+//! The cluster driver: `E` executors, each with its own Panthera heap,
+//! scheduled over host OS threads with bit-identical results.
+//!
+//! The paper evaluates Panthera inside a single Spark executor JVM; this
+//! crate models the *cluster* around it (DESIGN.md §8). A [`run_cluster`]
+//! call plays the Spark driver: it validates the configuration and the
+//! program once, then spawns one scoped OS thread per executor. Each
+//! executor replays the same driver program over its own
+//! [`panthera::PantheraRuntime`] — a private heap, GC coordinator,
+//! traffic meter, and energy model — computing only the partitions
+//! `i % E` of every stage (SPMD with deterministic ownership). Wide
+//! dependencies exchange map-side buckets through the
+//! [`Exchange`], which charges serialization and transfer on both sides,
+//! and virtual clocks synchronize at statement barriers
+//! (stage end-time = max over executors, modelling straggler skew).
+//!
+//! Every cross-thread interaction is a deterministic collective keyed by
+//! program structure, so the merged [`RunReport`] is bit-identical
+//! regardless of how many host threads actually run (`host_threads` only
+//! rations permits) — and an `E = 1` cluster matches the classic
+//! single-runtime run record for record.
+
+mod exchange;
+
+pub use exchange::Exchange;
+
+use hybridmem::DeviceSpec;
+use mheap::{Payload, WirePayload};
+use obs::{Event, EventSink, Observer};
+use panthera::{ConfigError, MemoryMode, PantheraRuntime, RunReport, SystemConfig};
+use panthera_analysis::{analyze, InstrumentationPlan};
+use sparklang::{FnTable, Program};
+use sparklet::{
+    ActionResult, ClusterCtx, DataRegistry, Engine, EngineConfig, ExchangeClient, MemoryRuntime,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Everything a cluster run produces.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// The cluster-level aggregate: elapsed time is the barrier-synced
+    /// maximum, energy / traffic / GC work are summed across executors
+    /// (see [`RunReport::aggregate`]).
+    pub report: RunReport,
+    /// One sub-report per executor, in executor-id order.
+    pub per_executor: Vec<RunReport>,
+    /// `(variable name, result)` per executed action, in program order.
+    /// Every executor computes the identical global result; this is
+    /// executor 0's copy, cross-checked against the rest.
+    pub results: Vec<(String, ActionResult)>,
+}
+
+/// A `Send`able mirror of [`ActionResult`] for crossing executor-thread
+/// boundaries (payloads come back through [`WirePayload`]).
+#[derive(Debug, Clone, PartialEq)]
+enum WireResult {
+    Count(u64),
+    Collected(Vec<WirePayload>),
+    Reduced(Option<WirePayload>),
+}
+
+fn to_wire(r: &ActionResult) -> WireResult {
+    match r {
+        ActionResult::Count(n) => WireResult::Count(*n),
+        ActionResult::Collected(recs) => {
+            WireResult::Collected(recs.iter().map(WirePayload::from).collect())
+        }
+        ActionResult::Reduced(rec) => WireResult::Reduced(rec.as_ref().map(WirePayload::from)),
+    }
+}
+
+fn from_wire(r: &WireResult) -> ActionResult {
+    match r {
+        WireResult::Count(n) => ActionResult::Count(*n),
+        WireResult::Collected(recs) => {
+            ActionResult::Collected(recs.iter().map(Payload::from).collect())
+        }
+        WireResult::Reduced(rec) => ActionResult::Reduced(rec.as_ref().map(Payload::from)),
+    }
+}
+
+/// The `Send`able plain-data core of a [`SystemConfig`], used to rebuild
+/// an identical per-executor configuration (fresh observer, one executor)
+/// inside each worker thread — `SystemConfig` itself holds an `Rc`-based
+/// observer handle and cannot cross threads.
+struct CfgSeed {
+    mode: MemoryMode,
+    heap_bytes: u64,
+    dram_ratio: f64,
+    nursery_fraction: f64,
+    chunk_bytes: u64,
+    eager_promotion: bool,
+    card_padding: bool,
+    dynamic_migration: bool,
+    large_array_elems: usize,
+    tuple_bloat_bytes: u64,
+    nvm_spec: Option<DeviceSpec>,
+    seed: u64,
+    verify_heap: bool,
+}
+
+impl CfgSeed {
+    fn of(c: &SystemConfig) -> CfgSeed {
+        CfgSeed {
+            mode: c.mode,
+            heap_bytes: c.heap_bytes,
+            dram_ratio: c.dram_ratio,
+            nursery_fraction: c.nursery_fraction,
+            chunk_bytes: c.chunk_bytes,
+            eager_promotion: c.eager_promotion,
+            card_padding: c.card_padding,
+            dynamic_migration: c.dynamic_migration,
+            large_array_elems: c.large_array_elems,
+            tuple_bloat_bytes: c.tuple_bloat_bytes,
+            nvm_spec: c.nvm_spec.clone(),
+            seed: c.seed,
+            verify_heap: c.verify_heap,
+        }
+    }
+
+    fn rebuild(&self, observer: Observer) -> SystemConfig {
+        let mut cfg = SystemConfig::new(self.mode, self.heap_bytes, self.dram_ratio);
+        cfg.nursery_fraction = self.nursery_fraction;
+        cfg.chunk_bytes = self.chunk_bytes;
+        cfg.eager_promotion = self.eager_promotion;
+        cfg.card_padding = self.card_padding;
+        cfg.dynamic_migration = self.dynamic_migration;
+        cfg.large_array_elems = self.large_array_elems;
+        cfg.tuple_bloat_bytes = self.tuple_bloat_bytes;
+        cfg.nvm_spec = self.nvm_spec.clone();
+        cfg.seed = self.seed;
+        cfg.verify_heap = self.verify_heap;
+        cfg.observer = observer;
+        cfg.executors = 1; // each executor is one classic single-JVM runtime
+        cfg
+    }
+}
+
+/// Buffers an executor's event stream inside its thread; the driver
+/// re-emits the buffered events through the caller's observer afterwards,
+/// tagged with the executor id.
+struct BufSink {
+    events: Vec<(f64, Event)>,
+}
+
+impl EventSink for BufSink {
+    fn on_event(&mut self, t_ns: f64, event: &Event) {
+        self.events.push((t_ns, event.clone()));
+    }
+}
+
+/// Run the program on a simulated cluster of `config.executors` executors.
+///
+/// `build` constructs the program, function table, and input data; it is
+/// called once on the driver (for validation and the Section 3 analysis)
+/// and once inside each executor thread, and must be deterministic — every
+/// call must produce the identical program and data. `host_threads` bounds
+/// how many executor threads compute concurrently (clamped to
+/// `1..=executors`); it changes wall-clock time only, never a simulated
+/// value.
+///
+/// If the caller's `config.observer` has sinks attached, each executor's
+/// event stream is buffered in its thread and re-emitted through those
+/// sinks after the join, grouped by executor id and tagged via
+/// [`Observer::emit_from`] — a deterministic order, independent of host
+/// scheduling.
+///
+/// # Errors
+///
+/// The first violated configuration constraint, or an ill-formed program.
+///
+/// # Panics
+///
+/// Panics if `build` is nondeterministic (executors then disagree on
+/// global action results — the cross-check fails rather than returning
+/// wrong data), or if a simulated heap is exhausted mid-run.
+pub fn run_cluster<F>(
+    build: F,
+    config: &SystemConfig,
+    engine_config: EngineConfig,
+    host_threads: usize,
+) -> Result<ClusterOutcome, ConfigError>
+where
+    F: Fn() -> (Program, FnTable, DataRegistry) + Sync,
+{
+    config.validate()?;
+    let n_exec = config.executors;
+    let (program, _, _) = build();
+    sparklang::validate(&program)
+        .map_err(|e| ConfigError::new(format!("ill-formed program {:?}: {e}", program.name)))?;
+    let plan = if config.mode.is_semantic() {
+        analyze(&program).plan
+    } else {
+        InstrumentationPlan::default()
+    };
+    let seed = CfgSeed::of(config);
+    // Surface runtime-construction errors on the driver, not as a panic
+    // inside a worker thread.
+    PantheraRuntime::new(&seed.rebuild(Observer::disabled())).map_err(ConfigError::new)?;
+    let observe = config.observer.enabled();
+    let exchange = Exchange::new(n_exec, host_threads);
+
+    type ExecYield = (RunReport, Vec<(String, WireResult)>, Vec<(f64, Event)>);
+    let mut per: Vec<ExecYield> = Vec::with_capacity(usize::from(n_exec));
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(usize::from(n_exec));
+        for exec in 0..n_exec {
+            let build = &build;
+            let plan = &plan;
+            let seed = &seed;
+            let engine_config = &engine_config;
+            let exchange = Arc::clone(&exchange);
+            handles.push(scope.spawn(move || -> ExecYield {
+                exchange.acquire_permit();
+                let (program, fns, data) = build();
+                let sink = observe.then(|| Rc::new(RefCell::new(BufSink { events: Vec::new() })));
+                let cfg = seed.rebuild(match &sink {
+                    Some(s) => Observer::with_sink(s.clone()),
+                    None => Observer::disabled(),
+                });
+                let runtime =
+                    PantheraRuntime::new(&cfg).unwrap_or_else(|e| panic!("executor {exec}: {e}"));
+                let ctx = ClusterCtx {
+                    exec,
+                    n_exec,
+                    exchange: Arc::clone(&exchange) as Arc<dyn ExchangeClient>,
+                };
+                let mut engine =
+                    Engine::with_cluster(runtime, fns, data, engine_config.clone(), ctx);
+                let outcome = engine.run(&program, plan);
+                let monitored = engine.runtime().monitored_calls();
+                let report = RunReport::collect(
+                    &program.name,
+                    cfg.mode.label(),
+                    engine.runtime().heap(),
+                    engine.runtime().gc(),
+                    outcome.stats,
+                    monitored,
+                );
+                let results = outcome
+                    .results
+                    .iter()
+                    .map(|(name, r)| (name.clone(), to_wire(r)))
+                    .collect();
+                let events = sink
+                    .map(|s| std::mem::take(&mut s.borrow_mut().events))
+                    .unwrap_or_default();
+                exchange.release_permit();
+                (report, results, events)
+            }));
+        }
+        for h in handles {
+            per.push(h.join().expect("executor thread panicked"));
+        }
+    });
+
+    for (exec, (_, results, _)) in per.iter().enumerate().skip(1) {
+        assert_eq!(
+            results, &per[0].1,
+            "executor {exec} computed action results diverging from executor 0 — \
+             is the `build` closure deterministic?"
+        );
+    }
+    if observe {
+        for (exec, (_, _, events)) in per.iter().enumerate() {
+            for (t_ns, event) in events {
+                config.observer.emit_from(*t_ns, exec as u16, event);
+            }
+        }
+    }
+    let per_executor: Vec<RunReport> = per.iter().map(|p| p.0.clone()).collect();
+    let report = RunReport::aggregate(&per_executor);
+    let results = per[0]
+        .1
+        .iter()
+        .map(|(name, r)| (name.clone(), from_wire(r)))
+        .collect();
+    Ok(ClusterOutcome {
+        report,
+        per_executor,
+        results,
+    })
+}
+
+/// [`run_cluster`] with default engine knobs and the host-thread budget
+/// from the `PANTHERA_HOST_THREADS` environment variable (defaulting to
+/// one thread per executor).
+///
+/// # Errors
+///
+/// Same conditions as [`run_cluster`].
+pub fn run_cluster_default<F>(
+    build: F,
+    config: &SystemConfig,
+) -> Result<ClusterOutcome, ConfigError>
+where
+    F: Fn() -> (Program, FnTable, DataRegistry) + Sync,
+{
+    run_cluster(
+        build,
+        config,
+        EngineConfig::default(),
+        host_threads_from_env(usize::from(config.executors)),
+    )
+}
+
+/// The host-thread budget from `PANTHERA_HOST_THREADS`, or `default` if
+/// the variable is unset or unparsable. Zero is treated as unset.
+pub fn host_threads_from_env(default: usize) -> usize {
+    std::env::var("PANTHERA_HOST_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}

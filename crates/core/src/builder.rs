@@ -92,6 +92,14 @@ impl Simulation {
         self
     }
 
+    /// Executors in the simulated cluster (DESIGN.md §8). The default of
+    /// 1 runs the classic single JVM; larger values require driving the
+    /// run through the `panthera-cluster` crate.
+    pub fn executors(mut self, n: u16) -> Self {
+        self.config.executors = n;
+        self
+    }
+
     /// Install an event-observer handle: its sinks receive the run's
     /// structured event stream (see the [`obs`] crate). Events observe,
     /// never charge, so this changes no simulated quantity.

@@ -104,6 +104,13 @@ pub struct SystemConfig {
     /// verifier observes, never charges: enabling it changes no simulated
     /// quantity, and a violation aborts the run.
     pub verify_heap: bool,
+    /// Executors in the simulated cluster (DESIGN.md §8). Each executor
+    /// gets its own private heap of `heap_bytes` and runs the partitions
+    /// `i % executors` of every stage. `1` (the default) is the classic
+    /// single-JVM run; values above 1 require the `panthera-cluster`
+    /// driver, which the single-runtime entry points report as a
+    /// [`ConfigError`].
+    pub executors: u16,
 }
 
 impl SystemConfig {
@@ -124,6 +131,7 @@ impl SystemConfig {
             seed: 0x9a77,
             observer: obs::Observer::disabled(),
             verify_heap: gc::verify_env_enabled(),
+            executors: 1,
         }
     }
 
@@ -216,6 +224,9 @@ impl SystemConfig {
     ///
     /// Returns the first violated constraint.
     pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.executors == 0 {
+            return Err(ConfigError::new("executors must be at least 1"));
+        }
         self.heap_config().validate().map_err(ConfigError::new)
     }
 }

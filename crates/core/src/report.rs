@@ -121,6 +121,67 @@ impl RunReport {
         }
     }
 
+    /// Merge per-executor reports into one cluster report: elapsed time is
+    /// the straggler's (stage barriers make every executor finish at the
+    /// cluster-wide max), every counter, energy term, and phase time is
+    /// summed across executors, and pause distributions are concatenated
+    /// in executor-id order. Aggregating a single report returns it
+    /// unchanged, so an `E = 1` cluster aggregate is bit-identical to the
+    /// legacy single-runtime report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty.
+    pub fn aggregate(reports: &[RunReport]) -> RunReport {
+        let mut agg = reports[0].clone();
+        for r in &reports[1..] {
+            agg.elapsed_s = agg.elapsed_s.max(r.elapsed_s);
+            agg.mutator_s += r.mutator_s;
+            agg.minor_gc_s += r.minor_gc_s;
+            agg.major_gc_s += r.major_gc_s;
+            agg.energy.dram_static_j += r.energy.dram_static_j;
+            agg.energy.nvm_static_j += r.energy.nvm_static_j;
+            agg.energy.dram_dynamic_j += r.energy.dram_dynamic_j;
+            agg.energy.nvm_dynamic_j += r.energy.nvm_dynamic_j;
+            agg.gc.minor_count += r.gc.minor_count;
+            agg.gc.major_count += r.gc.major_count;
+            agg.gc.survivor_copies += r.gc.survivor_copies;
+            agg.gc.tenured_promotions += r.gc.tenured_promotions;
+            agg.gc.eager_promotions += r.gc.eager_promotions;
+            agg.gc.promotion_fallbacks += r.gc.promotion_fallbacks;
+            agg.gc.migration_fallbacks += r.gc.migration_fallbacks;
+            agg.gc.young_freed += r.gc.young_freed;
+            agg.gc.old_freed += r.gc.old_freed;
+            agg.gc.cards_scanned += r.gc.cards_scanned;
+            agg.gc.card_scan_bytes += r.gc.card_scan_bytes;
+            agg.gc.stuck_card_rescans += r.gc.stuck_card_rescans;
+            agg.gc.rdds_migrated += r.gc.rdds_migrated;
+            agg.gc.write_migrations += r.gc.write_migrations;
+            agg.heap.young_allocs += r.heap.young_allocs;
+            agg.heap.pretenured_allocs += r.heap.pretenured_allocs;
+            agg.heap.allocated_bytes += r.heap.allocated_bytes;
+            agg.heap.ref_stores += r.heap.ref_stores;
+            agg.heap.cards_dirtied += r.heap.cards_dirtied;
+            agg.heap.moves += r.heap.moves;
+            agg.heap.frees += r.heap.frees;
+            agg.exec.records_streamed += r.exec.records_streamed;
+            agg.exec.shuffles += r.exec.shuffles;
+            agg.exec.shuffle_bytes += r.exec.shuffle_bytes;
+            agg.exec.materializations += r.exec.materializations;
+            agg.exec.actions += r.exec.actions;
+            agg.exec.rdd_instances += r.exec.rdd_instances;
+            agg.exec.evictions += r.exec.evictions;
+            agg.monitored_calls += r.monitored_calls;
+            agg.device_bytes[0] += r.device_bytes[0];
+            agg.device_bytes[1] += r.device_bytes[1];
+            agg.traffic.merge(&r.traffic);
+            agg.mem.merge(&r.mem);
+            agg.minor_pauses.merge(&r.minor_pauses);
+            agg.major_pauses.merge(&r.major_pauses);
+        }
+        agg
+    }
+
     /// Peak NVM read bandwidth observed (GB/s), for Figure 8 commentary.
     pub fn peak_nvm_read_gbps(&self) -> f64 {
         self.traffic.peak_gbps(DeviceKind::Nvm, AccessKind::Read)

@@ -51,6 +51,13 @@ pub fn try_run_workload_with_engine(
     engine_config: EngineConfig,
 ) -> Result<(RunReport, RunOutcome), ConfigError> {
     config.validate()?;
+    if config.executors > 1 {
+        return Err(ConfigError::new(format!(
+            "config asks for {} executors; the single-runtime entry points run exactly one — \
+             drive multi-executor runs through the panthera-cluster crate",
+            config.executors
+        )));
+    }
     let plan = if config.mode.is_semantic() {
         analyze(program).plan
     } else {

@@ -77,6 +77,14 @@ impl PauseStats {
         sorted[idx]
     }
 
+    /// Absorb another distribution (cluster report aggregation: one
+    /// executor's pauses appended to the aggregate's). Order-preserving
+    /// concatenation, so merging in executor-id order is deterministic.
+    pub fn merge(&mut self, other: &PauseStats) {
+        self.pauses_ns.extend_from_slice(&other.pauses_ns);
+        *self.sorted.get_mut() = None;
+    }
+
     /// Serialize count, mean, key quantiles, and max as a JSON object.
     pub fn to_json(&self) -> obs::Json {
         use obs::Json;

@@ -33,6 +33,20 @@ impl MemoryStats {
         self.lines[p][d][k] += lines;
     }
 
+    /// Add every counter of `other` into `self` (cluster report
+    /// aggregation across per-executor memory systems).
+    pub fn merge(&mut self, other: &MemoryStats) {
+        for p in 0..3 {
+            for d in 0..2 {
+                for k in 0..2 {
+                    self.accesses[p][d][k] += other.accesses[p][d][k];
+                    self.bytes[p][d][k] += other.bytes[p][d][k];
+                    self.lines[p][d][k] += other.lines[p][d][k];
+                }
+            }
+        }
+    }
+
     /// Bytes moved for a given phase/device/kind.
     pub fn bytes(&self, phase: Phase, device: DeviceKind, kind: AccessKind) -> u64 {
         self.bytes[phase.index()][device.index()][kind.index()]

@@ -151,6 +151,31 @@ impl TrafficMeter {
             .collect();
     }
 
+    /// Fold another meter's traffic into this one (cluster report
+    /// aggregation across per-executor memory systems).
+    ///
+    /// The meters may have coarsened to different window widths; the
+    /// merge first coarsens `self` up to the wider of the two (widths are
+    /// the base width times a power of two, so they always align), then
+    /// folds `other`'s windows in groups. Merging in executor-id order is
+    /// deterministic.
+    pub fn merge(&mut self, other: &TrafficMeter) {
+        while self.window_ns < other.window_ns {
+            self.coarsen();
+        }
+        let ratio = ((self.window_ns / other.window_ns).round() as usize).max(1);
+        for (i, w) in other.windows.iter().enumerate() {
+            let idx = i / ratio;
+            if idx >= self.windows.len() {
+                self.windows.resize(idx + 1, WindowTraffic::default());
+            }
+            self.windows[idx].merge(w);
+        }
+        while self.windows.len() > Self::MAX_WINDOWS {
+            self.coarsen();
+        }
+    }
+
     /// Raw per-window traffic, in chronological order.
     pub fn windows(&self) -> &[WindowTraffic] {
         &self.windows
@@ -262,6 +287,30 @@ mod tests {
             8 + 4
         );
         assert_eq!(m.total_bytes(DeviceKind::Dram, AccessKind::Read), 15);
+    }
+
+    #[test]
+    fn merge_aligns_window_widths_and_preserves_totals() {
+        let mut a = TrafficMeter::new(10.0);
+        a.record(5.0, DeviceKind::Dram, AccessKind::Read, 64);
+        a.record(25.0, DeviceKind::Nvm, AccessKind::Write, 32);
+        let mut b = TrafficMeter::new(10.0);
+        b.record(5.0, DeviceKind::Dram, AccessKind::Read, 100);
+        b.record(1e15, DeviceKind::Nvm, AccessKind::Read, 1); // forces b to coarsen
+        assert!(b.window_ns() > a.window_ns());
+        a.merge(&b);
+        assert_eq!(a.window_ns(), b.window_ns());
+        assert_eq!(a.total_bytes(DeviceKind::Dram, AccessKind::Read), 164);
+        assert_eq!(a.total_bytes(DeviceKind::Nvm, AccessKind::Write), 32);
+        assert_eq!(a.total_bytes(DeviceKind::Nvm, AccessKind::Read), 1);
+        assert!(a.windows().len() <= TrafficMeter::MAX_WINDOWS);
+        // Merging a finer meter into a coarser one folds in groups.
+        let mut fine = TrafficMeter::new(10.0);
+        fine.record(15.0, DeviceKind::Dram, AccessKind::Write, 8);
+        let before = a.window_ns();
+        a.merge(&fine);
+        assert_eq!(a.window_ns(), before);
+        assert_eq!(a.total_bytes(DeviceKind::Dram, AccessKind::Write), 8);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use card::{pad_to_card, CardTable, CARD_BYTES};
 pub use config::{HeapConfig, OldGenLayout};
 pub use heap::{Heap, HeapError, HeapStats};
 pub use object::{object_bytes, ObjId, ObjKind, Object, HEADER_BYTES, REF_BYTES};
-pub use payload::{Key, Payload};
+pub use payload::{Key, Payload, WirePayload};
 pub use roots::RootSet;
 pub use space::{OldSpaceId, Space, SpaceId};
 pub use tag::MemTag;

@@ -240,6 +240,91 @@ pub enum Key {
     Sym(u64),
 }
 
+/// A `Send`-able structural mirror of [`Payload`], used when records cross
+/// executor thread boundaries in the cluster runtime.
+///
+/// [`Payload`] shares composite contents behind `Rc` (a host-side
+/// optimization), so it cannot leave its thread. The wire form flattens
+/// that sharing into owned storage. The round trip
+/// `Payload -> WirePayload -> Payload` loses `Rc` identity but nothing the
+/// simulation can observe: [`Payload::model_bytes`],
+/// [`Payload::fingerprint`], [`Payload::shuffle_key`], and `PartialEq` are
+/// all structural.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WirePayload {
+    /// Mirrors [`Payload::Unit`].
+    Unit,
+    /// Mirrors [`Payload::Long`].
+    Long(i64),
+    /// Mirrors [`Payload::Double`].
+    Double(f64),
+    /// Mirrors [`Payload::Text`]. Symbol ids are assigned in first-intern
+    /// order by each executor's deterministic build, so they agree across
+    /// threads without shipping the strings.
+    Text {
+        /// Symbol identity.
+        sym: u64,
+        /// Modelled length in bytes.
+        len: u32,
+    },
+    /// Mirrors [`Payload::Pair`].
+    Pair(Box<WirePayload>, Box<WirePayload>),
+    /// Mirrors [`Payload::Longs`].
+    Longs(Vec<i64>),
+    /// Mirrors [`Payload::Doubles`].
+    Doubles(Vec<f64>),
+    /// Mirrors [`Payload::List`].
+    List(Vec<WirePayload>),
+    /// Mirrors [`Payload::Bytes`].
+    Bytes {
+        /// Buffer length in bytes.
+        len: u64,
+    },
+}
+
+impl From<&Payload> for WirePayload {
+    fn from(p: &Payload) -> WirePayload {
+        match p {
+            Payload::Unit => WirePayload::Unit,
+            Payload::Long(v) => WirePayload::Long(*v),
+            Payload::Double(v) => WirePayload::Double(*v),
+            Payload::Text { sym, len } => WirePayload::Text {
+                sym: *sym,
+                len: *len,
+            },
+            Payload::Pair(a, b) => WirePayload::Pair(
+                Box::new(WirePayload::from(a.as_ref())),
+                Box::new(WirePayload::from(b.as_ref())),
+            ),
+            Payload::Longs(v) => WirePayload::Longs(v.as_ref().clone()),
+            Payload::Doubles(v) => WirePayload::Doubles(v.as_ref().clone()),
+            Payload::List(v) => WirePayload::List(v.iter().map(WirePayload::from).collect()),
+            Payload::Bytes { len } => WirePayload::Bytes { len: *len },
+        }
+    }
+}
+
+impl From<&WirePayload> for Payload {
+    fn from(w: &WirePayload) -> Payload {
+        match w {
+            WirePayload::Unit => Payload::Unit,
+            WirePayload::Long(v) => Payload::Long(*v),
+            WirePayload::Double(v) => Payload::Double(*v),
+            WirePayload::Text { sym, len } => Payload::Text {
+                sym: *sym,
+                len: *len,
+            },
+            WirePayload::Pair(a, b) => {
+                Payload::pair(Payload::from(a.as_ref()), Payload::from(b.as_ref()))
+            }
+            WirePayload::Longs(v) => Payload::longs(v.clone()),
+            WirePayload::Doubles(v) => Payload::doubles(v.clone()),
+            WirePayload::List(v) => Payload::list(v.iter().map(Payload::from).collect()),
+            WirePayload::Bytes { len } => Payload::Bytes { len: *len },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +403,24 @@ mod tests {
         }
         let p = Payload::keyed(1, v);
         assert_eq!(p.deep_clone(), p);
+    }
+
+    #[test]
+    fn wire_round_trip_is_structurally_lossless() {
+        let shared = Rc::new(Payload::longs(vec![1, 2, 3]));
+        let original = Payload::list(vec![
+            Payload::Unit,
+            Payload::keyed(7, Payload::Double(0.25)),
+            Payload::pair_shared(Rc::clone(&shared), shared),
+            Payload::doubles(vec![1.5, -2.5]),
+            Payload::Text { sym: 4, len: 11 },
+            Payload::Bytes { len: 99 },
+        ]);
+        let wire = WirePayload::from(&original);
+        let back = Payload::from(&wire);
+        assert_eq!(back, original);
+        assert_eq!(back.model_bytes(), original.model_bytes());
+        assert_eq!(back.fingerprint(), original.fingerprint());
     }
 
     #[test]

@@ -300,6 +300,29 @@ impl Event {
         Json::Obj(pairs)
     }
 
+    /// Serialize like [`Event::to_json`], additionally tagging the
+    /// emitting executor. Executor 0 (the single-runtime default) writes
+    /// no `"exec"` field, so traces from non-cluster runs are byte-for-
+    /// byte what they were before the cluster runtime existed, and old
+    /// readers — [`Event::from_json`] ignores unknown fields — still
+    /// parse cluster traces.
+    pub fn to_json_exec(&self, t_ns: f64, exec: u16) -> Json {
+        let mut json = self.to_json(t_ns);
+        if exec != 0 {
+            if let Json::Obj(pairs) = &mut json {
+                pairs.push(("exec".to_string(), Json::UInt(u64::from(exec))));
+            }
+        }
+        json
+    }
+
+    /// The executor id a serialized event carries (`"exec"` field), with
+    /// 0 — the single-runtime executor — as the default for traces that
+    /// predate the cluster runtime.
+    pub fn exec_of_json(v: &Json) -> u16 {
+        v.get("exec").and_then(Json::as_u64).unwrap_or(0) as u16
+    }
+
     /// Deserialize a `(timestamp, event)` pair produced by
     /// [`Event::to_json`].
     ///
@@ -483,6 +506,26 @@ mod tests {
         let labels: std::collections::HashSet<&str> =
             all_events().iter().map(|e| e.label()).collect();
         assert_eq!(labels.len(), all_events().len());
+    }
+
+    #[test]
+    fn executor_zero_serializes_without_exec_field() {
+        let e = Event::ShuffleSpill { bytes: 5 };
+        assert_eq!(
+            e.to_json_exec(1.0, 0).to_compact(),
+            e.to_json(1.0).to_compact()
+        );
+        let tagged = e.to_json_exec(1.0, 3).to_compact();
+        assert!(tagged.contains("\"exec\":3"), "{tagged}");
+        let parsed = Json::parse(&tagged).unwrap();
+        assert_eq!(Event::exec_of_json(&parsed), 3);
+        // Old readers ignore the extra field.
+        let (t, e2) = Event::from_json(&parsed).unwrap();
+        assert_eq!(t, 1.0);
+        assert_eq!(e2, e);
+        // Old traces default to executor 0.
+        let legacy = Json::parse(&e.to_json(1.0).to_compact()).unwrap();
+        assert_eq!(Event::exec_of_json(&legacy), 0);
     }
 
     #[test]

@@ -46,5 +46,5 @@ pub mod sink;
 
 pub use event::{AllocSpace, Event, Mem};
 pub use json::Json;
-pub use metrics::{MetricsAggregator, MigrationChurn, PauseHistogram, StageRow};
+pub use metrics::{ExecutorMetrics, MetricsAggregator, MigrationChurn, PauseHistogram, StageRow};
 pub use sink::{replay, replay_path, EventSink, JsonlSink, Observer, RingBufferSink};

@@ -5,6 +5,7 @@
 use crate::event::{Event, Mem};
 use crate::json::Json;
 use crate::sink::EventSink;
+use std::collections::BTreeMap;
 
 /// Pause-duration distribution for one GC kind, in nanoseconds.
 #[derive(Debug, Clone, Default)]
@@ -121,6 +122,72 @@ impl MigrationChurn {
     }
 }
 
+/// Per-executor slice of the aggregates: pause distributions and stage
+/// write traffic attributed to one executor's event stream.
+///
+/// Populated from the executor id carried by
+/// [`EventSink::on_event_from`]; single-runtime traces put everything
+/// under executor 0.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutorMetrics {
+    events: u64,
+    minor_pauses: PauseHistogram,
+    major_pauses: PauseHistogram,
+    dram_write_bytes: u64,
+    nvm_write_bytes: u64,
+    open_stage: Option<(u32, u64, u64)>,
+}
+
+impl ExecutorMetrics {
+    /// Events attributed to this executor.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Minor-GC pause distribution on this executor's heap.
+    pub fn minor_pauses(&self) -> &PauseHistogram {
+        &self.minor_pauses
+    }
+
+    /// Major-GC pause distribution on this executor's heap.
+    pub fn major_pauses(&self) -> &PauseHistogram {
+        &self.major_pauses
+    }
+
+    /// DRAM bytes written during this executor's stages (sum of
+    /// stage-delta counters).
+    pub fn dram_write_bytes(&self) -> u64 {
+        self.dram_write_bytes
+    }
+
+    /// NVM bytes written during this executor's stages.
+    pub fn nvm_write_bytes(&self) -> u64 {
+        self.nvm_write_bytes
+    }
+
+    /// Fraction of this executor's stage writes that hit NVM, or 0 if
+    /// it wrote nothing.
+    pub fn nvm_write_ratio(&self) -> f64 {
+        let total = self.dram_write_bytes + self.nvm_write_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.nvm_write_bytes as f64 / total as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("events", Json::UInt(self.events)),
+            ("minor_pauses", self.minor_pauses.to_json()),
+            ("major_pauses", self.major_pauses.to_json()),
+            ("dram_write_bytes", Json::UInt(self.dram_write_bytes)),
+            ("nvm_write_bytes", Json::UInt(self.nvm_write_bytes)),
+            ("nvm_write_ratio", Json::Num(self.nvm_write_ratio())),
+        ])
+    }
+}
+
 /// The aggregating sink. Feed it events (directly, via an
 /// [`crate::Observer`], or by replaying a JSONL trace) and read the
 /// aggregates or render [`MetricsAggregator::summary_table`].
@@ -151,6 +218,7 @@ pub struct MetricsAggregator {
     traffic_windows: u64,
     peak_window_bytes: u64,
     peak_window_nvm_write: u64,
+    per_exec: BTreeMap<u16, ExecutorMetrics>,
 }
 
 impl MetricsAggregator {
@@ -203,6 +271,12 @@ impl MetricsAggregator {
         self.alloc_fails
     }
 
+    /// Per-executor breakdowns, keyed by executor id. Single-runtime
+    /// traces have exactly one entry, under executor 0.
+    pub fn per_executor(&self) -> &BTreeMap<u16, ExecutorMetrics> {
+        &self.per_exec
+    }
+
     /// Heap-verification failures observed (a healthy trace has zero).
     pub fn verify_failures(&self) -> u64 {
         self.verify_failures
@@ -211,7 +285,7 @@ impl MetricsAggregator {
     /// Deterministic JSON form of every aggregate (used by
     /// `trace_summary` and the round-trip tests).
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("events_seen", Json::UInt(self.events_seen)),
             ("last_t_ns", Json::Num(self.last_t_ns)),
             ("minor_pauses", self.minor_pauses.to_json()),
@@ -266,7 +340,21 @@ impl MetricsAggregator {
                     ),
                 ]),
             ),
-        ])
+        ];
+        // Keep single-executor output byte-identical to the pre-cluster
+        // format; the breakdown only appears once a second executor shows up.
+        if self.per_exec.len() > 1 {
+            fields.push((
+                "executors",
+                Json::Obj(
+                    self.per_exec
+                        .iter()
+                        .map(|(exec, m)| (exec.to_string(), m.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(fields)
     }
 
     /// Render a human-readable summary table of the aggregates.
@@ -319,6 +407,34 @@ impl MetricsAggregator {
             "traffic windows: {} (peak {} B total, peak {} B NVM writes)\n",
             self.traffic_windows, self.peak_window_bytes, self.peak_window_nvm_write
         ));
+        if self.per_exec.len() > 1 {
+            out.push_str(&format!(
+                "{:<6} {:>8} {:>7} {:>11} {:>7} {:>11} {:>14} {:>14} {:>9}\n",
+                "exec",
+                "events",
+                "minor",
+                "minor p99ms",
+                "major",
+                "major p99ms",
+                "DRAM wr B",
+                "NVM wr B",
+                "NVM frac"
+            ));
+            for (exec, m) in &self.per_exec {
+                out.push_str(&format!(
+                    "{:<6} {:>8} {:>7} {:>11.4} {:>7} {:>11.4} {:>14} {:>14} {:>9.3}\n",
+                    exec,
+                    m.events,
+                    m.minor_pauses.count(),
+                    m.minor_pauses.quantile_ns(0.99) * ms,
+                    m.major_pauses.count(),
+                    m.major_pauses.quantile_ns(0.99) * ms,
+                    m.dram_write_bytes,
+                    m.nvm_write_bytes,
+                    m.nvm_write_ratio()
+                ));
+            }
+        }
         if !self.stages.is_empty() {
             out.push_str(&format!(
                 "{:<7} {:>12} {:>16} {:>16} {:>9}\n",
@@ -344,8 +460,40 @@ impl MetricsAggregator {
     }
 }
 
-impl EventSink for MetricsAggregator {
-    fn on_event(&mut self, t_ns: f64, event: &Event) {
+impl MetricsAggregator {
+    fn observe_exec(&mut self, exec: u16, event: &Event) {
+        let m = self.per_exec.entry(exec).or_default();
+        m.events += 1;
+        match event {
+            Event::MinorGcEnd { pause_ns, .. } => m.minor_pauses.record(*pause_ns),
+            Event::MajorGcEnd { pause_ns, .. } => m.major_pauses.record(*pause_ns),
+            Event::StageStart {
+                stage,
+                dram_write_bytes,
+                nvm_write_bytes,
+            } => {
+                m.open_stage = Some((*stage, *dram_write_bytes, *nvm_write_bytes));
+            }
+            Event::StageEnd {
+                stage,
+                dram_write_bytes,
+                nvm_write_bytes,
+            } => {
+                // Same pairing rule as the global stage rows, but against
+                // this executor's own open-stage slot, so interleaved
+                // multi-executor traces attribute deltas correctly.
+                let (dram0, nvm0) = match m.open_stage.take() {
+                    Some((s, d, n)) if s == *stage => (d, n),
+                    _ => (*dram_write_bytes, *nvm_write_bytes),
+                };
+                m.dram_write_bytes += dram_write_bytes.saturating_sub(dram0);
+                m.nvm_write_bytes += nvm_write_bytes.saturating_sub(nvm0);
+            }
+            _ => {}
+        }
+    }
+
+    fn observe_global(&mut self, t_ns: f64, event: &Event) {
         self.events_seen += 1;
         self.last_t_ns = t_ns;
         match event {
@@ -427,6 +575,17 @@ impl EventSink for MetricsAggregator {
                 self.peak_window_nvm_write = self.peak_window_nvm_write.max(*nvm_write);
             }
         }
+    }
+}
+
+impl EventSink for MetricsAggregator {
+    fn on_event(&mut self, t_ns: f64, event: &Event) {
+        self.on_event_from(t_ns, 0, event);
+    }
+
+    fn on_event_from(&mut self, t_ns: f64, exec: u16, event: &Event) {
+        self.observe_global(t_ns, event);
+        self.observe_exec(exec, event);
     }
 }
 
@@ -524,6 +683,78 @@ mod tests {
         assert_eq!(m.stages()[0].dram_write_bytes, 0);
         assert_eq!(m.stages()[0].nvm_write_bytes, 0);
         assert!(m.stages()[0].start_ns.is_nan());
+    }
+
+    #[test]
+    fn per_executor_breakdowns_attribute_interleaved_stages() {
+        let mut m = MetricsAggregator::new();
+        // Two executors run stage 0 with interleaved events; each has its
+        // own cumulative counters and its own pauses.
+        m.on_event_from(
+            1.0,
+            0,
+            &Event::StageStart {
+                stage: 0,
+                dram_write_bytes: 100,
+                nvm_write_bytes: 0,
+            },
+        );
+        m.on_event_from(
+            2.0,
+            1,
+            &Event::StageStart {
+                stage: 0,
+                dram_write_bytes: 1000,
+                nvm_write_bytes: 500,
+            },
+        );
+        m.on_event_from(
+            3.0,
+            1,
+            &Event::MinorGcEnd {
+                pause_ns: 70.0,
+                moved: 0,
+                freed: 0,
+            },
+        );
+        m.on_event_from(
+            4.0,
+            0,
+            &Event::StageEnd {
+                stage: 0,
+                dram_write_bytes: 150,
+                nvm_write_bytes: 25,
+            },
+        );
+        m.on_event_from(
+            5.0,
+            1,
+            &Event::StageEnd {
+                stage: 0,
+                dram_write_bytes: 1000,
+                nvm_write_bytes: 900,
+            },
+        );
+        let per = m.per_executor();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[&0].dram_write_bytes(), 50);
+        assert_eq!(per[&0].nvm_write_bytes(), 25);
+        assert_eq!(per[&1].dram_write_bytes(), 0);
+        assert_eq!(per[&1].nvm_write_bytes(), 400);
+        assert_eq!(per[&1].minor_pauses().count(), 1);
+        assert_eq!(per[&0].minor_pauses().count(), 0);
+        // The global aggregates still see everything.
+        assert_eq!(m.events_seen(), 5);
+        assert_eq!(m.stages().len(), 2);
+        assert!(m.summary_table().contains("NVM frac"));
+        assert!(m.to_json().to_compact().contains("\"executors\""));
+    }
+
+    #[test]
+    fn single_executor_json_has_no_executors_field() {
+        let mut m = MetricsAggregator::new();
+        m.on_event(1.0, &Event::MinorGcStart);
+        assert!(!m.to_json().to_compact().contains("\"executors\""));
     }
 
     #[test]

@@ -19,6 +19,16 @@ use crate::json::Json;
 pub trait EventSink {
     /// Handle one event. `t_ns` is the simulated time of the emit point.
     fn on_event(&mut self, t_ns: f64, event: &Event);
+
+    /// Handle one event with its emitting executor's id (0 is the
+    /// single-runtime executor). The default forwards to
+    /// [`EventSink::on_event`], dropping the id, so sinks that predate
+    /// the cluster runtime keep working unchanged; executor-aware sinks
+    /// override this.
+    fn on_event_from(&mut self, t_ns: f64, exec: u16, event: &Event) {
+        let _ = exec;
+        self.on_event(t_ns, event);
+    }
 }
 
 type SharedSink = Rc<RefCell<dyn EventSink>>;
@@ -80,12 +90,20 @@ impl Observer {
     }
 
     /// Deliver one event to every attached sink. A single branch when
-    /// disabled.
+    /// disabled. Equivalent to [`Observer::emit_from`] with executor 0.
     #[inline]
     pub fn emit(&self, t_ns: f64, event: &Event) {
+        self.emit_from(t_ns, 0, event);
+    }
+
+    /// Deliver one event tagged with its emitting executor's id (the
+    /// cluster runtime re-emits each executor's buffered events through
+    /// this; everything else uses [`Observer::emit`], i.e. executor 0).
+    #[inline]
+    pub fn emit_from(&self, t_ns: f64, exec: u16, event: &Event) {
         if let Some(sinks) = &self.sinks {
             for sink in sinks.borrow().iter() {
-                sink.borrow_mut().on_event(t_ns, event);
+                sink.borrow_mut().on_event_from(t_ns, exec, event);
             }
         }
     }
@@ -202,10 +220,16 @@ impl<W: Write> JsonlSink<W> {
 
 impl<W: Write> EventSink for JsonlSink<W> {
     fn on_event(&mut self, t_ns: f64, event: &Event) {
+        self.on_event_from(t_ns, 0, event);
+    }
+
+    fn on_event_from(&mut self, t_ns: f64, exec: u16, event: &Event) {
         if self.error.is_some() {
             return;
         }
-        let line = event.to_json(t_ns).to_compact();
+        // Executor 0 writes no "exec" field, so non-cluster traces are
+        // byte-identical to the pre-cluster format.
+        let line = event.to_json_exec(t_ns, exec).to_compact();
         if let Err(e) = writeln!(self.out, "{line}") {
             self.error = Some(e);
         } else {
@@ -230,7 +254,9 @@ pub fn replay<R: BufRead>(reader: R, sink: &mut dyn EventSink) -> Result<u64, St
         }
         let json = Json::parse(&line).map_err(|e| format!("line {}: {e}", idx + 1))?;
         let (t, event) = Event::from_json(&json).map_err(|e| format!("line {}: {e}", idx + 1))?;
-        sink.on_event(t, &event);
+        // Cluster traces tag events with their executor; pre-cluster
+        // traces carry no "exec" field and replay as executor 0.
+        sink.on_event_from(t, Event::exec_of_json(&json), &event);
         count += 1;
     }
     Ok(count)
@@ -333,6 +359,31 @@ mod tests {
             assert_eq!(t1.to_bits(), t2.to_bits());
             assert_eq!(e1, e2);
         }
+    }
+
+    #[test]
+    fn executor_ids_survive_a_jsonl_round_trip() {
+        struct ExecSink(Vec<(u16, Event)>);
+        impl EventSink for ExecSink {
+            fn on_event(&mut self, t_ns: f64, event: &Event) {
+                self.on_event_from(t_ns, 0, event);
+            }
+            fn on_event_from(&mut self, _t_ns: f64, exec: u16, event: &Event) {
+                self.0.push((exec, event.clone()));
+            }
+        }
+        let mut jsonl = JsonlSink::new(Vec::new());
+        jsonl.on_event_from(1.0, 0, &Event::MinorGcStart);
+        jsonl.on_event_from(2.0, 3, &Event::ShuffleSpill { bytes: 7 });
+        let bytes = jsonl.into_inner();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        // Executor 0's line is the pre-cluster format.
+        assert!(!text.lines().next().unwrap().contains("exec"), "{text}");
+        let mut sink = ExecSink(Vec::new());
+        replay(io::Cursor::new(bytes), &mut sink).unwrap();
+        assert_eq!(sink.0[0].0, 0);
+        assert_eq!(sink.0[1].0, 3);
+        assert_eq!(sink.0[1].1, Event::ShuffleSpill { bytes: 7 });
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Cluster-mode plumbing: the contract between an executor-resident
+//! [`crate::Engine`] and the driver's shuffle exchange.
+//!
+//! In cluster mode every executor runs the *same* driver program over its
+//! own private heap, keeping only the source partitions assigned to it
+//! (partition `i` belongs to executor `i % E`). Narrow stages proceed
+//! independently; wide transformations and actions rendezvous through an
+//! [`ExchangeClient`]: each executor contributes its local partitions (in
+//! Send-safe [`WirePayload`] form) plus its virtual clock, and receives
+//! every executor's contribution plus the barrier time — the maximum
+//! arrival clock, modelling straggler skew. Because each rendezvous is a
+//! deterministic all-gather over structurally-aligned contributions, the
+//! whole cluster is a Kahn process network: results and simulated clocks
+//! are independent of host-thread scheduling.
+
+use mheap::WirePayload;
+use std::fmt;
+use std::sync::Arc;
+
+/// Where an RDD's *local* records sit inside the global partition space.
+///
+/// An executor's flattened record vector is the concatenation of the
+/// global partitions it owns, in ascending global-partition-id order;
+/// `gids[i]` names the `i`-th owned partition and `lens[i]` its record
+/// count. `global_parts` is the total partition count across the cluster,
+/// so a `union` can renumber its second input past its first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartMeta {
+    /// Global ids of the partitions this executor holds, ascending.
+    pub gids: Vec<u64>,
+    /// Record count of each held partition, parallel to `gids`.
+    pub lens: Vec<usize>,
+    /// Total partitions of this RDD across all executors.
+    pub global_parts: u64,
+}
+
+/// One executor's map-side output for a shuffle: its local partitions of
+/// each parent, keyed by global partition id.
+#[derive(Debug, Clone)]
+pub struct ShuffleContrib {
+    /// `(global partition id, records)` for the first parent.
+    pub left: Vec<(u64, Vec<WirePayload>)>,
+    /// Partitions of the second parent, for two-input shuffles (join).
+    pub right: Option<Vec<(u64, Vec<WirePayload>)>>,
+}
+
+/// One executor's partial result for a global action.
+#[derive(Debug, Clone)]
+pub enum ActionContrib {
+    /// Local record count (`count()`).
+    Count(u64),
+    /// Local partitions in `(global partition id, records)` form
+    /// (`collect()`).
+    Collect(Vec<(u64, Vec<WirePayload>)>),
+    /// Locally-folded partial, `None` for an empty local RDD
+    /// (`reduce(f)`).
+    Reduce(Option<WirePayload>),
+}
+
+/// The rendezvous endpoints an executor engine calls. Implementations
+/// must be safe to share across executor threads; every method blocks the
+/// calling executor until all `E` executors have contributed, then hands
+/// each of them the full contribution vector (indexed by executor id) and
+/// the barrier clock `t_bar = max` over the contributed clocks.
+///
+/// Re-requests are idempotent: once a shuffle or action gather has
+/// completed, later calls with the same id (an evicted RDD being
+/// recomputed) are served from the completed result without blocking and
+/// without depositing the new contribution.
+pub trait ExchangeClient: Send + Sync {
+    /// Contribute to (or re-read) the gather for shuffle node `rdd`.
+    fn gather_shuffle(
+        &self,
+        exec: u16,
+        rdd: u32,
+        contrib: ShuffleContrib,
+        clock_ns: f64,
+    ) -> (Arc<Vec<ShuffleContrib>>, f64);
+
+    /// Contribute to (or re-read) the gather for the `seq`-th action.
+    fn gather_action(
+        &self,
+        exec: u16,
+        seq: u64,
+        contrib: ActionContrib,
+        clock_ns: f64,
+    ) -> (Arc<Vec<ActionContrib>>, f64);
+
+    /// Statement barrier `index`: block until every executor arrives,
+    /// return the barrier clock.
+    fn barrier(&self, exec: u16, index: u64, clock_ns: f64) -> f64;
+}
+
+/// An executor's view of the cluster it runs in.
+#[derive(Clone)]
+pub struct ClusterCtx {
+    /// This executor's id, `0..n_exec`.
+    pub exec: u16,
+    /// Total executors in the cluster.
+    pub n_exec: u16,
+    /// The shared exchange all executors rendezvous through.
+    pub exchange: Arc<dyn ExchangeClient>,
+}
+
+impl fmt::Debug for ClusterCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterCtx")
+            .field("exec", &self.exec)
+            .field("n_exec", &self.n_exec)
+            .finish_non_exhaustive()
+    }
+}

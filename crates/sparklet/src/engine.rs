@@ -15,12 +15,13 @@
 //!   generation one at a time and die there — exactly the epochal
 //!   behaviour Panthera's heap design exploits.
 
+use crate::cluster::{ActionContrib, ClusterCtx, PartMeta, ShuffleContrib};
 use crate::data::DataRegistry;
 use crate::rdd::{MatData, RddId, RddNode, RddOp};
 use crate::runtime::MemoryRuntime;
 use crate::shuffle::{reduce_side, Buckets};
 use hybridmem::{AccessKind, AccessProfile, DeviceKind};
-use mheap::{ObjKind, Payload, RootSet};
+use mheap::{Key, ObjKind, Payload, RootSet, WirePayload};
 use panthera_analysis::InstrumentationPlan;
 use sparklang::ast::{ActionKind, Program, RddExpr, Stmt, StmtId, StorageLevel, Transform, VarId};
 use sparklang::{FnTable, FuncId, UserFn};
@@ -60,6 +61,11 @@ pub struct EngineConfig {
     /// behaviour for before/after trajectory benchmarks. Simulated
     /// time/energy is unaffected — only host CPU burns.
     pub legacy_copies: bool,
+    /// Network cost of moving one shuffle byte between executors
+    /// (nanoseconds per byte). Only consulted in cluster mode; a
+    /// single-executor cluster never crosses the network, so the legacy
+    /// single-runtime path is unaffected by this knob.
+    pub net_ns_per_byte: f64,
 }
 
 impl Default for EngineConfig {
@@ -72,6 +78,7 @@ impl Default for EngineConfig {
             serde_cpu_ns: 60.0,
             fuse_narrow: true,
             legacy_copies: false,
+            net_ns_per_byte: 1.0,
         }
     }
 }
@@ -182,6 +189,16 @@ pub struct Engine<R: MemoryRuntime> {
     random_read_depth: u32,
     /// Sequence number for `StageStart`/`StageEnd` events.
     stage_seq: u32,
+    /// Cluster membership; `None` runs the legacy single-runtime path.
+    cluster: Option<ClusterCtx>,
+    /// Cluster mode: where each computed RDD's local records sit in the
+    /// global partition space. Entries persist across evictions (a
+    /// recompute re-derives the identical layout).
+    part_meta: HashMap<RddId, PartMeta>,
+    /// Cluster mode: monotone statement-barrier counter.
+    barrier_seq: u64,
+    /// Cluster mode: monotone action-gather counter.
+    action_seq: u64,
 }
 
 impl<R: MemoryRuntime> Engine<R> {
@@ -208,7 +225,28 @@ impl<R: MemoryRuntime> Engine<R> {
             ser_store: HashMap::new(),
             random_read_depth: 0,
             stage_seq: 0,
+            cluster: None,
+            part_meta: HashMap::new(),
+            barrier_seq: 0,
+            action_seq: 0,
         }
+    }
+
+    /// Build an executor-resident engine: it keeps only the source
+    /// partitions assigned to `ctx.exec` and rendezvouses with its peers
+    /// through `ctx.exchange` at shuffles, actions, and statement
+    /// barriers. With `ctx.n_exec == 1` the run is bit-identical to the
+    /// legacy single-runtime path.
+    pub fn with_cluster(
+        runtime: R,
+        fns: FnTable,
+        data: DataRegistry,
+        config: EngineConfig,
+        ctx: ClusterCtx,
+    ) -> Self {
+        let mut e = Self::with_config(runtime, fns, data, config);
+        e.cluster = Some(ctx);
+        e
     }
 
     /// The runtime (heap, GC, energy reports).
@@ -309,6 +347,36 @@ impl<R: MemoryRuntime> Engine<R> {
                     results.push((program.var_name(*var).to_string(), value));
                 }
             }
+            // Cluster mode: stage barrier after every statement. Loop trip
+            // counts are static, so every executor reaches the same
+            // barriers in the same order; the barrier clock is the max
+            // arrival time — straggler skew stalls the whole cluster.
+            self.cluster_barrier();
+        }
+    }
+
+    /// Statement barrier: rendezvous with every peer executor and advance
+    /// this executor's virtual clock to the barrier time (the maximum
+    /// arrival clock). No-op outside cluster mode, and a zero-length wait
+    /// in a single-executor cluster.
+    fn cluster_barrier(&mut self) {
+        let Some(ctx) = self.cluster.clone() else {
+            return;
+        };
+        let index = self.barrier_seq;
+        self.barrier_seq += 1;
+        let now = self.runtime.heap().mem().clock().now_ns();
+        let t_bar = ctx.exchange.barrier(ctx.exec, index, now);
+        self.sync_to(t_bar);
+    }
+
+    /// Advance the virtual clock to `t_bar` if it is behind (the executor
+    /// idles until the cluster's straggler arrives). Monotone: a cached
+    /// barrier time from a re-gathered shuffle never rewinds the clock.
+    fn sync_to(&mut self, t_bar: f64) {
+        let now = self.runtime.heap().mem().clock().now_ns();
+        if t_bar > now {
+            self.runtime.heap_mut().mem_mut().compute(t_bar - now);
         }
     }
 
@@ -516,6 +584,9 @@ impl<R: MemoryRuntime> Engine<R> {
     }
 
     fn run_action(&mut self, rdd: RddId, action: &ActionKind) -> ActionResult {
+        if self.cluster.is_some() {
+            return self.run_action_cluster(rdd, action);
+        }
         self.propagate_tag_of(rdd);
         self.evaluation(|e| {
             let records = e.compute(rdd);
@@ -539,6 +610,86 @@ impl<R: MemoryRuntime> Engine<R> {
                         acc
                     });
                     ActionResult::Reduced(folded)
+                }
+            }
+        })
+    }
+
+    /// Cluster-mode action: every executor evaluates its local slice,
+    /// contributes a partial (count, wired partitions, or a locally-folded
+    /// reduce partial), and merges the gathered partials into the global
+    /// result — identically on every executor, so the driver can take any
+    /// one of them. Local folds charge per-step CPU like the legacy path;
+    /// the cross-executor merge of reduce partials is uncharged driver
+    /// work (a parallel-reduce tree root). With one executor the local
+    /// partial *is* the global result.
+    fn run_action_cluster(&mut self, rdd: RddId, action: &ActionKind) -> ActionResult {
+        let ctx = self
+            .cluster
+            .clone()
+            .expect("cluster action outside cluster");
+        self.propagate_tag_of(rdd);
+        self.evaluation(|e| {
+            let records = e.compute(rdd);
+            if !e.is_materialized(rdd) {
+                e.materialize_into_heap(rdd, &records, true);
+            }
+            let contrib = match action {
+                ActionKind::Count => ActionContrib::Count(records.len() as u64),
+                ActionKind::Collect => ActionContrib::Collect(e.wire_parts(rdd, &records)),
+                ActionKind::Reduce(f) => {
+                    let mut it = records.iter();
+                    let first = it.next().cloned();
+                    let folded = first.map(|mut acc| {
+                        for r in it {
+                            acc = e.apply_reduce(*f, &acc, r);
+                        }
+                        acc
+                    });
+                    ActionContrib::Reduce(folded.as_ref().map(WirePayload::from))
+                }
+            };
+            let seq = e.action_seq;
+            e.action_seq += 1;
+            let now = e.runtime.heap().mem().clock().now_ns();
+            let (contribs, t_bar) = ctx.exchange.gather_action(ctx.exec, seq, contrib, now);
+            e.sync_to(t_bar);
+            match action {
+                ActionKind::Count => ActionResult::Count(
+                    contribs
+                        .iter()
+                        .map(|c| match c {
+                            ActionContrib::Count(n) => *n,
+                            other => panic!("mismatched action contribution {other:?}"),
+                        })
+                        .sum(),
+                ),
+                ActionKind::Collect => {
+                    let mut parts: Vec<(u64, Vec<Payload>)> = contribs
+                        .iter()
+                        .flat_map(|c| match c {
+                            ActionContrib::Collect(parts) => parts.iter().map(|(gid, recs)| {
+                                (*gid, recs.iter().map(Payload::from).collect())
+                            }),
+                            other => panic!("mismatched action contribution {other:?}"),
+                        })
+                        .collect();
+                    parts.sort_by_key(|(gid, _)| *gid);
+                    ActionResult::Collected(parts.into_iter().flat_map(|(_, recs)| recs).collect())
+                }
+                ActionKind::Reduce(f) => {
+                    let partials: Vec<Payload> = contribs
+                        .iter()
+                        .filter_map(|c| match c {
+                            ActionContrib::Reduce(p) => p.as_ref().map(Payload::from),
+                            other => panic!("mismatched action contribution {other:?}"),
+                        })
+                        .collect();
+                    let combine = match e.fns.get(*f) {
+                        UserFn::Reduce(f) => f,
+                        other => panic!("expected a reduce function, got {other:?}"),
+                    };
+                    ActionResult::Reduced(partials.into_iter().reduce(|a, b| combine(&a, &b)))
                 }
             }
         })
@@ -707,15 +858,51 @@ impl<R: MemoryRuntime> Engine<R> {
         }
         let op = self.rdds[rdd.0 as usize].op.clone();
         match op {
-            RddOp::Source(name) => self.compute_source(&name),
+            RddOp::Source(name) => {
+                if self.cluster.is_some() {
+                    self.compute_source_cluster(rdd, &name)
+                } else {
+                    self.compute_source(&name)
+                }
+            }
             RddOp::Transformed { transform, parents } => {
                 if transform.is_wide() {
-                    self.compute_shuffle(rdd, &transform, &parents)
+                    if self.cluster.is_some() {
+                        self.compute_shuffle_cluster(rdd, &transform, &parents)
+                    } else {
+                        self.compute_shuffle(rdd, &transform, &parents)
+                    }
                 } else if let Transform::Union = transform {
                     let mut out: Vec<Payload> = self.compute(parents[0]).as_ref().clone();
                     out.extend(self.compute(parents[1]).iter().cloned());
                     self.emulate_legacy_copies(&out);
+                    if self.cluster.is_some() {
+                        // The union's local flat is parent 0's partitions
+                        // followed by parent 1's, renumbered past parent
+                        // 0's global partition space (ownership inherits
+                        // parent placement, like Spark's UnionRDD).
+                        let m0 = self.part_meta[&parents[0]].clone();
+                        let m1 = self.part_meta[&parents[1]].clone();
+                        let mut gids = m0.gids;
+                        gids.extend(m1.gids.iter().map(|g| g + m0.global_parts));
+                        let mut lens = m0.lens;
+                        lens.extend_from_slice(&m1.lens);
+                        self.part_meta.insert(
+                            rdd,
+                            PartMeta {
+                                gids,
+                                lens,
+                                global_parts: m0.global_parts + m1.global_parts,
+                            },
+                        );
+                    }
                     Rc::new(out)
+                } else if self.cluster.is_some() {
+                    // Cluster mode always executes stage-at-a-time so each
+                    // output partition's length is tracked; charges are
+                    // partition-independent, so slicing costs nothing.
+                    let input = self.compute(parents[0]);
+                    self.stream_cluster(rdd, parents[0], &input, &transform)
                 } else if self.config.fuse_narrow {
                     self.compute_fused(rdd)
                 } else {
@@ -757,6 +944,69 @@ impl<R: MemoryRuntime> Engine<R> {
             self.stream_alloc(r);
         }
         records
+    }
+
+    /// Cluster-mode source scan: partition the global input exactly as the
+    /// single-runtime engine would lay it out, keep the partitions owned
+    /// by this executor (`gid % n_exec == exec`), and charge disk and
+    /// parsing for the local records only. At `n_exec == 1` every
+    /// partition is local, so the records, charges, and layout match the
+    /// legacy path bit for bit.
+    fn compute_source_cluster(&mut self, rdd: RddId, name: &str) -> Rc<Vec<Payload>> {
+        let ctx = self
+            .cluster
+            .clone()
+            .expect("cluster source outside cluster");
+        let global = self.data.records_shared(name);
+        let n_parts = self.config.partitions.clamp(1, global.len().max(1));
+        let sizes = partition_sizes(global.len(), n_parts);
+        let mut local = Vec::new();
+        let mut gids = Vec::new();
+        let mut lens = Vec::new();
+        let mut off = 0usize;
+        for (gid, &len) in sizes.iter().enumerate() {
+            if gid as u64 % u64::from(ctx.n_exec) == u64::from(ctx.exec) {
+                local.extend_from_slice(&global[off..off + len]);
+                gids.push(gid as u64);
+                lens.push(len);
+            }
+            off += len;
+        }
+        self.charge_disk(&local);
+        for rec in &local {
+            let r = self.copy_record(rec);
+            self.stream_alloc(r);
+        }
+        self.part_meta.insert(
+            rdd,
+            PartMeta {
+                gids,
+                lens,
+                global_parts: sizes.len() as u64,
+            },
+        );
+        Rc::new(local)
+    }
+
+    /// Convert this executor's local records of `rdd` into their wire form
+    /// grouped by global partition id, ready to contribute to a gather.
+    fn wire_parts(&self, rdd: RddId, records: &[Payload]) -> Vec<(u64, Vec<WirePayload>)> {
+        let meta = &self.part_meta[&rdd];
+        let mut out = Vec::with_capacity(meta.gids.len());
+        let mut off = 0usize;
+        for (i, &gid) in meta.gids.iter().enumerate() {
+            let len = meta.lens[i];
+            out.push((
+                gid,
+                records[off..off + len]
+                    .iter()
+                    .map(WirePayload::from)
+                    .collect(),
+            ));
+            off += len;
+        }
+        debug_assert_eq!(off, records.len(), "partition metadata out of sync");
+        out
     }
 
     /// Fused execution of the maximal narrow chain ending at `rdd`: every
@@ -830,8 +1080,17 @@ impl<R: MemoryRuntime> Engine<R> {
     /// to every input record, allocating a short-lived young object per
     /// output record (the streaming behaviour of Section 2).
     fn stream(&mut self, input: &[Payload], transform: &Transform) -> Rc<Vec<Payload>> {
-        let legacy = self.config.legacy_copies;
         let mut out = Vec::with_capacity(input.len());
+        self.stream_into(input, transform, &mut out);
+        Rc::new(out)
+    }
+
+    /// The streaming loop of [`Engine::stream`], appending to `out` so
+    /// cluster mode can run it once per local partition (tracking each
+    /// partition's output length) while charging the exact sequence one
+    /// whole-input pass would.
+    fn stream_into(&mut self, input: &[Payload], transform: &Transform, out: &mut Vec<Payload>) {
+        let legacy = self.config.legacy_copies;
         for r in input {
             self.runtime
                 .heap_mut()
@@ -846,6 +1105,42 @@ impl<R: MemoryRuntime> Engine<R> {
                 out.push(p);
             });
         }
+    }
+
+    /// Cluster-mode narrow stage: stream each local partition through the
+    /// transformation separately, recording the output partition lengths.
+    /// Narrow transformations are element-wise, so the charge sequence is
+    /// identical to one pass over the whole local flat.
+    fn stream_cluster(
+        &mut self,
+        rdd: RddId,
+        parent: RddId,
+        input: &[Payload],
+        transform: &Transform,
+    ) -> Rc<Vec<Payload>> {
+        let meta = self
+            .part_meta
+            .get(&parent)
+            .cloned()
+            .expect("cluster mode: parent computed without partition metadata");
+        let mut out = Vec::with_capacity(input.len());
+        let mut lens = Vec::with_capacity(meta.lens.len());
+        let mut off = 0usize;
+        for &len in &meta.lens {
+            let before = out.len();
+            self.stream_into(&input[off..off + len], transform, &mut out);
+            lens.push(out.len() - before);
+            off += len;
+        }
+        debug_assert_eq!(off, input.len(), "partition metadata out of sync");
+        self.part_meta.insert(
+            rdd,
+            PartMeta {
+                gids: meta.gids,
+                lens,
+                global_parts: meta.global_parts,
+            },
+        );
         Rc::new(out)
     }
 
@@ -909,6 +1204,115 @@ impl<R: MemoryRuntime> Engine<R> {
         let persist_heap = matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
         self.materialize_into_heap(rdd, &out, !persist_heap);
         Rc::new(out)
+    }
+
+    /// Cluster-mode shuffle: spill the local map-side partitions, all-
+    /// gather every executor's spill through the exchange, charge the
+    /// cross-executor transfer, then run the reduce side over the global
+    /// buckets (replicated host work, deterministic on every executor) and
+    /// keep only the output partitions this executor owns. At
+    /// `n_exec == 1` nothing crosses the network and the charge sequence
+    /// collapses to the single-runtime [`Engine::compute_shuffle`].
+    fn compute_shuffle_cluster(
+        &mut self,
+        rdd: RddId,
+        transform: &Transform,
+        parents: &[RddId],
+    ) -> Rc<Vec<Payload>> {
+        let ctx = self
+            .cluster
+            .clone()
+            .expect("cluster shuffle outside cluster");
+        self.stats.shuffles += 1;
+        let saved_depth = std::mem::take(&mut self.random_read_depth);
+        if matches!(transform, Transform::Join) {
+            self.random_read_depth = 1;
+        }
+        // Map side: compute the local slices of each parent and write the
+        // local shuffle files, exactly as the single-runtime engine does.
+        let left_records = self.compute(parents[0]);
+        self.charge_shuffle(&left_records);
+        let left_wire = self.wire_parts(parents[0], &left_records);
+        let right_wire = if parents.len() > 1 {
+            let right_records = self.compute(parents[1]);
+            self.charge_shuffle(&right_records);
+            Some(self.wire_parts(parents[1], &right_records))
+        } else {
+            None
+        };
+        self.random_read_depth = saved_depth;
+        let contrib = ShuffleContrib {
+            left: left_wire,
+            right: right_wire,
+        };
+        let now = self.runtime.heap().mem().clock().now_ns();
+        let (contribs, t_bar) = ctx.exchange.gather_shuffle(ctx.exec, rdd.0, contrib, now);
+        self.sync_to(t_bar);
+        // Reassemble the global map output, remembering each partition's
+        // origin executor for the transfer accounting.
+        let left_global = merge_contrib_parts(&contribs, |c| Some(&c.left));
+        let right_global = merge_contrib_parts(&contribs, |c| c.right.as_deref());
+        let (xfer_records, xfer_bytes) =
+            transfer_cost(&left_global, &right_global, ctx.exec, ctx.n_exec);
+        let xfer_ns = self.config.serde_cpu_ns * xfer_records as f64
+            + self.config.net_ns_per_byte * xfer_bytes as f64;
+        if xfer_ns > 0.0 {
+            self.runtime.heap_mut().mem_mut().compute(xfer_ns);
+        }
+        // The consuming stage starts by reading the shuffle files.
+        self.runtime.stage_boundary(&self.roots);
+        let mut left_buckets = Buckets::new();
+        for (_, _, recs) in &left_global {
+            for r in recs {
+                left_buckets.add(self.copy_record(r));
+            }
+        }
+        let right_buckets = if parents.len() > 1 {
+            let mut b = Buckets::new();
+            for (_, _, recs) in &right_global {
+                for r in recs {
+                    b.add(self.copy_record(r));
+                }
+            }
+            Some(b)
+        } else {
+            None
+        };
+        let out_global = reduce_side(transform, &self.fns, &left_buckets, right_buckets.as_ref());
+        // Keep the output partitions this executor owns (`gid % E == e`,
+        // the same placement rule sources use).
+        let n_parts = self.config.partitions.clamp(1, out_global.len().max(1));
+        let sizes = partition_sizes(out_global.len(), n_parts);
+        let mut local = Vec::new();
+        let mut gids = Vec::new();
+        let mut lens = Vec::new();
+        let mut off = 0usize;
+        for (gid, &len) in sizes.iter().enumerate() {
+            if gid as u64 % u64::from(ctx.n_exec) == u64::from(ctx.exec) {
+                local.extend_from_slice(&out_global[off..off + len]);
+                gids.push(gid as u64);
+                lens.push(len);
+            }
+            off += len;
+        }
+        for _ in &local {
+            self.runtime
+                .heap_mut()
+                .mem_mut()
+                .compute(self.config.record_cpu_ns);
+        }
+        self.charge_shuffle(&local);
+        let persist_heap = matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
+        self.materialize_into_heap(rdd, &local, !persist_heap);
+        self.part_meta.insert(
+            rdd,
+            PartMeta {
+                gids,
+                lens,
+                global_parts: sizes.len() as u64,
+            },
+        );
+        Rc::new(local)
     }
 
     fn read_materialized(&mut self, rdd: RddId) -> Rc<Vec<Payload>> {
@@ -1124,8 +1528,72 @@ fn apply_narrow(fns: &FnTable, transform: &Transform, r: &Payload, sink: &mut dy
     }
 }
 
+/// Collect one side's partitions from every executor's contribution as
+/// `(global partition id, origin executor, records)` tuples, ascending by
+/// partition id — the order the single-runtime engine would scan them in.
+fn merge_contrib_parts(
+    contribs: &[ShuffleContrib],
+    side: impl Fn(&ShuffleContrib) -> Option<&[(u64, Vec<WirePayload>)]>,
+) -> Vec<(u64, u16, Vec<Payload>)> {
+    let mut out = Vec::new();
+    for (origin, c) in contribs.iter().enumerate() {
+        if let Some(parts) = side(c) {
+            for (gid, recs) in parts {
+                out.push((
+                    *gid,
+                    origin as u16,
+                    recs.iter().map(Payload::from).collect(),
+                ));
+            }
+        }
+    }
+    out.sort_by_key(|(gid, _, _)| *gid);
+    out
+}
+
+/// Cross-executor shuffle traffic chargeable to executor `exec`: records
+/// it sends to reducers on other executors plus records it receives from
+/// other executors' map sides. Reducer ownership follows key
+/// first-appearance order, round-robin across executors — the same
+/// modulo placement rule partitions use. With one executor every record
+/// stays put and the cost is exactly zero.
+fn transfer_cost(
+    left: &[(u64, u16, Vec<Payload>)],
+    right: &[(u64, u16, Vec<Payload>)],
+    exec: u16,
+    n_exec: u16,
+) -> (u64, u64) {
+    let mut key_bucket: HashMap<Key, usize> = HashMap::new();
+    for (_, _, recs) in left.iter().chain(right.iter()) {
+        for r in recs {
+            let next = key_bucket.len();
+            key_bucket.entry(r.shuffle_key()).or_insert(next);
+        }
+    }
+    let mut records = 0u64;
+    let mut bytes = 0u64;
+    for (_, origin, recs) in left.iter().chain(right.iter()) {
+        for r in recs {
+            let reducer = (key_bucket[&r.shuffle_key()] % n_exec as usize) as u16;
+            let crossing = if *origin == exec {
+                reducer != exec
+            } else {
+                reducer == exec
+            };
+            if crossing {
+                records += 1;
+                bytes += r.model_bytes();
+            }
+        }
+    }
+    (records, bytes)
+}
+
 /// Split `n` records into `parts` chunk lengths (the last may be short).
-fn partition_sizes(n: usize, parts: usize) -> Vec<usize> {
+/// This is the engine's canonical partitioning rule: materialized heap
+/// layouts, cluster source placement, and shuffle-output placement all
+/// chunk with it, so tests can predict partition boundaries.
+pub fn partition_sizes(n: usize, parts: usize) -> Vec<usize> {
     if n == 0 {
         return vec![0];
     }

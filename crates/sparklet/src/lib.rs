@@ -16,14 +16,16 @@
 //! the `panthera` crate implements it for Panthera proper and for every
 //! baseline memory mode.
 
+mod cluster;
 mod data;
 mod engine;
 mod rdd;
 mod runtime;
 mod shuffle;
 
+pub use cluster::{ActionContrib, ClusterCtx, ExchangeClient, PartMeta, ShuffleContrib};
 pub use data::{DataRegistry, InternTable};
-pub use engine::{ActionResult, Engine, EngineConfig, ExecStats, RunOutcome};
+pub use engine::{partition_sizes, ActionResult, Engine, EngineConfig, ExecStats, RunOutcome};
 pub use rdd::{MatData, RddId, RddNode, RddOp};
 pub use runtime::MemoryRuntime;
 pub use shuffle::{reduce_side, Buckets};
