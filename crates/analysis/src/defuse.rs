@@ -145,6 +145,11 @@ impl Visitor for Collector {
             Stmt::Unpersist { var } => {
                 self.out.unpersists.entry(*var).or_default().push(occ(id));
             }
+            Stmt::Checkpoint { var } => {
+                // A checkpoint reads the RDD (the snapshot walks it), so
+                // it keeps the instance live like any other use.
+                self.out.uses.entry(*var).or_default().push(occ(id));
+            }
             Stmt::Action { var, .. } => {
                 self.out.actions.entry(*var).or_default().push(occ(id));
                 // An action reads the RDD: it is also a use.

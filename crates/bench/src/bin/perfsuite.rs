@@ -43,15 +43,23 @@
 //! * `--trace [PATH]` — after the benchmark, run PageRank under Panthera
 //!   with the structured event stream attached and write it as JSONL to
 //!   `PATH` (default `trace.jsonl`). Feed the file to `trace_summary`.
+//! * `--faults SEED` — run the recovery-overhead suite instead: cluster
+//!   PageRank under `{Recompute, CheckpointEvery(2)}` × {fault-free, one
+//!   seeded mid-run executor crash}, asserting the faulted arms produce
+//!   bit-identical results and host-thread-invariant reports. Emits
+//!   `BENCH_PR5.json` plus its `.sim` companion.
 
 use gc::{GcCoordinator, PantheraPolicy};
 use hybridmem::{Addr, MemorySystemConfig};
 use mheap::{CardTable, Heap, HeapConfig, MemTag, ObjKind, Payload, RootSet, CARD_BYTES};
 use obs::{Json, JsonlSink, MetricsAggregator, Observer};
 use panthera::{
-    run_workload_with_engine, try_run_workload, MemoryMode, RunReport, SystemConfig, SIM_GB,
+    run_workload_with_engine, try_run_workload, MemoryMode, RecoveryPolicy, RunReport,
+    SystemConfig, SIM_GB,
 };
-use panthera_cluster::{host_threads_from_env, run_cluster, ClusterOutcome};
+use panthera_cluster::{
+    host_threads_from_env, run_cluster, run_cluster_faulted, ClusterOutcome, FaultPlan, FaultSpec,
+};
 use sparklang::{ActionKind, FnTable, Program, ProgramBuilder};
 use sparklet::{DataRegistry, EngineConfig};
 use std::cell::RefCell;
@@ -71,11 +79,13 @@ const WORKLOADS: [WorkloadId; 4] = [
 
 const SEED: u64 = 7;
 
-/// Parsed command line: `--quick`, `--executors N`, and `--trace [PATH]`.
+/// Parsed command line: `--quick`, `--executors N`, `--trace [PATH]`,
+/// and `--faults SEED`.
 struct Cli {
     quick: bool,
     executors: Option<u16>,
     trace: Option<String>,
+    faults: Option<u64>,
 }
 
 impl Cli {
@@ -84,6 +94,7 @@ impl Cli {
             quick: false,
             executors: None,
             trace: None,
+            faults: None,
         };
         let mut args = std::env::args().skip(1).peekable();
         while let Some(arg) = args.next() {
@@ -109,9 +120,19 @@ impl Cli {
                     };
                     cli.trace = Some(path);
                 }
+                "--faults" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(seed) => cli.faults = Some(seed),
+                    None => {
+                        eprintln!("perfsuite: --faults needs an integer seed");
+                        std::process::exit(2);
+                    }
+                },
                 other => {
                     eprintln!("perfsuite: unknown flag `{other}`");
-                    eprintln!("usage: perfsuite [--quick] [--executors N] [--trace [PATH]]");
+                    eprintln!(
+                        "usage: perfsuite [--quick] [--executors N] [--trace [PATH]] \
+                         [--faults SEED]"
+                    );
                     std::process::exit(2);
                 }
             }
@@ -461,10 +482,243 @@ fn micro_card_scan() -> (f64, usize, usize) {
     (per_sweep, n_cards, dirty)
 }
 
+// ---------------------------------------------------------------------------
+// The `--faults SEED` recovery-overhead suite (`BENCH_PR5.json`).
+// ---------------------------------------------------------------------------
+
+/// One measured recovery arm: a policy, with or without the injected
+/// mid-run crash.
+struct FaultRow {
+    policy: &'static str,
+    faulted: bool,
+    host_ns: u64,
+    outcome: ClusterOutcome,
+}
+
+fn fault_run(
+    scale: f64,
+    executors: u16,
+    policy: RecoveryPolicy,
+    plan: &FaultPlan,
+    host_threads: usize,
+) -> ClusterOutcome {
+    let mut cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
+    cfg.executors = executors;
+    cfg.recovery = policy;
+    run_cluster_faulted(
+        || {
+            let w = build_workload(WorkloadId::Pr, scale, SEED);
+            (w.program, w.fns, w.data)
+        },
+        &cfg,
+        EngineConfig::default(),
+        host_threads,
+        plan,
+    )
+    .expect("valid cluster config")
+}
+
+fn fault_row_json(r: &FaultRow, sim_only: bool) -> Json {
+    let rec = &r.outcome.report.recovery;
+    let mut fields = vec![
+        ("policy", Json::Str(r.policy.into())),
+        ("faulted", Json::Bool(r.faulted)),
+        ("sim_elapsed_s", Json::Num(r.outcome.report.elapsed_s)),
+        ("sim_energy_j", Json::Num(r.outcome.report.energy_j())),
+        ("executor_crashes", Json::UInt(rec.executor_crashes)),
+        ("messages_lost", Json::UInt(rec.messages_lost)),
+        ("alloc_faults", Json::UInt(rec.alloc_faults)),
+        (
+            "partitions_recomputed",
+            Json::UInt(rec.partitions_recomputed),
+        ),
+        ("partitions_restored", Json::UInt(rec.partitions_restored)),
+        ("stages_recomputed", Json::UInt(rec.stages_recomputed)),
+        ("checkpoint_writes", Json::UInt(rec.checkpoint_writes)),
+        ("checkpoint_bytes", Json::UInt(rec.checkpoint_bytes)),
+        ("recovery_s", Json::Num(rec.recovery_s)),
+    ];
+    if !sim_only {
+        fields.insert(2, ("host_ns", Json::UInt(r.host_ns)));
+    }
+    fields.push(("report", r.outcome.report.to_json()));
+    Json::obj(fields)
+}
+
+/// The recovery-overhead suite: PageRank on the cluster driver, four
+/// arms — {`Recompute`, `CheckpointEvery(2)`} × {fault-free, one
+/// seeded mid-run crash} — plus the core PR 5 guarantee, asserted:
+/// faulted arms produce bit-identical workload results to their
+/// fault-free twins, and neither the aggregate report nor any
+/// per-executor sub-report depends on the host-thread budget.
+///
+/// Output: `BENCH_PR5.json` (override with `PERFSUITE_OUT`) and the
+/// host-time-free `<out>.sim` companion CI `cmp`s across
+/// `PANTHERA_HOST_THREADS` budgets.
+fn run_fault_suite(seed: u64, cli: &Cli, n: usize, scale: f64) {
+    let executors: u16 = if cli.quick { 2 } else { 3 };
+    let host_threads = host_threads_from_env(usize::from(executors));
+    let plan = FaultPlan::generate(
+        seed,
+        executors,
+        FaultSpec {
+            crashes: 1,
+            ..FaultSpec::default()
+        },
+    );
+    assert!(
+        !plan.crashes.is_empty(),
+        "the fault suite needs its mid-run crash"
+    );
+    println!(
+        "fault suite: seed {seed}, E={executors}, {} crash(es) at barrier(s) {:?}, \
+         {} loss(es), {} alloc fault(s)",
+        plan.crashes.len(),
+        plan.crashes.iter().map(|c| c.barrier).collect::<Vec<_>>(),
+        plan.losses.len(),
+        plan.alloc_faults.len()
+    );
+
+    let policies = [
+        ("recompute", RecoveryPolicy::Recompute),
+        ("checkpoint_every_2", RecoveryPolicy::CheckpointEvery(2)),
+    ];
+    let mut rows: Vec<FaultRow> = Vec::new();
+    let mut overheads = Vec::new();
+    for (name, policy) in policies {
+        let (clean_ns, clean) = median_host_ns(n, || {
+            fault_run(scale, executors, policy, &FaultPlan::none(), host_threads)
+        });
+        let (faulted_ns, faulted) = median_host_ns(n, || {
+            fault_run(scale, executors, policy, &plan, host_threads)
+        });
+
+        // The PR 5 core guarantee, measured here so the benchmark is
+        // meaningless unless it holds.
+        assert_eq!(
+            faulted.results, clean.results,
+            "{name}: fault injection changed the workload results"
+        );
+        assert!(
+            faulted.report.recovery.executor_crashes >= 1,
+            "{name}: the planned crash fired"
+        );
+        let serial = fault_run(scale, executors, policy, &plan, 1);
+        assert_eq!(
+            serial.report.to_json().to_compact(),
+            faulted.report.to_json().to_compact(),
+            "{name}: faulted aggregate report depends on the host-thread budget"
+        );
+        for (e, (s, t)) in serial
+            .per_executor
+            .iter()
+            .zip(faulted.per_executor.iter())
+            .enumerate()
+        {
+            assert_eq!(
+                s.to_json().to_compact(),
+                t.to_json().to_compact(),
+                "{name}: executor {e} sub-report depends on the host-thread budget"
+            );
+        }
+
+        let overhead_s = faulted.report.elapsed_s - clean.report.elapsed_s;
+        let overhead_pct = 100.0 * overhead_s / clean.report.elapsed_s;
+        println!(
+            "{:<20} | clean {:>9.4}s sim | faulted {:>9.4}s sim | overhead {:>6.2}% \
+             | recovery {:>8.4}s",
+            name,
+            clean.report.elapsed_s,
+            faulted.report.elapsed_s,
+            overhead_pct,
+            faulted.report.recovery.recovery_s,
+        );
+        overheads.push((name, overhead_s, overhead_pct));
+        rows.push(FaultRow {
+            policy: name,
+            faulted: false,
+            host_ns: clean_ns,
+            outcome: clean,
+        });
+        rows.push(FaultRow {
+            policy: name,
+            faulted: true,
+            host_ns: faulted_ns,
+            outcome: faulted,
+        });
+    }
+
+    let plan_json = Json::obj(vec![
+        ("seed", Json::UInt(seed)),
+        (
+            "crash_barriers",
+            Json::Arr(plan.crashes.iter().map(|c| Json::UInt(c.barrier)).collect()),
+        ),
+        ("losses", Json::UInt(plan.losses.len() as u64)),
+        ("alloc_faults", Json::UInt(plan.alloc_faults.len() as u64)),
+    ]);
+    let overhead_json = |(name, s, pct): &(&str, f64, f64)| {
+        Json::obj(vec![
+            ("policy", Json::Str((*name).into())),
+            ("overhead_sim_s", Json::Num(*s)),
+            ("overhead_pct", Json::Num(*pct)),
+        ])
+    };
+
+    let j = Json::obj(vec![
+        ("bench", Json::Str("BENCH_PR5".into())),
+        ("scale", Json::Num(scale)),
+        ("samples_per_arm", Json::UInt(n as u64)),
+        ("executors", Json::UInt(u64::from(executors))),
+        ("fault_plan", plan_json.clone()),
+        (
+            "arms",
+            Json::Arr(rows.iter().map(|r| fault_row_json(r, false)).collect()),
+        ),
+        (
+            "recovery_overhead",
+            Json::Arr(overheads.iter().map(overhead_json).collect()),
+        ),
+        ("results_identical", Json::Bool(true)),
+        ("host_thread_invariant", Json::Bool(true)),
+    ]);
+    let out = std::env::var("PERFSUITE_OUT").unwrap_or_else(|_| "BENCH_PR5.json".into());
+    std::fs::write(&out, j.to_pretty() + "\n").expect("write fault-suite json");
+    println!("wrote {out}");
+
+    let sim = Json::obj(vec![
+        ("bench", Json::Str("BENCH_PR5.sim".into())),
+        ("scale", Json::Num(scale)),
+        ("executors", Json::UInt(u64::from(executors))),
+        ("fault_plan", plan_json),
+        (
+            "arms",
+            Json::Arr(rows.iter().map(|r| fault_row_json(r, true)).collect()),
+        ),
+        (
+            "recovery_overhead",
+            Json::Arr(overheads.iter().map(overhead_json).collect()),
+        ),
+        ("results_identical", Json::Bool(true)),
+        ("host_thread_invariant", Json::Bool(true)),
+    ]);
+    let sim_out = format!("{out}.sim");
+    std::fs::write(&sim_out, sim.to_pretty() + "\n").expect("write sim-side json");
+    println!("wrote {sim_out}");
+}
+
 fn main() {
     let cli = Cli::parse();
     let n = samples(&cli);
     let scale = scale_with(&cli);
+    if let Some(seed) = cli.faults {
+        println!("perfsuite --faults: {n} samples/arm, scale {scale}");
+        run_fault_suite(seed, &cli, n, scale);
+        if let Some(path) = &cli.trace {
+            write_trace(path);
+        }
+        return;
+    }
     println!("perfsuite: {n} samples/arm, scale {scale}");
     println!(
         "{:<6} | {:>12} {:>12} {:>9} | {:>12} sim-identical",

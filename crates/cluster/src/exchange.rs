@@ -18,8 +18,27 @@
 //! the remaining executors can run and complete the collective. This
 //! makes `host_threads = 1` a true serialization of the same computation
 //! — used by the determinism checks — without changing any value.
+//!
+//! # Poisoning
+//!
+//! A gather can only complete if every executor eventually arrives. When
+//! one of them dies instead — a panic in an executor thread, or an
+//! injected crash the driver chooses not to recover — every peer blocked
+//! in a `Condvar` wait would deadlock forever. [`Exchange::poison`]
+//! prevents that: it records the failure, floods the permit pool (permit
+//! accounting is meaningless once the run is lost), and wakes every
+//! waiter; every blocked or future rendezvous call then returns the same
+//! typed [`ClusterError`] instead of a result.
+//!
+//! # Replay
+//!
+//! All three collectives are idempotent: completed results — including
+//! statement barriers — are cached for the lifetime of the run, so a
+//! restarted executor replaying the program from the top re-reads every
+//! rendezvous it had already completed without blocking and without
+//! re-depositing, then deposits live once it passes the crash point.
 
-use sparklet::{ActionContrib, ExchangeClient, ShuffleContrib};
+use sparklet::{ActionContrib, ClusterError, ExchangeClient, ShuffleContrib};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, Condvar, Mutex};
@@ -29,7 +48,8 @@ struct Slot<T> {
     /// Per-executor deposits: `(contribution, clock at deposit)`.
     contribs: Vec<Option<(T, f64)>>,
     /// Finalized result, kept for idempotent re-requests (an executor
-    /// that evicted and recomputed a shuffled RDD gathers it again).
+    /// that evicted and recomputed a shuffled RDD gathers it again, and a
+    /// restarted executor replays every completed gather).
     result: Option<(Arc<Vec<T>>, f64)>,
 }
 
@@ -42,18 +62,19 @@ impl<T> Slot<T> {
     }
 }
 
-/// One statement barrier in flight. Unlike shuffles, barriers are never
-/// re-requested (the barrier index is monotone per executor), so the slot
-/// is reclaimed once every executor has observed the result.
+/// One statement barrier, in flight or completed. Completed barrier times
+/// are cached for the whole run (a `u64` and an `f64` per statement) so a
+/// restarted executor can replay through them.
 struct BarrierSlot {
     clocks: Vec<Option<f64>>,
     result: Option<f64>,
-    served: usize,
 }
 
 struct ExState {
     /// Host-thread run permits currently available.
     permits_free: usize,
+    /// First failure, if the exchange has been poisoned.
+    poisoned: Option<ClusterError>,
     /// Shuffle gathers keyed by the shuffled RDD's id.
     shuffles: HashMap<u32, Slot<ShuffleContrib>>,
     /// Action gathers keyed by the action sequence number.
@@ -89,6 +110,7 @@ impl Exchange {
             n_exec: n,
             state: Mutex::new(ExState {
                 permits_free: host_threads.clamp(1, n),
+                poisoned: None,
                 shuffles: HashMap::new(),
                 actions: HashMap::new(),
                 barriers: HashMap::new(),
@@ -97,21 +119,55 @@ impl Exchange {
         })
     }
 
-    /// Block until a run permit is free and take it. Called by each
-    /// executor thread before it starts computing.
-    pub fn acquire_permit(&self) {
+    /// Poison the exchange: record `err` as the run's failure (first
+    /// poisoner wins), flood the permit pool so no waiter can starve, and
+    /// wake everyone. Every executor blocked in — or later entering — a
+    /// collective observes the recorded error instead of deadlocking.
+    pub fn poison(&self, err: ClusterError) {
         let mut st = self.state.lock().expect("exchange lock poisoned");
-        while st.permits_free == 0 {
+        if st.poisoned.is_none() {
+            st.poisoned = Some(err);
+        }
+        // Permit accounting is moot once the run is lost; flooding the
+        // pool guarantees every wait loop's exit condition can fire.
+        st.permits_free = self.n_exec;
+        self.cv.notify_all();
+    }
+
+    /// The failure the exchange was poisoned with, if any.
+    pub fn poison_cause(&self) -> Option<ClusterError> {
+        self.state
+            .lock()
+            .expect("exchange lock poisoned")
+            .poisoned
+            .clone()
+    }
+
+    /// Block until a run permit is free and take it. Called by each
+    /// executor thread before it starts computing. Fails instead of
+    /// blocking if the exchange is poisoned.
+    pub fn acquire_permit(&self) -> Result<(), ClusterError> {
+        let mut st = self.state.lock().expect("exchange lock poisoned");
+        loop {
+            if let Some(err) = &st.poisoned {
+                return Err(err.clone());
+            }
+            if st.permits_free > 0 {
+                st.permits_free -= 1;
+                return Ok(());
+            }
             st = self.cv.wait(st).expect("exchange lock poisoned");
         }
-        st.permits_free -= 1;
     }
 
     /// Return a run permit to the pool. Called by each executor thread
-    /// after its run completes.
+    /// after its run completes (normally or by unwinding).
     pub fn release_permit(&self) {
         let mut st = self.state.lock().expect("exchange lock poisoned");
-        st.permits_free += 1;
+        // After poisoning the pool is pinned full; don't grow it further.
+        if st.poisoned.is_none() {
+            st.permits_free += 1;
+        }
         self.cv.notify_all();
     }
 
@@ -130,15 +186,18 @@ impl Exchange {
         exec: u16,
         contrib: T,
         clock_ns: f64,
-    ) -> (Arc<Vec<T>>, f64)
+    ) -> Result<(Arc<Vec<T>>, f64), ClusterError>
     where
         K: Eq + Hash + Copy,
     {
         let mut st = self.state.lock().expect("exchange lock poisoned");
+        if let Some(err) = &st.poisoned {
+            return Err(err.clone());
+        }
         let n = self.n_exec;
         let slot = select(&mut st).entry(key).or_insert_with(|| Slot::new(n));
         if let Some((res, t_bar)) = &slot.result {
-            return (Arc::clone(res), *t_bar);
+            return Ok((Arc::clone(res), *t_bar));
         }
         assert!(
             slot.contribs[usize::from(exec)].is_none(),
@@ -156,7 +215,7 @@ impl Exchange {
             let res = Arc::new(items);
             slot.result = Some((Arc::clone(&res), t_bar));
             self.cv.notify_all();
-            return (res, t_bar);
+            return Ok((res, t_bar));
         }
         // Not complete yet: hand the permit back so peers can run even
         // under a single-permit host budget, and wait for the result.
@@ -164,13 +223,16 @@ impl Exchange {
         self.cv.notify_all();
         loop {
             st = self.cv.wait(st).expect("exchange lock poisoned");
+            if let Some(err) = &st.poisoned {
+                return Err(err.clone());
+            }
             let ready = select(&mut st)
                 .get(&key)
                 .and_then(|s| s.result.as_ref().map(|(r, t)| (Arc::clone(r), *t)));
             if let Some(res) = ready {
                 if st.permits_free > 0 {
                     st.permits_free -= 1;
-                    return res;
+                    return Ok(res);
                 }
             }
         }
@@ -184,7 +246,7 @@ impl ExchangeClient for Exchange {
         rdd: u32,
         contrib: ShuffleContrib,
         clock_ns: f64,
-    ) -> (Arc<Vec<ShuffleContrib>>, f64) {
+    ) -> Result<(Arc<Vec<ShuffleContrib>>, f64), ClusterError> {
         self.gather(|st| &mut st.shuffles, rdd, exec, contrib, clock_ns)
     }
 
@@ -194,21 +256,27 @@ impl ExchangeClient for Exchange {
         seq: u64,
         contrib: ActionContrib,
         clock_ns: f64,
-    ) -> (Arc<Vec<ActionContrib>>, f64) {
+    ) -> Result<(Arc<Vec<ActionContrib>>, f64), ClusterError> {
         self.gather(|st| &mut st.actions, seq, exec, contrib, clock_ns)
     }
 
-    fn barrier(&self, exec: u16, index: u64, clock_ns: f64) -> f64 {
+    fn barrier(&self, exec: u16, index: u64, clock_ns: f64) -> Result<f64, ClusterError> {
         let mut st = self.state.lock().expect("exchange lock poisoned");
+        if let Some(err) = &st.poisoned {
+            return Err(err.clone());
+        }
         let n = self.n_exec;
         let slot = st.barriers.entry(index).or_insert_with(|| BarrierSlot {
             clocks: vec![None; n],
             result: None,
-            served: 0,
         });
+        if let Some(t_bar) = slot.result {
+            // A replaying executor re-traversing a completed barrier.
+            return Ok(t_bar);
+        }
         assert!(
-            slot.clocks[usize::from(exec)].is_none() && slot.result.is_none(),
-            "executor {exec} re-entered barrier {index}"
+            slot.clocks[usize::from(exec)].is_none(),
+            "executor {exec} re-entered live barrier {index}"
         );
         slot.clocks[usize::from(exec)] = Some(clock_ns);
         if slot.clocks.iter().all(Option::is_some) {
@@ -218,29 +286,87 @@ impl ExchangeClient for Exchange {
                 .map(|c| c.expect("checked all clocks present"))
                 .fold(f64::NEG_INFINITY, f64::max);
             slot.result = Some(t_bar);
-            slot.served = 1;
-            if slot.served == n {
-                st.barriers.remove(&index);
-            }
             self.cv.notify_all();
-            return t_bar;
+            return Ok(t_bar);
         }
         st.permits_free += 1;
         self.cv.notify_all();
         loop {
             st = self.cv.wait(st).expect("exchange lock poisoned");
+            if let Some(err) = &st.poisoned {
+                return Err(err.clone());
+            }
             let ready = st.barriers.get(&index).and_then(|s| s.result);
             if let Some(t_bar) = ready {
                 if st.permits_free > 0 {
                     st.permits_free -= 1;
-                    let slot = st.barriers.get_mut(&index).expect("barrier slot live");
-                    slot.served += 1;
-                    if slot.served == n {
-                        st.barriers.remove(&index);
-                    }
-                    return t_bar;
+                    return Ok(t_bar);
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The PR 5 bugfix, distilled: a peer that dies instead of arriving
+    /// must not strand waiters in the condvar forever. Poisoning wakes
+    /// the blocked executor with a typed error.
+    #[test]
+    fn poison_wakes_blocked_barrier_waiter() {
+        let ex = Exchange::new(2, 2);
+        let ex2 = Arc::clone(&ex);
+        ex.acquire_permit().unwrap();
+        let waiter = std::thread::spawn(move || ex2.barrier(0, 0, 1.0));
+        // Give the waiter time to deposit and block, then poison instead
+        // of arriving as executor 1.
+        while ex.state.lock().unwrap().barriers.is_empty() {
+            std::thread::yield_now();
+        }
+        ex.poison(ClusterError::Poisoned {
+            exec: 1,
+            reason: "synthetic failure".into(),
+        });
+        let got = waiter.join().expect("waiter must not deadlock or panic");
+        assert_eq!(
+            got,
+            Err(ClusterError::Poisoned {
+                exec: 1,
+                reason: "synthetic failure".into(),
+            })
+        );
+    }
+
+    /// Every rendezvous entered after poisoning fails fast, too.
+    #[test]
+    fn poisoned_exchange_rejects_new_collectives() {
+        let ex = Exchange::new(2, 2);
+        ex.poison(ClusterError::Poisoned {
+            exec: 0,
+            reason: "gone".into(),
+        });
+        assert!(ex.barrier(1, 7, 0.0).is_err());
+        assert!(ex
+            .gather_action(1, 0, ActionContrib::Count(1), 0.0)
+            .is_err());
+        assert!(ex.acquire_permit().is_err());
+        assert!(ex.poison_cause().is_some());
+    }
+
+    /// Completed barriers are cached: a replaying executor re-traverses
+    /// them without blocking and without double-deposit panics.
+    #[test]
+    fn completed_barriers_serve_replays_from_cache() {
+        let ex = Exchange::new(2, 2);
+        let ex2 = Arc::clone(&ex);
+        let peer = std::thread::spawn(move || ex2.barrier(1, 0, 5.0).unwrap());
+        ex.acquire_permit().unwrap();
+        let t0 = ex.barrier(0, 0, 3.0).unwrap();
+        assert_eq!(peer.join().unwrap(), 5.0);
+        assert_eq!(t0, 5.0);
+        // Replay: same executor, same barrier — served, not deposited.
+        assert_eq!(ex.barrier(0, 0, 99.0).unwrap(), 5.0);
     }
 }

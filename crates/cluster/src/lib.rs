@@ -21,21 +21,45 @@
 //! regardless of how many host threads actually run (`host_threads` only
 //! rations permits) — and an `E = 1` cluster matches the classic
 //! single-runtime run record for record.
+//!
+//! # Fault tolerance
+//!
+//! [`run_cluster_faulted`] runs the same cluster under a deterministic
+//! [`FaultPlan`] (DESIGN.md §9). Injected executor crashes unwind the
+//! executor's thread at a statement barrier; the driver restarts it with
+//! a fresh [`panthera::PantheraRuntime`] whose clock resumes at the
+//! crash time plus a restart penalty, and the new incarnation replays
+//! the program from the top — re-reading completed collectives from the
+//! exchange cache, recomputing lost partitions through lineage (or
+//! restoring them from the NVM checkpoint store, under
+//! `RecoveryPolicy::CheckpointEvery`). Genuine panics and unrecovered
+//! crashes poison the exchange instead, so surviving executors unwind
+//! with a typed [`sparklet::ClusterError`] rather than deadlocking.
 
 mod exchange;
+mod faults;
 
 pub use exchange::Exchange;
+pub use faults::FaultedExchange;
+pub use panthera_recovery::{
+    AllocFaultPoint, CrashPoint, FaultPlan, FaultSpec, GatherKind, LossPoint, NvmCheckpointStore,
+};
 
 use hybridmem::DeviceSpec;
 use mheap::{Payload, WirePayload};
 use obs::{Event, EventSink, Observer};
-use panthera::{ConfigError, MemoryMode, PantheraRuntime, RunReport, SystemConfig};
+use panthera::{
+    ConfigError, MemoryMode, PantheraRuntime, RecoveryPolicy, RecoveryStats, RunReport,
+    SystemConfig,
+};
 use panthera_analysis::{analyze, InstrumentationPlan};
 use sparklang::{FnTable, Program};
 use sparklet::{
-    ActionResult, ClusterCtx, DataRegistry, Engine, EngineConfig, ExchangeClient, MemoryRuntime,
+    ActionResult, CheckpointStore, ClusterCtx, ClusterError, DataRegistry, Engine, EngineConfig,
+    ExchangeClient, MemoryRuntime, RecoveryCtx, RecoveryMark, RecoverySlot,
 };
 use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -101,6 +125,7 @@ struct CfgSeed {
     nvm_spec: Option<DeviceSpec>,
     seed: u64,
     verify_heap: bool,
+    recovery: RecoveryPolicy,
 }
 
 impl CfgSeed {
@@ -119,6 +144,7 @@ impl CfgSeed {
             nvm_spec: c.nvm_spec.clone(),
             seed: c.seed,
             verify_heap: c.verify_heap,
+            recovery: c.recovery,
         }
     }
 
@@ -134,6 +160,7 @@ impl CfgSeed {
         cfg.nvm_spec = self.nvm_spec.clone();
         cfg.seed = self.seed;
         cfg.verify_heap = self.verify_heap;
+        cfg.recovery = self.recovery;
         cfg.observer = observer;
         cfg.executors = 1; // each executor is one classic single-JVM runtime
         cfg
@@ -150,6 +177,43 @@ struct BufSink {
 impl EventSink for BufSink {
     fn on_event(&mut self, t_ns: f64, event: &Event) {
         self.events.push((t_ns, event.clone()));
+    }
+}
+
+/// Why an executor thread finished without a result.
+enum SlotFailure {
+    /// An injected crash fired and the plan disables recovery.
+    Crashed { exec: u16, barrier: u64 },
+    /// A genuine (unplanned) panic unwound the executor.
+    Panicked { exec: u16, reason: String },
+    /// The executor was unwound by a peer's failure via the poisoned
+    /// exchange; the originating failure is reported by that peer.
+    PoisonedPeer,
+}
+
+/// Install (once, process-wide) a panic hook that silences the *expected*
+/// unwinds — panics whose payload is a [`ClusterError`], used to tear an
+/// executor out of a blocked collective — while delegating every genuine
+/// panic to the previous hook, message and backtrace intact.
+fn install_quiet_unwind_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ClusterError>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -187,12 +251,52 @@ pub fn run_cluster<F>(
 where
     F: Fn() -> (Program, FnTable, DataRegistry) + Sync,
 {
+    run_cluster_faulted(
+        build,
+        config,
+        engine_config,
+        host_threads,
+        &FaultPlan::none(),
+    )
+}
+
+/// [`run_cluster`] under a deterministic [`FaultPlan`]: injected executor
+/// crashes, exchange message losses, and transient allocation failures,
+/// all keyed to simulation structure (DESIGN.md §9).
+///
+/// With `plan.recover` set (the default), crashed executors are restarted
+/// in place and the run completes with results bit-identical to a
+/// fault-free run — lost partitions are recomputed through lineage or
+/// restored from NVM checkpoints per `config.recovery`. With recovery
+/// disabled, the first crash poisons the exchange and the run returns an
+/// error once every executor has unwound.
+///
+/// # Errors
+///
+/// The first violated configuration constraint, an ill-formed program, or
+/// an injected crash with recovery disabled.
+///
+/// # Panics
+///
+/// Same conditions as [`run_cluster`]: a genuine executor panic (heap
+/// exhaustion, nondeterministic `build`) is re-raised on the driver with
+/// the executor's panic message.
+pub fn run_cluster_faulted<F>(
+    build: F,
+    config: &SystemConfig,
+    engine_config: EngineConfig,
+    host_threads: usize,
+    plan: &FaultPlan,
+) -> Result<ClusterOutcome, ConfigError>
+where
+    F: Fn() -> (Program, FnTable, DataRegistry) + Sync,
+{
     config.validate()?;
     let n_exec = config.executors;
     let (program, _, _) = build();
     sparklang::validate(&program)
         .map_err(|e| ConfigError::new(format!("ill-formed program {:?}: {e}", program.name)))?;
-    let plan = if config.mode.is_semantic() {
+    let instr_plan = if config.mode.is_semantic() {
         analyze(&program).plan
     } else {
         InstrumentationPlan::default()
@@ -202,79 +306,262 @@ where
     // inside a worker thread.
     PantheraRuntime::new(&seed.rebuild(Observer::disabled())).map_err(ConfigError::new)?;
     let observe = config.observer.enabled();
+    let checkpoint_every = match config.recovery {
+        RecoveryPolicy::Recompute => 0,
+        RecoveryPolicy::CheckpointEvery(n) => n,
+    };
+    install_quiet_unwind_hook();
+
     let exchange = Exchange::new(n_exec, host_threads);
+    let store = Arc::new(NvmCheckpointStore::new());
+    let slots: Vec<Arc<RecoverySlot>> =
+        (0..n_exec).map(|_| Arc::new(RecoverySlot::new())).collect();
+    let client: Arc<dyn ExchangeClient> = if plan.is_empty() {
+        Arc::clone(&exchange) as Arc<dyn ExchangeClient>
+    } else {
+        Arc::new(FaultedExchange::new(
+            Arc::clone(&exchange),
+            plan,
+            slots.clone(),
+        ))
+    };
+    let alloc_faults: Vec<Arc<Vec<u64>>> = (0..n_exec)
+        .map(|e| {
+            let mut v: Vec<u64> = plan
+                .alloc_faults
+                .iter()
+                .filter(|p| p.exec == e)
+                .map(|p| p.materialization)
+                .collect();
+            v.sort_unstable();
+            Arc::new(v)
+        })
+        .collect();
 
     type ExecYield = (RunReport, Vec<(String, WireResult)>, Vec<(f64, Event)>);
-    let mut per: Vec<ExecYield> = Vec::with_capacity(usize::from(n_exec));
+    let mut yields: Vec<ExecYield> = Vec::with_capacity(usize::from(n_exec));
+    let mut crashed: Option<(u16, u64)> = None;
+    let mut panicked: Option<(u16, String)> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(usize::from(n_exec));
         for exec in 0..n_exec {
             let build = &build;
-            let plan = &plan;
+            let instr_plan = &instr_plan;
             let seed = &seed;
             let engine_config = &engine_config;
             let exchange = Arc::clone(&exchange);
-            handles.push(scope.spawn(move || -> ExecYield {
-                exchange.acquire_permit();
-                let (program, fns, data) = build();
-                let sink = observe.then(|| Rc::new(RefCell::new(BufSink { events: Vec::new() })));
-                let cfg = seed.rebuild(match &sink {
-                    Some(s) => Observer::with_sink(s.clone()),
-                    None => Observer::disabled(),
-                });
-                let runtime =
-                    PantheraRuntime::new(&cfg).unwrap_or_else(|e| panic!("executor {exec}: {e}"));
-                let ctx = ClusterCtx {
-                    exec,
-                    n_exec,
-                    exchange: Arc::clone(&exchange) as Arc<dyn ExchangeClient>,
-                };
-                let mut engine =
-                    Engine::with_cluster(runtime, fns, data, engine_config.clone(), ctx);
-                let outcome = engine.run(&program, plan);
-                let monitored = engine.runtime().monitored_calls();
-                let report = RunReport::collect(
-                    &program.name,
-                    cfg.mode.label(),
-                    engine.runtime().heap(),
-                    engine.runtime().gc(),
-                    outcome.stats,
-                    monitored,
-                );
-                let results = outcome
-                    .results
-                    .iter()
-                    .map(|(name, r)| (name.clone(), to_wire(r)))
-                    .collect();
-                let events = sink
-                    .map(|s| std::mem::take(&mut s.borrow_mut().events))
-                    .unwrap_or_default();
-                exchange.release_permit();
-                (report, results, events)
+            let client = Arc::clone(&client);
+            let store = Arc::clone(&store);
+            let slot = Arc::clone(&slots[usize::from(exec)]);
+            let my_faults = Arc::clone(&alloc_faults[usize::from(exec)]);
+            handles.push(scope.spawn(move || -> Result<ExecYield, SlotFailure> {
+                // The executor's restart loop: one iteration per heap
+                // incarnation, all in this same OS thread. An injected
+                // crash unwinds the attempt; with recovery on, the next
+                // iteration replays the program against a fresh runtime.
+                loop {
+                    if exchange.acquire_permit().is_err() {
+                        return Err(SlotFailure::PoisonedPeer);
+                    }
+                    let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| -> ExecYield {
+                        let (program, fns, data) = build();
+                        let sink =
+                            observe.then(|| Rc::new(RefCell::new(BufSink { events: Vec::new() })));
+                        let cfg = seed.rebuild(match &sink {
+                            Some(s) => Observer::with_sink(s.clone()),
+                            None => Observer::disabled(),
+                        });
+                        let mut runtime = PantheraRuntime::new(&cfg)
+                            .unwrap_or_else(|e| panic!("executor {exec}: {e}"));
+                        let (n_attempt, resume_ns, marks) = slot.with(|c| {
+                            (
+                                c.attempt,
+                                c.recovery_started_ns + plan.restart_penalty_ns,
+                                c.marks.clone(),
+                            )
+                        });
+                        if n_attempt > 0 {
+                            // Restarts don't rewind time: the fresh heap's
+                            // clock resumes at the crash instant plus the
+                            // executor bring-up penalty, so every replayed
+                            // stage — and the barrier times the survivors
+                            // observe — carries the recovery cost.
+                            runtime.heap_mut().mem_mut().compute(resume_ns);
+                        }
+                        if let Some(s) = &sink {
+                            // Crashed incarnations took their event buffers
+                            // with them; re-synthesize the crash/recovery
+                            // timeline from the marks (already time-ordered
+                            // — each executor's virtual clock is monotone).
+                            let mut s = s.borrow_mut();
+                            for (t, mark) in &marks {
+                                let event = match mark {
+                                    RecoveryMark::Crash { barrier } => {
+                                        Event::ExecutorCrash { barrier: *barrier }
+                                    }
+                                    RecoveryMark::Start { attempt } => {
+                                        Event::RecoveryStart { attempt: *attempt }
+                                    }
+                                    RecoveryMark::End {
+                                        barrier,
+                                        recovery_ns,
+                                    } => Event::RecoveryEnd {
+                                        barrier: *barrier,
+                                        recovery_ns: *recovery_ns,
+                                    },
+                                };
+                                s.on_event(*t, &event);
+                            }
+                        }
+                        let ctx = ClusterCtx {
+                            exec,
+                            n_exec,
+                            exchange: Arc::clone(&client),
+                            recovery: Some(RecoveryCtx {
+                                store: Arc::clone(&store) as Arc<dyn CheckpointStore>,
+                                checkpoint_every,
+                                slot: Arc::clone(&slot),
+                                alloc_faults: Arc::clone(&my_faults),
+                                alloc_retry_ns: plan.alloc_retry_ns,
+                            }),
+                        };
+                        let mut engine =
+                            Engine::with_cluster(runtime, fns, data, engine_config.clone(), ctx);
+                        let outcome = engine.run(&program, instr_plan);
+                        let monitored = engine.runtime().monitored_calls();
+                        let mut report = RunReport::collect(
+                            &program.name,
+                            cfg.mode.label(),
+                            engine.runtime().heap(),
+                            engine.runtime().gc(),
+                            outcome.stats,
+                            monitored,
+                        );
+                        report.recovery = slot.with(|c| RecoveryStats {
+                            executor_crashes: c.executor_crashes,
+                            messages_lost: c.messages_lost,
+                            alloc_faults: c.alloc_faults,
+                            partitions_lost: c.partitions_lost,
+                            partitions_recomputed: c.partitions_recomputed,
+                            partitions_restored: c.partitions_restored,
+                            stages_recomputed: c.stages_recomputed,
+                            checkpoint_writes: c.checkpoint_writes,
+                            checkpoint_bytes: c.checkpoint_bytes,
+                            restore_bytes: c.restore_bytes,
+                            recovery_s: c.recovery_ns / 1e9,
+                        });
+                        let results = outcome
+                            .results
+                            .iter()
+                            .map(|(name, r)| (name.clone(), to_wire(r)))
+                            .collect();
+                        let events = sink
+                            .map(|s| std::mem::take(&mut s.borrow_mut().events))
+                            .unwrap_or_default();
+                        (report, results, events)
+                    }));
+                    exchange.release_permit();
+                    let payload = match attempt {
+                        Ok(y) => return Ok(y),
+                        Err(payload) => payload,
+                    };
+                    match payload.downcast::<ClusterError>() {
+                        Ok(err) => match *err {
+                            ClusterError::InjectedCrash { barrier, at_ns, .. } if plan.recover => {
+                                slot.with(|c| {
+                                    c.executor_crashes += 1;
+                                    c.partitions_lost += c.live_partitions;
+                                    c.live_partitions = 0;
+                                    c.replay_until = Some(barrier);
+                                    c.in_replay = true;
+                                    c.recovery_started_ns = at_ns;
+                                    c.attempt += 1;
+                                    let attempt = c.attempt;
+                                    c.marks.push((at_ns, RecoveryMark::Crash { barrier }));
+                                    c.marks.push((
+                                        at_ns + plan.restart_penalty_ns,
+                                        RecoveryMark::Start { attempt },
+                                    ));
+                                });
+                                // Restart: next loop iteration replays.
+                            }
+                            ClusterError::InjectedCrash { exec, barrier, .. } => {
+                                exchange.poison(ClusterError::Poisoned {
+                                    exec,
+                                    reason: format!(
+                                        "injected crash at barrier {barrier}, recovery disabled"
+                                    ),
+                                });
+                                return Err(SlotFailure::Crashed { exec, barrier });
+                            }
+                            ClusterError::Poisoned { .. } => {
+                                return Err(SlotFailure::PoisonedPeer);
+                            }
+                        },
+                        Err(payload) => {
+                            let reason = panic_reason(payload.as_ref());
+                            exchange.poison(ClusterError::Poisoned {
+                                exec,
+                                reason: reason.clone(),
+                            });
+                            return Err(SlotFailure::Panicked { exec, reason });
+                        }
+                    }
+                }
             }));
         }
         for h in handles {
-            per.push(h.join().expect("executor thread panicked"));
+            match h
+                .join()
+                .expect("executor thread panicked outside the attempt guard")
+            {
+                Ok(y) => yields.push(y),
+                Err(SlotFailure::Crashed { exec, barrier }) => {
+                    if crashed.is_none() {
+                        crashed = Some((exec, barrier));
+                    }
+                }
+                Err(SlotFailure::Panicked { exec, reason }) => {
+                    if panicked.is_none() {
+                        panicked = Some((exec, reason));
+                    }
+                }
+                Err(SlotFailure::PoisonedPeer) => {}
+            }
         }
     });
 
-    for (exec, (_, results, _)) in per.iter().enumerate().skip(1) {
+    if let Some((exec, reason)) = panicked {
+        panic!("executor {exec} panicked: {reason}");
+    }
+    if let Some((exec, barrier)) = crashed {
+        return Err(ConfigError::new(format!(
+            "executor {exec} crashed at barrier {barrier} and recovery is disabled"
+        )));
+    }
+    assert_eq!(
+        yields.len(),
+        usize::from(n_exec),
+        "cluster run lost executors without a recorded failure"
+    );
+
+    for (exec, (_, results, _)) in yields.iter().enumerate().skip(1) {
         assert_eq!(
-            results, &per[0].1,
+            results, &yields[0].1,
             "executor {exec} computed action results diverging from executor 0 — \
              is the `build` closure deterministic?"
         );
     }
     if observe {
-        for (exec, (_, _, events)) in per.iter().enumerate() {
+        for (exec, (_, _, events)) in yields.iter().enumerate() {
             for (t_ns, event) in events {
                 config.observer.emit_from(*t_ns, exec as u16, event);
             }
         }
     }
-    let per_executor: Vec<RunReport> = per.iter().map(|p| p.0.clone()).collect();
+    let per_executor: Vec<RunReport> = yields.iter().map(|p| p.0.clone()).collect();
     let report = RunReport::aggregate(&per_executor);
-    let results = per[0]
+    let results = yields[0]
         .1
         .iter()
         .map(|(name, r)| (name.clone(), from_wire(r)))

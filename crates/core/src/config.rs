@@ -111,6 +111,27 @@ pub struct SystemConfig {
     /// driver, which the single-runtime entry points report as a
     /// [`ConfigError`].
     pub executors: u16,
+    /// How the cluster driver recovers a crashed executor's partitions
+    /// (DESIGN.md §9). Ignored by single-runtime entry points.
+    pub recovery: RecoveryPolicy,
+}
+
+/// How lost RDD partitions are rebuilt after an executor crash.
+///
+/// Either way recovery is deterministic: a replacement executor replays
+/// the driver program against the surviving exchange state; the policy
+/// only decides how much of the lineage the replay must re-execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Pure lineage: recompute every lost partition from its sources
+    /// (Spark's default story — cheap in fault-free runs, the full
+    /// lineage depth when a crash hits).
+    Recompute,
+    /// Snapshot every `n`-th shuffle (plus every explicitly
+    /// `checkpoint()`-marked RDD) into durable NVM storage, bounding
+    /// replay recomputation to fewer than `n` shuffle stages at the cost
+    /// of charged NVM checkpoint writes. `n` must be at least 1.
+    CheckpointEvery(u32),
 }
 
 impl SystemConfig {
@@ -132,6 +153,7 @@ impl SystemConfig {
             observer: obs::Observer::disabled(),
             verify_heap: gc::verify_env_enabled(),
             executors: 1,
+            recovery: RecoveryPolicy::Recompute,
         }
     }
 
@@ -226,6 +248,11 @@ impl SystemConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.executors == 0 {
             return Err(ConfigError::new("executors must be at least 1"));
+        }
+        if self.recovery == RecoveryPolicy::CheckpointEvery(0) {
+            return Err(ConfigError::new(
+                "recovery: CheckpointEvery interval must be at least 1",
+            ));
         }
         self.heap_config().validate().map_err(ConfigError::new)
     }

@@ -58,9 +58,9 @@ mod runtime;
 mod simulate;
 
 pub use builder::Simulation;
-pub use config::{ConfigError, SystemConfig, SIM_GB, STATIC_POWER_TIMEBASE_SCALE};
+pub use config::{ConfigError, RecoveryPolicy, SystemConfig, SIM_GB, STATIC_POWER_TIMEBASE_SCALE};
 pub use mode::MemoryMode;
-pub use report::RunReport;
+pub use report::{RecoveryStats, RunReport};
 pub use runtime::{to_mem_tag, PantheraRuntime};
 pub use simulate::{
     run_workload, run_workload_with_engine, try_run_workload, try_run_workload_with_engine,

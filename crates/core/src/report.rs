@@ -5,6 +5,59 @@ use hybridmem::{AccessKind, DeviceKind, EnergyBreakdown, MemoryStats, Phase, Tra
 use mheap::HeapStats;
 use sparklet::ExecStats;
 
+/// Fault-tolerance counters for one run (or one executor of a cluster
+/// run): what was injected, what was lost, and what recovery cost in
+/// virtual time and NVM traffic. All zeros in a fault-free run without
+/// checkpointing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Injected executor crashes that fired.
+    pub executor_crashes: u64,
+    /// Injected exchange message losses (charged as retransmit latency).
+    pub messages_lost: u64,
+    /// Injected transient allocation failures (charged as retries).
+    pub alloc_faults: u64,
+    /// Materialized partitions lost when an executor's heap died.
+    pub partitions_lost: u64,
+    /// Partitions rebuilt by lineage recomputation during replay.
+    pub partitions_recomputed: u64,
+    /// Partitions restored from NVM checkpoints instead of recomputed.
+    pub partitions_restored: u64,
+    /// Shuffle stages re-executed during replay.
+    pub stages_recomputed: u64,
+    /// Checkpoint snapshots written to the durable NVM store.
+    pub checkpoint_writes: u64,
+    /// Modelled bytes written to NVM checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Modelled bytes read back from NVM checkpoints.
+    pub restore_bytes: u64,
+    /// Virtual time spent recovering (crash → replay caught up), seconds.
+    pub recovery_s: f64,
+}
+
+impl RecoveryStats {
+    /// Serialize as a JSON object (field order fixed).
+    pub fn to_json(&self) -> obs::Json {
+        use obs::Json;
+        Json::obj(vec![
+            ("executor_crashes", Json::UInt(self.executor_crashes)),
+            ("messages_lost", Json::UInt(self.messages_lost)),
+            ("alloc_faults", Json::UInt(self.alloc_faults)),
+            ("partitions_lost", Json::UInt(self.partitions_lost)),
+            (
+                "partitions_recomputed",
+                Json::UInt(self.partitions_recomputed),
+            ),
+            ("partitions_restored", Json::UInt(self.partitions_restored)),
+            ("stages_recomputed", Json::UInt(self.stages_recomputed)),
+            ("checkpoint_writes", Json::UInt(self.checkpoint_writes)),
+            ("checkpoint_bytes", Json::UInt(self.checkpoint_bytes)),
+            ("restore_bytes", Json::UInt(self.restore_bytes)),
+            ("recovery_s", Json::Num(self.recovery_s)),
+        ])
+    }
+}
+
 /// Everything measured in one run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -40,6 +93,9 @@ pub struct RunReport {
     pub minor_pauses: PauseStats,
     /// Individual major-pause durations.
     pub major_pauses: PauseStats,
+    /// Fault-injection and recovery counters (all zero when no faults
+    /// were injected and no checkpoints taken).
+    pub recovery: RecoveryStats,
 }
 
 impl RunReport {
@@ -118,6 +174,7 @@ impl RunReport {
             mem: mem.stats().clone(),
             minor_pauses: gc.minor_pauses().clone(),
             major_pauses: gc.major_pauses().clone(),
+            recovery: RecoveryStats::default(),
         }
     }
 
@@ -178,6 +235,17 @@ impl RunReport {
             agg.mem.merge(&r.mem);
             agg.minor_pauses.merge(&r.minor_pauses);
             agg.major_pauses.merge(&r.major_pauses);
+            agg.recovery.executor_crashes += r.recovery.executor_crashes;
+            agg.recovery.messages_lost += r.recovery.messages_lost;
+            agg.recovery.alloc_faults += r.recovery.alloc_faults;
+            agg.recovery.partitions_lost += r.recovery.partitions_lost;
+            agg.recovery.partitions_recomputed += r.recovery.partitions_recomputed;
+            agg.recovery.partitions_restored += r.recovery.partitions_restored;
+            agg.recovery.stages_recomputed += r.recovery.stages_recomputed;
+            agg.recovery.checkpoint_writes += r.recovery.checkpoint_writes;
+            agg.recovery.checkpoint_bytes += r.recovery.checkpoint_bytes;
+            agg.recovery.restore_bytes += r.recovery.restore_bytes;
+            agg.recovery.recovery_s += r.recovery.recovery_s;
         }
         agg
     }
@@ -213,6 +281,7 @@ impl RunReport {
             ("monitored_calls", Json::UInt(self.monitored_calls)),
             ("dram_bytes", Json::UInt(self.device_bytes[0])),
             ("nvm_bytes", Json::UInt(self.device_bytes[1])),
+            ("recovery", self.recovery.to_json()),
             ("mem", self.mem.to_json()),
             ("minor_pauses", self.minor_pauses.to_json()),
             ("major_pauses", self.major_pauses.to_json()),
@@ -224,14 +293,16 @@ impl RunReport {
     pub fn csv_header() -> &'static str {
         "workload,mode,elapsed_s,mutator_s,minor_gc_s,major_gc_s,energy_j,\
 dram_static_j,nvm_static_j,dram_dynamic_j,nvm_dynamic_j,minor_gcs,major_gcs,\
-rdds_migrated,monitored_calls,dram_bytes,nvm_bytes,evictions,max_pause_ms"
+rdds_migrated,monitored_calls,dram_bytes,nvm_bytes,evictions,max_pause_ms,\
+crashes,parts_recomputed,parts_restored,checkpoint_bytes,recovery_s"
     }
 
     /// One comma-separated row of the report's headline numbers, for
     /// plotting pipelines.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{:.9},{:.9},{:.9},{:.9},{:.9},{:.9},{:.9},{:.9},{:.9},{},{},{},{},{},{},{},{:.6}",
+            "{},{},{:.9},{:.9},{:.9},{:.9},{:.9},{:.9},{:.9},{:.9},{:.9},{},{},{},{},{},{},{},{:.6},\
+             {},{},{},{},{:.9}",
             self.workload,
             self.mode,
             self.elapsed_s,
@@ -251,6 +322,11 @@ rdds_migrated,monitored_calls,dram_bytes,nvm_bytes,evictions,max_pause_ms"
             self.device_bytes[1],
             self.exec.evictions,
             self.max_pause_ms(),
+            self.recovery.executor_crashes,
+            self.recovery.partitions_recomputed,
+            self.recovery.partitions_restored,
+            self.recovery.checkpoint_bytes,
+            self.recovery.recovery_s,
         )
     }
 }
@@ -282,6 +358,7 @@ mod tests {
             mem: MemoryStats::new(),
             minor_pauses: PauseStats::default(),
             major_pauses: PauseStats::default(),
+            recovery: RecoveryStats::default(),
         }
     }
 

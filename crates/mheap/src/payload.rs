@@ -282,6 +282,25 @@ pub enum WirePayload {
     },
 }
 
+impl WirePayload {
+    /// Modelled storage footprint in bytes — identical, case for case, to
+    /// [`Payload::model_bytes`], so a wire-form snapshot (a checkpoint, a
+    /// shuffle contribution) costs exactly what the heap-resident record
+    /// would.
+    pub fn model_bytes(&self) -> u64 {
+        match self {
+            WirePayload::Unit => 0,
+            WirePayload::Long(_) | WirePayload::Double(_) => 8,
+            WirePayload::Text { len, .. } => 16 + *len as u64,
+            WirePayload::Pair(a, b) => 16 + a.model_bytes() + b.model_bytes(),
+            WirePayload::Longs(v) => 16 + 8 * v.len() as u64,
+            WirePayload::Doubles(v) => 16 + 8 * v.len() as u64,
+            WirePayload::List(v) => 16 + v.iter().map(WirePayload::model_bytes).sum::<u64>(),
+            WirePayload::Bytes { len } => 16 + len,
+        }
+    }
+}
+
 impl From<&Payload> for WirePayload {
     fn from(p: &Payload) -> WirePayload {
         match p {

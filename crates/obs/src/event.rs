@@ -167,6 +167,42 @@ pub enum Event {
         /// Full rendered violation, including object and space.
         detail: String,
     },
+    /// An executor crashed (an injected fault fired at a statement
+    /// barrier); its heap and un-checkpointed partitions are lost.
+    ExecutorCrash {
+        /// The statement barrier the crash fired at.
+        barrier: u64,
+    },
+    /// A replacement executor began replaying the program to recover the
+    /// crashed incarnation's partitions.
+    RecoveryStart {
+        /// 1-based restart attempt for this executor slot.
+        attempt: u32,
+    },
+    /// Replay re-reached the crash barrier: the executor has rejoined the
+    /// cluster with all of its partitions rebuilt.
+    RecoveryEnd {
+        /// The barrier index replay caught up to.
+        barrier: u64,
+        /// Virtual time spent recovering (crash → caught up).
+        recovery_ns: f64,
+    },
+    /// An RDD's local partitions were snapshotted to durable NVM
+    /// checkpoint storage (writes charged to the NVM device).
+    CheckpointWrite {
+        /// The checkpointed RDD instance.
+        rdd: u32,
+        /// Modelled snapshot bytes.
+        bytes: u64,
+    },
+    /// A materialization was served from a durable NVM checkpoint instead
+    /// of recomputing the RDD's lineage (reads charged to the NVM device).
+    CheckpointRestore {
+        /// The restored RDD instance.
+        rdd: u32,
+        /// Modelled snapshot bytes read back.
+        bytes: u64,
+    },
     /// A traffic-meter window closed (bandwidth watermark; Figure 8's
     /// series, live). Emitted when the first access of a *later* window
     /// arrives.
@@ -200,6 +236,11 @@ impl Event {
             Event::CardScan { .. } => "card_scan",
             Event::AllocFail { .. } => "alloc_fail",
             Event::VerifyFailure { .. } => "verify_failure",
+            Event::ExecutorCrash { .. } => "executor_crash",
+            Event::RecoveryStart { .. } => "recovery_start",
+            Event::RecoveryEnd { .. } => "recovery_end",
+            Event::CheckpointWrite { .. } => "checkpoint_write",
+            Event::CheckpointRestore { .. } => "checkpoint_restore",
             Event::TrafficWindow { .. } => "traffic_window",
         }
     }
@@ -282,6 +323,19 @@ impl Event {
                 put("point", Json::Str(point.clone()));
                 put("invariant", Json::Str(invariant.clone()));
                 put("detail", Json::Str(detail.clone()));
+            }
+            Event::ExecutorCrash { barrier } => put("barrier", Json::UInt(*barrier)),
+            Event::RecoveryStart { attempt } => put("attempt", Json::UInt(u64::from(*attempt))),
+            Event::RecoveryEnd {
+                barrier,
+                recovery_ns,
+            } => {
+                put("barrier", Json::UInt(*barrier));
+                put("recovery_ns", Json::Num(*recovery_ns));
+            }
+            Event::CheckpointWrite { rdd, bytes } | Event::CheckpointRestore { rdd, bytes } => {
+                put("rdd", Json::UInt(u64::from(*rdd)));
+                put("bytes", Json::UInt(*bytes));
             }
             Event::TrafficWindow {
                 window,
@@ -414,6 +468,24 @@ impl Event {
                     detail: s("detail")?,
                 }
             }
+            "executor_crash" => Event::ExecutorCrash {
+                barrier: u("barrier")?,
+            },
+            "recovery_start" => Event::RecoveryStart {
+                attempt: u("attempt")? as u32,
+            },
+            "recovery_end" => Event::RecoveryEnd {
+                barrier: u("barrier")?,
+                recovery_ns: f("recovery_ns")?,
+            },
+            "checkpoint_write" => Event::CheckpointWrite {
+                rdd: u("rdd")? as u32,
+                bytes: u("bytes")?,
+            },
+            "checkpoint_restore" => Event::CheckpointRestore {
+                rdd: u("rdd")? as u32,
+                bytes: u("bytes")?,
+            },
             "traffic_window" => Event::TrafficWindow {
                 window: u("window")?,
                 dram_read: u("dram_read")?,
@@ -479,6 +551,20 @@ mod tests {
                 point: "after_major".to_string(),
                 invariant: "card_coverage".to_string(),
                 detail: "obj#7 slot 3 on clean card".to_string(),
+            },
+            Event::ExecutorCrash { barrier: 9 },
+            Event::RecoveryStart { attempt: 1 },
+            Event::RecoveryEnd {
+                barrier: 9,
+                recovery_ns: 2.5e9,
+            },
+            Event::CheckpointWrite {
+                rdd: 11,
+                bytes: 8192,
+            },
+            Event::CheckpointRestore {
+                rdd: 11,
+                bytes: 8192,
             },
             Event::TrafficWindow {
                 window: 4,

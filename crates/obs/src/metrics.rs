@@ -215,6 +215,13 @@ pub struct MetricsAggregator {
     stuck_rescans: u64,
     alloc_fails: u64,
     verify_failures: u64,
+    executor_crashes: u64,
+    recoveries: u64,
+    recovery_ns: f64,
+    checkpoint_writes: u64,
+    checkpoint_write_bytes: u64,
+    checkpoint_restores: u64,
+    checkpoint_restore_bytes: u64,
     traffic_windows: u64,
     peak_window_bytes: u64,
     peak_window_nvm_write: u64,
@@ -387,6 +394,19 @@ impl MetricsAggregator {
         ));
         if self.verify_failures > 0 {
             out.push_str(&format!("VERIFY FAILURES: {}\n", self.verify_failures));
+        }
+        if self.executor_crashes > 0 || self.checkpoint_writes > 0 {
+            out.push_str(&format!(
+                "recovery: {} crashes, {} recoveries ({:.3} ms), \
+                 {} checkpoint writes ({} B), {} restores ({} B)\n",
+                self.executor_crashes,
+                self.recoveries,
+                self.recovery_ns * ms,
+                self.checkpoint_writes,
+                self.checkpoint_write_bytes,
+                self.checkpoint_restores,
+                self.checkpoint_restore_bytes
+            ));
         }
         out.push_str(&format!(
             "migration churn: {} to DRAM ({} B), {} to NVM ({} B)\n",
@@ -562,6 +582,20 @@ impl MetricsAggregator {
             }
             Event::AllocFail { .. } => self.alloc_fails += 1,
             Event::VerifyFailure { .. } => self.verify_failures += 1,
+            Event::ExecutorCrash { .. } => self.executor_crashes += 1,
+            Event::RecoveryStart { .. } => {}
+            Event::RecoveryEnd { recovery_ns, .. } => {
+                self.recoveries += 1;
+                self.recovery_ns += recovery_ns;
+            }
+            Event::CheckpointWrite { bytes, .. } => {
+                self.checkpoint_writes += 1;
+                self.checkpoint_write_bytes += bytes;
+            }
+            Event::CheckpointRestore { bytes, .. } => {
+                self.checkpoint_restores += 1;
+                self.checkpoint_restore_bytes += bytes;
+            }
             Event::TrafficWindow {
                 dram_read,
                 dram_write,

@@ -291,6 +291,13 @@ pub enum Stmt {
         /// The released variable.
         var: VarId,
     },
+    /// `var.checkpoint()` — marks the variable's current RDD for a
+    /// durable NVM snapshot at its next materialization, so recovery can
+    /// restore it instead of recomputing its lineage.
+    Checkpoint {
+        /// The checkpointed variable.
+        var: VarId,
+    },
     /// `var.action()` — forces evaluation; materializes unpersisted RDDs.
     Action {
         /// The variable the action runs on.

@@ -262,6 +262,13 @@ impl ProgramBuilder {
         self.stmt(Stmt::Unpersist { var });
     }
 
+    /// `var.checkpoint()` — snapshot the variable's RDD to durable NVM
+    /// storage at its next materialization (cluster recovery restores it
+    /// from there instead of recomputing its lineage).
+    pub fn checkpoint(&mut self, var: VarId) {
+        self.stmt(Stmt::Checkpoint { var });
+    }
+
     /// `var.count()` / `var.collect()` / `var.reduce(f)`
     pub fn action(&mut self, var: VarId, action: ActionKind) {
         self.stmt(Stmt::Action { var, action });

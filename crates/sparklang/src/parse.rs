@@ -345,6 +345,7 @@ impl Parser {
                         Stmt::Persist { var, level }
                     }
                     "unpersist" => Stmt::Unpersist { var },
+                    "checkpoint" => Stmt::Checkpoint { var },
                     "count" => Stmt::Action {
                         var,
                         action: ActionKind::Count,

@@ -43,6 +43,7 @@ fn print_block(
                 writeln!(f, "{}.persist({level})", p.var_name(*var))?;
             }
             Stmt::Unpersist { var } => writeln!(f, "{}.unpersist()", p.var_name(*var))?,
+            Stmt::Checkpoint { var } => writeln!(f, "{}.checkpoint()", p.var_name(*var))?,
             Stmt::Action { var, action } => match action {
                 crate::ast::ActionKind::Reduce(func) => {
                     writeln!(f, "{}.reduce(f{})", p.var_name(*var), func.0)?;

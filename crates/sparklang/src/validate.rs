@@ -74,7 +74,10 @@ fn validate_block(
                 validate_expr(program, expr, defined)?;
                 defined.insert(*var);
             }
-            Stmt::Persist { var, .. } | Stmt::Unpersist { var } | Stmt::Action { var, .. } => {
+            Stmt::Persist { var, .. }
+            | Stmt::Unpersist { var }
+            | Stmt::Checkpoint { var }
+            | Stmt::Action { var, .. } => {
                 check_var_declared(program, *var)?;
                 if !defined.contains(var) {
                     return Err(ValidateProgramError::UseBeforeDef(*var));

@@ -75,6 +75,7 @@ mod tests {
                 Stmt::Bind { .. } => "bind",
                 Stmt::Persist { .. } => "persist",
                 Stmt::Unpersist { .. } => "unpersist",
+                Stmt::Checkpoint { .. } => "checkpoint",
                 Stmt::Action { .. } => "action",
                 Stmt::Loop { .. } => unreachable!(),
             };

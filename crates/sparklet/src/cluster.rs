@@ -14,8 +14,57 @@
 //! are independent of host-thread scheduling.
 
 use mheap::WirePayload;
+use sparklang::ast::MemoryTag;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// A typed cluster failure, delivered to every executor blocked on (or
+/// about to enter) a collective instead of letting them deadlock on a
+/// peer that will never arrive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The exchange was poisoned: executor `exec` died mid-run (a real
+    /// panic, or an injected crash with recovery disabled). Every waiter
+    /// and every later rendezvous attempt observes this same error.
+    Poisoned {
+        /// The executor that failed first.
+        exec: u16,
+        /// Human-readable cause (panic message or injected-fault label).
+        reason: String,
+    },
+    /// A *planned* fault from a deterministic fault plan: executor `exec`
+    /// crashes on arrival at statement barrier `barrier`, at virtual time
+    /// `at_ns`. With recovery enabled the driver restarts the executor;
+    /// otherwise this degenerates into a poisoned exchange.
+    InjectedCrash {
+        /// The crashing executor.
+        exec: u16,
+        /// The statement barrier the crash fires at.
+        barrier: u64,
+        /// Virtual time of the crash (the executor's arrival clock).
+        at_ns: f64,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Poisoned { exec, reason } => {
+                write!(f, "exchange poisoned by executor {exec}: {reason}")
+            }
+            ClusterError::InjectedCrash {
+                exec,
+                barrier,
+                at_ns,
+            } => write!(
+                f,
+                "injected crash: executor {exec} at barrier {barrier} (t={at_ns}ns)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
 
 /// Where an RDD's *local* records sit inside the global partition space.
 ///
@@ -63,10 +112,16 @@ pub enum ActionContrib {
 /// each of them the full contribution vector (indexed by executor id) and
 /// the barrier clock `t_bar = max` over the contributed clocks.
 ///
-/// Re-requests are idempotent: once a shuffle or action gather has
-/// completed, later calls with the same id (an evicted RDD being
-/// recomputed) are served from the completed result without blocking and
-/// without depositing the new contribution.
+/// Re-requests are idempotent: once a shuffle, action, or barrier
+/// rendezvous has completed, later calls with the same id (an evicted RDD
+/// being recomputed, or a restarted executor replaying its program) are
+/// served from the completed result without blocking and without
+/// depositing the new contribution.
+///
+/// Every method returns `Err` instead of blocking forever when the
+/// exchange has been poisoned by a failed peer, and may return
+/// [`ClusterError::InjectedCrash`] to fire a planned fault against the
+/// calling executor.
 pub trait ExchangeClient: Send + Sync {
     /// Contribute to (or re-read) the gather for shuffle node `rdd`.
     fn gather_shuffle(
@@ -75,7 +130,7 @@ pub trait ExchangeClient: Send + Sync {
         rdd: u32,
         contrib: ShuffleContrib,
         clock_ns: f64,
-    ) -> (Arc<Vec<ShuffleContrib>>, f64);
+    ) -> Result<(Arc<Vec<ShuffleContrib>>, f64), ClusterError>;
 
     /// Contribute to (or re-read) the gather for the `seq`-th action.
     fn gather_action(
@@ -84,11 +139,159 @@ pub trait ExchangeClient: Send + Sync {
         seq: u64,
         contrib: ActionContrib,
         clock_ns: f64,
-    ) -> (Arc<Vec<ActionContrib>>, f64);
+    ) -> Result<(Arc<Vec<ActionContrib>>, f64), ClusterError>;
 
     /// Statement barrier `index`: block until every executor arrives,
     /// return the barrier clock.
-    fn barrier(&self, exec: u16, index: u64, clock_ns: f64) -> f64;
+    fn barrier(&self, exec: u16, index: u64, clock_ns: f64) -> Result<f64, ClusterError>;
+}
+
+/// A durable partition snapshot: one executor's share of a checkpointed
+/// RDD, in Send-safe wire form. Snapshots model data living in the NVM
+/// component of the old generation — they survive the owning executor's
+/// heap teardown, which is exactly what recovery needs.
+#[derive(Debug, Clone)]
+pub struct CheckpointEntry {
+    /// `(global partition id, records)` for each owned partition.
+    pub parts: Vec<(u64, Vec<WirePayload>)>,
+    /// Total partitions of the RDD across all executors.
+    pub global_parts: u64,
+    /// Modelled bytes of the snapshot (what the NVM writes cost).
+    pub bytes: u64,
+    /// The RDD's memory tag at snapshot time, restored verbatim.
+    pub tag: Option<MemoryTag>,
+}
+
+/// Durable checkpoint storage keyed by `(rdd id, executor id)`. The store
+/// outlives every executor heap; `save` is idempotent (the first write
+/// wins, so a replaying executor never double-charges a snapshot).
+pub trait CheckpointStore: Send + Sync {
+    /// Persist a snapshot. Returns `false` (and drops the entry) if one
+    /// already exists for this key.
+    fn save(&self, rdd: u32, exec: u16, entry: CheckpointEntry) -> bool;
+    /// Read back a snapshot, if one was saved.
+    fn load(&self, rdd: u32, exec: u16) -> Option<CheckpointEntry>;
+    /// Total modelled bytes currently resident in the store.
+    fn resident_bytes(&self) -> u64;
+}
+
+/// A timeline mark kept across executor restarts so the surviving attempt
+/// can re-synthesize crash/recovery events for the merged trace (each
+/// crashed attempt's event buffer dies with it).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryMark {
+    /// The executor crashed on arrival at `barrier`.
+    Crash {
+        /// Barrier index the crash fired at.
+        barrier: u64,
+    },
+    /// Restart `attempt` began replaying the program.
+    Start {
+        /// 1-based restart attempt.
+        attempt: u32,
+    },
+    /// Replay re-reached the crash barrier; recovery is complete.
+    End {
+        /// Barrier index the recovery caught up to.
+        barrier: u64,
+        /// Virtual time spent recovering (crash → caught up).
+        recovery_ns: f64,
+    },
+}
+
+/// Mutable per-executor recovery bookkeeping, shared between the driver's
+/// restart loop, the fault-injecting exchange wrapper, and the engine's
+/// checkpoint/replay hooks. All counters are driven by virtual-time events
+/// on one executor's (serialized) timeline, so values are deterministic
+/// regardless of host threading.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryCounters {
+    /// Completed restart attempts (0 while the first incarnation runs).
+    pub attempt: u32,
+    /// True from restart until replay re-reaches the crash barrier.
+    pub in_replay: bool,
+    /// The barrier index replay must reach to complete recovery.
+    pub replay_until: Option<u64>,
+    /// Virtual time the current recovery began (the crash time).
+    pub recovery_started_ns: f64,
+    /// Injected crashes that fired on this executor.
+    pub executor_crashes: u64,
+    /// Injected exchange message losses (charged as retransmits).
+    pub messages_lost: u64,
+    /// Injected transient allocation failures (charged as retries).
+    pub alloc_faults: u64,
+    /// Materialized partitions lost to crashes (heap died with them).
+    pub partitions_lost: u64,
+    /// Partitions recomputed through lineage during replay.
+    pub partitions_recomputed: u64,
+    /// Partitions restored from NVM checkpoints instead of recomputed.
+    pub partitions_restored: u64,
+    /// Shuffle stages re-executed during replay.
+    pub stages_recomputed: u64,
+    /// Checkpoint snapshots written (first-write only).
+    pub checkpoint_writes: u64,
+    /// Modelled bytes written to NVM checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Modelled bytes read back from NVM checkpoints.
+    pub restore_bytes: u64,
+    /// Total virtual time spent recovering, summed over crashes.
+    pub recovery_ns: f64,
+    /// Partitions currently materialized in this incarnation's heap
+    /// (what a crash right now would lose).
+    pub live_partitions: u64,
+    /// Heap materializations performed so far, across attempts — the
+    /// deterministic sequence alloc-fault points key on.
+    pub materialize_seq: u64,
+    /// Timeline marks surviving restarts, for event re-synthesis.
+    pub marks: Vec<(f64, RecoveryMark)>,
+}
+
+/// Shared handle to one executor's [`RecoveryCounters`].
+#[derive(Debug, Default)]
+pub struct RecoverySlot {
+    inner: Mutex<RecoveryCounters>,
+}
+
+impl RecoverySlot {
+    /// A fresh slot with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `f` under the slot lock.
+    pub fn with<R>(&self, f: impl FnOnce(&mut RecoveryCounters) -> R) -> R {
+        let mut guard = self.inner.lock().expect("recovery slot lock");
+        f(&mut guard)
+    }
+}
+
+/// The engine-facing recovery configuration for one executor: where
+/// checkpoints go, how often to take them, and which planned allocation
+/// faults to fire.
+#[derive(Clone)]
+pub struct RecoveryCtx {
+    /// Durable checkpoint storage shared by the whole cluster.
+    pub store: Arc<dyn CheckpointStore>,
+    /// Auto-checkpoint every `n`-th wide (shuffle) RDD; `0` checkpoints
+    /// only explicitly `checkpoint()`-marked RDDs.
+    pub checkpoint_every: u32,
+    /// This executor's shared recovery bookkeeping.
+    pub slot: Arc<RecoverySlot>,
+    /// Materialization ordinals at which a transient allocation failure
+    /// fires (sorted, each fires at most once — ordinals never repeat).
+    pub alloc_faults: Arc<Vec<u64>>,
+    /// Virtual-time cost charged per allocation-failure retry.
+    pub alloc_retry_ns: f64,
+}
+
+impl fmt::Debug for RecoveryCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecoveryCtx")
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("alloc_faults", &self.alloc_faults)
+            .field("alloc_retry_ns", &self.alloc_retry_ns)
+            .finish_non_exhaustive()
+    }
 }
 
 /// An executor's view of the cluster it runs in.
@@ -100,6 +303,9 @@ pub struct ClusterCtx {
     pub n_exec: u16,
     /// The shared exchange all executors rendezvous through.
     pub exchange: Arc<dyn ExchangeClient>,
+    /// Recovery wiring (checkpoints, fault points, counters), when the
+    /// cluster runs under a recovery policy or fault plan.
+    pub recovery: Option<RecoveryCtx>,
 }
 
 impl fmt::Debug for ClusterCtx {

@@ -336,6 +336,10 @@ impl<R: MemoryRuntime> Engine<R> {
                     let rdd = self.var_rdd(*var);
                     self.unpersist(rdd);
                 }
+                Stmt::Checkpoint { var } => {
+                    let rdd = self.var_rdd(*var);
+                    self.rdds[rdd.0 as usize].checkpointed = true;
+                }
                 Stmt::Action { var, action } => {
                     let rdd = self.var_rdd(*var);
                     self.runtime.record_rdd_call(rdd.0);
@@ -366,8 +370,54 @@ impl<R: MemoryRuntime> Engine<R> {
         let index = self.barrier_seq;
         self.barrier_seq += 1;
         let now = self.runtime.heap().mem().clock().now_ns();
-        let t_bar = ctx.exchange.barrier(ctx.exec, index, now);
+        self.note_recovery_progress(&ctx, index, now);
+        let t_bar = ctx
+            .exchange
+            .barrier(ctx.exec, index, now)
+            .unwrap_or_else(|e| std::panic::panic_any(e));
         self.sync_to(t_bar);
+    }
+
+    /// Replay-completion bookkeeping: if this executor is a restarted
+    /// incarnation and its replay just re-reached the barrier its
+    /// predecessor crashed at, recovery is complete — close the window,
+    /// charge nothing (the clock already carries the replay cost), and
+    /// emit [`obs::Event::RecoveryEnd`].
+    fn note_recovery_progress(&mut self, ctx: &ClusterCtx, index: u64, now: f64) {
+        let Some(rec) = &ctx.recovery else {
+            return;
+        };
+        let done = rec.slot.with(|c| {
+            if c.replay_until == Some(index) {
+                c.replay_until = None;
+                c.in_replay = false;
+                let recovery_ns = now - c.recovery_started_ns;
+                c.recovery_ns += recovery_ns;
+                c.marks.push((
+                    now,
+                    crate::cluster::RecoveryMark::End {
+                        barrier: index,
+                        recovery_ns,
+                    },
+                ));
+                Some(recovery_ns)
+            } else {
+                None
+            }
+        });
+        if let Some(recovery_ns) = done {
+            let mem = self.runtime.heap().mem();
+            let observer = mem.observer();
+            if observer.enabled() {
+                observer.emit(
+                    mem.clock().now_ns(),
+                    &obs::Event::RecoveryEnd {
+                        barrier: index,
+                        recovery_ns,
+                    },
+                );
+            }
+        }
     }
 
     /// Advance the virtual clock to `t_bar` if it is behind (the executor
@@ -652,7 +702,10 @@ impl<R: MemoryRuntime> Engine<R> {
             let seq = e.action_seq;
             e.action_seq += 1;
             let now = e.runtime.heap().mem().clock().now_ns();
-            let (contribs, t_bar) = ctx.exchange.gather_action(ctx.exec, seq, contrib, now);
+            let (contribs, t_bar) = ctx
+                .exchange
+                .gather_action(ctx.exec, seq, contrib, now)
+                .unwrap_or_else(|err| std::panic::panic_any(err));
             e.sync_to(t_bar);
             match action {
                 ActionKind::Count => ActionResult::Count(
@@ -784,6 +837,7 @@ impl<R: MemoryRuntime> Engine<R> {
             self.rdds[rdd.0 as usize].materialized.is_none(),
             "double materialization of {rdd}"
         );
+        self.fault_probe_materialize(records);
         self.ensure_heap_capacity(records);
         let tag = self.rdds[rdd.0 as usize].tag;
         self.roots.push_scope();
@@ -831,6 +885,183 @@ impl<R: MemoryRuntime> Engine<R> {
             serialized: false,
         });
         self.stats.materializations += 1;
+        self.note_live_partitions(rdd);
+        self.maybe_checkpoint(rdd, records);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and checkpoint/recovery hooks (cluster mode only).
+    // Every hook is a no-op — no charge, no event, no counter — unless
+    // the cluster runs under a fault plan or checkpoint policy, so the
+    // legacy and fault-free paths are bit-identical to a build without
+    // these hooks.
+    // ------------------------------------------------------------------
+
+    /// Planned transient allocation failure: fires when this executor's
+    /// (monotone, attempt-spanning) materialization ordinal is listed in
+    /// the fault plan. The failed attempt is retried after a charged
+    /// back-off, modelling an allocation that succeeds on its second try.
+    fn fault_probe_materialize(&mut self, records: &[Payload]) {
+        let Some(rec) = self.cluster.as_ref().and_then(|c| c.recovery.clone()) else {
+            return;
+        };
+        let seq = rec.slot.with(|c| {
+            let s = c.materialize_seq;
+            c.materialize_seq += 1;
+            s
+        });
+        if !rec.alloc_faults.contains(&seq) {
+            return;
+        }
+        rec.slot.with(|c| c.alloc_faults += 1);
+        let need: u64 = records.iter().map(Payload::model_bytes).sum();
+        {
+            let mem = self.runtime.heap().mem();
+            let observer = mem.observer();
+            if observer.enabled() {
+                observer.emit(
+                    mem.clock().now_ns(),
+                    &obs::Event::AllocFail {
+                        space: obs::AllocSpace::Eden,
+                        need,
+                    },
+                );
+            }
+        }
+        self.runtime
+            .heap_mut()
+            .mem_mut()
+            .compute(rec.alloc_retry_ns);
+    }
+
+    /// Track how many partitions are currently materialized in this
+    /// incarnation's heap — what a crash right now would lose.
+    fn note_live_partitions(&mut self, rdd: RddId) {
+        let Some(rec) = self.cluster.as_ref().and_then(|c| c.recovery.as_ref()) else {
+            return;
+        };
+        let parts = self
+            .part_meta
+            .get(&rdd)
+            .map(|m| m.gids.len() as u64)
+            .unwrap_or(0);
+        rec.slot.with(|c| c.live_partitions += parts);
+    }
+
+    /// Snapshot `rdd`'s local partitions into the durable NVM checkpoint
+    /// store if the policy selects it: explicitly `checkpoint()`-marked,
+    /// or every `n`-th shuffle output under `CheckpointEvery(n)` (counted
+    /// by structural ordinal, which is stable across executors and replay
+    /// attempts). Writes are charged to the NVM device; `save` is
+    /// idempotent, so a replaying executor never double-charges.
+    fn maybe_checkpoint(&mut self, rdd: RddId, records: &[Payload]) {
+        let Some(ctx) = self.cluster.clone() else {
+            return;
+        };
+        let Some(rec) = ctx.recovery.as_ref() else {
+            return;
+        };
+        if !self.part_meta.contains_key(&rdd) {
+            return;
+        }
+        let node = &self.rdds[rdd.0 as usize];
+        let auto = rec.checkpoint_every > 0
+            && node.is_wide()
+            && (self.wide_ordinal(rdd) + 1).is_multiple_of(u64::from(rec.checkpoint_every));
+        if !(node.checkpointed || auto) {
+            return;
+        }
+        let tag = node.tag;
+        let parts = self.wire_parts(rdd, records);
+        let bytes: u64 = parts
+            .iter()
+            .flat_map(|(_, recs)| recs.iter())
+            .map(WirePayload::model_bytes)
+            .sum();
+        let entry = crate::cluster::CheckpointEntry {
+            parts,
+            global_parts: self.part_meta[&rdd].global_parts,
+            bytes,
+            tag,
+        };
+        if !rec.store.save(rdd.0, ctx.exec, entry) {
+            return; // Already durable (a replay re-reached this point).
+        }
+        rec.slot.with(|c| {
+            c.checkpoint_writes += 1;
+            c.checkpoint_bytes += bytes;
+        });
+        self.charge_native(records, AccessKind::Write);
+        let mem = self.runtime.heap().mem();
+        let observer = mem.observer();
+        if observer.enabled() {
+            observer.emit(
+                mem.clock().now_ns(),
+                &obs::Event::CheckpointWrite { rdd: rdd.0, bytes },
+            );
+        }
+    }
+
+    /// The structural ordinal of a wide node: how many wide nodes precede
+    /// it in instance order. Replay rebuilds the identical graph, so the
+    /// ordinal — unlike anything keyed on time — is replay-stable.
+    fn wide_ordinal(&self, rdd: RddId) -> u64 {
+        self.rdds[..rdd.0 as usize]
+            .iter()
+            .filter(|n| n.is_wide())
+            .count() as u64
+    }
+
+    /// Serve a materialization from the durable checkpoint store, if this
+    /// executor snapshotted `rdd` in a previous (crashed) incarnation or
+    /// earlier in this one. Short-circuits the lineage recursion — this is
+    /// what bounds replay recomputation under `CheckpointEvery(n)`. Reads
+    /// are charged to the NVM device.
+    fn try_restore_checkpoint(&mut self, rdd: RddId) -> Option<Rc<Vec<Payload>>> {
+        let ctx = self.cluster.clone()?;
+        let rec = ctx.recovery.as_ref()?;
+        let entry = rec.store.load(rdd.0, ctx.exec)?;
+        let mut gids = Vec::with_capacity(entry.parts.len());
+        let mut lens = Vec::with_capacity(entry.parts.len());
+        let mut records = Vec::new();
+        for (gid, recs) in &entry.parts {
+            gids.push(*gid);
+            lens.push(recs.len());
+            records.extend(recs.iter().map(Payload::from));
+        }
+        if let Some(tag) = entry.tag {
+            self.rdds[rdd.0 as usize].merge_tag(tag);
+        }
+        let restored_parts = gids.len() as u64;
+        rec.slot.with(|c| {
+            c.partitions_restored += restored_parts;
+            c.restore_bytes += entry.bytes;
+        });
+        self.part_meta.insert(
+            rdd,
+            PartMeta {
+                gids,
+                lens,
+                global_parts: entry.global_parts,
+            },
+        );
+        self.charge_native(&records, AccessKind::Read);
+        {
+            let mem = self.runtime.heap().mem();
+            let observer = mem.observer();
+            if observer.enabled() {
+                observer.emit(
+                    mem.clock().now_ns(),
+                    &obs::Event::CheckpointRestore {
+                        rdd: rdd.0,
+                        bytes: entry.bytes,
+                    },
+                );
+            }
+        }
+        let persist_heap = matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
+        self.materialize_into_heap(rdd, &records, !persist_heap);
+        Some(Rc::new(records))
     }
 
     // ------------------------------------------------------------------
@@ -854,6 +1085,9 @@ impl<R: MemoryRuntime> Engine<R> {
             let records = Rc::clone(records);
             self.emulate_legacy_copies(&records);
             self.charge_native(&records, AccessKind::Read);
+            return records;
+        }
+        if let Some(records) = self.try_restore_checkpoint(rdd) {
             return records;
         }
         let op = self.rdds[rdd.0 as usize].op.clone();
@@ -1246,7 +1480,10 @@ impl<R: MemoryRuntime> Engine<R> {
             right: right_wire,
         };
         let now = self.runtime.heap().mem().clock().now_ns();
-        let (contribs, t_bar) = ctx.exchange.gather_shuffle(ctx.exec, rdd.0, contrib, now);
+        let (contribs, t_bar) = ctx
+            .exchange
+            .gather_shuffle(ctx.exec, rdd.0, contrib, now)
+            .unwrap_or_else(|err| std::panic::panic_any(err));
         self.sync_to(t_bar);
         // Reassemble the global map output, remembering each partition's
         // origin executor for the transfer accounting.
@@ -1302,8 +1539,9 @@ impl<R: MemoryRuntime> Engine<R> {
                 .compute(self.config.record_cpu_ns);
         }
         self.charge_shuffle(&local);
-        let persist_heap = matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
-        self.materialize_into_heap(rdd, &local, !persist_heap);
+        let owned_parts = gids.len() as u64;
+        // Meta must precede materialization: the checkpoint hook inside
+        // `materialize_into_heap` snapshots by global partition id.
         self.part_meta.insert(
             rdd,
             PartMeta {
@@ -1312,6 +1550,16 @@ impl<R: MemoryRuntime> Engine<R> {
                 global_parts: sizes.len() as u64,
             },
         );
+        if let Some(rec) = ctx.recovery.as_ref() {
+            rec.slot.with(|c| {
+                if c.in_replay {
+                    c.stages_recomputed += 1;
+                    c.partitions_recomputed += owned_parts;
+                }
+            });
+        }
+        let persist_heap = matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
+        self.materialize_into_heap(rdd, &local, !persist_heap);
         Rc::new(local)
     }
 

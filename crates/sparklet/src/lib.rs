@@ -23,7 +23,10 @@ mod rdd;
 mod runtime;
 mod shuffle;
 
-pub use cluster::{ActionContrib, ClusterCtx, ExchangeClient, PartMeta, ShuffleContrib};
+pub use cluster::{
+    ActionContrib, CheckpointEntry, CheckpointStore, ClusterCtx, ClusterError, ExchangeClient,
+    PartMeta, RecoveryCounters, RecoveryCtx, RecoveryMark, RecoverySlot, ShuffleContrib,
+};
 pub use data::{DataRegistry, InternTable};
 pub use engine::{partition_sizes, ActionResult, Engine, EngineConfig, ExecStats, RunOutcome};
 pub use rdd::{MatData, RddId, RddNode, RddOp};

@@ -67,6 +67,9 @@ pub struct RddNode {
     pub tag: Option<MemoryTag>,
     /// Heap objects, once materialized.
     pub materialized: Option<MatData>,
+    /// `checkpoint()` was called on this instance: snapshot it to durable
+    /// NVM storage when it next materializes (cluster mode only).
+    pub checkpointed: bool,
 }
 
 impl RddNode {
@@ -79,6 +82,7 @@ impl RddNode {
             persisted: None,
             tag: None,
             materialized: None,
+            checkpointed: false,
         }
     }
 
