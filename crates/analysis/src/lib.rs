@@ -42,6 +42,7 @@
 mod defuse;
 mod infer;
 mod instrument;
+mod lifetime;
 
 pub use defuse::{DefUse, LoopExtent, Occurrence, PersistSite};
 pub use infer::{
@@ -49,6 +50,7 @@ pub use infer::{
     TagAssignment, TagReason, VarTag,
 };
 pub use instrument::{InstrumentationPlan, RddAllocSite};
+pub use lifetime::{collect_lifetimes, LifetimePlan, PlanBlock, StepOps};
 
 use sparklang::ast::Program;
 

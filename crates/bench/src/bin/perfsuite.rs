@@ -48,6 +48,13 @@
 //!   seeded mid-run executor crash}, asserting the faulted arms produce
 //!   bit-identical results and host-thread-invariant reports. Emits
 //!   `BENCH_PR5.json` plus its `.sim` companion.
+//! * `--shuffle` — run the serde-tax suite instead: shuffle-heavy join
+//!   and group-by arms at E = 2, 4, 8 under both shuffle transports
+//!   (per-record serde vs zero-copy shared region), asserting
+//!   bit-identical results and a simulated win for the shared region,
+//!   plus a cached-PageRank arm with and without the off-heap H2 region
+//!   comparing GC pause totals. Emits `BENCH_PR6.json` plus its `.sim`
+//!   companion.
 
 use gc::{GcCoordinator, PantheraPolicy};
 use hybridmem::{Addr, MemorySystemConfig};
@@ -61,7 +68,7 @@ use panthera_cluster::{
     host_threads_from_env, run_cluster, run_cluster_faulted, ClusterOutcome, FaultPlan, FaultSpec,
 };
 use sparklang::{ActionKind, FnTable, Program, ProgramBuilder};
-use sparklet::{DataRegistry, EngineConfig};
+use sparklet::{DataRegistry, EngineConfig, ShuffleTransport};
 use std::cell::RefCell;
 use std::hint::black_box;
 use std::rc::Rc;
@@ -86,6 +93,7 @@ struct Cli {
     executors: Option<u16>,
     trace: Option<String>,
     faults: Option<u64>,
+    shuffle: bool,
 }
 
 impl Cli {
@@ -95,6 +103,7 @@ impl Cli {
             executors: None,
             trace: None,
             faults: None,
+            shuffle: false,
         };
         let mut args = std::env::args().skip(1).peekable();
         while let Some(arg) = args.next() {
@@ -127,11 +136,12 @@ impl Cli {
                         std::process::exit(2);
                     }
                 },
+                "--shuffle" => cli.shuffle = true,
                 other => {
                     eprintln!("perfsuite: unknown flag `{other}`");
                     eprintln!(
                         "usage: perfsuite [--quick] [--executors N] [--trace [PATH]] \
-                         [--faults SEED]"
+                         [--faults SEED] [--shuffle]"
                     );
                     std::process::exit(2);
                 }
@@ -707,10 +717,287 @@ fn run_fault_suite(seed: u64, cli: &Cli, n: usize, scale: f64) {
     println!("wrote {sim_out}");
 }
 
+// ---------------------------------------------------------------------------
+// The `--shuffle` serde-tax suite (`BENCH_PR6.json`).
+// ---------------------------------------------------------------------------
+
+/// One measured shuffle arm: a workload at an executor count under one
+/// transport.
+struct ShuffleRow {
+    workload: &'static str,
+    executors: u16,
+    transport: &'static str,
+    host_ns: u64,
+    shared_region_bytes: u64,
+    outcome: ClusterOutcome,
+}
+
+/// An inline group-by (`n` keyed records folded into colliding buckets,
+/// grouped, counted) — the shuffle whose map output is pure fan-out.
+fn groupby_build(scale: f64) -> (Program, FnTable, DataRegistry) {
+    let n = ((40_000.0 * scale) as usize).max(64);
+    let keys = (n / 8).max(1) as i64;
+    let mut b = ProgramBuilder::new("groupby");
+    let src = b.source("src");
+    let grouped = b.bind("grouped", src.group_by_key());
+    b.action(grouped, ActionKind::Count);
+    let (program, fns) = b.finish();
+    let mut data = DataRegistry::new();
+    data.register(
+        "src",
+        (0..n)
+            .map(|i| Payload::keyed(i as i64 % keys, Payload::Long(i as i64 * 31 + 7)))
+            .collect(),
+    );
+    (program, fns, data)
+}
+
+fn shuffle_run(
+    wl: &str,
+    scale: f64,
+    executors: u16,
+    transport: ShuffleTransport,
+    host_threads: usize,
+) -> ClusterOutcome {
+    let mut cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
+    cfg.executors = executors;
+    cfg.transport = transport;
+    let out = match wl {
+        "hashjoin" => run_cluster(
+            || hashjoin_build(scale),
+            &cfg,
+            EngineConfig::default(),
+            host_threads,
+        ),
+        _ => run_cluster(
+            || groupby_build(scale),
+            &cfg,
+            EngineConfig::default(),
+            host_threads,
+        ),
+    };
+    out.expect("valid cluster config")
+}
+
+fn shuffle_row_json(r: &ShuffleRow, sim_only: bool) -> Json {
+    let mut fields = vec![
+        ("workload", Json::Str(r.workload.into())),
+        ("executors", Json::UInt(u64::from(r.executors))),
+        ("transport", Json::Str(r.transport.into())),
+        ("sim_elapsed_s", Json::Num(r.outcome.report.elapsed_s)),
+        ("sim_energy_j", Json::Num(r.outcome.report.energy_j())),
+        (
+            "shuffle_bytes",
+            Json::UInt(r.outcome.report.exec.shuffle_bytes),
+        ),
+        (
+            "fastpath_bytes",
+            Json::UInt(r.outcome.report.exec.fastpath_bytes),
+        ),
+        ("shared_region_bytes", Json::UInt(r.shared_region_bytes)),
+    ];
+    if !sim_only {
+        fields.insert(3, ("host_ns", Json::UInt(r.host_ns)));
+    }
+    fields.push(("report", r.outcome.report.to_json()));
+    Json::obj(fields)
+}
+
+/// The serde-tax suite: shuffle-heavy join and group-by at E = 2, 4, 8
+/// under both transports, plus a cached-PageRank arm with and without
+/// the off-heap H2 region. Asserted while measuring:
+///
+/// * the two transports produce bit-identical action results, and the
+///   shared region never simulates slower than serde;
+/// * serde arms charge zero fast-path bytes, shared-region arms at this
+///   scale always move cross-executor bytes through it;
+/// * the off-heap region changes no PageRank value, drains exactly, and
+///   strictly reduces total GC pause time on the cache-heavy arm.
+fn run_shuffle_suite(cli: &Cli, n: usize, scale: f64) {
+    let ladder: [u16; 3] = [2, 4, 8];
+    println!("shuffle suite: E={ladder:?}, both transports, {n} samples/arm");
+    println!(
+        "{:<10} {:>4} | {:>11} {:>11} | {:>10} | {:>14}",
+        "wl", "E", "serde s", "shared s", "saved %", "bytes avoided"
+    );
+    println!("{}", "-".repeat(72));
+
+    let mut rows: Vec<ShuffleRow> = Vec::new();
+    let mut reductions = Vec::new();
+    for wl in ["hashjoin", "groupby"] {
+        for &e in &ladder {
+            let host_threads = host_threads_from_env(usize::from(e));
+            let (serde_ns, serde) = median_host_ns(n, || {
+                shuffle_run(wl, scale, e, ShuffleTransport::Serde, host_threads)
+            });
+            let (shared_ns, shared) = median_host_ns(n, || {
+                shuffle_run(wl, scale, e, ShuffleTransport::SharedRegion, host_threads)
+            });
+            assert_eq!(
+                shared.results, serde.results,
+                "{wl} E={e}: transport changed the workload results"
+            );
+            assert_eq!(
+                serde.report.exec.fastpath_bytes, 0,
+                "{wl} E={e}: serde transport charged the fast path"
+            );
+            assert!(
+                shared.report.exec.fastpath_bytes > 0,
+                "{wl} E={e}: no cross-executor bytes rode the shared region"
+            );
+            assert!(
+                shared.report.elapsed_s <= serde.report.elapsed_s,
+                "{wl} E={e}: shared region simulated slower than serde \
+                 ({} > {})",
+                shared.report.elapsed_s,
+                serde.report.elapsed_s
+            );
+            let saved_s = serde.report.elapsed_s - shared.report.elapsed_s;
+            let saved_pct = 100.0 * saved_s / serde.report.elapsed_s;
+            println!(
+                "{:<10} {:>4} | {:>10.4}s {:>10.4}s | {:>9.2}% | {:>14}",
+                wl,
+                e,
+                serde.report.elapsed_s,
+                shared.report.elapsed_s,
+                saved_pct,
+                shared.report.exec.fastpath_bytes
+            );
+            reductions.push((wl, e, saved_s, saved_pct));
+            rows.push(ShuffleRow {
+                workload: wl,
+                executors: e,
+                transport: "serde",
+                host_ns: serde_ns,
+                shared_region_bytes: serde.shared_region_bytes,
+                outcome: serde,
+            });
+            rows.push(ShuffleRow {
+                workload: wl,
+                executors: e,
+                transport: "shared_region",
+                host_ns: shared_ns,
+                shared_region_bytes: shared.shared_region_bytes,
+                outcome: shared,
+            });
+        }
+    }
+
+    // The cached-RDD arm: PageRank re-reads its persisted link structure
+    // every iteration. Run it at a fixed cache-heavy scale (independent
+    // of the CLI scale so the GC effect is out of the noise floor) with
+    // the H2 region off and on.
+    const GC_SCALE: f64 = 0.4;
+    let pr_arm = |offheap: bool| {
+        let mut cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
+        cfg.offheap_cache = offheap;
+        let w = build_workload(WorkloadId::Pr, GC_SCALE, SEED);
+        run_workload_with_engine(&w.program, w.fns, w.data, &cfg, EngineConfig::default())
+    };
+    let ((heap_rep, heap_out), (off_rep, off_out)) = (pr_arm(false), pr_arm(true));
+    assert_eq!(
+        off_out.results, heap_out.results,
+        "cached-PageRank: the off-heap region changed a value"
+    );
+    assert_eq!(
+        off_rep.exec.offheap_frees, off_rep.exec.offheap_allocs,
+        "cached-PageRank: the off-heap region must drain"
+    );
+    assert_eq!(off_rep.exec.offheap_leaks, 0, "cached-PageRank: leaks");
+    let gc_heap = heap_rep.minor_gc_s + heap_rep.major_gc_s;
+    let gc_off = off_rep.minor_gc_s + off_rep.major_gc_s;
+    assert!(
+        gc_off < gc_heap,
+        "cached-PageRank: off-heap caching must reduce GC pause totals \
+         ({gc_off} >= {gc_heap})"
+    );
+    let gc_saved_pct = 100.0 * (gc_heap - gc_off) / gc_heap;
+    println!("{}", "-".repeat(72));
+    println!(
+        "cached PR (scale {GC_SCALE}): GC pauses {:.6}s heap-cached -> {:.6}s off-heap \
+         ({gc_saved_pct:.1}% less), {} off-heap allocs",
+        gc_heap, gc_off, off_rep.exec.offheap_allocs
+    );
+
+    let reduction_json = |(wl, e, s, pct): &(&str, u16, f64, f64)| {
+        Json::obj(vec![
+            ("workload", Json::Str((*wl).into())),
+            ("executors", Json::UInt(u64::from(*e))),
+            ("saved_sim_s", Json::Num(*s)),
+            ("saved_pct", Json::Num(*pct)),
+        ])
+    };
+    let pagerank_json = |sim_only: bool| {
+        let mut fields = vec![
+            ("scale", Json::Num(GC_SCALE)),
+            ("gc_pause_s_heap_cached", Json::Num(gc_heap)),
+            ("gc_pause_s_offheap", Json::Num(gc_off)),
+            ("gc_pause_saved_pct", Json::Num(gc_saved_pct)),
+            ("offheap_allocs", Json::UInt(off_rep.exec.offheap_allocs)),
+            ("offheap_bytes", Json::UInt(off_rep.exec.offheap_bytes)),
+            (
+                "heap_allocated_bytes_heap_cached",
+                Json::UInt(heap_rep.heap.allocated_bytes),
+            ),
+            (
+                "heap_allocated_bytes_offheap",
+                Json::UInt(off_rep.heap.allocated_bytes),
+            ),
+        ];
+        if !sim_only {
+            fields.push(("report_heap_cached", heap_rep.to_json()));
+            fields.push(("report_offheap", off_rep.to_json()));
+        }
+        Json::obj(fields)
+    };
+
+    let arms =
+        |sim_only: bool| Json::Arr(rows.iter().map(|r| shuffle_row_json(r, sim_only)).collect());
+    let j = Json::obj(vec![
+        ("bench", Json::Str("BENCH_PR6".into())),
+        ("scale", Json::Num(scale)),
+        ("samples_per_arm", Json::UInt(n as u64)),
+        ("arms", arms(false)),
+        (
+            "shuffle_cost_reduction",
+            Json::Arr(reductions.iter().map(reduction_json).collect()),
+        ),
+        ("cached_pagerank", pagerank_json(false)),
+        ("results_identical", Json::Bool(true)),
+    ]);
+    let out = std::env::var("PERFSUITE_OUT").unwrap_or_else(|_| "BENCH_PR6.json".into());
+    std::fs::write(&out, j.to_pretty() + "\n").expect("write shuffle-suite json");
+    println!("wrote {out}");
+
+    let sim = Json::obj(vec![
+        ("bench", Json::Str("BENCH_PR6.sim".into())),
+        ("scale", Json::Num(scale)),
+        ("arms", arms(true)),
+        (
+            "shuffle_cost_reduction",
+            Json::Arr(reductions.iter().map(reduction_json).collect()),
+        ),
+        ("cached_pagerank", pagerank_json(true)),
+        ("results_identical", Json::Bool(true)),
+    ]);
+    let sim_out = format!("{out}.sim");
+    std::fs::write(&sim_out, sim.to_pretty() + "\n").expect("write sim-side json");
+    println!("wrote {sim_out}");
+    let _ = cli;
+}
+
 fn main() {
     let cli = Cli::parse();
     let n = samples(&cli);
     let scale = scale_with(&cli);
+    if cli.shuffle {
+        println!("perfsuite --shuffle: {n} samples/arm, scale {scale}");
+        run_shuffle_suite(&cli, n, scale);
+        if let Some(path) = &cli.trace {
+            write_trace(path);
+        }
+        return;
+    }
     if let Some(seed) = cli.faults {
         println!("perfsuite --faults: {n} samples/arm, scale {scale}");
         run_fault_suite(seed, &cli, n, scale);

@@ -38,7 +38,7 @@
 //! rendezvous it had already completed without blocking and without
 //! re-depositing, then deposits live once it passes the crash point.
 
-use sparklet::{ActionContrib, ClusterError, ExchangeClient, ShuffleContrib};
+use sparklet::{ActionContrib, ClusterError, ExchangeClient, ShuffleContrib, ShuffleTransport};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, Condvar, Mutex};
@@ -81,12 +81,21 @@ struct ExState {
     actions: HashMap<u64, Slot<ActionContrib>>,
     /// Statement barriers keyed by the barrier index.
     barriers: HashMap<u64, BarrierSlot>,
+    /// Total modelled bytes deposited into the shared shuffle region
+    /// (0 under the serde transport). Deposits are intern-table-backed
+    /// `WirePayload`s, so peers read them in place — this counter is the
+    /// whole "transfer": no serialization, no per-record wire copies.
+    shared_region_bytes: u64,
 }
 
 /// The shared exchange for one cluster run: `E` executors, a bounded pool
 /// of host-thread run permits, and the collective state behind one lock.
 pub struct Exchange {
     n_exec: usize,
+    /// How map-side shuffle output reaches reducers: per-record serde over
+    /// the simulated network, or in-place deposits into a shared memory
+    /// region charged at memory bandwidth (DESIGN.md §10).
+    transport: ShuffleTransport,
     state: Mutex<ExState>,
     cv: Condvar,
 }
@@ -105,18 +114,45 @@ impl Exchange {
     /// many executors *compute* concurrently and has no effect on any
     /// simulated value.
     pub fn new(n_exec: u16, host_threads: usize) -> Arc<Exchange> {
+        Exchange::with_transport(n_exec, host_threads, ShuffleTransport::Serde)
+    }
+
+    /// [`Exchange::new`] with an explicit shuffle transport. Under
+    /// [`ShuffleTransport::SharedRegion`] the exchange additionally
+    /// accounts every map-side deposit's modelled bytes as shared-region
+    /// residency ([`Exchange::shared_region_bytes`]); the rendezvous
+    /// protocol and every gathered value are identical under both
+    /// transports — only the engine-side cost charge differs.
+    pub fn with_transport(
+        n_exec: u16,
+        host_threads: usize,
+        transport: ShuffleTransport,
+    ) -> Arc<Exchange> {
         let n = usize::from(n_exec.max(1));
         Arc::new(Exchange {
             n_exec: n,
+            transport,
             state: Mutex::new(ExState {
                 permits_free: host_threads.clamp(1, n),
                 poisoned: None,
                 shuffles: HashMap::new(),
                 actions: HashMap::new(),
                 barriers: HashMap::new(),
+                shared_region_bytes: 0,
             }),
             cv: Condvar::new(),
         })
+    }
+
+    /// Total modelled bytes deposited into the shared shuffle region over
+    /// the run. Always 0 under [`ShuffleTransport::Serde`]. Deposits are
+    /// counted once per live gather contribution (idempotent re-reads and
+    /// replay re-traversals deposit nothing, so they add nothing).
+    pub fn shared_region_bytes(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("exchange lock poisoned")
+            .shared_region_bytes
     }
 
     /// Poison the exchange: record `err` as the run's failure (first
@@ -179,6 +215,11 @@ impl Exchange {
     /// executor-id order, `t_bar = max` clock) and returns still holding
     /// its permit. A non-final depositor returns its permit to the pool,
     /// waits for the result, then re-acquires a permit before resuming.
+    ///
+    /// `deposit_bytes` is the contribution's modelled shared-region
+    /// footprint; it is added to the region counter only when a live
+    /// deposit actually happens (never on cached re-reads), under the
+    /// same lock acquisition as the deposit itself.
     fn gather<K, T>(
         &self,
         select: impl Fn(&mut ExState) -> &mut HashMap<K, Slot<T>>,
@@ -186,6 +227,7 @@ impl Exchange {
         exec: u16,
         contrib: T,
         clock_ns: f64,
+        deposit_bytes: u64,
     ) -> Result<(Arc<Vec<T>>, f64), ClusterError>
     where
         K: Eq + Hash + Copy,
@@ -204,7 +246,7 @@ impl Exchange {
             "executor {exec} deposited twice into one gather"
         );
         slot.contribs[usize::from(exec)] = Some((contrib, clock_ns));
-        if slot.contribs.iter().all(Option::is_some) {
+        let finalized = if slot.contribs.iter().all(Option::is_some) {
             let mut items = Vec::with_capacity(n);
             let mut t_bar = f64::NEG_INFINITY;
             for c in slot.contribs.drain(..) {
@@ -214,6 +256,12 @@ impl Exchange {
             }
             let res = Arc::new(items);
             slot.result = Some((Arc::clone(&res), t_bar));
+            Some((res, t_bar))
+        } else {
+            None
+        };
+        st.shared_region_bytes += deposit_bytes;
+        if let Some((res, t_bar)) = finalized {
             self.cv.notify_all();
             return Ok((res, t_bar));
         }
@@ -247,7 +295,18 @@ impl ExchangeClient for Exchange {
         contrib: ShuffleContrib,
         clock_ns: f64,
     ) -> Result<(Arc<Vec<ShuffleContrib>>, f64), ClusterError> {
-        self.gather(|st| &mut st.shuffles, rdd, exec, contrib, clock_ns)
+        let deposit_bytes = match self.transport {
+            ShuffleTransport::Serde => 0,
+            ShuffleTransport::SharedRegion => contrib.model_bytes(),
+        };
+        self.gather(
+            |st| &mut st.shuffles,
+            rdd,
+            exec,
+            contrib,
+            clock_ns,
+            deposit_bytes,
+        )
     }
 
     fn gather_action(
@@ -257,7 +316,7 @@ impl ExchangeClient for Exchange {
         contrib: ActionContrib,
         clock_ns: f64,
     ) -> Result<(Arc<Vec<ActionContrib>>, f64), ClusterError> {
-        self.gather(|st| &mut st.actions, seq, exec, contrib, clock_ns)
+        self.gather(|st| &mut st.actions, seq, exec, contrib, clock_ns, 0)
     }
 
     fn barrier(&self, exec: u16, index: u64, clock_ns: f64) -> Result<f64, ClusterError> {

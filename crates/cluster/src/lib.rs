@@ -76,6 +76,9 @@ pub struct ClusterOutcome {
     /// Every executor computes the identical global result; this is
     /// executor 0's copy, cross-checked against the rest.
     pub results: Vec<(String, ActionResult)>,
+    /// Total modelled bytes deposited into the shared shuffle region
+    /// over the run — 0 under [`sparklet::ShuffleTransport::Serde`].
+    pub shared_region_bytes: u64,
 }
 
 /// A `Send`able mirror of [`ActionResult`] for crossing executor-thread
@@ -126,6 +129,9 @@ struct CfgSeed {
     seed: u64,
     verify_heap: bool,
     recovery: RecoveryPolicy,
+    costs: sparklet::CostModel,
+    transport: sparklet::ShuffleTransport,
+    offheap_cache: bool,
 }
 
 impl CfgSeed {
@@ -145,6 +151,9 @@ impl CfgSeed {
             seed: c.seed,
             verify_heap: c.verify_heap,
             recovery: c.recovery,
+            costs: c.costs,
+            transport: c.transport,
+            offheap_cache: c.offheap_cache,
         }
     }
 
@@ -161,6 +170,9 @@ impl CfgSeed {
         cfg.seed = self.seed;
         cfg.verify_heap = self.verify_heap;
         cfg.recovery = self.recovery;
+        cfg.costs = self.costs;
+        cfg.transport = self.transport;
+        cfg.offheap_cache = self.offheap_cache;
         cfg.observer = observer;
         cfg.executors = 1; // each executor is one classic single-JVM runtime
         cfg
@@ -284,7 +296,7 @@ where
 pub fn run_cluster_faulted<F>(
     build: F,
     config: &SystemConfig,
-    engine_config: EngineConfig,
+    mut engine_config: EngineConfig,
     host_threads: usize,
     plan: &FaultPlan,
 ) -> Result<ClusterOutcome, ConfigError>
@@ -292,6 +304,12 @@ where
     F: Fn() -> (Program, FnTable, DataRegistry) + Sync,
 {
     config.validate()?;
+    // Mirror the single-runtime driver: the system config is the single
+    // source of truth for data-movement costs, shuffle transport, and the
+    // off-heap region, on every executor.
+    engine_config.costs = config.costs;
+    engine_config.transport = config.transport;
+    engine_config.offheap_cache = config.offheap_cache;
     let n_exec = config.executors;
     let (program, _, _) = build();
     sparklang::validate(&program)
@@ -312,7 +330,7 @@ where
     };
     install_quiet_unwind_hook();
 
-    let exchange = Exchange::new(n_exec, host_threads);
+    let exchange = Exchange::with_transport(n_exec, host_threads, config.transport);
     let store = Arc::new(NvmCheckpointStore::new());
     let slots: Vec<Arc<RecoverySlot>> =
         (0..n_exec).map(|_| Arc::new(RecoverySlot::new())).collect();
@@ -570,6 +588,7 @@ where
         report,
         per_executor,
         results,
+        shared_region_bytes: exchange.shared_region_bytes(),
     })
 }
 

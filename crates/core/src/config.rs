@@ -114,6 +114,20 @@ pub struct SystemConfig {
     /// How the cluster driver recovers a crashed executor's partitions
     /// (DESIGN.md §9). Ignored by single-runtime entry points.
     pub recovery: RecoveryPolicy,
+    /// Data-movement charges (disk, network, serde, shared memory) — the
+    /// single source of truth the engine and the cluster exchange charge
+    /// from (DESIGN.md §10).
+    pub costs: sparklet::CostModel,
+    /// How shuffle data crosses executors: `Serde` (the distributed
+    /// default: serialize + network both ways) or `SharedRegion` (the
+    /// colocated zero-copy fast path: memory bandwidth, no serde).
+    /// Consulted only in cluster mode.
+    pub transport: sparklet::ShuffleTransport,
+    /// Store heap-level persisted RDDs in the off-heap H2 region: the GC
+    /// neither traces nor card-marks them, they are never serialized, and
+    /// they are released on the analysis crate's lifetime schedule
+    /// (DESIGN.md §10).
+    pub offheap_cache: bool,
 }
 
 /// How lost RDD partitions are rebuilt after an executor crash.
@@ -154,6 +168,9 @@ impl SystemConfig {
             verify_heap: gc::verify_env_enabled(),
             executors: 1,
             recovery: RecoveryPolicy::Recompute,
+            costs: sparklet::CostModel::default(),
+            transport: sparklet::ShuffleTransport::Serde,
+            offheap_cache: false,
         }
     }
 
@@ -252,6 +269,11 @@ impl SystemConfig {
         if self.recovery == RecoveryPolicy::CheckpointEvery(0) {
             return Err(ConfigError::new(
                 "recovery: CheckpointEvery interval must be at least 1",
+            ));
+        }
+        if !self.costs.is_valid() {
+            return Err(ConfigError::new(
+                "costs: every per-byte / per-record charge must be non-negative",
             ));
         }
         self.heap_config().validate().map_err(ConfigError::new)

@@ -65,6 +65,7 @@ pub use runtime::{to_mem_tag, PantheraRuntime};
 pub use simulate::{
     run_workload, run_workload_with_engine, try_run_workload, try_run_workload_with_engine,
 };
+pub use sparklet::{CostModel, ShuffleTransport};
 
 // Re-export the observability crate so downstream users attach sinks
 // without naming `obs` as a direct dependency.

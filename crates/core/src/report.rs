@@ -228,6 +228,12 @@ impl RunReport {
             agg.exec.actions += r.exec.actions;
             agg.exec.rdd_instances += r.exec.rdd_instances;
             agg.exec.evictions += r.exec.evictions;
+            agg.exec.fastpath_bytes += r.exec.fastpath_bytes;
+            agg.exec.offheap_allocs += r.exec.offheap_allocs;
+            agg.exec.offheap_frees += r.exec.offheap_frees;
+            agg.exec.offheap_bytes += r.exec.offheap_bytes;
+            agg.exec.offheap_leaks += r.exec.offheap_leaks;
+            agg.exec.offheap_dead_reads += r.exec.offheap_dead_reads;
             agg.monitored_calls += r.monitored_calls;
             agg.device_bytes[0] += r.device_bytes[0];
             agg.device_bytes[1] += r.device_bytes[1];

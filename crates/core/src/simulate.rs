@@ -48,9 +48,14 @@ pub fn try_run_workload_with_engine(
     fns: FnTable,
     data: DataRegistry,
     config: &SystemConfig,
-    engine_config: EngineConfig,
+    mut engine_config: EngineConfig,
 ) -> Result<(RunReport, RunOutcome), ConfigError> {
     config.validate()?;
+    // The system config is the single source of truth for data-movement
+    // costs, shuffle transport, and the off-heap region.
+    engine_config.costs = config.costs;
+    engine_config.transport = config.transport;
+    engine_config.offheap_cache = config.offheap_cache;
     if config.executors > 1 {
         return Err(ConfigError::new(format!(
             "config asks for {} executors; the single-runtime entry points run exactly one — \

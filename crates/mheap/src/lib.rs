@@ -44,6 +44,7 @@ mod card;
 mod config;
 mod heap;
 mod object;
+mod offheap;
 mod payload;
 mod roots;
 mod space;
@@ -54,6 +55,7 @@ pub use card::{pad_to_card, CardTable, CARD_BYTES};
 pub use config::{HeapConfig, OldGenLayout};
 pub use heap::{Heap, HeapError, HeapStats};
 pub use object::{object_bytes, ObjId, ObjKind, Object, HEADER_BYTES, REF_BYTES};
+pub use offheap::{OffHeapBlock, OffHeapRegion, OffHeapStats};
 pub use payload::{Key, Payload, WirePayload};
 pub use roots::RootSet;
 pub use space::{OldSpaceId, Space, SpaceId};

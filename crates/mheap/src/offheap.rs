@@ -1,0 +1,272 @@
+//! The off-heap "H2" region for cached RDDs.
+//!
+//! Panthera's placement analysis takes persisted data out of the GC's
+//! *way* (cold RDDs go to NVM); this region takes it out of the GC's
+//! *world*: blocks live outside every heap space, so the collector
+//! neither traces nor card-marks them and they are never serialized.
+//! Each block holds one persisted RDD's records at RDD granularity and is
+//! reference-counted by lineage — the engine decrements the count on the
+//! schedule the analysis crate's def/use lifetime pass produced, and the
+//! block is released exactly when the lifetime analysis says the RDD is
+//! dead.
+//!
+//! Blocks still carry the DRAM/NVM placement tag: the engine charges
+//! every block write and read to the tagged [`hybridmem::DeviceKind`], so
+//! off-heap data participates in placement and migration accounting even
+//! though the GC never sees it.
+
+use hybridmem::DeviceKind;
+use std::collections::HashMap;
+
+/// One off-heap block: a persisted RDD's records, resident on `device`,
+/// kept alive by `refs` scheduled future consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OffHeapBlock {
+    /// Modelled size of the block in bytes.
+    pub bytes: u64,
+    /// Device the block is placed on (from the RDD's placement tag).
+    pub device: DeviceKind,
+    /// Remaining scheduled consumers; the block is freed when this
+    /// reaches zero.
+    pub refs: u32,
+}
+
+/// Lifetime counters for the off-heap region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OffHeapStats {
+    /// Blocks allocated over the run.
+    pub allocs: u64,
+    /// Blocks freed over the run.
+    pub frees: u64,
+    /// Total bytes ever allocated.
+    pub alloc_bytes: u64,
+    /// Total bytes freed.
+    pub freed_bytes: u64,
+}
+
+/// The off-heap region: blocks keyed by RDD instance id.
+///
+/// The region is pure accounting — it holds sizes, devices, and
+/// refcounts, not record data (the engine keeps the records; a real H2
+/// region would own the backing memory). All methods are deterministic
+/// and the invariants are checkable in the heap verifier's style via
+/// [`OffHeapRegion::check_invariants`].
+#[derive(Debug, Clone, Default)]
+pub struct OffHeapRegion {
+    blocks: HashMap<u32, OffHeapBlock>,
+    resident: [u64; 2],
+    stats: OffHeapStats,
+}
+
+/// Index into the per-device resident array.
+fn dev_idx(device: DeviceKind) -> usize {
+    match device {
+        DeviceKind::Dram => 0,
+        DeviceKind::Nvm => 1,
+    }
+}
+
+impl OffHeapRegion {
+    /// An empty region.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a block for `rdd` with `refs` scheduled consumers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rdd` already has a live block — the engine persists
+    /// each RDD instance at most once.
+    pub fn alloc(&mut self, rdd: u32, bytes: u64, device: DeviceKind, refs: u32) {
+        let prev = self.blocks.insert(
+            rdd,
+            OffHeapBlock {
+                bytes,
+                device,
+                refs,
+            },
+        );
+        assert!(prev.is_none(), "off-heap double alloc for rdd {rdd}");
+        self.resident[dev_idx(device)] += bytes;
+        self.stats.allocs += 1;
+        self.stats.alloc_bytes += bytes;
+    }
+
+    /// The live block for `rdd`, if any.
+    pub fn block(&self, rdd: u32) -> Option<&OffHeapBlock> {
+        self.blocks.get(&rdd)
+    }
+
+    /// Decrement `rdd`'s refcount; frees the block when it reaches zero.
+    /// Returns the freed block, or `None` if the block is still live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rdd` has no live block or its refcount is already zero
+    /// — either means the lifetime schedule and the engine diverged.
+    pub fn release(&mut self, rdd: u32) -> Option<OffHeapBlock> {
+        let block = self
+            .blocks
+            .get_mut(&rdd)
+            .unwrap_or_else(|| panic!("off-heap release of dead rdd {rdd}"));
+        assert!(block.refs > 0, "off-heap refcount underflow for rdd {rdd}");
+        block.refs -= 1;
+        if block.refs == 0 {
+            Some(self.free(rdd))
+        } else {
+            None
+        }
+    }
+
+    /// Free `rdd`'s block regardless of refcount (explicit `unpersist`,
+    /// end-of-run sweep). Returns the freed block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rdd` has no live block.
+    pub fn free(&mut self, rdd: u32) -> OffHeapBlock {
+        let block = self
+            .blocks
+            .remove(&rdd)
+            .unwrap_or_else(|| panic!("off-heap free of dead rdd {rdd}"));
+        self.resident[dev_idx(block.device)] -= block.bytes;
+        self.stats.frees += 1;
+        self.stats.freed_bytes += block.bytes;
+        block
+    }
+
+    /// Number of live blocks.
+    pub fn live_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Bytes currently resident on `device`.
+    pub fn resident_bytes(&self, device: DeviceKind) -> u64 {
+        self.resident[dev_idx(device)]
+    }
+
+    /// Total bytes currently resident across both devices.
+    pub fn total_resident_bytes(&self) -> u64 {
+        self.resident[0] + self.resident[1]
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> OffHeapStats {
+        self.stats
+    }
+
+    /// Live RDD ids in ascending order (deterministic iteration for the
+    /// end-of-run sweep).
+    pub fn live_rdds(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.blocks.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Verify the region's internal invariants: per-device resident
+    /// bytes equal the sum of live blocks, every live block has a
+    /// non-zero refcount, and lifetime counters balance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut sums = [0u64; 2];
+        for (rdd, b) in &self.blocks {
+            if b.refs == 0 {
+                return Err(format!("off-heap block for rdd {rdd} is live with 0 refs"));
+            }
+            sums[dev_idx(b.device)] += b.bytes;
+        }
+        if sums != self.resident {
+            return Err(format!(
+                "off-heap resident accounting drift: counted {sums:?}, recorded {:?}",
+                self.resident
+            ));
+        }
+        if self.stats.frees > self.stats.allocs {
+            return Err(format!(
+                "off-heap freed more blocks ({}) than allocated ({})",
+                self.stats.frees, self.stats.allocs
+            ));
+        }
+        let live_bytes = self.stats.alloc_bytes - self.stats.freed_bytes;
+        if live_bytes != self.total_resident_bytes() {
+            return Err(format!(
+                "off-heap byte accounting drift: alloc-freed = {live_bytes}, resident = {}",
+                self.total_resident_bytes()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refcounted_lifecycle_balances() {
+        let mut r = OffHeapRegion::new();
+        r.alloc(3, 1000, DeviceKind::Dram, 2);
+        r.alloc(5, 500, DeviceKind::Nvm, 1);
+        r.check_invariants().unwrap();
+        assert_eq!(r.resident_bytes(DeviceKind::Dram), 1000);
+        assert_eq!(r.resident_bytes(DeviceKind::Nvm), 500);
+        assert!(r.release(3).is_none());
+        assert_eq!(r.block(3).unwrap().refs, 1);
+        let freed = r.release(3).unwrap();
+        assert_eq!(freed.bytes, 1000);
+        assert!(r.block(3).is_none());
+        let freed = r.release(5).unwrap();
+        assert_eq!(freed.device, DeviceKind::Nvm);
+        assert_eq!(r.live_blocks(), 0);
+        assert_eq!(r.total_resident_bytes(), 0);
+        let s = r.stats();
+        assert_eq!(s.allocs, s.frees);
+        assert_eq!(s.alloc_bytes, s.freed_bytes);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn force_free_ignores_refcount() {
+        let mut r = OffHeapRegion::new();
+        r.alloc(7, 64, DeviceKind::Nvm, 9);
+        let b = r.free(7);
+        assert_eq!(b.refs, 9);
+        assert_eq!(r.live_blocks(), 0);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn live_rdds_are_sorted() {
+        let mut r = OffHeapRegion::new();
+        for rdd in [9, 2, 5] {
+            r.alloc(rdd, 1, DeviceKind::Dram, 1);
+        }
+        assert_eq!(r.live_rdds(), vec![2, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double alloc")]
+    fn double_alloc_panics() {
+        let mut r = OffHeapRegion::new();
+        r.alloc(1, 1, DeviceKind::Dram, 1);
+        r.alloc(1, 1, DeviceKind::Dram, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "refcount underflow")]
+    fn zero_ref_release_panics() {
+        let mut r = OffHeapRegion::new();
+        r.alloc(1, 1, DeviceKind::Dram, 1);
+        let _ = r.release(1);
+        // Block is gone; a second release is a dead-rdd panic, so rebuild
+        // the underflow case directly.
+        r.alloc(2, 1, DeviceKind::Dram, 0);
+        // refs == 0 at creation models a lineage-dead-at-birth block the
+        // engine frees immediately; releasing it must trip the assert.
+        let _ = r.release(2);
+    }
+}

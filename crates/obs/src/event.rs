@@ -203,6 +203,31 @@ pub enum Event {
         /// Modelled snapshot bytes read back.
         bytes: u64,
     },
+    /// A cross-executor shuffle transfer took the colocated shared-region
+    /// fast path: the bytes moved at memory bandwidth with zero serde
+    /// (they are exactly the serde bytes avoided). Never emitted at
+    /// `E=1`, where nothing crosses executors.
+    ShuffleFastPath {
+        /// Bytes that crossed executors through the shared region.
+        bytes: u64,
+    },
+    /// A persisted RDD was stored into the off-heap H2 region (the GC
+    /// neither traces nor card-marks it; writes charged to the tagged
+    /// device).
+    OffHeapAlloc {
+        /// The persisted RDD instance.
+        rdd: u32,
+        /// Modelled block bytes.
+        bytes: u64,
+    },
+    /// An off-heap block was released — its lineage-scheduled refcount
+    /// reached zero (or an unpersist / end-of-run sweep reclaimed it).
+    OffHeapFree {
+        /// The freed RDD instance.
+        rdd: u32,
+        /// Modelled block bytes returned.
+        bytes: u64,
+    },
     /// A traffic-meter window closed (bandwidth watermark; Figure 8's
     /// series, live). Emitted when the first access of a *later* window
     /// arrives.
@@ -241,6 +266,9 @@ impl Event {
             Event::RecoveryEnd { .. } => "recovery_end",
             Event::CheckpointWrite { .. } => "checkpoint_write",
             Event::CheckpointRestore { .. } => "checkpoint_restore",
+            Event::ShuffleFastPath { .. } => "shuffle_fastpath",
+            Event::OffHeapAlloc { .. } => "offheap_alloc",
+            Event::OffHeapFree { .. } => "offheap_free",
             Event::TrafficWindow { .. } => "traffic_window",
         }
     }
@@ -333,10 +361,14 @@ impl Event {
                 put("barrier", Json::UInt(*barrier));
                 put("recovery_ns", Json::Num(*recovery_ns));
             }
-            Event::CheckpointWrite { rdd, bytes } | Event::CheckpointRestore { rdd, bytes } => {
+            Event::CheckpointWrite { rdd, bytes }
+            | Event::CheckpointRestore { rdd, bytes }
+            | Event::OffHeapAlloc { rdd, bytes }
+            | Event::OffHeapFree { rdd, bytes } => {
                 put("rdd", Json::UInt(u64::from(*rdd)));
                 put("bytes", Json::UInt(*bytes));
             }
+            Event::ShuffleFastPath { bytes } => put("bytes", Json::UInt(*bytes)),
             Event::TrafficWindow {
                 window,
                 dram_read,
@@ -486,6 +518,15 @@ impl Event {
                 rdd: u("rdd")? as u32,
                 bytes: u("bytes")?,
             },
+            "shuffle_fastpath" => Event::ShuffleFastPath { bytes: u("bytes")? },
+            "offheap_alloc" => Event::OffHeapAlloc {
+                rdd: u("rdd")? as u32,
+                bytes: u("bytes")?,
+            },
+            "offheap_free" => Event::OffHeapFree {
+                rdd: u("rdd")? as u32,
+                bytes: u("bytes")?,
+            },
             "traffic_window" => Event::TrafficWindow {
                 window: u("window")?,
                 dram_read: u("dram_read")?,
@@ -565,6 +606,15 @@ mod tests {
             Event::CheckpointRestore {
                 rdd: 11,
                 bytes: 8192,
+            },
+            Event::ShuffleFastPath { bytes: 4096 },
+            Event::OffHeapAlloc {
+                rdd: 13,
+                bytes: 65536,
+            },
+            Event::OffHeapFree {
+                rdd: 13,
+                bytes: 65536,
             },
             Event::TrafficWindow {
                 window: 4,

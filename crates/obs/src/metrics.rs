@@ -209,6 +209,12 @@ pub struct MetricsAggregator {
     open_stage: Option<(u32, u64, u64, f64)>,
     shuffle_spills: u64,
     shuffle_bytes: u64,
+    fastpath_transfers: u64,
+    fastpath_bytes: u64,
+    offheap_allocs: u64,
+    offheap_alloc_bytes: u64,
+    offheap_frees: u64,
+    offheap_freed_bytes: u64,
     card_scans: u64,
     cards_scanned: u64,
     card_scan_bytes: u64,
@@ -323,6 +329,20 @@ impl MetricsAggregator {
                 Json::obj(vec![
                     ("spills", Json::UInt(self.shuffle_spills)),
                     ("bytes", Json::UInt(self.shuffle_bytes)),
+                    ("fastpath_transfers", Json::UInt(self.fastpath_transfers)),
+                    // Fast-path bytes cross at memory bandwidth with zero
+                    // serde on either side — they ARE the serde bytes the
+                    // shared-region transport avoided.
+                    ("serde_bytes_avoided", Json::UInt(self.fastpath_bytes)),
+                ]),
+            ),
+            (
+                "offheap",
+                Json::obj(vec![
+                    ("allocs", Json::UInt(self.offheap_allocs)),
+                    ("alloc_bytes", Json::UInt(self.offheap_alloc_bytes)),
+                    ("frees", Json::UInt(self.offheap_frees)),
+                    ("freed_bytes", Json::UInt(self.offheap_freed_bytes)),
                 ]),
             ),
             (
@@ -423,6 +443,21 @@ impl MetricsAggregator {
             self.cards_scanned,
             self.stuck_rescans
         ));
+        if self.fastpath_transfers > 0 {
+            out.push_str(&format!(
+                "shared-region fast path: {} transfers, serde bytes avoided: {}\n",
+                self.fastpath_transfers, self.fastpath_bytes
+            ));
+        }
+        if self.offheap_allocs > 0 || self.offheap_frees > 0 {
+            out.push_str(&format!(
+                "off-heap region: {} allocs ({} B), {} frees ({} B)\n",
+                self.offheap_allocs,
+                self.offheap_alloc_bytes,
+                self.offheap_frees,
+                self.offheap_freed_bytes
+            ));
+        }
         out.push_str(&format!(
             "traffic windows: {} (peak {} B total, peak {} B NVM writes)\n",
             self.traffic_windows, self.peak_window_bytes, self.peak_window_nvm_write
@@ -595,6 +630,18 @@ impl MetricsAggregator {
             Event::CheckpointRestore { bytes, .. } => {
                 self.checkpoint_restores += 1;
                 self.checkpoint_restore_bytes += bytes;
+            }
+            Event::ShuffleFastPath { bytes } => {
+                self.fastpath_transfers += 1;
+                self.fastpath_bytes += bytes;
+            }
+            Event::OffHeapAlloc { bytes, .. } => {
+                self.offheap_allocs += 1;
+                self.offheap_alloc_bytes += bytes;
+            }
+            Event::OffHeapFree { bytes, .. } => {
+                self.offheap_frees += 1;
+                self.offheap_freed_bytes += bytes;
             }
             Event::TrafficWindow {
                 dram_read,

@@ -13,7 +13,7 @@ use panthera::{MemoryMode, RecoveryPolicy, SystemConfig, SIM_GB};
 use panthera_cluster::{run_cluster_faulted, ClusterOutcome, FaultPlan, NvmCheckpointStore};
 use proptest::prelude::*;
 use sparklang::ast::MemoryTag;
-use sparklang::{ActionKind, FnTable, Program, ProgramBuilder};
+use sparklang::{ActionKind, FnTable, Program, ProgramBuilder, StorageLevel};
 use sparklet::{CheckpointEntry, CheckpointStore, DataRegistry, EngineConfig, InternTable};
 
 // ---------------------------------------------------------------------------
@@ -211,4 +211,114 @@ fn explicit_checkpoint_marking_works_without_auto_policy() {
         rec.stages_recomputed, 0,
         "the checkpointed RDD short-circuits all lineage recompute"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Off-heap-resident RDDs round-trip through the NVM checkpoint store.
+// ---------------------------------------------------------------------------
+
+/// A program whose cached RDD lives in the off-heap H2 region: the
+/// `checkpoint()` mark precedes the persist, so the snapshot is written
+/// during the persist's shuffle materialization — before the records
+/// move off-heap. Restoring after a crash must hand back the off-heap
+/// payload bit-identically.
+fn offheap_checkpoint_program(wire: &[WirePayload]) -> (Program, FnTable, DataRegistry) {
+    let mut b = ProgramBuilder::new("offheap-checkpoint");
+    let expr = b.source("src").distinct();
+    let out = b.bind("out", expr);
+    b.checkpoint(out);
+    b.persist(out, StorageLevel::MemoryOnly);
+    b.action(out, ActionKind::Collect);
+    b.action(out, ActionKind::Count);
+    let (program, fns) = b.finish();
+    let mut data = DataRegistry::new();
+    data.register("src", wire.iter().map(Payload::from).collect());
+    (program, fns, data)
+}
+
+fn run_offheap_checkpoint(records: &[Payload], offheap: bool, plan: &FaultPlan) -> ClusterOutcome {
+    // `Payload` interns text through `Rc` and so isn't `Sync`; ship the
+    // records to the executor threads in wire form — the same round trip
+    // a real shuffle or checkpoint would take.
+    let wire: Vec<WirePayload> = records.iter().map(WirePayload::from).collect();
+    let mut cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
+    cfg.executors = 2;
+    cfg.offheap_cache = offheap;
+    cfg.verify_heap = true;
+    run_cluster_faulted(
+        || offheap_checkpoint_program(&wire),
+        &cfg,
+        EngineConfig::default(),
+        2,
+        plan,
+    )
+    .expect("valid cluster config")
+}
+
+#[test]
+fn offheap_resident_rdd_restores_from_checkpoint() {
+    let records: Vec<Payload> = (0..40).map(|i| Payload::Long(i % 11)).collect();
+    let heap_baseline = run_offheap_checkpoint(&records, false, &FaultPlan::none());
+    let baseline = run_offheap_checkpoint(&records, true, &FaultPlan::none());
+    assert_eq!(
+        baseline.results, heap_baseline.results,
+        "the off-heap region must not change checkpointed values"
+    );
+    assert!(
+        baseline.report.recovery.checkpoint_writes > 0,
+        "the explicit mark must snapshot the off-heap-resident RDD"
+    );
+
+    // Crash executor 1 after the first action: the replay restores the
+    // snapshot and re-persists it off-heap instead of recomputing.
+    let faulted = run_offheap_checkpoint(&records, true, &FaultPlan::single_crash(1, 3));
+    assert_eq!(
+        faulted.results, baseline.results,
+        "restored payload differs"
+    );
+    let rec = faulted.report.recovery;
+    assert_eq!(rec.executor_crashes, 1);
+    assert!(
+        rec.partitions_restored > 0,
+        "restore must come from the store"
+    );
+    assert_eq!(
+        rec.stages_recomputed, 0,
+        "the snapshot short-circuits the shuffle recompute"
+    );
+    let e = &faulted.report.exec;
+    assert_eq!(
+        e.offheap_frees, e.offheap_allocs,
+        "region must drain after replay"
+    );
+    assert_eq!(e.offheap_leaks, 0, "no leaks after replay");
+    assert_eq!(e.offheap_dead_reads, 0, "no dead reads after replay");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary payload trees cached off-heap: checkpoint save/restore
+    /// round-trips the off-heap payload bit-identically through a crash,
+    /// and the region still drains exactly.
+    #[test]
+    fn offheap_checkpoint_roundtrip_is_bit_identical(
+        values in prop::collection::vec(payload_strategy(), 1..12),
+    ) {
+        // The shuffle partitions by key; carry each arbitrary payload
+        // tree as a keyed value.
+        let records: Vec<Payload> = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Payload::keyed(i as i64, p))
+            .collect();
+        let baseline = run_offheap_checkpoint(&records, true, &FaultPlan::none());
+        let faulted = run_offheap_checkpoint(&records, true, &FaultPlan::single_crash(0, 3));
+        prop_assert_eq!(&faulted.results, &baseline.results, "restored payload differs");
+        prop_assert_eq!(faulted.report.recovery.executor_crashes, 1);
+        let e = &faulted.report.exec;
+        prop_assert_eq!(e.offheap_frees, e.offheap_allocs, "region must drain");
+        prop_assert_eq!(e.offheap_leaks, 0);
+        prop_assert_eq!(e.offheap_dead_reads, 0);
+    }
 }

@@ -93,6 +93,21 @@ pub struct ShuffleContrib {
     pub right: Option<Vec<(u64, Vec<WirePayload>)>>,
 }
 
+impl ShuffleContrib {
+    /// Modelled footprint of this contribution in bytes — what the
+    /// deposit occupies in a shared shuffle region (or would cost to
+    /// serialize under the wire transport).
+    pub fn model_bytes(&self) -> u64 {
+        let side = |parts: &[(u64, Vec<WirePayload>)]| -> u64 {
+            parts
+                .iter()
+                .map(|(_, recs)| recs.iter().map(WirePayload::model_bytes).sum::<u64>())
+                .sum()
+        };
+        side(&self.left) + self.right.as_deref().map_or(0, side)
+    }
+}
+
 /// One executor's partial result for a global action.
 #[derive(Debug, Clone)]
 pub enum ActionContrib {

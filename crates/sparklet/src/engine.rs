@@ -16,13 +16,14 @@
 //!   behaviour Panthera's heap design exploits.
 
 use crate::cluster::{ActionContrib, ClusterCtx, PartMeta, ShuffleContrib};
+use crate::costs::{CostModel, ShuffleTransport};
 use crate::data::DataRegistry;
 use crate::rdd::{MatData, RddId, RddNode, RddOp};
 use crate::runtime::MemoryRuntime;
 use crate::shuffle::{reduce_side, Buckets};
 use hybridmem::{AccessKind, AccessProfile, DeviceKind};
-use mheap::{Key, ObjKind, Payload, RootSet, WirePayload};
-use panthera_analysis::InstrumentationPlan;
+use mheap::{Key, ObjKind, OffHeapRegion, Payload, RootSet, WirePayload};
+use panthera_analysis::{collect_lifetimes, InstrumentationPlan, LifetimePlan};
 use sparklang::ast::{ActionKind, Program, RddExpr, Stmt, StmtId, StorageLevel, Transform, VarId};
 use sparklang::{FnTable, FuncId, UserFn};
 use std::collections::HashMap;
@@ -31,9 +32,9 @@ use std::rc::Rc;
 /// Cost knobs of the engine's non-heap activities.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Simulated disk throughput for shuffle files and disk-level persists
-    /// (nanoseconds per byte).
-    pub disk_ns_per_byte: f64,
+    /// Data-movement charges (disk, network, serde, shared memory) — the
+    /// single source of truth the engine and the cluster exchange share.
+    pub costs: CostModel,
     /// CPU cost of one user-closure application.
     pub record_cpu_ns: f64,
     /// CPU cost of interpreting one driver statement.
@@ -42,9 +43,6 @@ pub struct EngineConfig {
     /// backbone array, and the arrays are allocated back to back — the
     /// reason shared cards "exist pervasively" (Section 4.2.3).
     pub partitions: usize,
-    /// CPU cost of serializing or deserializing one record (`*_SER`
-    /// storage levels trade this for a compact heap footprint).
-    pub serde_cpu_ns: f64,
     /// Fuse maximal chains of narrow transformations into one host-side
     /// streaming pass (records flow record-at-a-time through the whole
     /// chain; no intermediate stage ever materializes a `Vec<Payload>`).
@@ -61,24 +59,28 @@ pub struct EngineConfig {
     /// behaviour for before/after trajectory benchmarks. Simulated
     /// time/energy is unaffected — only host CPU burns.
     pub legacy_copies: bool,
-    /// Network cost of moving one shuffle byte between executors
-    /// (nanoseconds per byte). Only consulted in cluster mode; a
-    /// single-executor cluster never crosses the network, so the legacy
-    /// single-runtime path is unaffected by this knob.
-    pub net_ns_per_byte: f64,
+    /// How shuffle data crosses executors. Only consulted in cluster
+    /// mode; a single-executor cluster never crosses executors, so the
+    /// legacy single-runtime path is unaffected by this knob.
+    pub transport: ShuffleTransport,
+    /// Store heap-level persisted RDDs in the off-heap H2 region instead
+    /// of materializing them into the traced heap: the GC neither traces
+    /// nor card-marks them, they are never serialized, and they are
+    /// released on the lifetime schedule the analysis crate computes.
+    pub offheap_cache: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
-            disk_ns_per_byte: 0.5,
+            costs: CostModel::default(),
             record_cpu_ns: 80.0,
             driver_cpu_ns: 1_000.0,
             partitions: 8,
-            serde_cpu_ns: 60.0,
             fuse_narrow: true,
             legacy_copies: false,
-            net_ns_per_byte: 1.0,
+            transport: ShuffleTransport::Serde,
+            offheap_cache: false,
         }
     }
 }
@@ -131,6 +133,23 @@ pub struct ExecStats {
     /// (dropped for MEMORY_ONLY levels, spilled to disk for
     /// MEMORY_AND_DISK levels — Spark's block-manager behaviour).
     pub evictions: u64,
+    /// Shuffle bytes that crossed executors over the shared-region fast
+    /// path instead of serde + network (these are the serde bytes
+    /// avoided).
+    pub fastpath_bytes: u64,
+    /// Off-heap region blocks allocated.
+    pub offheap_allocs: u64,
+    /// Off-heap region blocks freed (refcount-zero releases, unpersists,
+    /// and end-of-run sweeps together).
+    pub offheap_frees: u64,
+    /// Bytes allocated into the off-heap region.
+    pub offheap_bytes: u64,
+    /// Off-heap blocks still live at end of run and reclaimed by the
+    /// sweep — a non-zero value means the lifetime schedule leaked.
+    pub offheap_leaks: u64,
+    /// Reads of off-heap record data whose region block was already
+    /// freed — a non-zero value means the lifetime schedule freed early.
+    pub offheap_dead_reads: u64,
 }
 
 impl ExecStats {
@@ -145,6 +164,12 @@ impl ExecStats {
             ("actions", Json::UInt(self.actions)),
             ("rdd_instances", Json::UInt(self.rdd_instances)),
             ("evictions", Json::UInt(self.evictions)),
+            ("fastpath_bytes", Json::UInt(self.fastpath_bytes)),
+            ("offheap_allocs", Json::UInt(self.offheap_allocs)),
+            ("offheap_frees", Json::UInt(self.offheap_frees)),
+            ("offheap_bytes", Json::UInt(self.offheap_bytes)),
+            ("offheap_leaks", Json::UInt(self.offheap_leaks)),
+            ("offheap_dead_reads", Json::UInt(self.offheap_dead_reads)),
         ])
     }
 }
@@ -184,6 +209,23 @@ pub struct Engine<R: MemoryRuntime> {
     /// heap footprint is modelled by compact byte-buffer objects, so the
     /// payloads live driver-side.
     ser_store: HashMap<RddId, Rc<Vec<Payload>>>,
+    /// Record contents of RDDs persisted into the off-heap H2 region
+    /// ([`EngineConfig::offheap_cache`]). Entries live until `unpersist`;
+    /// the region's simulated bytes are released earlier, on the lifetime
+    /// schedule.
+    offheap_store: HashMap<RddId, Rc<Vec<Payload>>>,
+    /// Simulated-byte accounting for the off-heap region.
+    offheap_region: OffHeapRegion,
+    /// The static release schedule driving off-heap refcounts; `Some`
+    /// only when `offheap_cache` is on.
+    lifetime: Option<LifetimePlan>,
+    /// Dynamic statement counter, in the lifetime plan's step numbering.
+    lifetime_step: usize,
+    /// The statement step currently executing (what `persist_offheap`
+    /// looks its planned block up under).
+    lifetime_cur: usize,
+    /// Which RDD each plan block id materialized as, in block order.
+    plan_blocks: Vec<RddId>,
     /// Non-zero while computing the inputs of a join: hash-probe access is
     /// random (latency-bound), not streaming.
     random_read_depth: u32,
@@ -223,6 +265,12 @@ impl<R: MemoryRuntime> Engine<R> {
             transients: Vec::new(),
             persist_order: Vec::new(),
             ser_store: HashMap::new(),
+            offheap_store: HashMap::new(),
+            offheap_region: OffHeapRegion::new(),
+            lifetime: None,
+            lifetime_step: 0,
+            lifetime_cur: 0,
+            plan_blocks: Vec::new(),
             random_read_depth: 0,
             stage_seq: 0,
             cluster: None,
@@ -280,12 +328,29 @@ impl<R: MemoryRuntime> Engine<R> {
             panic!("ill-formed program {:?}: {e}", program.name);
         }
         self.vars = vec![None; program.n_vars()];
+        if self.config.offheap_cache {
+            self.lifetime = Some(collect_lifetimes(program));
+            self.lifetime_step = 0;
+            self.plan_blocks.clear();
+        }
         let mut results = Vec::new();
         let mut next = 0u32;
         self.exec_block(program, &program.stmts, plan, &mut next, &mut results);
+        self.offheap_sweep();
         RunOutcome {
             results,
             stats: self.stats,
+        }
+    }
+
+    /// End-of-run off-heap sweep: the lifetime schedule must have freed
+    /// every block by now, so anything still resident is a leak — reclaim
+    /// it and count it (tests pin the counter to zero).
+    fn offheap_sweep(&mut self) {
+        for rdd in self.offheap_region.live_rdds() {
+            let freed = self.offheap_region.free(rdd);
+            self.stats.offheap_leaks += 1;
+            self.note_offheap_free(rdd, freed.bytes);
         }
     }
 
@@ -304,6 +369,9 @@ impl<R: MemoryRuntime> Engine<R> {
         for s in stmts {
             let id = StmtId(*next);
             *next += 1;
+            let step = self.lifetime_step;
+            self.lifetime_step += 1;
+            self.lifetime_cur = step;
             self.runtime
                 .heap_mut()
                 .mem_mut()
@@ -351,6 +419,10 @@ impl<R: MemoryRuntime> Engine<R> {
                     results.push((program.var_name(*var).to_string(), value));
                 }
             }
+            // Off-heap bookkeeping scheduled for this statement: releases
+            // for the persisted blocks its evaluation consumed, frees for
+            // blocks born lineage-dead.
+            self.apply_lifetime_ops(step);
             // Cluster mode: stage barrier after every statement. Loop trip
             // counts are static, so every executor reaches the same
             // barriers in the same order; the barrier clock is the max
@@ -468,6 +540,13 @@ impl<R: MemoryRuntime> Engine<R> {
         self.disk_store.remove(&rdd);
         self.native_store.remove(&rdd);
         self.ser_store.remove(&rdd);
+        if self.offheap_store.remove(&rdd).is_some() && self.offheap_region.block(rdd.0).is_some() {
+            // The lifetime schedule releases a block's last reference at
+            // its last consuming statement, which precedes any unpersist —
+            // so this free is defensive only.
+            let freed = self.offheap_region.free(rdd.0);
+            self.note_offheap_free(rdd.0, freed.bytes);
+        }
         self.persist_order.retain(|r| *r != rdd);
         self.rdds[rdd.0 as usize].persisted = None;
     }
@@ -549,6 +628,12 @@ impl<R: MemoryRuntime> Engine<R> {
                 Some(StorageLevel::OffHeap) => {
                     e.charge_native(&records, AccessKind::Write);
                     e.native_store.insert(rdd, records);
+                }
+                // With the H2 region enabled, every heap-level persist —
+                // serialized levels included, since the region is never
+                // serialized — goes off-heap instead of into old gen.
+                Some(l) if l.uses_heap() && e.config.offheap_cache => {
+                    e.persist_offheap(rdd, records);
                 }
                 Some(l) if l.is_serialized() => {
                     // A wide node may already carry its shuffle's transient
@@ -752,6 +837,7 @@ impl<R: MemoryRuntime> Engine<R> {
         self.rdds[rdd.0 as usize].materialized.is_some()
             || self.disk_store.contains_key(&rdd)
             || self.native_store.contains_key(&rdd)
+            || self.offheap_store.contains_key(&rdd)
     }
 
     /// Panthera's stage-start lineage scan: push this RDD's tag backward
@@ -794,7 +880,7 @@ impl<R: MemoryRuntime> Engine<R> {
         self.runtime
             .heap_mut()
             .mem_mut()
-            .compute(self.config.serde_cpu_ns * records.len() as f64);
+            .compute(self.config.costs.serde_ns(records.len() as u64));
         self.roots.push_scope();
         let n_parts = self.config.partitions.clamp(1, records.len().max(1));
         let per_part = records.len().div_ceil(n_parts).max(1);
@@ -1059,7 +1145,8 @@ impl<R: MemoryRuntime> Engine<R> {
                 );
             }
         }
-        let persist_heap = matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
+        let persist_heap = !self.config.offheap_cache
+            && matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
         self.materialize_into_heap(rdd, &records, !persist_heap);
         Some(Rc::new(records))
     }
@@ -1085,6 +1172,25 @@ impl<R: MemoryRuntime> Engine<R> {
             let records = Rc::clone(records);
             self.emulate_legacy_copies(&records);
             self.charge_native(&records, AccessKind::Read);
+            return records;
+        }
+        if let Some(records) = self.offheap_store.get(&rdd) {
+            let records = Rc::clone(records);
+            self.emulate_legacy_copies(&records);
+            if self.offheap_region.block(rdd.0).is_none() {
+                // The schedule freed this block before its last read —
+                // results stay correct (the store keeps the records), but
+                // the premature free must be visible to tests.
+                self.stats.offheap_dead_reads += 1;
+            }
+            let device = self.offheap_device(rdd);
+            let bytes: u64 = records.iter().map(Payload::model_bytes).sum();
+            self.runtime.heap_mut().mem_mut().access_device(
+                device,
+                AccessKind::Read,
+                bytes,
+                AccessProfile::mutator(),
+            );
             return records;
         }
         if let Some(records) = self.try_restore_checkpoint(rdd) {
@@ -1292,7 +1398,8 @@ impl<R: MemoryRuntime> Engine<R> {
             if cur != rdd
                 && (node.materialized.is_some()
                     || self.disk_store.contains_key(&cur)
-                    || self.native_store.contains_key(&cur))
+                    || self.native_store.contains_key(&cur)
+                    || self.offheap_store.contains_key(&cur))
             {
                 break;
             }
@@ -1435,7 +1542,8 @@ impl<R: MemoryRuntime> Engine<R> {
         // freshly from shuffle files (Section 2). It dies with the current
         // evaluation unless this node is itself a heap-persisted RDD, in
         // which case the shuffle output *is* the persisted materialization.
-        let persist_heap = matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
+        let persist_heap = !self.config.offheap_cache
+            && matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
         self.materialize_into_heap(rdd, &out, !persist_heap);
         Rc::new(out)
     }
@@ -1491,10 +1599,26 @@ impl<R: MemoryRuntime> Engine<R> {
         let right_global = merge_contrib_parts(&contribs, |c| c.right.as_deref());
         let (xfer_records, xfer_bytes) =
             transfer_cost(&left_global, &right_global, ctx.exec, ctx.n_exec);
-        let xfer_ns = self.config.serde_cpu_ns * xfer_records as f64
-            + self.config.net_ns_per_byte * xfer_bytes as f64;
+        let xfer_ns =
+            self.config
+                .costs
+                .transfer_ns(self.config.transport, xfer_records, xfer_bytes);
         if xfer_ns > 0.0 {
             self.runtime.heap_mut().mem_mut().compute(xfer_ns);
+        }
+        if xfer_bytes > 0 && self.config.transport == ShuffleTransport::SharedRegion {
+            // Colocated fast path taken: these bytes moved at memory
+            // bandwidth with zero serde. E=1 transfers nothing, so this
+            // never fires there and the single-runtime identity holds.
+            self.stats.fastpath_bytes += xfer_bytes;
+            let mem = self.runtime.heap().mem();
+            let observer = mem.observer();
+            if observer.enabled() {
+                observer.emit(
+                    mem.clock().now_ns(),
+                    &obs::Event::ShuffleFastPath { bytes: xfer_bytes },
+                );
+            }
         }
         // The consuming stage starts by reading the shuffle files.
         self.runtime.stage_boundary(&self.roots);
@@ -1558,7 +1682,8 @@ impl<R: MemoryRuntime> Engine<R> {
                 }
             });
         }
-        let persist_heap = matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
+        let persist_heap = !self.config.offheap_cache
+            && matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
         self.materialize_into_heap(rdd, &local, !persist_heap);
         Rc::new(local)
     }
@@ -1578,7 +1703,7 @@ impl<R: MemoryRuntime> Engine<R> {
             self.runtime
                 .heap_mut()
                 .mem_mut()
-                .compute(self.config.serde_cpu_ns * records.len() as f64);
+                .compute(self.config.costs.serde_ns(records.len() as u64));
             for i in 0..records.len() {
                 let r = self.copy_record(&records[i]);
                 self.stream_alloc(r);
@@ -1625,7 +1750,7 @@ impl<R: MemoryRuntime> Engine<R> {
         self.runtime
             .heap_mut()
             .mem_mut()
-            .compute(bytes as f64 * self.config.disk_ns_per_byte);
+            .compute(self.config.costs.disk_ns(bytes));
     }
 
     fn charge_shuffle(&mut self, records: &[Payload]) {
@@ -1641,7 +1766,7 @@ impl<R: MemoryRuntime> Engine<R> {
         self.runtime
             .heap_mut()
             .mem_mut()
-            .compute(bytes as f64 * self.config.disk_ns_per_byte);
+            .compute(self.config.costs.disk_ns(bytes));
     }
 
     fn charge_native(&mut self, records: &[Payload], kind: AccessKind) {
@@ -1652,6 +1777,120 @@ impl<R: MemoryRuntime> Engine<R> {
             bytes,
             AccessProfile::mutator(),
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Off-heap H2 region ([`EngineConfig::offheap_cache`])
+    // ------------------------------------------------------------------
+
+    /// Simulated-byte accounting of the off-heap region (tests assert its
+    /// invariants and end-of-run emptiness).
+    pub fn offheap_region(&self) -> &OffHeapRegion {
+        &self.offheap_region
+    }
+
+    /// Which device an off-heap block for `rdd` lives on: the analysis
+    /// tag decides, exactly as it does for heap placement — DRAM-tagged
+    /// RDDs go to DRAM, everything else to NVM.
+    fn offheap_device(&self, rdd: RddId) -> DeviceKind {
+        match self.rdds[rdd.0 as usize].tag {
+            Some(sparklang::ast::MemoryTag::Dram) => DeviceKind::Dram,
+            _ => DeviceKind::Nvm,
+        }
+    }
+
+    /// Persist `records` into the off-heap region: copy them there at the
+    /// tagged device's bandwidth, register the block under its planned
+    /// refcount, and make the RDD off-heap-materialized. The GC never
+    /// sees the block — no heap objects, no roots, no cards — and the
+    /// records are never serialized.
+    fn persist_offheap(&mut self, rdd: RddId, records: Rc<Vec<Payload>>) {
+        let bytes: u64 = records.iter().map(Payload::model_bytes).sum();
+        let device = self.offheap_device(rdd);
+        let step = self.lifetime_cur;
+        let block = self
+            .lifetime
+            .as_ref()
+            .and_then(|p| p.ops(step))
+            .and_then(|o| o.block)
+            .unwrap_or_else(|| {
+                panic!("off-heap persist of {rdd} at step {step} has no planned block")
+            });
+        assert_eq!(
+            block.id as usize,
+            self.plan_blocks.len(),
+            "off-heap block order diverged from the lifetime plan"
+        );
+        self.plan_blocks.push(rdd);
+        self.offheap_region
+            .alloc(rdd.0, bytes, device, block.retain);
+        self.runtime.heap_mut().mem_mut().access_device(
+            device,
+            AccessKind::Write,
+            bytes,
+            AccessProfile::mutator(),
+        );
+        self.stats.offheap_allocs += 1;
+        self.stats.offheap_bytes += bytes;
+        {
+            let mem = self.runtime.heap().mem();
+            let observer = mem.observer();
+            if observer.enabled() {
+                observer.emit(
+                    mem.clock().now_ns(),
+                    &obs::Event::OffHeapAlloc { rdd: rdd.0, bytes },
+                );
+            }
+        }
+        // A wide node reaches here already carrying its shuffle's
+        // transient materialization, which ran both hooks; only a
+        // never-materialized (narrow) target still needs them.
+        if self.rdds[rdd.0 as usize].materialized.is_none() {
+            self.note_live_partitions(rdd);
+            self.maybe_checkpoint(rdd, &records);
+        }
+        self.offheap_store.insert(rdd, records);
+    }
+
+    /// Apply the lifetime schedule's operations for dynamic statement
+    /// `step`: decrement each consumed block once (freeing at zero) and
+    /// force-free blocks born lineage-dead at this statement.
+    fn apply_lifetime_ops(&mut self, step: usize) {
+        let Some(plan) = &self.lifetime else {
+            return;
+        };
+        let Some(ops) = plan.ops(step) else {
+            return;
+        };
+        if ops.releases.is_empty() && ops.frees.is_empty() {
+            return;
+        }
+        let releases = ops.releases.clone();
+        let frees = ops.frees.clone();
+        for b in releases {
+            let rdd = self.plan_blocks[b as usize];
+            if let Some(freed) = self.offheap_region.release(rdd.0) {
+                self.note_offheap_free(rdd.0, freed.bytes);
+            }
+        }
+        for b in frees {
+            let rdd = self.plan_blocks[b as usize];
+            let freed = self.offheap_region.free(rdd.0);
+            self.note_offheap_free(rdd.0, freed.bytes);
+        }
+    }
+
+    /// Count one off-heap block free and emit its observation.
+    fn note_offheap_free(&mut self, rdd: u32, bytes: u64) {
+        self.stats.offheap_frees += 1;
+        let mem = self.runtime.heap().mem();
+        let observer = mem.observer();
+        if observer.enabled() {
+            observer.emit(
+                mem.clock().now_ns(),
+                &obs::Event::OffHeapFree { rdd, bytes },
+            );
+        }
     }
 
     fn apply_reduce(&mut self, f: FuncId, a: &Payload, b: &Payload) -> Payload {

@@ -17,6 +17,7 @@
 //! baseline memory mode.
 
 mod cluster;
+mod costs;
 mod data;
 mod engine;
 mod rdd;
@@ -27,6 +28,7 @@ pub use cluster::{
     ActionContrib, CheckpointEntry, CheckpointStore, ClusterCtx, ClusterError, ExchangeClient,
     PartMeta, RecoveryCounters, RecoveryCtx, RecoveryMark, RecoverySlot, ShuffleContrib,
 };
+pub use costs::{CostModel, ShuffleTransport};
 pub use data::{DataRegistry, InternTable};
 pub use engine::{partition_sizes, ActionResult, Engine, EngineConfig, ExecStats, RunOutcome};
 pub use rdd::{MatData, RddId, RddNode, RddOp};
