@@ -30,6 +30,7 @@
 //! * `Unpersist` drops the materialization, so later evaluations recurse
 //!   past the instance and consume its ancestors instead.
 
+use mheap::RegionClass;
 use sparklang::ast::{Program, RddExpr, Stmt, VarId};
 use std::collections::{BTreeSet, HashMap};
 
@@ -44,6 +45,12 @@ pub struct PlanBlock {
     /// is lineage-dead at birth; the creating step lists the block in its
     /// own `frees`.
     pub retain: u32,
+    /// Region class of the block's data: [`RegionClass::Eternal`] when
+    /// the last consuming step is the final dynamic step of the program
+    /// (the data lives to the end of the run), [`RegionClass::RddLifetime`]
+    /// otherwise. Plan blocks are never stage scratch — that class covers
+    /// the engine's streamed temporaries, which no block addresses.
+    pub class: RegionClass,
 }
 
 /// The off-heap operations one dynamic statement execution performs,
@@ -112,6 +119,13 @@ impl LifetimePlan {
                 *released.entry(b).or_insert(0) += 1;
             }
         }
+        let mut last_release: HashMap<u32, usize> = HashMap::new();
+        for (i, ops) in self.steps.iter().enumerate() {
+            for &b in &ops.releases {
+                last_release.insert(b, i);
+            }
+        }
+        let final_step = self.steps.len().saturating_sub(1);
         for (i, ops) in self.steps.iter().enumerate() {
             if let Some(b) = &ops.block {
                 let got = released.get(&b.id).copied().unwrap_or(0);
@@ -119,6 +133,17 @@ impl LifetimePlan {
                     return Err(format!(
                         "block {} (step {i}) retain {} but released {got} times",
                         b.id, b.retain
+                    ));
+                }
+                let want = if b.retain > 0 && last_release.get(&b.id) == Some(&final_step) {
+                    mheap::RegionClass::Eternal
+                } else {
+                    mheap::RegionClass::RddLifetime
+                };
+                if b.class != want {
+                    return Err(format!(
+                        "block {} classified {:?} but its schedule says {want:?}",
+                        b.id, b.class
                     ));
                 }
             }
@@ -221,7 +246,11 @@ impl Walker {
                     let block = if level.uses_heap() {
                         let id = self.n_blocks;
                         self.n_blocks += 1;
-                        self.steps[step].block = Some(PlanBlock { id, retain: 0 });
+                        self.steps[step].block = Some(PlanBlock {
+                            id,
+                            retain: 0,
+                            class: RegionClass::RddLifetime,
+                        });
                         Some(id)
                     } else {
                         None
@@ -250,18 +279,26 @@ impl Walker {
 pub fn collect_lifetimes(program: &Program) -> LifetimePlan {
     let mut w = Walker::default();
     w.walk(&program.stmts);
-    // Pass 2: retain counts, and free retain-zero blocks at birth.
+    // Pass 2: retain counts, region classes, and freeing retain-zero
+    // blocks at birth.
     let mut released: HashMap<u32, u32> = HashMap::new();
-    for ops in &w.steps {
+    let mut last_release: HashMap<u32, usize> = HashMap::new();
+    for (i, ops) in w.steps.iter().enumerate() {
         for &b in &ops.releases {
             *released.entry(b).or_insert(0) += 1;
+            last_release.insert(b, i);
         }
     }
+    let final_step = w.steps.len().saturating_sub(1);
     for ops in &mut w.steps {
         if let Some(block) = &mut ops.block {
             block.retain = released.get(&block.id).copied().unwrap_or(0);
             if block.retain == 0 {
                 ops.frees.push(block.id);
+            } else if last_release.get(&block.id) == Some(&final_step) {
+                // The last consumer is the program's final dynamic step:
+                // the data effectively lives to the end of the run.
+                block.class = RegionClass::Eternal;
             }
         }
     }
@@ -406,6 +443,23 @@ mod tests {
         assert_eq!(plan.steps[1].block.unwrap().retain, 1);
         assert_eq!(plan.steps[2].releases, vec![0]);
         assert!(plan.steps[4].releases.is_empty());
+    }
+
+    #[test]
+    fn last_step_consumer_makes_a_block_eternal() {
+        let mut b = ProgramBuilder::new("t");
+        let src = b.source("s");
+        let x = b.bind("x", src);
+        b.persist(x, StorageLevel::MemoryOnly);
+        let y = b.bind("y", b.var(x).values());
+        b.persist(y, StorageLevel::MemoryOnly);
+        b.action(x, ActionKind::Count); // x consumed mid-program.
+        b.action(y, ActionKind::Count); // y consumed at the final step.
+        let (p, _) = b.finish();
+        let plan = collect_lifetimes(&p);
+        plan.check().unwrap();
+        assert_eq!(plan.steps[1].block.unwrap().class, RegionClass::RddLifetime);
+        assert_eq!(plan.steps[3].block.unwrap().class, RegionClass::Eternal);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! binaries).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use panthera::{run_workload, MemoryMode, SystemConfig, SIM_GB};
+use panthera::{MemoryMode, RunBuilder, SystemConfig, SIM_GB};
 use std::hint::black_box;
 use workloads::{build_workload, WorkloadId};
 
@@ -24,8 +24,11 @@ fn bench_workloads(c: &mut Criterion) {
                     b.iter(|| {
                         let w = build_workload(*id, 0.1, 7);
                         let cfg = SystemConfig::new(*mode, 16 * SIM_GB, 1.0 / 3.0);
-                        let (report, _) = run_workload(&w.program, w.fns, w.data, &cfg);
-                        black_box(report.elapsed_s)
+                        let run = RunBuilder::new(&w.program, w.fns, w.data)
+                            .config(cfg)
+                            .run()
+                            .expect("valid configuration");
+                        black_box(run.report.elapsed_s)
                     })
                 },
             );

@@ -1,4 +1,4 @@
-use panthera::{run_workload, MemoryMode, RunReport, SystemConfig, SIM_GB};
+use panthera::{MemoryMode, RunBuilder, RunReport, SystemConfig, SIM_GB};
 use panthera_bench::maybe_csv;
 use workloads::{build_workload, WorkloadId};
 
@@ -19,8 +19,11 @@ fn main() {
         for mode in modes {
             let w = build_workload(id, 1.0, 7);
             let cfg = SystemConfig::new(mode, 64 * SIM_GB, 1.0 / 3.0);
-            let (report, _out) = run_workload(&w.program, w.fns, w.data, &cfg);
-            reports.push(report);
+            let run = RunBuilder::new(&w.program, w.fns, w.data)
+                .config(cfg)
+                .run()
+                .unwrap_or_else(|e| panic!("{e}"));
+            reports.push(run.report);
         }
         maybe_csv("matrix", &reports.iter().collect::<Vec<_>>());
         let base = &reports[0];

@@ -23,7 +23,7 @@
 //! dirty-card sweep in isolation.
 //!
 //! An **executor-scaling arm** runs PageRank and an inline hash join on
-//! the `panthera-cluster` driver at E = 1, 2, 4 executors (host threads
+//! the cluster path of `RunBuilder` at E = 1, 2, 4 executors (host threads
 //! from `PANTHERA_HOST_THREADS`, default one per executor), asserting
 //! that the E = 1 cluster report is bit-identical to the single-runtime
 //! path and that host-thread count is invisible to the simulation.
@@ -55,17 +55,21 @@
 //!   plus a cached-PageRank arm with and without the off-heap H2 region
 //!   comparing GC pause totals. Emits `BENCH_PR6.json` plus its `.sim`
 //!   companion.
+//! * `--regions` — run the region-arena suite instead: every Table 4
+//!   workload at a fixed cache-heavy scale with `region_alloc` off and
+//!   on, asserting bit-identical results and drained arenas, and
+//!   requiring at least 4 of the 7 workloads to reduce both the minor-GC
+//!   pause p90 and the cards scanned; plus clustered PageRank arms at
+//!   E = 2, 4 with regions on. Emits `BENCH_PR7.json` plus its `.sim`
+//!   companion.
 
 use gc::{GcCoordinator, PantheraPolicy};
 use hybridmem::{Addr, MemorySystemConfig};
 use mheap::{CardTable, Heap, HeapConfig, MemTag, ObjKind, Payload, RootSet, CARD_BYTES};
 use obs::{Json, JsonlSink, MetricsAggregator, Observer};
+use panthera::cluster::{host_threads_from_env, FaultPlan, FaultSpec};
 use panthera::{
-    run_workload_with_engine, try_run_workload, MemoryMode, RecoveryPolicy, RunReport,
-    SystemConfig, SIM_GB,
-};
-use panthera_cluster::{
-    host_threads_from_env, run_cluster, run_cluster_faulted, ClusterOutcome, FaultPlan, FaultSpec,
+    MemoryMode, RecoveryPolicy, RunBuilder, RunReport, RunSummary, SystemConfig, SIM_GB,
 };
 use sparklang::{ActionKind, FnTable, Program, ProgramBuilder};
 use sparklet::{DataRegistry, EngineConfig, ShuffleTransport};
@@ -87,13 +91,14 @@ const WORKLOADS: [WorkloadId; 4] = [
 const SEED: u64 = 7;
 
 /// Parsed command line: `--quick`, `--executors N`, `--trace [PATH]`,
-/// and `--faults SEED`.
+/// `--faults SEED`, `--shuffle`, and `--regions`.
 struct Cli {
     quick: bool,
     executors: Option<u16>,
     trace: Option<String>,
     faults: Option<u64>,
     shuffle: bool,
+    regions: bool,
 }
 
 impl Cli {
@@ -104,6 +109,7 @@ impl Cli {
             trace: None,
             faults: None,
             shuffle: false,
+            regions: false,
         };
         let mut args = std::env::args().skip(1).peekable();
         while let Some(arg) = args.next() {
@@ -137,11 +143,12 @@ impl Cli {
                     }
                 },
                 "--shuffle" => cli.shuffle = true,
+                "--regions" => cli.regions = true,
                 other => {
                     eprintln!("perfsuite: unknown flag `{other}`");
                     eprintln!(
                         "usage: perfsuite [--quick] [--executors N] [--trace [PATH]] \
-                         [--faults SEED] [--shuffle]"
+                         [--faults SEED] [--shuffle] [--regions]"
                     );
                     std::process::exit(2);
                 }
@@ -196,7 +203,12 @@ fn median_host_ns<T, F: FnMut() -> T>(n: usize, mut f: F) -> (u64, T) {
 fn run_arm(id: WorkloadId, ecfg: EngineConfig, scale: f64) -> RunReport {
     let w = build_workload(id, scale, SEED);
     let cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
-    run_workload_with_engine(&w.program, w.fns, w.data, &cfg, ecfg).0
+    RunBuilder::new(&w.program, w.fns, w.data)
+        .config(cfg)
+        .engine(ecfg)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: {e}", id.name()))
+        .report
 }
 
 struct WorkloadRow {
@@ -269,27 +281,28 @@ fn hashjoin_build(scale: f64) -> (Program, FnTable, DataRegistry) {
     (program, fns, data)
 }
 
-fn cluster_run_once(wl: &str, scale: f64, executors: u16, host_threads: usize) -> ClusterOutcome {
+fn cluster_run_once(wl: &str, scale: f64, executors: u16, host_threads: usize) -> RunSummary {
     let mut cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
     cfg.executors = executors;
-    let out = match wl {
-        "pr" => run_cluster(
-            || {
-                let w = build_workload(WorkloadId::Pr, scale, SEED);
-                (w.program, w.fns, w.data)
-            },
-            &cfg,
-            EngineConfig::default(),
-            host_threads,
-        ),
-        _ => run_cluster(
-            || hashjoin_build(scale),
-            &cfg,
-            EngineConfig::default(),
-            host_threads,
-        ),
+    // An empty fault plan pins the cluster path even at E = 1, so the
+    // e1_matches_legacy check compares the two runtimes, not one with
+    // itself.
+    let none = FaultPlan::none();
+    let pr_build = || {
+        let w = build_workload(WorkloadId::Pr, scale, SEED);
+        (w.program, w.fns, w.data)
     };
-    out.expect("valid cluster config")
+    let hj_build = || hashjoin_build(scale);
+    let builder = match wl {
+        "pr" => RunBuilder::from_build(&pr_build),
+        _ => RunBuilder::from_build(&hj_build),
+    };
+    builder
+        .config(cfg)
+        .host_threads(host_threads)
+        .faults(&none)
+        .run()
+        .expect("valid cluster config")
 }
 
 struct ScalingRow {
@@ -318,8 +331,11 @@ fn bench_scaling(ladder: &[u16], n: usize, scale: f64) -> (Vec<ScalingRow>, bool
                     _ => {
                         let (program, fns, data) = hashjoin_build(scale);
                         let cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
-                        run_workload_with_engine(&program, fns, data, &cfg, EngineConfig::default())
-                            .0
+                        RunBuilder::new(&program, fns, data)
+                            .config(cfg)
+                            .run()
+                            .expect("valid configuration")
+                            .report
                     }
                 };
                 let ok = out.report.to_json().to_compact() == legacy.to_json().to_compact();
@@ -390,8 +406,11 @@ fn write_trace(path: &str) {
     let w = build_workload(WorkloadId::Pr, 0.2, 3);
     let mut cfg = SystemConfig::new(MemoryMode::Panthera, 8 * SIM_GB, 1.0 / 3.0);
     cfg.observer = observer;
-    let (report, _) = try_run_workload(&w.program, w.fns, w.data, &cfg)
-        .unwrap_or_else(|e| panic!("trace config invalid: {e}"));
+    let report = RunBuilder::new(&w.program, w.fns, w.data)
+        .config(cfg)
+        .run()
+        .unwrap_or_else(|e| panic!("trace config invalid: {e}"))
+        .report;
     jsonl.borrow_mut().flush().expect("flush trace");
 
     let m = metrics.borrow();
@@ -502,7 +521,7 @@ struct FaultRow {
     policy: &'static str,
     faulted: bool,
     host_ns: u64,
-    outcome: ClusterOutcome,
+    outcome: RunSummary,
 }
 
 fn fault_run(
@@ -511,21 +530,20 @@ fn fault_run(
     policy: RecoveryPolicy,
     plan: &FaultPlan,
     host_threads: usize,
-) -> ClusterOutcome {
+) -> RunSummary {
     let mut cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
     cfg.executors = executors;
     cfg.recovery = policy;
-    run_cluster_faulted(
-        || {
-            let w = build_workload(WorkloadId::Pr, scale, SEED);
-            (w.program, w.fns, w.data)
-        },
-        &cfg,
-        EngineConfig::default(),
-        host_threads,
-        plan,
-    )
-    .expect("valid cluster config")
+    let build = || {
+        let w = build_workload(WorkloadId::Pr, scale, SEED);
+        (w.program, w.fns, w.data)
+    };
+    RunBuilder::from_build(&build)
+        .config(cfg)
+        .host_threads(host_threads)
+        .faults(plan)
+        .run()
+        .expect("valid cluster config")
 }
 
 fn fault_row_json(r: &FaultRow, sim_only: bool) -> Json {
@@ -729,7 +747,7 @@ struct ShuffleRow {
     transport: &'static str,
     host_ns: u64,
     shared_region_bytes: u64,
-    outcome: ClusterOutcome,
+    outcome: RunSummary,
 }
 
 /// An inline group-by (`n` keyed records folded into colliding buckets,
@@ -758,25 +776,23 @@ fn shuffle_run(
     executors: u16,
     transport: ShuffleTransport,
     host_threads: usize,
-) -> ClusterOutcome {
+) -> RunSummary {
     let mut cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
     cfg.executors = executors;
     cfg.transport = transport;
-    let out = match wl {
-        "hashjoin" => run_cluster(
-            || hashjoin_build(scale),
-            &cfg,
-            EngineConfig::default(),
-            host_threads,
-        ),
-        _ => run_cluster(
-            || groupby_build(scale),
-            &cfg,
-            EngineConfig::default(),
-            host_threads,
-        ),
+    let none = FaultPlan::none();
+    let hj_build = || hashjoin_build(scale);
+    let gb_build = || groupby_build(scale);
+    let builder = match wl {
+        "hashjoin" => RunBuilder::from_build(&hj_build),
+        _ => RunBuilder::from_build(&gb_build),
     };
-    out.expect("valid cluster config")
+    builder
+        .config(cfg)
+        .host_threads(host_threads)
+        .faults(&none)
+        .run()
+        .expect("valid cluster config")
 }
 
 fn shuffle_row_json(r: &ShuffleRow, sim_only: bool) -> Json {
@@ -892,11 +908,15 @@ fn run_shuffle_suite(cli: &Cli, n: usize, scale: f64) {
         let mut cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
         cfg.offheap_cache = offheap;
         let w = build_workload(WorkloadId::Pr, GC_SCALE, SEED);
-        run_workload_with_engine(&w.program, w.fns, w.data, &cfg, EngineConfig::default())
+        RunBuilder::new(&w.program, w.fns, w.data)
+            .config(cfg)
+            .run()
+            .expect("valid configuration")
     };
-    let ((heap_rep, heap_out), (off_rep, off_out)) = (pr_arm(false), pr_arm(true));
+    let (heap_run, off_run) = (pr_arm(false), pr_arm(true));
+    let (heap_rep, off_rep) = (&heap_run.report, &off_run.report);
     assert_eq!(
-        off_out.results, heap_out.results,
+        off_run.results, heap_run.results,
         "cached-PageRank: the off-heap region changed a value"
     );
     assert_eq!(
@@ -986,10 +1006,250 @@ fn run_shuffle_suite(cli: &Cli, n: usize, scale: f64) {
     let _ = cli;
 }
 
+// ---------------------------------------------------------------------------
+// The `--regions` lifetime-region suite (`BENCH_PR7.json`).
+// ---------------------------------------------------------------------------
+
+/// One workload measured with region arenas off and on.
+struct RegionRow {
+    workload: &'static str,
+    host_ns_off: u64,
+    host_ns_on: u64,
+    off: RunSummary,
+    on: RunSummary,
+}
+
+impl RegionRow {
+    /// Did regions strictly reduce both the minor-pause p90 and the
+    /// number of cards scanned?
+    fn improved(&self) -> bool {
+        let (off, on) = (&self.off.report, &self.on.report);
+        on.minor_pauses.quantile_ns(0.90) < off.minor_pauses.quantile_ns(0.90)
+            && on.gc.cards_scanned < off.gc.cards_scanned
+    }
+}
+
+fn region_row_json(r: &RegionRow, sim_only: bool) -> Json {
+    let (off, on) = (&r.off.report, &r.on.report);
+    let mut fields = vec![
+        ("workload", Json::Str(r.workload.into())),
+        (
+            "minor_p90_ns_off",
+            Json::Num(off.minor_pauses.quantile_ns(0.90)),
+        ),
+        (
+            "minor_p90_ns_on",
+            Json::Num(on.minor_pauses.quantile_ns(0.90)),
+        ),
+        ("cards_scanned_off", Json::UInt(off.gc.cards_scanned)),
+        ("cards_scanned_on", Json::UInt(on.gc.cards_scanned)),
+        ("minor_gc_s_off", Json::Num(off.minor_gc_s)),
+        ("minor_gc_s_on", Json::Num(on.minor_gc_s)),
+        ("region_allocs", Json::UInt(on.exec.region_allocs)),
+        (
+            "region_stage_arenas",
+            Json::UInt(on.exec.region_stage_arenas),
+        ),
+        ("region_stage_bytes", Json::UInt(on.exec.region_stage_bytes)),
+        ("improved", Json::Bool(r.improved())),
+    ];
+    if !sim_only {
+        fields.insert(1, ("host_ns_off", Json::UInt(r.host_ns_off)));
+        fields.insert(2, ("host_ns_on", Json::UInt(r.host_ns_on)));
+        fields.push(("report_off", off.to_json()));
+        fields.push(("report_on", on.to_json()));
+    }
+    Json::obj(fields)
+}
+
+/// The region-arena suite: every Table 4 workload at a fixed
+/// cache-heavy scale with `region_alloc` off and on, plus clustered
+/// PageRank at E = 2, 4 with regions on. Asserted while measuring:
+///
+/// * action results are bit-identical with regions off or on, at every
+///   width;
+/// * every RDD-lifetime arena drains exactly (frees == allocs, no
+///   leaks, no dead reads) in every run and every executor;
+/// * at least 4 of the 7 workloads strictly reduce both the minor-GC
+///   pause p90 and the cards scanned.
+fn run_region_suite(cli: &Cli, n: usize) {
+    // Fixed cache-heavy scale (like the shuffle suite's cached-PR arm):
+    // the GC effect regions remove must be out of the noise floor.
+    const REGION_SCALE: f64 = 0.4;
+    println!("region suite: scale {REGION_SCALE}, {n} samples/arm");
+    println!(
+        "{:<6} | {:>12} {:>12} | {:>10} {:>10} | {:>8}",
+        "wl", "p90 off(ns)", "p90 on(ns)", "cards off", "cards on", "improved"
+    );
+    println!("{}", "-".repeat(72));
+
+    let run_one = |id: WorkloadId, regions: bool| {
+        let mut cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
+        cfg.region_alloc = regions;
+        let w = build_workload(id, REGION_SCALE, SEED);
+        RunBuilder::new(&w.program, w.fns, w.data)
+            .config(cfg)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", id.name()))
+    };
+
+    let mut rows: Vec<RegionRow> = Vec::new();
+    for id in WorkloadId::ALL {
+        let (host_ns_off, off) = median_host_ns(n, || run_one(id, false));
+        let (host_ns_on, on) = median_host_ns(n, || run_one(id, true));
+        assert_eq!(
+            on.results,
+            off.results,
+            "{}: region allocation changed a value",
+            id.name()
+        );
+        let e = &on.report.exec;
+        assert_eq!(
+            e.region_frees,
+            e.region_allocs,
+            "{}: RDD-lifetime arenas must drain",
+            id.name()
+        );
+        assert_eq!(e.region_leaks, 0, "{}: arena leaks", id.name());
+        assert_eq!(e.region_dead_reads, 0, "{}: arena dead reads", id.name());
+        let row = RegionRow {
+            workload: id.name(),
+            host_ns_off,
+            host_ns_on,
+            off,
+            on,
+        };
+        println!(
+            "{:<6} | {:>12.0} {:>12.0} | {:>10} {:>10} | {:>8}",
+            row.workload,
+            row.off.report.minor_pauses.quantile_ns(0.90),
+            row.on.report.minor_pauses.quantile_ns(0.90),
+            row.off.report.gc.cards_scanned,
+            row.on.report.gc.cards_scanned,
+            row.improved()
+        );
+        rows.push(row);
+    }
+    let improved = rows.iter().filter(|r| r.improved()).count();
+    println!("{}", "-".repeat(72));
+    println!(
+        "{improved}/{} workloads reduced both minor-pause p90 and cards scanned",
+        rows.len()
+    );
+    assert!(
+        improved >= 4,
+        "region arenas must reduce minor-pause p90 and cards scanned on \
+         at least 4 of {} workloads (got {improved})",
+        rows.len()
+    );
+
+    // Clustered PageRank with regions on: per-executor arenas must drain
+    // and results must match the off run at the same width. These arms
+    // carry the host-thread-invariance burden of the `.sim` artifact.
+    let cluster_arm = |executors: u16, regions: bool| {
+        let build = || {
+            let w = build_workload(WorkloadId::Pr, REGION_SCALE, SEED);
+            (w.program, w.fns, w.data)
+        };
+        let mut cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
+        cfg.executors = executors;
+        cfg.region_alloc = regions;
+        let none = FaultPlan::none();
+        RunBuilder::from_build(&build)
+            .config(cfg)
+            .host_threads(host_threads_from_env(usize::from(executors)))
+            .faults(&none)
+            .run()
+            .expect("valid cluster config")
+    };
+    let mut cluster_rows = Vec::new();
+    for e in [2u16, 4] {
+        let off = cluster_arm(e, false);
+        let on = cluster_arm(e, true);
+        assert_eq!(
+            on.results, off.results,
+            "clustered PR E={e}: region allocation changed a value"
+        );
+        for (i, rep) in on.per_executor.iter().enumerate() {
+            assert_eq!(
+                rep.exec.region_frees, rep.exec.region_allocs,
+                "clustered PR E={e} executor {i}: arenas must drain"
+            );
+            assert_eq!(
+                rep.exec.region_leaks, 0,
+                "clustered PR E={e} executor {i}: leaks"
+            );
+        }
+        println!(
+            "cluster PR E={e}: regions on matches off, {} arenas drained across executors",
+            on.report.exec.region_allocs
+        );
+        cluster_rows.push((e, on));
+    }
+    let cluster_json = |sim_only: bool| {
+        Json::Arr(
+            cluster_rows
+                .iter()
+                .map(|(e, on)| {
+                    let mut fields = vec![
+                        ("executors", Json::UInt(u64::from(*e))),
+                        ("sim_elapsed_s", Json::Num(on.report.elapsed_s)),
+                        ("region_allocs", Json::UInt(on.report.exec.region_allocs)),
+                        (
+                            "region_stage_arenas",
+                            Json::UInt(on.report.exec.region_stage_arenas),
+                        ),
+                    ];
+                    if !sim_only {
+                        fields.push(("report", on.report.to_json()));
+                    }
+                    Json::obj(fields)
+                })
+                .collect(),
+        )
+    };
+
+    let arms =
+        |sim_only: bool| Json::Arr(rows.iter().map(|r| region_row_json(r, sim_only)).collect());
+    let j = Json::obj(vec![
+        ("bench", Json::Str("BENCH_PR7".into())),
+        ("scale", Json::Num(REGION_SCALE)),
+        ("samples_per_arm", Json::UInt(n as u64)),
+        ("arms", arms(false)),
+        ("cluster_pagerank", cluster_json(false)),
+        ("workloads_improved", Json::UInt(improved as u64)),
+        ("results_identical", Json::Bool(true)),
+    ]);
+    let out = std::env::var("PERFSUITE_OUT").unwrap_or_else(|_| "BENCH_PR7.json".into());
+    std::fs::write(&out, j.to_pretty() + "\n").expect("write region-suite json");
+    println!("wrote {out}");
+
+    let sim = Json::obj(vec![
+        ("bench", Json::Str("BENCH_PR7.sim".into())),
+        ("scale", Json::Num(REGION_SCALE)),
+        ("arms", arms(true)),
+        ("cluster_pagerank", cluster_json(true)),
+        ("workloads_improved", Json::UInt(improved as u64)),
+        ("results_identical", Json::Bool(true)),
+    ]);
+    let sim_out = format!("{out}.sim");
+    std::fs::write(&sim_out, sim.to_pretty() + "\n").expect("write sim-side json");
+    println!("wrote {sim_out}");
+    let _ = cli;
+}
+
 fn main() {
     let cli = Cli::parse();
     let n = samples(&cli);
     let scale = scale_with(&cli);
+    if cli.regions {
+        println!("perfsuite --regions: {n} samples/arm");
+        run_region_suite(&cli, n);
+        if let Some(path) = &cli.trace {
+            write_trace(path);
+        }
+        return;
+    }
     if cli.shuffle {
         println!("perfsuite --shuffle: {n} samples/arm, scale {scale}");
         run_shuffle_suite(&cli, n, scale);

@@ -21,7 +21,7 @@
 //! Set `PANTHERA_SCALE` (default `1.0`) to shrink or grow every dataset,
 //! e.g. `PANTHERA_SCALE=0.2` for a quick pass.
 
-use panthera::{run_workload, MemoryMode, RunReport, SystemConfig, SIM_GB};
+use panthera::{MemoryMode, RunBuilder, RunReport, SystemConfig, SIM_GB};
 use workloads::{build_workload, WorkloadId};
 
 /// Shared deterministic seed for all experiments.
@@ -45,8 +45,11 @@ pub fn run(id: WorkloadId, mode: MemoryMode, heap_gb: u64, dram_ratio: f64) -> R
 /// Run one workload under an explicit configuration.
 pub fn run_with(id: WorkloadId, config: SystemConfig) -> RunReport {
     let w = build_workload(id, scale(), SEED);
-    let (report, _outcome) = run_workload(&w.program, w.fns, w.data, &config);
-    report
+    RunBuilder::new(&w.program, w.fns, w.data)
+        .config(config)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .report
 }
 
 /// The paper's main setup: 64 GB heap, 1/3 DRAM.

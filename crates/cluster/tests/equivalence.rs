@@ -11,7 +11,7 @@
 //!    the `partition_sizes` edge cases (`n < parts`, `parts = 1`, empty).
 
 use mheap::Payload;
-use panthera::{run_workload, MemoryMode, SystemConfig, SIM_GB};
+use panthera::{MemoryMode, RunBuilder, SystemConfig, SIM_GB};
 use panthera_cluster::{run_cluster, ClusterOutcome};
 use proptest::prelude::*;
 use sparklang::{ActionKind, FnTable, Program, ProgramBuilder};
@@ -62,13 +62,15 @@ fn single_executor_cluster_matches_legacy_runtime() {
     ] {
         let out = run_workload_cluster(id, mode, 0.06, 13, 1, 1);
         let w = build_workload(id, 0.06, 13);
-        let (legacy_rep, legacy_out) =
-            run_workload(&w.program, w.fns, w.data, &cluster_config(mode, 1));
+        let legacy = RunBuilder::new(&w.program, w.fns, w.data)
+            .config(cluster_config(mode, 1))
+            .run()
+            .expect("valid configuration");
         let what = format!("{id}/{mode}");
-        assert_results_eq(&out.results, &legacy_out.results, &what);
+        assert_results_eq(&out.results, &legacy.results, &what);
         assert_eq!(
             out.report.to_json().to_compact(),
-            legacy_rep.to_json().to_compact(),
+            legacy.report.to_json().to_compact(),
             "{what}: E=1 cluster report must be bit-identical to the legacy runtime"
         );
         assert_eq!(out.per_executor.len(), 1, "{what}: one sub-report");

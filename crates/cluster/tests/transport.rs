@@ -15,7 +15,7 @@
 //!    transport, exactly as under serde.
 
 use mheap::Payload;
-use panthera::{run_workload, MemoryMode, ShuffleTransport, SystemConfig, SIM_GB};
+use panthera::{MemoryMode, RunBuilder, ShuffleTransport, SystemConfig, SIM_GB};
 use panthera_cluster::{run_cluster, ClusterOutcome};
 use sparklang::{ActionKind, FnTable, Program, ProgramBuilder};
 use sparklet::{ActionResult, DataRegistry, EngineConfig};
@@ -192,11 +192,14 @@ fn single_executor_shared_region_matches_legacy_runtime() {
     )
     .expect("valid cluster config");
     let w = build_workload(WorkloadId::Pr, 0.05, 7);
-    let (legacy_rep, legacy_out) = run_workload(&w.program, w.fns, w.data, &cfg);
-    assert_results_eq(&out.results, &legacy_out.results, "Pr E=1 shared-region");
+    let legacy = RunBuilder::new(&w.program, w.fns, w.data)
+        .config(cfg)
+        .run()
+        .expect("valid configuration");
+    assert_results_eq(&out.results, &legacy.results, "Pr E=1 shared-region");
     assert_eq!(
         out.report.to_json().to_compact(),
-        legacy_rep.to_json().to_compact(),
+        legacy.report.to_json().to_compact(),
         "E=1 shared-region cluster report must be bit-identical to the legacy runtime"
     );
     assert_eq!(

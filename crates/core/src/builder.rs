@@ -31,9 +31,9 @@
 use crate::config::{ConfigError, SystemConfig, SIM_GB};
 use crate::mode::MemoryMode;
 use crate::report::RunReport;
-use crate::simulate::try_run_workload;
+use crate::simulate::run_single;
 use sparklang::{FnTable, Program};
-use sparklet::{DataRegistry, RunOutcome};
+use sparklet::{DataRegistry, EngineConfig, RunOutcome};
 
 /// Builder for a single simulated run.
 #[derive(Debug, Clone)]
@@ -136,24 +136,7 @@ impl Simulation {
         fns: FnTable,
         data: DataRegistry,
     ) -> Result<(RunReport, RunOutcome), ConfigError> {
-        try_run_workload(program, fns, data, &self.config)
-    }
-
-    /// Deprecated panicking shim over [`Simulation::run`], kept so
-    /// pre-`Result` callers compile during the transition.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the assembled configuration is invalid.
-    #[deprecated(since = "0.1.0", note = "use `run`, which returns a Result")]
-    pub fn run_unchecked(
-        &self,
-        program: &Program,
-        fns: FnTable,
-        data: DataRegistry,
-    ) -> (RunReport, RunOutcome) {
-        self.run(program, fns, data)
-            .unwrap_or_else(|e| panic!("{e}"))
+        run_single(program, fns, data, &self.config, EngineConfig::default())
     }
 }
 

@@ -21,7 +21,7 @@
 //! the same faults at the same virtual instants under any host-thread
 //! budget.
 
-use crate::exchange::Exchange;
+use super::exchange::Exchange;
 use panthera_recovery::{FaultPlan, GatherKind};
 use sparklet::{ActionContrib, ClusterError, ExchangeClient, RecoverySlot, ShuffleContrib};
 use std::collections::HashMap;

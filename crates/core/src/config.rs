@@ -128,6 +128,14 @@ pub struct SystemConfig {
     /// they are released on the analysis crate's lifetime schedule
     /// (DESIGN.md §10).
     pub offheap_cache: bool,
+    /// Lifetime-based region allocation (DESIGN.md §11): streamed
+    /// temporaries bump a stage-scoped scratch arena reset wholesale at
+    /// stage end, and heap-level persists live in refcounted RDD-lifetime
+    /// arenas released on the analysis crate's lifetime schedule. Region
+    /// data is never traced, card-marked, or promoted; action results are
+    /// bit-identical with the flag on or off. When `offheap_cache` is
+    /// also set, it takes precedence for persisted RDDs.
+    pub region_alloc: bool,
 }
 
 /// How lost RDD partitions are rebuilt after an executor crash.
@@ -171,6 +179,7 @@ impl SystemConfig {
             costs: sparklet::CostModel::default(),
             transport: sparklet::ShuffleTransport::Serde,
             offheap_cache: false,
+            region_alloc: false,
         }
     }
 

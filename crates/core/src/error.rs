@@ -1,0 +1,100 @@
+//! The unified run-error type for every entry point.
+//!
+//! [`RunError`] is what [`crate::RunBuilder::run`] returns: one
+//! `#[non_exhaustive]` enum covering configuration violations, cluster
+//! failures, and builder misuse, so callers match on typed variants
+//! instead of parsing panic payloads or error strings. The legacy
+//! `run_cluster*` entry points keep their [`ConfigError`] signatures by
+//! flattening these variants to text.
+
+use crate::config::ConfigError;
+use std::fmt;
+
+/// Everything that can keep a simulated run from launching or completing.
+///
+/// Marked `#[non_exhaustive]`: future failure modes (new recovery
+/// policies, new transports) become new variants without a breaking
+/// release, so downstream matches need a wildcard arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The configuration violates a constraint (see
+    /// [`crate::SystemConfig::validate`]).
+    Config(ConfigError),
+    /// An injected executor crash fired with recovery disabled: the
+    /// exchange was poisoned and every executor unwound.
+    ExecutorCrash {
+        /// The executor that crashed.
+        exec: u16,
+        /// The statement barrier at which the crash fired.
+        barrier: u64,
+    },
+    /// A multi-executor (or fault-injected) run was requested from a
+    /// single-shot `(program, fns, data)` source. Executor threads each
+    /// rebuild the program and data from scratch — user functions and
+    /// payload registries cannot cross threads — so these runs need
+    /// [`crate::RunBuilder::from_build`] with a deterministic rebuild
+    /// closure.
+    NeedsRebuild {
+        /// How many executors the configuration asked for.
+        executors: u16,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Config(e) => write!(f, "{e}"),
+            RunError::ExecutorCrash { exec, barrier } => write!(
+                f,
+                "executor {exec} crashed at barrier {barrier} and recovery is disabled"
+            ),
+            RunError::NeedsRebuild { executors } => write!(
+                f,
+                "config asks for {executors} executors (or fault injection); multi-executor \
+                 runs need RunBuilder::from_build with a deterministic rebuild closure, \
+                 because user functions and input data cannot cross executor threads"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> Self {
+        RunError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_errors_carry_their_source() {
+        let e = RunError::from(ConfigError::new("executors must be at least 1"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("executors must be at least 1"));
+    }
+
+    #[test]
+    fn crash_and_rebuild_variants_render() {
+        let c = RunError::ExecutorCrash {
+            exec: 2,
+            barrier: 7,
+        };
+        assert!(c.to_string().contains("executor 2"));
+        assert!(c.to_string().contains("barrier 7"));
+        let r = RunError::NeedsRebuild { executors: 4 };
+        assert!(r.to_string().contains("from_build"));
+        assert!(std::error::Error::source(&r).is_none());
+    }
+}

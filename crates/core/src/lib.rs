@@ -24,11 +24,12 @@
 //!
 //! and contributes the [`PantheraRuntime`] (the `rdd_alloc` wait-state
 //! protocol, monitoring, and the Section 4.3 public APIs), the five
-//! [`MemoryMode`]s of the evaluation, and the [`run_workload`] driver that
-//! produces a [`RunReport`] for every figure in the paper.
+//! [`MemoryMode`]s of the evaluation, the [`cluster`] driver (DESIGN.md
+//! §8-9), and the [`RunBuilder`] entry point that produces a
+//! [`RunReport`] for every figure in the paper.
 //!
 //! ```
-//! use panthera::{run_workload, MemoryMode, SystemConfig, SIM_GB};
+//! use panthera::{MemoryMode, RunBuilder, SystemConfig, SIM_GB};
 //! use sparklang::{ActionKind, ProgramBuilder, StorageLevel};
 //! use sparklet::DataRegistry;
 //! use mheap::Payload;
@@ -45,23 +46,35 @@
 //! data.register("nums", (0..256).map(Payload::Long).collect());
 //!
 //! let config = SystemConfig::new(MemoryMode::Panthera, 2 * SIM_GB, 1.0 / 3.0);
-//! let (report, outcome) = run_workload(&program, fns, data, &config);
-//! assert_eq!(outcome.results.len(), 4);
-//! assert!(report.elapsed_s > 0.0);
+//! let run = RunBuilder::new(&program, fns, data)
+//!     .config(config)
+//!     .run()
+//!     .expect("valid configuration");
+//! assert_eq!(run.results.len(), 4);
+//! assert!(run.report.elapsed_s > 0.0);
 //! ```
 
 mod builder;
+pub mod cluster;
 mod config;
+mod error;
 mod mode;
 mod report;
+mod runbuilder;
 mod runtime;
 mod simulate;
 
 pub use builder::Simulation;
+pub use cluster::{
+    run_cluster, run_cluster_default, run_cluster_faulted, ClusterOutcome, FaultPlan,
+};
 pub use config::{ConfigError, RecoveryPolicy, SystemConfig, SIM_GB, STATIC_POWER_TIMEBASE_SCALE};
+pub use error::RunError;
 pub use mode::MemoryMode;
 pub use report::{RecoveryStats, RunReport};
+pub use runbuilder::{RunBuilder, RunSummary};
 pub use runtime::{to_mem_tag, PantheraRuntime};
+#[allow(deprecated)]
 pub use simulate::{
     run_workload, run_workload_with_engine, try_run_workload, try_run_workload_with_engine,
 };
@@ -93,7 +106,10 @@ pub use obs;
 /// assert!(report.elapsed_s > 0.0);
 /// ```
 pub mod prelude {
-    pub use crate::{ConfigError, MemoryMode, RunReport, Simulation, SystemConfig, SIM_GB};
+    pub use crate::{
+        ConfigError, MemoryMode, RunBuilder, RunError, RunReport, RunSummary, Simulation,
+        SystemConfig, SIM_GB,
+    };
     pub use mheap::Payload;
     pub use sparklang::{ActionKind, ProgramBuilder, StorageLevel};
     pub use sparklet::{DataRegistry, RunOutcome};

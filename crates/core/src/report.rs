@@ -234,6 +234,13 @@ impl RunReport {
             agg.exec.offheap_bytes += r.exec.offheap_bytes;
             agg.exec.offheap_leaks += r.exec.offheap_leaks;
             agg.exec.offheap_dead_reads += r.exec.offheap_dead_reads;
+            agg.exec.region_stage_arenas += r.exec.region_stage_arenas;
+            agg.exec.region_stage_bytes += r.exec.region_stage_bytes;
+            agg.exec.region_allocs += r.exec.region_allocs;
+            agg.exec.region_frees += r.exec.region_frees;
+            agg.exec.region_bytes += r.exec.region_bytes;
+            agg.exec.region_leaks += r.exec.region_leaks;
+            agg.exec.region_dead_reads += r.exec.region_dead_reads;
             agg.monitored_calls += r.monitored_calls;
             agg.device_bytes[0] += r.device_bytes[0];
             agg.device_bytes[1] += r.device_bytes[1];

@@ -1,0 +1,242 @@
+//! The unified run entry point: one builder for every kind of run.
+//!
+//! [`RunBuilder`] collapses the old six-way entry-point surface
+//! (`run_workload`, `try_run_workload{,_with_engine}`, `run_cluster`,
+//! `run_cluster_default`, `run_cluster_faulted`) into one fluent chain:
+//!
+//! ```
+//! use panthera::{MemoryMode, RunBuilder, SystemConfig, SIM_GB};
+//! use sparklang::{ActionKind, ProgramBuilder, StorageLevel};
+//! use sparklet::DataRegistry;
+//! use mheap::Payload;
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! let src = b.source("nums");
+//! let xs = b.bind("xs", src.distinct());
+//! b.persist(xs, StorageLevel::MemoryOnly);
+//! b.loop_n(4, |b| b.action(xs, ActionKind::Count));
+//! let (program, fns) = b.finish();
+//!
+//! let mut data = DataRegistry::new();
+//! data.register("nums", (0..256).map(Payload::Long).collect());
+//!
+//! let cfg = SystemConfig::new(MemoryMode::Panthera, 2 * SIM_GB, 1.0 / 3.0);
+//! let run = RunBuilder::new(&program, fns, data)
+//!     .config(cfg)
+//!     .run()
+//!     .expect("valid configuration");
+//! assert_eq!(run.results.len(), 4);
+//! assert!(run.report.elapsed_s > 0.0);
+//! ```
+//!
+//! Multi-executor and fault-injected runs need a *rebuild closure*
+//! instead of a one-shot `(program, fns, data)` triple — user functions
+//! and input registries cannot cross executor threads, so each executor
+//! rebuilds them deterministically:
+//!
+//! ```
+//! use panthera::{MemoryMode, RunBuilder, SystemConfig, SIM_GB};
+//! # use sparklang::{ActionKind, ProgramBuilder};
+//! # use sparklet::DataRegistry;
+//! # use mheap::Payload;
+//! # fn build() -> (sparklang::Program, sparklang::FnTable, DataRegistry) {
+//! #     let mut b = ProgramBuilder::new("demo");
+//! #     let src = b.source("nums");
+//! #     let xs = b.bind("xs", src.distinct());
+//! #     b.action(xs, ActionKind::Count);
+//! #     let (program, fns) = b.finish();
+//! #     let mut data = DataRegistry::new();
+//! #     data.register("nums", (0..64).map(Payload::Long).collect());
+//! #     (program, fns, data)
+//! # }
+//! let cfg = SystemConfig::new(MemoryMode::Panthera, 2 * SIM_GB, 1.0 / 3.0);
+//! let run = RunBuilder::from_build(&build)
+//!     .config(cfg)
+//!     .executors(2)
+//!     .run()
+//!     .expect("valid configuration");
+//! assert_eq!(run.per_executor.len(), 2);
+//! ```
+
+use crate::cluster::{self, FaultPlan};
+use crate::config::SystemConfig;
+use crate::error::RunError;
+use crate::mode::MemoryMode;
+use crate::report::RunReport;
+use crate::simulate::run_single;
+use sparklang::{FnTable, Program};
+use sparklet::{ActionResult, DataRegistry, EngineConfig};
+
+/// Everything a completed run produces, for any executor count.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// The run's measurements. For multi-executor runs this is the
+    /// cluster-level aggregate: elapsed time is the barrier-synced
+    /// maximum; energy, traffic, and GC work are summed.
+    pub report: RunReport,
+    /// `(variable name, result)` per executed action, in program order.
+    pub results: Vec<(String, ActionResult)>,
+    /// One sub-report per executor, in executor-id order. Empty for
+    /// single-runtime runs (the top-level `report` is the only runtime).
+    pub per_executor: Vec<RunReport>,
+    /// Total modelled bytes deposited into the shared shuffle region —
+    /// 0 for single-runtime runs and under
+    /// [`sparklet::ShuffleTransport::Serde`].
+    pub shared_region_bytes: u64,
+}
+
+/// Where the program, functions, and data come from.
+enum Source<'a> {
+    /// A one-shot triple: enough for exactly one single-runtime run.
+    Once {
+        program: &'a Program,
+        fns: FnTable,
+        data: DataRegistry,
+    },
+    /// A deterministic rebuild closure, callable once per executor
+    /// incarnation (multi-executor, fault injection, replay).
+    Rebuild(&'a (dyn Fn() -> (Program, FnTable, DataRegistry) + Sync)),
+}
+
+/// Builder for one simulated run — single-runtime, multi-executor, or
+/// fault-injected (see the [module docs](self) for examples).
+pub struct RunBuilder<'a> {
+    source: Source<'a>,
+    config: SystemConfig,
+    engine: EngineConfig,
+    host_threads: Option<usize>,
+    faults: Option<&'a FaultPlan>,
+}
+
+impl<'a> RunBuilder<'a> {
+    /// A run over a one-shot `(program, fns, data)` triple, in the
+    /// paper's default configuration (Panthera mode, 64 GB heap, 1/3
+    /// DRAM) until [`config`](Self::config) replaces it. One-shot
+    /// sources drive exactly one runtime; asking for more executors (or
+    /// faults) yields [`RunError::NeedsRebuild`] at [`run`](Self::run).
+    pub fn new(program: &'a Program, fns: FnTable, data: DataRegistry) -> Self {
+        RunBuilder {
+            source: Source::Once { program, fns, data },
+            config: SystemConfig::paper_default(MemoryMode::Panthera),
+            engine: EngineConfig::default(),
+            host_threads: None,
+            faults: None,
+        }
+    }
+
+    /// A run over a deterministic rebuild closure — required for
+    /// multi-executor and fault-injected runs, where each executor
+    /// thread (and each post-crash incarnation) rebuilds the program,
+    /// functions, and data from scratch. Every call of `build` must
+    /// produce the identical program and data.
+    pub fn from_build(build: &'a (dyn Fn() -> (Program, FnTable, DataRegistry) + Sync)) -> Self {
+        RunBuilder {
+            source: Source::Rebuild(build),
+            config: SystemConfig::paper_default(MemoryMode::Panthera),
+            engine: EngineConfig::default(),
+            host_threads: None,
+            faults: None,
+        }
+    }
+
+    /// Replace the full system configuration (mode, heap geometry,
+    /// ablations, costs, region/off-heap stores, executors, recovery).
+    pub fn config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Override the engine's execution knobs (fusion, legacy copies,
+    /// partition count). Cost, transport, and store settings are always
+    /// taken from the system config, which is their single source of
+    /// truth.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Executors in the simulated cluster (overrides the config's
+    /// count). Values above 1 need a [`from_build`](Self::from_build)
+    /// source.
+    pub fn executors(mut self, n: u16) -> Self {
+        self.config.executors = n;
+        self
+    }
+
+    /// Bound how many executor threads compute concurrently. Changes
+    /// wall-clock time only, never a simulated value; defaults to the
+    /// `PANTHERA_HOST_THREADS` environment variable, then to one thread
+    /// per executor.
+    pub fn host_threads(mut self, n: usize) -> Self {
+        self.host_threads = Some(n);
+        self
+    }
+
+    /// Run under a deterministic fault plan (DESIGN.md §9): injected
+    /// executor crashes, gather losses, and transient allocation
+    /// failures. Needs a [`from_build`](Self::from_build) source — a
+    /// restarted executor replays the program from scratch.
+    pub fn faults(mut self, plan: &'a FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The assembled system configuration, for inspection.
+    pub fn peek_config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Execute the run.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Config`] for a constraint violation,
+    /// [`RunError::NeedsRebuild`] for a multi-executor or fault-injected
+    /// run over a one-shot source, and [`RunError::ExecutorCrash`] for
+    /// an injected crash with recovery disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a simulated heap is exhausted mid-run, or if a
+    /// rebuild closure is nondeterministic (executors then disagree on
+    /// global action results — the cross-check fails rather than
+    /// returning wrong data).
+    pub fn run(self) -> Result<RunSummary, RunError> {
+        let clustered = self.config.executors > 1 || self.faults.is_some();
+        if !clustered {
+            let (report, outcome) = match self.source {
+                Source::Once { program, fns, data } => {
+                    run_single(program, fns, data, &self.config, self.engine)?
+                }
+                Source::Rebuild(build) => {
+                    let (program, fns, data) = build();
+                    run_single(&program, fns, data, &self.config, self.engine)?
+                }
+            };
+            return Ok(RunSummary {
+                report,
+                results: outcome.results,
+                per_executor: Vec::new(),
+                shared_region_bytes: 0,
+            });
+        }
+        let Source::Rebuild(build) = self.source else {
+            return Err(RunError::NeedsRebuild {
+                executors: self.config.executors,
+            });
+        };
+        let host_threads = self
+            .host_threads
+            .unwrap_or_else(|| cluster::host_threads_from_env(usize::from(self.config.executors)));
+        let none = FaultPlan::none();
+        let plan = self.faults.unwrap_or(&none);
+        let outcome =
+            cluster::run_cluster_inner(build, &self.config, self.engine, host_threads, plan)?;
+        Ok(RunSummary {
+            report: outcome.report,
+            results: outcome.results,
+            per_executor: outcome.per_executor,
+            shared_region_bytes: outcome.shared_region_bytes,
+        })
+    }
+}

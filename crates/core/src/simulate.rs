@@ -1,4 +1,8 @@
 //! The end-to-end simulation driver: analyze, run, report.
+//!
+//! [`crate::RunBuilder`] is the supported entry point; the free functions
+//! here are deprecated shims kept so pre-builder callers compile during
+//! the transition.
 
 use crate::config::{ConfigError, SystemConfig};
 use crate::report::RunReport;
@@ -7,43 +11,9 @@ use panthera_analysis::{analyze, InstrumentationPlan};
 use sparklang::{FnTable, Program};
 use sparklet::{DataRegistry, Engine, EngineConfig, MemoryRuntime, RunOutcome};
 
-/// Run `program` under `config`, returning the measurements and the
-/// action results — or a [`ConfigError`] if the configuration violates a
-/// constraint (e.g. a DRAM ratio too small to hold the nursery).
-///
-/// Under Panthera the program is statically analyzed and instrumented;
-/// the baselines run it unmodified.
-///
-/// # Errors
-///
-/// The first violated configuration constraint.
-///
-/// # Panics
-///
-/// Panics if the simulated heap is exhausted mid-run — a mis-sized
-/// experiment, not a runtime condition a caller should handle.
-pub fn try_run_workload(
-    program: &Program,
-    fns: FnTable,
-    data: DataRegistry,
-    config: &SystemConfig,
-) -> Result<(RunReport, RunOutcome), ConfigError> {
-    try_run_workload_with_engine(program, fns, data, config, EngineConfig::default())
-}
-
-/// [`try_run_workload`] with explicit engine cost knobs — e.g. to disable
-/// narrow-stage fusion ([`EngineConfig::fuse_narrow`]) when checking that
-/// the fused and stage-at-a-time execution paths report identical
-/// simulated results.
-///
-/// # Errors
-///
-/// The first violated configuration constraint.
-///
-/// # Panics
-///
-/// Same mid-run conditions as [`try_run_workload`].
-pub fn try_run_workload_with_engine(
+/// The single-runtime driver behind [`crate::RunBuilder`] and the
+/// deprecated free-function shims: validate, analyze, run, report.
+pub(crate) fn run_single(
     program: &Program,
     fns: FnTable,
     data: DataRegistry,
@@ -52,14 +22,15 @@ pub fn try_run_workload_with_engine(
 ) -> Result<(RunReport, RunOutcome), ConfigError> {
     config.validate()?;
     // The system config is the single source of truth for data-movement
-    // costs, shuffle transport, and the off-heap region.
+    // costs, shuffle transport, and the region/off-heap stores.
     engine_config.costs = config.costs;
     engine_config.transport = config.transport;
     engine_config.offheap_cache = config.offheap_cache;
+    engine_config.region_alloc = config.region_alloc;
     if config.executors > 1 {
         return Err(ConfigError::new(format!(
             "config asks for {} executors; the single-runtime entry points run exactly one — \
-             drive multi-executor runs through the panthera-cluster crate",
+             drive multi-executor runs through RunBuilder::from_build",
             config.executors
         )));
     }
@@ -83,27 +54,84 @@ pub fn try_run_workload_with_engine(
     Ok((report, outcome))
 }
 
-/// Panicking convenience wrapper over [`try_run_workload`], for drivers
-/// and tests whose configurations are known-good.
+/// Run `program` under `config`, returning the measurements and the
+/// action results — or a [`ConfigError`] if the configuration violates a
+/// constraint (e.g. a DRAM ratio too small to hold the nursery).
+///
+/// # Errors
+///
+/// The first violated configuration constraint.
+///
+/// # Panics
+///
+/// Panics if the simulated heap is exhausted mid-run — a mis-sized
+/// experiment, not a runtime condition a caller should handle.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `RunBuilder::new(program, fns, data).run()`"
+)]
+pub fn try_run_workload(
+    program: &Program,
+    fns: FnTable,
+    data: DataRegistry,
+    config: &SystemConfig,
+) -> Result<(RunReport, RunOutcome), ConfigError> {
+    run_single(program, fns, data, config, EngineConfig::default())
+}
+
+/// [`try_run_workload`] with explicit engine cost knobs.
+///
+/// # Errors
+///
+/// The first violated configuration constraint.
+///
+/// # Panics
+///
+/// Same mid-run conditions as [`try_run_workload`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `RunBuilder::new(program, fns, data).engine(ec).run()`"
+)]
+pub fn try_run_workload_with_engine(
+    program: &Program,
+    fns: FnTable,
+    data: DataRegistry,
+    config: &SystemConfig,
+    engine_config: EngineConfig,
+) -> Result<(RunReport, RunOutcome), ConfigError> {
+    run_single(program, fns, data, config, engine_config)
+}
+
+/// Panicking convenience wrapper over the single-runtime driver, for
+/// drivers and tests whose configurations are known-good.
 ///
 /// # Panics
 ///
 /// Panics if the configuration is invalid or the simulated heap is
 /// exhausted.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `RunBuilder::new(program, fns, data).run()`"
+)]
 pub fn run_workload(
     program: &Program,
     fns: FnTable,
     data: DataRegistry,
     config: &SystemConfig,
 ) -> (RunReport, RunOutcome) {
-    try_run_workload(program, fns, data, config).unwrap_or_else(|e| panic!("{e}"))
+    run_single(program, fns, data, config, EngineConfig::default())
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Panicking convenience wrapper over [`try_run_workload_with_engine`].
+/// Panicking convenience wrapper with explicit engine cost knobs.
 ///
 /// # Panics
 ///
 /// Same conditions as [`run_workload`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `RunBuilder::new(program, fns, data).engine(ec).run()`"
+)]
 pub fn run_workload_with_engine(
     program: &Program,
     fns: FnTable,
@@ -111,6 +139,5 @@ pub fn run_workload_with_engine(
     config: &SystemConfig,
     engine_config: EngineConfig,
 ) -> (RunReport, RunOutcome) {
-    try_run_workload_with_engine(program, fns, data, config, engine_config)
-        .unwrap_or_else(|e| panic!("{e}"))
+    run_single(program, fns, data, config, engine_config).unwrap_or_else(|e| panic!("{e}"))
 }

@@ -15,9 +15,9 @@
 //! Exercised across every Table 4 workload deterministically plus random
 //! (workload, scale, seed) shapes via proptest.
 
-use panthera::{run_workload, MemoryMode, RunReport, SystemConfig, SIM_GB};
+use panthera::{MemoryMode, RunBuilder, RunReport, SystemConfig, SIM_GB};
 use proptest::prelude::*;
-use sparklet::RunOutcome;
+use sparklet::ActionResult;
 use workloads::{build_workload, WorkloadId};
 
 fn run_with_offheap(
@@ -26,11 +26,15 @@ fn run_with_offheap(
     scale: f64,
     seed: u64,
     offheap: bool,
-) -> (RunReport, RunOutcome) {
+) -> (RunReport, Vec<(String, ActionResult)>) {
     let mut cfg = SystemConfig::new(mode, 16 * SIM_GB, 1.0 / 3.0);
     cfg.offheap_cache = offheap;
     let w = build_workload(id, scale, seed);
-    run_workload(&w.program, w.fns, w.data, &cfg)
+    let run = RunBuilder::new(&w.program, w.fns, w.data)
+        .config(cfg)
+        .run()
+        .expect("valid configuration");
+    (run.report, run.results)
 }
 
 fn assert_region_drained(report: &RunReport, what: &str) {
@@ -59,7 +63,7 @@ fn offheap_region_drains_and_preserves_results_on_all_workloads() {
             let (rep_off, out_off) = run_with_offheap(id, mode, 0.05, 11, false);
             let (rep_on, out_on) = run_with_offheap(id, mode, 0.05, 11, true);
             assert_eq!(
-                out_on.results, out_off.results,
+                out_on, out_off,
                 "{what}: the off-heap region must never change a value"
             );
             assert_region_drained(&rep_on, &what);
@@ -129,7 +133,7 @@ proptest! {
         let scale = scale_milli as f64 / 1000.0;
         let (_, out_off) = run_with_offheap(id, MemoryMode::Panthera, scale, seed, false);
         let (rep_on, out_on) = run_with_offheap(id, MemoryMode::Panthera, scale, seed, true);
-        prop_assert_eq!(&out_on.results, &out_off.results, "{} results", id);
+        prop_assert_eq!(&out_on, &out_off, "{} results", id);
         let e = &rep_on.exec;
         prop_assert_eq!(e.offheap_frees, e.offheap_allocs, "{} frees == allocs", id);
         prop_assert_eq!(e.offheap_leaks, 0, "{} leaks", id);

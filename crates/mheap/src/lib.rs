@@ -46,6 +46,7 @@ mod heap;
 mod object;
 mod offheap;
 mod payload;
+mod region;
 mod roots;
 mod space;
 mod tag;
@@ -57,6 +58,7 @@ pub use heap::{Heap, HeapError, HeapStats};
 pub use object::{object_bytes, ObjId, ObjKind, Object, HEADER_BYTES, REF_BYTES};
 pub use offheap::{OffHeapBlock, OffHeapRegion, OffHeapStats};
 pub use payload::{Key, Payload, WirePayload};
+pub use region::{RegionBlock, RegionClass, RegionHeap, RegionStats};
 pub use roots::RootSet;
 pub use space::{OldSpaceId, Space, SpaceId};
 pub use tag::MemTag;

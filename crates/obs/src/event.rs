@@ -228,6 +228,31 @@ pub enum Event {
         /// Modelled block bytes returned.
         bytes: u64,
     },
+    /// A persisted RDD was stored into a lifetime-region bump arena (the
+    /// GC neither traces, card-marks, nor promotes it; writes charged to
+    /// the tagged device). The arena is freed wholesale when the lifetime
+    /// schedule's refcount reaches zero.
+    RegionAlloc {
+        /// The persisted RDD instance.
+        rdd: u32,
+        /// Modelled arena bytes.
+        bytes: u64,
+    },
+    /// An RDD-lifetime region arena was freed wholesale — its scheduled
+    /// refcount reached zero (or an unpersist / end-of-run sweep
+    /// reclaimed it).
+    RegionFree {
+        /// The freed RDD instance.
+        rdd: u32,
+        /// Modelled arena bytes returned.
+        bytes: u64,
+    },
+    /// A stage-scratch region arena was reset wholesale at the end of its
+    /// evaluation, releasing every streamed temporary bumped into it.
+    RegionStageFree {
+        /// Arena bytes released by the reset.
+        bytes: u64,
+    },
     /// A traffic-meter window closed (bandwidth watermark; Figure 8's
     /// series, live). Emitted when the first access of a *later* window
     /// arrives.
@@ -269,6 +294,9 @@ impl Event {
             Event::ShuffleFastPath { .. } => "shuffle_fastpath",
             Event::OffHeapAlloc { .. } => "offheap_alloc",
             Event::OffHeapFree { .. } => "offheap_free",
+            Event::RegionAlloc { .. } => "region_alloc",
+            Event::RegionFree { .. } => "region_free",
+            Event::RegionStageFree { .. } => "region_stage_free",
             Event::TrafficWindow { .. } => "traffic_window",
         }
     }
@@ -364,11 +392,15 @@ impl Event {
             Event::CheckpointWrite { rdd, bytes }
             | Event::CheckpointRestore { rdd, bytes }
             | Event::OffHeapAlloc { rdd, bytes }
-            | Event::OffHeapFree { rdd, bytes } => {
+            | Event::OffHeapFree { rdd, bytes }
+            | Event::RegionAlloc { rdd, bytes }
+            | Event::RegionFree { rdd, bytes } => {
                 put("rdd", Json::UInt(u64::from(*rdd)));
                 put("bytes", Json::UInt(*bytes));
             }
-            Event::ShuffleFastPath { bytes } => put("bytes", Json::UInt(*bytes)),
+            Event::ShuffleFastPath { bytes } | Event::RegionStageFree { bytes } => {
+                put("bytes", Json::UInt(*bytes))
+            }
             Event::TrafficWindow {
                 window,
                 dram_read,
@@ -527,6 +559,15 @@ impl Event {
                 rdd: u("rdd")? as u32,
                 bytes: u("bytes")?,
             },
+            "region_alloc" => Event::RegionAlloc {
+                rdd: u("rdd")? as u32,
+                bytes: u("bytes")?,
+            },
+            "region_free" => Event::RegionFree {
+                rdd: u("rdd")? as u32,
+                bytes: u("bytes")?,
+            },
+            "region_stage_free" => Event::RegionStageFree { bytes: u("bytes")? },
             "traffic_window" => Event::TrafficWindow {
                 window: u("window")?,
                 dram_read: u("dram_read")?,
@@ -616,6 +657,15 @@ mod tests {
                 rdd: 13,
                 bytes: 65536,
             },
+            Event::RegionAlloc {
+                rdd: 14,
+                bytes: 32768,
+            },
+            Event::RegionFree {
+                rdd: 14,
+                bytes: 32768,
+            },
+            Event::RegionStageFree { bytes: 1024 },
             Event::TrafficWindow {
                 window: 4,
                 dram_read: 1,

@@ -215,6 +215,12 @@ pub struct MetricsAggregator {
     offheap_alloc_bytes: u64,
     offheap_frees: u64,
     offheap_freed_bytes: u64,
+    region_allocs: u64,
+    region_alloc_bytes: u64,
+    region_frees: u64,
+    region_freed_bytes: u64,
+    region_stage_frees: u64,
+    region_stage_freed_bytes: u64,
     card_scans: u64,
     cards_scanned: u64,
     card_scan_bytes: u64,
@@ -346,6 +352,20 @@ impl MetricsAggregator {
                 ]),
             ),
             (
+                "region",
+                Json::obj(vec![
+                    ("allocs", Json::UInt(self.region_allocs)),
+                    ("alloc_bytes", Json::UInt(self.region_alloc_bytes)),
+                    ("frees", Json::UInt(self.region_frees)),
+                    ("freed_bytes", Json::UInt(self.region_freed_bytes)),
+                    ("stage_frees", Json::UInt(self.region_stage_frees)),
+                    (
+                        "stage_freed_bytes",
+                        Json::UInt(self.region_stage_freed_bytes),
+                    ),
+                ]),
+            ),
+            (
                 "card_scan",
                 Json::obj(vec![
                     ("scans", Json::UInt(self.card_scans)),
@@ -456,6 +476,18 @@ impl MetricsAggregator {
                 self.offheap_alloc_bytes,
                 self.offheap_frees,
                 self.offheap_freed_bytes
+            ));
+        }
+        if self.region_allocs > 0 || self.region_stage_frees > 0 {
+            out.push_str(&format!(
+                "region arenas: {} blocks ({} B), {} block frees ({} B), \
+                 {} stage resets ({} B)\n",
+                self.region_allocs,
+                self.region_alloc_bytes,
+                self.region_frees,
+                self.region_freed_bytes,
+                self.region_stage_frees,
+                self.region_stage_freed_bytes
             ));
         }
         out.push_str(&format!(
@@ -642,6 +674,18 @@ impl MetricsAggregator {
             Event::OffHeapFree { bytes, .. } => {
                 self.offheap_frees += 1;
                 self.offheap_freed_bytes += bytes;
+            }
+            Event::RegionAlloc { bytes, .. } => {
+                self.region_allocs += 1;
+                self.region_alloc_bytes += bytes;
+            }
+            Event::RegionFree { bytes, .. } => {
+                self.region_frees += 1;
+                self.region_freed_bytes += bytes;
+            }
+            Event::RegionStageFree { bytes } => {
+                self.region_stage_frees += 1;
+                self.region_stage_freed_bytes += bytes;
             }
             Event::TrafficWindow {
                 dram_read,

@@ -22,7 +22,7 @@ use crate::rdd::{MatData, RddId, RddNode, RddOp};
 use crate::runtime::MemoryRuntime;
 use crate::shuffle::{reduce_side, Buckets};
 use hybridmem::{AccessKind, AccessProfile, DeviceKind};
-use mheap::{Key, ObjKind, OffHeapRegion, Payload, RootSet, WirePayload};
+use mheap::{Key, ObjKind, OffHeapRegion, Payload, RegionHeap, RootSet, WirePayload};
 use panthera_analysis::{collect_lifetimes, InstrumentationPlan, LifetimePlan};
 use sparklang::ast::{ActionKind, Program, RddExpr, Stmt, StmtId, StorageLevel, Transform, VarId};
 use sparklang::{FnTable, FuncId, UserFn};
@@ -68,6 +68,16 @@ pub struct EngineConfig {
     /// nor card-marks them, they are never serialized, and they are
     /// released on the lifetime schedule the analysis crate computes.
     pub offheap_cache: bool,
+    /// Lifetime-based region allocation (Deca-style): streamed
+    /// temporaries bump a stage-scratch arena reset wholesale at stage
+    /// end instead of allocating young heap objects, and heap-level
+    /// persists go to refcounted RDD-lifetime bump arenas freed wholesale
+    /// on the analysis crate's lifetime schedule. Region-resident data is
+    /// never traced, card-marked, or promoted; action results are
+    /// bit-identical to a region-off run. When both this and
+    /// [`EngineConfig::offheap_cache`] are set, persists take the H2
+    /// region and only the scratch arenas are active.
+    pub region_alloc: bool,
 }
 
 impl Default for EngineConfig {
@@ -81,6 +91,7 @@ impl Default for EngineConfig {
             legacy_copies: false,
             transport: ShuffleTransport::Serde,
             offheap_cache: false,
+            region_alloc: false,
         }
     }
 }
@@ -150,6 +161,26 @@ pub struct ExecStats {
     /// Reads of off-heap record data whose region block was already
     /// freed — a non-zero value means the lifetime schedule freed early.
     pub offheap_dead_reads: u64,
+    /// Stage-scratch region arenas opened (one per evaluation under
+    /// [`EngineConfig::region_alloc`]).
+    pub region_stage_arenas: u64,
+    /// Bytes bumped into stage-scratch arenas (streamed temporaries and
+    /// transient materializations that would otherwise hit the young
+    /// generation).
+    pub region_stage_bytes: u64,
+    /// RDD-lifetime region arenas allocated.
+    pub region_allocs: u64,
+    /// RDD-lifetime region arenas freed wholesale (refcount-zero
+    /// releases, unpersists, and end-of-run sweeps together).
+    pub region_frees: u64,
+    /// Bytes allocated into RDD-lifetime region arenas.
+    pub region_bytes: u64,
+    /// Region arenas still live at end of run and reclaimed by the sweep
+    /// — a non-zero value means the lifetime schedule leaked.
+    pub region_leaks: u64,
+    /// Reads of region record data whose arena was already freed — a
+    /// non-zero value means the lifetime schedule freed early.
+    pub region_dead_reads: u64,
 }
 
 impl ExecStats {
@@ -170,6 +201,13 @@ impl ExecStats {
             ("offheap_bytes", Json::UInt(self.offheap_bytes)),
             ("offheap_leaks", Json::UInt(self.offheap_leaks)),
             ("offheap_dead_reads", Json::UInt(self.offheap_dead_reads)),
+            ("region_stage_arenas", Json::UInt(self.region_stage_arenas)),
+            ("region_stage_bytes", Json::UInt(self.region_stage_bytes)),
+            ("region_allocs", Json::UInt(self.region_allocs)),
+            ("region_frees", Json::UInt(self.region_frees)),
+            ("region_bytes", Json::UInt(self.region_bytes)),
+            ("region_leaks", Json::UInt(self.region_leaks)),
+            ("region_dead_reads", Json::UInt(self.region_dead_reads)),
         ])
     }
 }
@@ -216,6 +254,17 @@ pub struct Engine<R: MemoryRuntime> {
     offheap_store: HashMap<RddId, Rc<Vec<Payload>>>,
     /// Simulated-byte accounting for the off-heap region.
     offheap_region: OffHeapRegion,
+    /// Record contents of RDDs held in lifetime-region arenas
+    /// ([`EngineConfig::region_alloc`]): persisted RDD-lifetime arenas
+    /// (entries live until `unpersist`; arena bytes are released earlier,
+    /// on the lifetime schedule) and stage-transients (entries dropped at
+    /// stage end, with the scratch arena).
+    region_store: HashMap<RddId, Rc<Vec<Payload>>>,
+    /// RDDs whose records live in the current stage's scratch arena;
+    /// their `region_store` entries die when the evaluation completes.
+    region_transients: Vec<RddId>,
+    /// Simulated-byte accounting for the region arenas.
+    region_heap: RegionHeap,
     /// The static release schedule driving off-heap refcounts; `Some`
     /// only when `offheap_cache` is on.
     lifetime: Option<LifetimePlan>,
@@ -267,6 +316,9 @@ impl<R: MemoryRuntime> Engine<R> {
             ser_store: HashMap::new(),
             offheap_store: HashMap::new(),
             offheap_region: OffHeapRegion::new(),
+            region_store: HashMap::new(),
+            region_transients: Vec::new(),
+            region_heap: RegionHeap::new(),
             lifetime: None,
             lifetime_step: 0,
             lifetime_cur: 0,
@@ -328,7 +380,7 @@ impl<R: MemoryRuntime> Engine<R> {
             panic!("ill-formed program {:?}: {e}", program.name);
         }
         self.vars = vec![None; program.n_vars()];
-        if self.config.offheap_cache {
+        if self.config.offheap_cache || self.config.region_alloc {
             self.lifetime = Some(collect_lifetimes(program));
             self.lifetime_step = 0;
             self.plan_blocks.clear();
@@ -337,6 +389,7 @@ impl<R: MemoryRuntime> Engine<R> {
         let mut next = 0u32;
         self.exec_block(program, &program.stmts, plan, &mut next, &mut results);
         self.offheap_sweep();
+        self.region_sweep();
         RunOutcome {
             results,
             stats: self.stats,
@@ -351,6 +404,21 @@ impl<R: MemoryRuntime> Engine<R> {
             let freed = self.offheap_region.free(rdd);
             self.stats.offheap_leaks += 1;
             self.note_offheap_free(rdd, freed.bytes);
+        }
+    }
+
+    /// End-of-run region sweep, the region arenas' counterpart of
+    /// [`Engine::offheap_sweep`]: live arenas at this point are schedule
+    /// leaks (tests pin the counter to zero).
+    fn region_sweep(&mut self) {
+        debug_assert!(
+            !self.region_heap.stage_open(),
+            "stage scratch arena left open past the last evaluation"
+        );
+        for rdd in self.region_heap.live_rdds() {
+            let freed = self.region_heap.free(rdd);
+            self.stats.region_leaks += 1;
+            self.note_region_free(rdd, freed.bytes);
         }
     }
 
@@ -547,6 +615,13 @@ impl<R: MemoryRuntime> Engine<R> {
             let freed = self.offheap_region.free(rdd.0);
             self.note_offheap_free(rdd.0, freed.bytes);
         }
+        self.region_transients.retain(|r| *r != rdd);
+        if self.region_store.remove(&rdd).is_some() && self.region_heap.block(rdd.0).is_some() {
+            // Defensive for the same scheduling reason as the off-heap
+            // free above.
+            let freed = self.region_heap.free(rdd.0);
+            self.note_region_free(rdd.0, freed.bytes);
+        }
         self.persist_order.retain(|r| *r != rdd);
         self.rdds[rdd.0 as usize].persisted = None;
     }
@@ -568,11 +643,39 @@ impl<R: MemoryRuntime> Engine<R> {
         let stage = self.stage_seq;
         self.stage_seq += 1;
         self.emit_stage_event(stage, true);
+        if self.config.region_alloc {
+            // Every streamed temporary of this evaluation bumps the stage
+            // scratch arena instead of the young generation.
+            self.region_heap.open_stage();
+            self.stats.region_stage_arenas += 1;
+        }
         self.roots.push_scope();
         let out = f(self);
         for rdd in std::mem::take(&mut self.transients) {
             if let Some(mat) = self.rdds[rdd.0 as usize].materialized.take() {
                 self.roots.remove(mat.top);
+            }
+        }
+        for rdd in std::mem::take(&mut self.region_transients) {
+            self.region_store.remove(&rdd);
+        }
+        if self.config.region_alloc {
+            // Wholesale reset: no per-object work, no GC involvement.
+            let freed = self.region_heap.close_stage();
+            if freed > 0 {
+                let mem = self.runtime.heap().mem();
+                let observer = mem.observer();
+                if observer.enabled() {
+                    observer.emit(
+                        mem.clock().now_ns(),
+                        &obs::Event::RegionStageFree { bytes: freed },
+                    );
+                }
+            }
+            if cfg!(debug_assertions) {
+                if let Err(e) = self.region_heap.check_invariants() {
+                    panic!("region invariant violated at stage {stage}: {e}");
+                }
             }
         }
         self.roots.pop_scope();
@@ -634,6 +737,11 @@ impl<R: MemoryRuntime> Engine<R> {
                 // serialized — goes off-heap instead of into old gen.
                 Some(l) if l.uses_heap() && e.config.offheap_cache => {
                     e.persist_offheap(rdd, records);
+                }
+                // Region allocation: heap-level persists get a refcounted
+                // RDD-lifetime arena (off-heap H2 wins when both are on).
+                Some(l) if l.uses_heap() && e.config.region_alloc => {
+                    e.persist_region(rdd, records);
                 }
                 Some(l) if l.is_serialized() => {
                     // A wide node may already carry its shuffle's transient
@@ -838,6 +946,7 @@ impl<R: MemoryRuntime> Engine<R> {
             || self.disk_store.contains_key(&rdd)
             || self.native_store.contains_key(&rdd)
             || self.offheap_store.contains_key(&rdd)
+            || self.region_store.contains_key(&rdd)
     }
 
     /// Panthera's stage-start lineage scan: push this RDD's tag backward
@@ -923,6 +1032,12 @@ impl<R: MemoryRuntime> Engine<R> {
             self.rdds[rdd.0 as usize].materialized.is_none(),
             "double materialization of {rdd}"
         );
+        if self.config.region_alloc && transient && self.region_heap.stage_open() {
+            // A transient materialization dies with the evaluation: route
+            // it into the stage scratch arena instead of the young gen.
+            self.materialize_region_transient(rdd, records);
+            return;
+        }
         self.fault_probe_materialize(records);
         self.ensure_heap_capacity(records);
         let tag = self.rdds[rdd.0 as usize].tag;
@@ -1146,6 +1261,7 @@ impl<R: MemoryRuntime> Engine<R> {
             }
         }
         let persist_heap = !self.config.offheap_cache
+            && !self.config.region_alloc
             && matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
         self.materialize_into_heap(rdd, &records, !persist_heap);
         Some(Rc::new(records))
@@ -1184,6 +1300,29 @@ impl<R: MemoryRuntime> Engine<R> {
                 self.stats.offheap_dead_reads += 1;
             }
             let device = self.offheap_device(rdd);
+            let bytes: u64 = records.iter().map(Payload::model_bytes).sum();
+            self.runtime.heap_mut().mem_mut().access_device(
+                device,
+                AccessKind::Read,
+                bytes,
+                AccessProfile::mutator(),
+            );
+            return records;
+        }
+        if let Some(records) = self.region_store.get(&rdd) {
+            let records = Rc::clone(records);
+            self.emulate_legacy_copies(&records);
+            let device = match self.region_heap.block(rdd.0) {
+                Some(b) => b.device,
+                None if self.region_transients.contains(&rdd) => DeviceKind::Dram,
+                None => {
+                    // The schedule freed this arena before its last read —
+                    // results stay correct (the store keeps the records),
+                    // but the premature free must be visible to tests.
+                    self.stats.region_dead_reads += 1;
+                    self.offheap_device(rdd)
+                }
+            };
             let bytes: u64 = records.iter().map(Payload::model_bytes).sum();
             self.runtime.heap_mut().mem_mut().access_device(
                 device,
@@ -1399,7 +1538,8 @@ impl<R: MemoryRuntime> Engine<R> {
                 && (node.materialized.is_some()
                     || self.disk_store.contains_key(&cur)
                     || self.native_store.contains_key(&cur)
-                    || self.offheap_store.contains_key(&cur))
+                    || self.offheap_store.contains_key(&cur)
+                    || self.region_store.contains_key(&cur))
             {
                 break;
             }
@@ -1432,17 +1572,34 @@ impl<R: MemoryRuntime> Engine<R> {
     /// whole-input pass would.
     fn stream_into(&mut self, input: &[Payload], transform: &Transform, out: &mut Vec<Payload>) {
         let legacy = self.config.legacy_copies;
+        let region_on = self.config.region_alloc;
         for r in input {
             self.runtime
                 .heap_mut()
                 .mem_mut()
                 .compute(self.config.record_cpu_ns);
-            let (runtime, stats) = (&mut self.runtime, &mut self.stats);
+            let (runtime, stats, region) =
+                (&mut self.runtime, &mut self.stats, &mut self.region_heap);
             let roots = &self.roots;
             apply_narrow(&self.fns, transform, r, &mut |p: Payload| {
                 stats.records_streamed += 1;
                 let stored = if legacy { p.deep_clone() } else { p.clone() };
-                runtime.alloc_record(roots, ObjKind::Tuple, stored);
+                if region_on && region.stage_open() {
+                    // Stage-scoped scratch: the record bumps the stage
+                    // arena, dies wholesale at stage close, and never
+                    // enters the young generation (no GC tracing).
+                    let bytes = runtime.heap().tuple_footprint(stored.model_bytes());
+                    region.stage_bump(bytes);
+                    stats.region_stage_bytes += bytes;
+                    runtime.heap_mut().mem_mut().access_device(
+                        DeviceKind::Dram,
+                        AccessKind::Write,
+                        bytes,
+                        AccessProfile::mutator(),
+                    );
+                } else {
+                    runtime.alloc_record(roots, ObjKind::Tuple, stored);
+                }
                 out.push(p);
             });
         }
@@ -1486,11 +1643,24 @@ impl<R: MemoryRuntime> Engine<R> {
     }
 
     /// Allocate (and immediately abandon) the young object modelling one
-    /// streamed record.
+    /// streamed record — or, under region allocation, bump the stage
+    /// scratch arena so the record never touches the traced heap.
     fn stream_alloc(&mut self, record: Payload) {
         self.stats.records_streamed += 1;
-        self.runtime
-            .alloc_record(&self.roots, ObjKind::Tuple, record);
+        if self.config.region_alloc && self.region_heap.stage_open() {
+            let bytes = self.runtime.heap().tuple_footprint(record.model_bytes());
+            self.region_heap.stage_bump(bytes);
+            self.stats.region_stage_bytes += bytes;
+            self.runtime.heap_mut().mem_mut().access_device(
+                DeviceKind::Dram,
+                AccessKind::Write,
+                bytes,
+                AccessProfile::mutator(),
+            );
+        } else {
+            self.runtime
+                .alloc_record(&self.roots, ObjKind::Tuple, record);
+        }
     }
 
     fn compute_shuffle(
@@ -1543,6 +1713,7 @@ impl<R: MemoryRuntime> Engine<R> {
         // evaluation unless this node is itself a heap-persisted RDD, in
         // which case the shuffle output *is* the persisted materialization.
         let persist_heap = !self.config.offheap_cache
+            && !self.config.region_alloc
             && matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
         self.materialize_into_heap(rdd, &out, !persist_heap);
         Rc::new(out)
@@ -1683,6 +1854,7 @@ impl<R: MemoryRuntime> Engine<R> {
             });
         }
         let persist_heap = !self.config.offheap_cache
+            && !self.config.region_alloc
             && matches!(self.rdds[rdd.0 as usize].persisted, Some(l) if l.uses_heap());
         self.materialize_into_heap(rdd, &local, !persist_heap);
         Rc::new(local)
@@ -1789,6 +1961,12 @@ impl<R: MemoryRuntime> Engine<R> {
         &self.offheap_region
     }
 
+    /// Simulated-byte accounting of the lifetime-based region arenas
+    /// (tests assert its invariants and end-of-run emptiness).
+    pub fn region_heap(&self) -> &RegionHeap {
+        &self.region_heap
+    }
+
     /// Which device an off-heap block for `rdd` lives on: the analysis
     /// tag decides, exactly as it does for heap placement — DRAM-tagged
     /// RDDs go to DRAM, everything else to NVM.
@@ -1852,9 +2030,105 @@ impl<R: MemoryRuntime> Engine<R> {
         self.offheap_store.insert(rdd, records);
     }
 
+    /// Persist `records` into a refcounted RDD-lifetime arena: one bump
+    /// allocation on the tagged device, registered under the lifetime
+    /// plan's refcount and region class, freed wholesale when the count
+    /// reaches zero. Like the off-heap region, the GC never sees the
+    /// arena — no heap objects, no roots, no cards — and the records are
+    /// never serialized. If the plan abstains (no block for this step),
+    /// fall back to the traced heap.
+    fn persist_region(&mut self, rdd: RddId, records: Rc<Vec<Payload>>) {
+        let step = self.lifetime_cur;
+        let Some(block) = self
+            .lifetime
+            .as_ref()
+            .and_then(|p| p.ops(step))
+            .and_then(|o| o.block)
+        else {
+            // Plan abstained: undo any stage-transient routing of this
+            // node's shuffle output and take the ordinary heap path.
+            self.region_transients.retain(|r| *r != rdd);
+            self.region_store.remove(&rdd);
+            if !self.is_materialized(rdd) {
+                self.materialize_into_heap(rdd, &records, false);
+            }
+            self.persist_order.push(rdd);
+            return;
+        };
+        let bytes: u64 = records.iter().map(Payload::model_bytes).sum();
+        let device = self.offheap_device(rdd);
+        assert_eq!(
+            block.id as usize,
+            self.plan_blocks.len(),
+            "region block order diverged from the lifetime plan"
+        );
+        self.plan_blocks.push(rdd);
+        self.region_heap
+            .alloc_block(rdd.0, bytes, device, block.class, block.retain);
+        self.runtime.heap_mut().mem_mut().access_device(
+            device,
+            AccessKind::Write,
+            bytes,
+            AccessProfile::mutator(),
+        );
+        self.stats.region_allocs += 1;
+        self.stats.region_bytes += bytes;
+        {
+            let mem = self.runtime.heap().mem();
+            let observer = mem.observer();
+            if observer.enabled() {
+                observer.emit(
+                    mem.clock().now_ns(),
+                    &obs::Event::RegionAlloc { rdd: rdd.0, bytes },
+                );
+            }
+        }
+        // A wide node reaches here as a stage transient that already ran
+        // both hooks; drop its transient marking so the stage close keeps
+        // the store entry. A never-materialized (narrow) target still
+        // needs the hooks.
+        let was_transient = self.region_transients.contains(&rdd);
+        if was_transient {
+            self.region_transients.retain(|r| *r != rdd);
+        } else if self.rdds[rdd.0 as usize].materialized.is_none()
+            && !self.region_store.contains_key(&rdd)
+        {
+            self.note_live_partitions(rdd);
+            self.maybe_checkpoint(rdd, &records);
+        }
+        self.region_store.insert(rdd, records);
+    }
+
+    /// Route a transient materialization into the stage scratch arena:
+    /// the records bump the arena (charged as one DRAM copy), the store
+    /// keeps them readable for the rest of the evaluation, and the whole
+    /// arena dies at stage close — no heap objects, no roots, no cards.
+    fn materialize_region_transient(&mut self, rdd: RddId, records: &[Payload]) {
+        self.fault_probe_materialize(records);
+        let bytes: u64 = records
+            .iter()
+            .map(|r| self.runtime.heap().tuple_footprint(r.model_bytes()))
+            .sum();
+        self.region_heap.stage_bump(bytes);
+        self.stats.region_stage_bytes += bytes;
+        self.runtime.heap_mut().mem_mut().access_device(
+            DeviceKind::Dram,
+            AccessKind::Write,
+            bytes,
+            AccessProfile::mutator(),
+        );
+        self.region_store.insert(rdd, Rc::new(records.to_vec()));
+        self.region_transients.push(rdd);
+        self.stats.materializations += 1;
+        self.note_live_partitions(rdd);
+        self.maybe_checkpoint(rdd, records);
+    }
+
     /// Apply the lifetime schedule's operations for dynamic statement
     /// `step`: decrement each consumed block once (freeing at zero) and
-    /// force-free blocks born lineage-dead at this statement.
+    /// force-free blocks born lineage-dead at this statement. Blocks live
+    /// in the off-heap region when `offheap_cache` is set (it wins when
+    /// both are on), else in the region heap's RDD-lifetime arenas.
     fn apply_lifetime_ops(&mut self, step: usize) {
         let Some(plan) = &self.lifetime else {
             return;
@@ -1867,16 +2141,26 @@ impl<R: MemoryRuntime> Engine<R> {
         }
         let releases = ops.releases.clone();
         let frees = ops.frees.clone();
+        let offheap = self.config.offheap_cache;
         for b in releases {
             let rdd = self.plan_blocks[b as usize];
-            if let Some(freed) = self.offheap_region.release(rdd.0) {
-                self.note_offheap_free(rdd.0, freed.bytes);
+            if offheap {
+                if let Some(freed) = self.offheap_region.release(rdd.0) {
+                    self.note_offheap_free(rdd.0, freed.bytes);
+                }
+            } else if let Some(freed) = self.region_heap.release(rdd.0) {
+                self.note_region_free(rdd.0, freed.bytes);
             }
         }
         for b in frees {
             let rdd = self.plan_blocks[b as usize];
-            let freed = self.offheap_region.free(rdd.0);
-            self.note_offheap_free(rdd.0, freed.bytes);
+            if offheap {
+                let freed = self.offheap_region.free(rdd.0);
+                self.note_offheap_free(rdd.0, freed.bytes);
+            } else {
+                let freed = self.region_heap.free(rdd.0);
+                self.note_region_free(rdd.0, freed.bytes);
+            }
         }
     }
 
@@ -1890,6 +2174,16 @@ impl<R: MemoryRuntime> Engine<R> {
                 mem.clock().now_ns(),
                 &obs::Event::OffHeapFree { rdd, bytes },
             );
+        }
+    }
+
+    /// Count one RDD-lifetime arena free and emit its observation.
+    fn note_region_free(&mut self, rdd: u32, bytes: u64) {
+        self.stats.region_frees += 1;
+        let mem = self.runtime.heap().mem();
+        let observer = mem.observer();
+        if observer.enabled() {
+            observer.emit(mem.clock().now_ns(), &obs::Event::RegionFree { rdd, bytes });
         }
     }
 

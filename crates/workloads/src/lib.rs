@@ -19,13 +19,16 @@
 //!
 //! ```
 //! use workloads::{build_workload, WorkloadId};
-//! use panthera::{run_workload, MemoryMode, SystemConfig, SIM_GB};
+//! use panthera::{MemoryMode, RunBuilder, SystemConfig, SIM_GB};
 //!
 //! let w = build_workload(WorkloadId::Tc, 0.3, 42);
 //! let config = SystemConfig::new(MemoryMode::Panthera, 4 * SIM_GB, 1.0 / 3.0);
-//! let (report, outcome) = run_workload(&w.program, w.fns, w.data, &config);
-//! assert!(!outcome.results.is_empty());
-//! assert!(report.elapsed_s > 0.0);
+//! let run = RunBuilder::new(&w.program, w.fns, w.data)
+//!     .config(config)
+//!     .run()
+//!     .expect("valid configuration");
+//! assert!(!run.results.is_empty());
+//! assert!(run.report.elapsed_s > 0.0);
 //! ```
 
 mod bayes;

@@ -53,7 +53,7 @@ pub fn wordcount(n_docs: usize, vocab: usize, words_per_doc: usize, seed: u64) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use panthera::{run_workload, MemoryMode, SystemConfig, SIM_GB};
+    use panthera::{MemoryMode, RunBuilder, SystemConfig, SIM_GB};
     use panthera_analysis::infer_tags;
     use sparklang::ast::MemoryTag;
     use sparklang::VarId;
@@ -73,8 +73,11 @@ mod tests {
     fn counts_match_a_hand_count() {
         let w = wordcount(300, 80, 10, 5);
         let cfg = SystemConfig::new(MemoryMode::Panthera, 8 * SIM_GB, 1.0 / 3.0);
-        let (_, outcome) = run_workload(&w.program, w.fns, w.data, &cfg);
-        let collected = outcome.results.last().unwrap().1.as_collected().unwrap();
+        let run = RunBuilder::new(&w.program, w.fns, w.data)
+            .config(cfg)
+            .run()
+            .expect("valid configuration");
+        let collected = run.results.last().unwrap().1.as_collected().unwrap();
 
         let docs = crate::labeled_documents(300, 80, 2, 10, 5);
         let mut expect: BTreeMap<i64, i64> = BTreeMap::new();

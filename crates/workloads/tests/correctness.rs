@@ -4,7 +4,7 @@
 //! under the Panthera mode (the most intrusive one).
 
 use mheap::Payload;
-use panthera::{run_workload, MemoryMode, SystemConfig, SIM_GB};
+use panthera::{MemoryMode, RunBuilder, SystemConfig, SIM_GB};
 use sparklet::ActionResult;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
 use workloads::{
@@ -16,7 +16,11 @@ const SEED: u64 = 21;
 
 fn run(w: workloads::BuiltWorkload) -> Vec<(String, ActionResult)> {
     let cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 1.0 / 3.0);
-    run_workload(&w.program, w.fns, w.data, &cfg).1.results
+    RunBuilder::new(&w.program, w.fns, w.data)
+        .config(cfg)
+        .run()
+        .expect("valid configuration")
+        .results
 }
 
 fn edge_pairs(records: &[Payload]) -> Vec<(i64, i64)> {

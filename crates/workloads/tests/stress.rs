@@ -5,7 +5,7 @@
 //! deterministic.
 
 use mheap::Payload;
-use panthera::{run_workload, MemoryMode, SystemConfig, SIM_GB};
+use panthera::{MemoryMode, RunBuilder, SystemConfig, SIM_GB};
 use proptest::prelude::*;
 use sparklang::{ActionKind, Expr, FnTable, Program, ProgramBuilder, StorageLevel};
 use sparklet::{ActionResult, DataRegistry};
@@ -167,7 +167,11 @@ fn build(pipe: &Pipeline) -> (Program, FnTable, DataRegistry) {
 fn run(pipe: &Pipeline, mode: MemoryMode) -> Vec<(String, ActionResult)> {
     let (p, fns, data) = build(pipe);
     let cfg = SystemConfig::new(mode, 8 * SIM_GB, 1.0 / 3.0);
-    run_workload(&p, fns, data, &cfg).1.results
+    RunBuilder::new(&p, fns, data)
+        .config(cfg)
+        .run()
+        .expect("valid configuration")
+        .results
 }
 
 proptest! {

@@ -68,12 +68,15 @@ fn main() {
             .collect(),
     );
 
-    let (run_report, outcome) = Simulation::new(MemoryMode::Panthera)
-        .heap_gb(16)
-        .dram_ratio(1.0 / 3.0)
-        .run(&program, fns, data)
+    let run = RunBuilder::new(&program, fns, data)
+        .config(SystemConfig::new(
+            MemoryMode::Panthera,
+            16 * SIM_GB,
+            1.0 / 3.0,
+        ))
+        .run()
         .expect("valid configuration");
-    println!("executed: {}", run_report.summary());
-    let (var, last) = outcome.results.last().expect("actions ran");
+    println!("executed: {}", run.report.summary());
+    let (var, last) = run.results.last().expect("actions ran");
     println!("final {var}.count() = {last:?}");
 }

@@ -30,11 +30,11 @@ fn main() {
     );
     for mode in MemoryMode::ALL {
         let w = pagerank(2_000, 10_000, 6, 42);
-        let (r, _) = Simulation::new(mode)
-            .heap_gb(64)
-            .dram_ratio(1.0 / 3.0)
-            .run(&w.program, w.fns, w.data)
-            .expect("valid configuration");
+        let r = RunBuilder::new(&w.program, w.fns, w.data)
+            .config(SystemConfig::new(mode, 64 * SIM_GB, 1.0 / 3.0))
+            .run()
+            .expect("valid configuration")
+            .report;
         println!(
             "{:<20} {:>9.4} {:>9.4} {:>9.3} {:>8} {:>8} {:>9}",
             r.mode,

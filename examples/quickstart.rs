@@ -32,22 +32,25 @@ fn main() {
     data.register("numbers", (0..20_000).map(Payload::Long).collect());
 
     // 3. Run it on a "64 GB" heap with one third DRAM under Panthera.
-    let (report, outcome) = Simulation::new(MemoryMode::Panthera)
-        .heap_gb(64)
-        .dram_ratio(1.0 / 3.0)
-        .run(&program, fns, data)
+    let run = RunBuilder::new(&program, fns, data)
+        .config(SystemConfig::new(
+            MemoryMode::Panthera,
+            64 * SIM_GB,
+            1.0 / 3.0,
+        ))
+        .run()
         .expect("valid configuration");
 
     println!("results:");
-    for (var, result) in &outcome.results {
+    for (var, result) in &run.results {
         println!("  {var}.count() = {result:?}");
     }
     println!();
-    println!("{}", report.summary());
+    println!("{}", run.report.summary());
     println!(
         "energy: {:.3} J ({:.0}% static)",
-        report.energy_j(),
-        report.energy.static_fraction() * 100.0
+        run.report.energy_j(),
+        run.report.energy.static_fraction() * 100.0
     );
 
     // 4. The same program DRAM-only, for comparison. (Workload builders
@@ -69,17 +72,17 @@ fn main() {
     let (program2, fns2) = b2.finish();
     let mut data2 = DataRegistry::new();
     data2.register("numbers", (0..20_000).map(Payload::Long).collect());
-    let (base, _) = Simulation::new(MemoryMode::DramOnly)
-        .heap_gb(64)
-        .dram_ratio(1.0)
-        .run(&program2, fns2, data2)
-        .expect("valid configuration");
+    let base = RunBuilder::new(&program2, fns2, data2)
+        .config(SystemConfig::new(MemoryMode::DramOnly, 64 * SIM_GB, 1.0))
+        .run()
+        .expect("valid configuration")
+        .report;
 
     println!();
     println!(
         "vs DRAM-only: {:.2}x time, {:.2}x energy — hybrid memory trades a \
          little time for a lot of energy",
-        report.time_vs(&base),
-        report.energy_vs(&base)
+        run.report.time_vs(&base),
+        run.report.energy_vs(&base)
     );
 }

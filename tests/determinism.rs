@@ -2,13 +2,17 @@
 //! inputs give bit-identical reports — no wall-clock, OS, or iteration-
 //! order dependence leaks in.
 
-use panthera::{run_workload, MemoryMode, RunReport, SystemConfig, SIM_GB};
+use panthera::{MemoryMode, RunBuilder, RunReport, SystemConfig, SIM_GB};
 use workloads::{build_workload, WorkloadId};
 
 fn run_once(id: WorkloadId, mode: MemoryMode, seed: u64) -> RunReport {
     let w = build_workload(id, 0.12, seed);
     let cfg = SystemConfig::new(mode, 16 * SIM_GB, 1.0 / 3.0);
-    run_workload(&w.program, w.fns, w.data, &cfg).0
+    RunBuilder::new(&w.program, w.fns, w.data)
+        .config(cfg)
+        .run()
+        .expect("valid configuration")
+        .report
 }
 
 fn assert_identical(a: &RunReport, b: &RunReport, what: &str) {

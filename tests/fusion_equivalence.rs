@@ -9,33 +9,38 @@
 //! path replays the exact per-stage charge sequence the stage-at-a-time
 //! interpreter would have issued.
 
-use panthera::{run_workload_with_engine, MemoryMode, RunReport, SystemConfig, SIM_GB};
+use panthera::{MemoryMode, RunBuilder, RunSummary, SystemConfig, SIM_GB};
 use proptest::prelude::*;
-use sparklet::{ActionResult, EngineConfig, RunOutcome};
+use sparklet::{ActionResult, EngineConfig};
 use workloads::{build_workload, WorkloadId};
 
-fn run_once(id: WorkloadId, mode: MemoryMode, seed: u64, fuse: bool) -> (RunReport, RunOutcome) {
+fn run_once(id: WorkloadId, mode: MemoryMode, seed: u64, fuse: bool) -> RunSummary {
     let w = build_workload(id, 0.08, seed);
     let cfg = SystemConfig::new(mode, 16 * SIM_GB, 1.0 / 3.0);
     let ecfg = EngineConfig {
         fuse_narrow: fuse,
         ..EngineConfig::default()
     };
-    run_workload_with_engine(&w.program, w.fns, w.data, &cfg, ecfg)
+    RunBuilder::new(&w.program, w.fns, w.data)
+        .config(cfg)
+        .engine(ecfg)
+        .run()
+        .expect("valid configuration")
 }
 
 fn assert_equivalent(id: WorkloadId, mode: MemoryMode, seed: u64) {
-    let (fused_rep, fused_out) = run_once(id, mode, seed, true);
-    let (plain_rep, plain_out) = run_once(id, mode, seed, false);
+    let fused = run_once(id, mode, seed, true);
+    let plain = run_once(id, mode, seed, false);
+    let (fused_rep, plain_rep) = (&fused.report, &plain.report);
     let what = format!("{id}/{mode}/seed{seed}");
 
     // Observable program results: same actions, same values.
     assert_eq!(
-        fused_out.results.len(),
-        plain_out.results.len(),
+        fused.results.len(),
+        plain.results.len(),
         "{what}: action count"
     );
-    for ((fv, fr), (pv, pr)) in fused_out.results.iter().zip(plain_out.results.iter()) {
+    for ((fv, fr), (pv, pr)) in fused.results.iter().zip(plain.results.iter()) {
         assert_eq!(fv, pv, "{what}: action order");
         assert_action_eq(fr, pr, &format!("{what}: {fv}"));
     }

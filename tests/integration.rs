@@ -1,29 +1,36 @@
 //! Cross-crate integration: full workloads through analysis, engine, GC,
 //! heap, and memory model, checking end-to-end invariants.
 
-use panthera::{run_workload, MemoryMode, SystemConfig, SIM_GB};
+use panthera::{MemoryMode, RunBuilder, RunSummary, SystemConfig, SIM_GB};
 use workloads::{build_workload, WorkloadId};
 
 const SCALE: f64 = 0.15;
 
-fn run(id: WorkloadId, mode: MemoryMode) -> (panthera::RunReport, sparklet::RunOutcome) {
+fn run_cfg(id: WorkloadId, cfg: SystemConfig) -> RunSummary {
     let w = build_workload(id, SCALE, 11);
-    let cfg = SystemConfig::new(mode, 16 * SIM_GB, 1.0 / 3.0);
-    run_workload(&w.program, w.fns, w.data, &cfg)
+    RunBuilder::new(&w.program, w.fns, w.data)
+        .config(cfg)
+        .run()
+        .expect("valid configuration")
+}
+
+fn run(id: WorkloadId, mode: MemoryMode) -> RunSummary {
+    run_cfg(id, SystemConfig::new(mode, 16 * SIM_GB, 1.0 / 3.0))
+}
+
+fn run_report(id: WorkloadId, mode: MemoryMode) -> panthera::RunReport {
+    run(id, mode).report
 }
 
 #[test]
 fn every_workload_runs_under_every_mode() {
     for id in WorkloadId::ALL {
         for mode in MemoryMode::ALL {
-            let (report, outcome) = run(id, mode);
-            assert!(report.elapsed_s > 0.0, "{id}/{mode}: no time elapsed");
+            let r = run(id, mode);
+            assert!(r.report.elapsed_s > 0.0, "{id}/{mode}: no time elapsed");
+            assert!(!r.results.is_empty(), "{id}/{mode}: no action results");
             assert!(
-                !outcome.results.is_empty(),
-                "{id}/{mode}: no action results"
-            );
-            assert!(
-                outcome.stats.records_streamed > 0,
+                r.report.exec.records_streamed > 0,
                 "{id}/{mode}: nothing streamed"
             );
         }
@@ -34,13 +41,13 @@ fn every_workload_runs_under_every_mode() {
 fn results_are_mode_independent() {
     // Memory management must never change computed answers.
     for id in WorkloadId::ALL {
-        let (_, base) = run(id, MemoryMode::DramOnly);
+        let base = run(id, MemoryMode::DramOnly);
         for mode in [
             MemoryMode::Unmanaged,
             MemoryMode::Panthera,
             MemoryMode::KingsguardWrites,
         ] {
-            let (_, other) = run(id, mode);
+            let other = run(id, mode);
             assert_eq!(
                 base.results, other.results,
                 "{id}: {mode} changed the computed results"
@@ -52,7 +59,7 @@ fn results_are_mode_independent() {
 #[test]
 fn phase_times_sum_to_elapsed() {
     for mode in MemoryMode::ALL {
-        let (r, _) = run(WorkloadId::Pr, mode);
+        let r = run_report(WorkloadId::Pr, mode);
         let sum = r.mutator_s + r.minor_gc_s + r.major_gc_s;
         assert!(
             (sum - r.elapsed_s).abs() < 1e-9,
@@ -64,7 +71,7 @@ fn phase_times_sum_to_elapsed() {
 
 #[test]
 fn dram_only_never_touches_nvm() {
-    let (r, _) = run(WorkloadId::Cc, MemoryMode::DramOnly);
+    let r = run_report(WorkloadId::Cc, MemoryMode::DramOnly);
     assert_eq!(r.device_bytes[1], 0, "DRAM-only moved NVM bytes");
     assert_eq!(r.energy.nvm_dynamic_j, 0.0);
     assert_eq!(r.energy.nvm_static_j, 0.0, "no NVM installed");
@@ -77,7 +84,7 @@ fn hybrid_modes_use_both_devices() {
         MemoryMode::Panthera,
         MemoryMode::KingsguardNursery,
     ] {
-        let (r, _) = run(WorkloadId::Pr, mode);
+        let r = run_report(WorkloadId::Pr, mode);
         assert!(r.device_bytes[0] > 0, "{mode}: no DRAM traffic");
         assert!(r.device_bytes[1] > 0, "{mode}: no NVM traffic");
     }
@@ -85,21 +92,21 @@ fn hybrid_modes_use_both_devices() {
 
 #[test]
 fn panthera_monitors_baselines_do_not() {
-    let (pan, _) = run(WorkloadId::Cc, MemoryMode::Panthera);
+    let pan = run_report(WorkloadId::Cc, MemoryMode::Panthera);
     assert!(pan.monitored_calls > 0);
     for mode in [
         MemoryMode::DramOnly,
         MemoryMode::Unmanaged,
         MemoryMode::KingsguardNursery,
     ] {
-        let (r, _) = run(WorkloadId::Cc, mode);
+        let r = run_report(WorkloadId::Cc, mode);
         assert_eq!(r.monitored_calls, 0, "{mode} should not monitor");
     }
 }
 
 #[test]
 fn gc_actually_collects_garbage() {
-    let (r, _) = run(WorkloadId::Pr, MemoryMode::Panthera);
+    let r = run_report(WorkloadId::Pr, MemoryMode::Panthera);
     assert!(r.gc.minor_count > 0, "no minor GCs under memory pressure");
     assert!(
         r.gc.young_freed > 0,
@@ -113,13 +120,13 @@ fn gc_actually_collects_garbage() {
 
 #[test]
 fn kingsguard_writes_performs_write_migration() {
-    let (r, _) = run(WorkloadId::Pr, MemoryMode::KingsguardWrites);
+    let r = run_report(WorkloadId::Pr, MemoryMode::KingsguardWrites);
     assert!(r.gc.write_migrations > 0, "KW never migrated anything");
 }
 
 #[test]
 fn bandwidth_traces_cover_the_run() {
-    let (r, _) = run(WorkloadId::Cc, MemoryMode::Panthera);
+    let r = run_report(WorkloadId::Cc, MemoryMode::Panthera);
     let windows = r.traffic.windows();
     assert!(!windows.is_empty());
     let total: u64 = windows.iter().map(|w| w.total()).sum();
@@ -128,12 +135,16 @@ fn bandwidth_traces_cover_the_run() {
 
 #[test]
 fn energy_grows_with_installed_dram() {
-    let w64 = build_workload(WorkloadId::Km, SCALE, 11);
-    let c64 = SystemConfig::new(MemoryMode::DramOnly, 16 * SIM_GB, 1.0);
-    let (r64, _) = run_workload(&w64.program, w64.fns, w64.data, &c64);
-    let w120 = build_workload(WorkloadId::Km, SCALE, 11);
-    let c120 = SystemConfig::new(MemoryMode::DramOnly, 32 * SIM_GB, 1.0);
-    let (r120, _) = run_workload(&w120.program, w120.fns, w120.data, &c120);
+    let r64 = run_cfg(
+        WorkloadId::Km,
+        SystemConfig::new(MemoryMode::DramOnly, 16 * SIM_GB, 1.0),
+    )
+    .report;
+    let r120 = run_cfg(
+        WorkloadId::Km,
+        SystemConfig::new(MemoryMode::DramOnly, 32 * SIM_GB, 1.0),
+    )
+    .report;
     assert!(
         r120.energy.dram_static_j > r64.energy.dram_static_j,
         "double the DRAM must burn more background energy"

@@ -8,7 +8,7 @@
 //! * `Migration` events appear exactly when dynamic migration is on.
 
 use panthera::obs::{replay, Event, JsonlSink, MetricsAggregator, Observer, RingBufferSink};
-use panthera::{run_workload, MemoryMode, RunReport, SystemConfig, SIM_GB};
+use panthera::{MemoryMode, RunBuilder, RunError, RunReport, SystemConfig, SIM_GB};
 use std::cell::RefCell;
 use std::rc::Rc;
 use workloads::{build_workload, WorkloadId};
@@ -22,7 +22,11 @@ fn config(mode: MemoryMode) -> SystemConfig {
 
 fn run_with(id: WorkloadId, cfg: &SystemConfig) -> RunReport {
     let w = build_workload(id, SCALE, SEED);
-    run_workload(&w.program, w.fns, w.data, cfg).0
+    RunBuilder::new(&w.program, w.fns, w.data)
+        .config(cfg.clone())
+        .run()
+        .expect("valid configuration")
+        .report
 }
 
 /// Run with a fresh ring sink attached; return the report and the sink.
@@ -159,7 +163,11 @@ fn migrations_require_dynamic_migration() {
         let mut cfg = SystemConfig::new(MemoryMode::Panthera, 8 * SIM_GB, 1.0 / 3.0);
         cfg.dynamic_migration = dynamic;
         cfg.observer = Observer::with_sink(ring);
-        run_workload(&w.program, w.fns, w.data, &cfg).0
+        RunBuilder::new(&w.program, w.fns, w.data)
+            .config(cfg)
+            .run()
+            .expect("valid configuration")
+            .report
     };
 
     let ring_on = Rc::new(RefCell::new(RingBufferSink::new(1 << 20)));
@@ -230,9 +238,14 @@ fn invalid_config_is_an_error_not_a_panic() {
     let w = build_workload(WorkloadId::Pr, 0.02, SEED);
     // A DRAM ratio of zero cannot hold the nursery.
     let cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 0.0);
-    let err = panthera::try_run_workload(&w.program, w.fns, w.data, &cfg)
+    let err = RunBuilder::new(&w.program, w.fns, w.data)
+        .config(cfg)
+        .run()
         .expect_err("zero DRAM must be rejected");
-    assert!(!err.message().is_empty());
+    let RunError::Config(config_err) = err else {
+        panic!("zero DRAM should surface as RunError::Config, got {err}");
+    };
+    assert!(!config_err.message().is_empty());
     let built = panthera::Simulation::new(MemoryMode::Panthera)
         .dram_ratio(0.0)
         .try_build();

@@ -2,15 +2,22 @@
 //! run at a reduced dataset scale, so thresholds are loose — the precise
 //! numbers live in EXPERIMENTS.md; these tests pin the *orderings*.
 
-use panthera::{run_workload, MemoryMode, RunReport, SystemConfig, SIM_GB};
+use panthera::{MemoryMode, RunBuilder, RunReport, SystemConfig, SIM_GB};
 use workloads::{build_workload, WorkloadId};
 
 const SCALE: f64 = 0.5;
 
-fn run(id: WorkloadId, mode: MemoryMode) -> RunReport {
+fn run_cfg(id: WorkloadId, cfg: SystemConfig) -> RunReport {
     let w = build_workload(id, SCALE, 7);
-    let cfg = SystemConfig::new(mode, 32 * SIM_GB, 1.0 / 3.0);
-    run_workload(&w.program, w.fns, w.data, &cfg).0
+    RunBuilder::new(&w.program, w.fns, w.data)
+        .config(cfg)
+        .run()
+        .expect("valid configuration")
+        .report
+}
+
+fn run(id: WorkloadId, mode: MemoryMode) -> RunReport {
+    run_cfg(id, SystemConfig::new(mode, 32 * SIM_GB, 1.0 / 3.0))
 }
 
 /// Panthera's elapsed time stays close to DRAM-only (paper: 1-4% overhead)
@@ -69,12 +76,14 @@ fn kingsguard_baselines_trail() {
 #[test]
 fn panthera_improves_with_dram_ratio() {
     let id = WorkloadId::Km;
-    let w1 = build_workload(id, SCALE, 7);
-    let quarter = SystemConfig::new(MemoryMode::Panthera, 32 * SIM_GB, 0.25);
-    let r_quarter = run_workload(&w1.program, w1.fns, w1.data, &quarter).0;
-    let w2 = build_workload(id, SCALE, 7);
-    let half = SystemConfig::new(MemoryMode::Panthera, 32 * SIM_GB, 0.5);
-    let r_half = run_workload(&w2.program, w2.fns, w2.data, &half).0;
+    let r_quarter = run_cfg(
+        id,
+        SystemConfig::new(MemoryMode::Panthera, 32 * SIM_GB, 0.25),
+    );
+    let r_half = run_cfg(
+        id,
+        SystemConfig::new(MemoryMode::Panthera, 32 * SIM_GB, 0.5),
+    );
     assert!(
         r_half.elapsed_s <= r_quarter.elapsed_s * 1.02,
         "more DRAM should not hurt: 1/2 ratio {:.4}s vs 1/4 ratio {:.4}s",
@@ -87,22 +96,19 @@ fn panthera_improves_with_dram_ratio() {
 #[test]
 fn optimizations_reduce_gc_time() {
     let id = WorkloadId::Pr;
-    let full = {
-        let w = build_workload(id, SCALE, 7);
-        let cfg = SystemConfig::new(MemoryMode::Panthera, 32 * SIM_GB, 1.0 / 3.0);
-        run_workload(&w.program, w.fns, w.data, &cfg).0
-    };
+    let full = run_cfg(
+        id,
+        SystemConfig::new(MemoryMode::Panthera, 32 * SIM_GB, 1.0 / 3.0),
+    );
     let no_pad = {
-        let w = build_workload(id, SCALE, 7);
         let mut cfg = SystemConfig::new(MemoryMode::Panthera, 32 * SIM_GB, 1.0 / 3.0);
         cfg.card_padding = false;
-        run_workload(&w.program, w.fns, w.data, &cfg).0
+        run_cfg(id, cfg)
     };
     let no_eager = {
-        let w = build_workload(id, SCALE, 7);
         let mut cfg = SystemConfig::new(MemoryMode::Panthera, 32 * SIM_GB, 1.0 / 3.0);
         cfg.eager_promotion = false;
-        run_workload(&w.program, w.fns, w.data, &cfg).0
+        run_cfg(id, cfg)
     };
     assert!(no_pad.gc_s() > full.gc_s(), "padding off must cost GC time");
     assert!(

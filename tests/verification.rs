@@ -4,7 +4,7 @@
 //! set with zero violations — and the verifier observes, never charges,
 //! so the report is bit-identical to an unverified run.
 
-use panthera::{run_workload, MemoryMode, RunReport, SystemConfig, SIM_GB};
+use panthera::{MemoryMode, RunBuilder, RunReport, SystemConfig, SIM_GB};
 use workloads::{build_workload, WorkloadId};
 
 const SCALE: f64 = 0.1;
@@ -14,7 +14,11 @@ fn run_once(id: WorkloadId, mode: MemoryMode, verify: bool) -> RunReport {
     let w = build_workload(id, SCALE, SEED);
     let mut cfg = SystemConfig::new(mode, 16 * SIM_GB, 1.0 / 3.0);
     cfg.verify_heap = verify;
-    run_workload(&w.program, w.fns, w.data, &cfg).0
+    RunBuilder::new(&w.program, w.fns, w.data)
+        .config(cfg)
+        .run()
+        .expect("valid configuration")
+        .report
 }
 
 /// A verified run completing at all is the invariant check: any
