@@ -48,6 +48,13 @@
 //!   seeded mid-run executor crash}, asserting the faulted arms produce
 //!   bit-identical results and host-thread-invariant reports. Emits
 //!   `BENCH_PR5.json` plus its `.sim` companion.
+//! * `--faults-anywhere SEED` — run the crash-anywhere suite instead:
+//!   cluster PageRank under both recovery policies with virtual-time
+//!   crash points drawn uniformly over the fault-free run's duration
+//!   (crashes mid-stage, mid-deposit, mid-checkpoint — not at barriers),
+//!   asserting bit-identical results, journal-validated no-op replays,
+//!   and host-thread-invariant reports. Emits `BENCH_PR8.json` plus its
+//!   `.sim` companion.
 //! * `--shuffle` — run the serde-tax suite instead: shuffle-heavy join
 //!   and group-by arms at E = 2, 4, 8 under both shuffle transports
 //!   (per-record serde vs zero-copy shared region), asserting
@@ -91,12 +98,14 @@ const WORKLOADS: [WorkloadId; 4] = [
 const SEED: u64 = 7;
 
 /// Parsed command line: `--quick`, `--executors N`, `--trace [PATH]`,
-/// `--faults SEED`, `--shuffle`, and `--regions`.
+/// `--faults SEED`, `--faults-anywhere SEED`, `--shuffle`, and
+/// `--regions`.
 struct Cli {
     quick: bool,
     executors: Option<u16>,
     trace: Option<String>,
     faults: Option<u64>,
+    faults_anywhere: Option<u64>,
     shuffle: bool,
     regions: bool,
 }
@@ -108,6 +117,7 @@ impl Cli {
             executors: None,
             trace: None,
             faults: None,
+            faults_anywhere: None,
             shuffle: false,
             regions: false,
         };
@@ -142,13 +152,20 @@ impl Cli {
                         std::process::exit(2);
                     }
                 },
+                "--faults-anywhere" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(seed) => cli.faults_anywhere = Some(seed),
+                    None => {
+                        eprintln!("perfsuite: --faults-anywhere needs an integer seed");
+                        std::process::exit(2);
+                    }
+                },
                 "--shuffle" => cli.shuffle = true,
                 "--regions" => cli.regions = true,
                 other => {
                     eprintln!("perfsuite: unknown flag `{other}`");
                     eprintln!(
                         "usage: perfsuite [--quick] [--executors N] [--trace [PATH]] \
-                         [--faults SEED] [--shuffle] [--regions]"
+                         [--faults SEED] [--faults-anywhere SEED] [--shuffle] [--regions]"
                     );
                     std::process::exit(2);
                 }
@@ -564,6 +581,8 @@ fn fault_row_json(r: &FaultRow, sim_only: bool) -> Json {
         ("stages_recomputed", Json::UInt(rec.stages_recomputed)),
         ("checkpoint_writes", Json::UInt(rec.checkpoint_writes)),
         ("checkpoint_bytes", Json::UInt(rec.checkpoint_bytes)),
+        ("journal_noops", Json::UInt(rec.journal_noops)),
+        ("journal_torn", Json::UInt(rec.journal_torn)),
         ("recovery_s", Json::Num(rec.recovery_s)),
     ];
     if !sim_only {
@@ -719,6 +738,199 @@ fn run_fault_suite(seed: u64, cli: &Cli, n: usize, scale: f64) {
         ("scale", Json::Num(scale)),
         ("executors", Json::UInt(u64::from(executors))),
         ("fault_plan", plan_json),
+        (
+            "arms",
+            Json::Arr(rows.iter().map(|r| fault_row_json(r, true)).collect()),
+        ),
+        (
+            "recovery_overhead",
+            Json::Arr(overheads.iter().map(overhead_json).collect()),
+        ),
+        ("results_identical", Json::Bool(true)),
+        ("host_thread_invariant", Json::Bool(true)),
+    ]);
+    let sim_out = format!("{out}.sim");
+    std::fs::write(&sim_out, sim.to_pretty() + "\n").expect("write sim-side json");
+    println!("wrote {sim_out}");
+}
+
+// ---------------------------------------------------------------------------
+// The `--faults-anywhere SEED` random-point crash suite (`BENCH_PR8.json`).
+// ---------------------------------------------------------------------------
+
+/// The crash-anywhere overhead suite (PR 8): PageRank on the cluster
+/// driver with virtual-time crash points drawn uniformly over the
+/// fault-free run's duration, under both recovery policies — so
+/// executors die mid-stage, mid-deposit, and mid-checkpoint rather than
+/// at barriers. Asserts the PR 8 acceptance before reporting a number:
+/// faulted results bit-identical to the fault-free twin, replayed
+/// deposits validated as journal no-ops, and neither the aggregate
+/// report nor any per-executor sub-report depending on the host-thread
+/// budget.
+///
+/// Output: `BENCH_PR8.json` (override with `PERFSUITE_OUT`) and the
+/// host-time-free `<out>.sim` companion CI `cmp`s across
+/// `PANTHERA_HOST_THREADS` budgets.
+fn run_faults_anywhere_suite(seed: u64, cli: &Cli, n: usize, scale: f64) {
+    let executors: u16 = if cli.quick { 2 } else { 3 };
+    let host_threads = host_threads_from_env(usize::from(executors));
+    let vcrashes: u32 = if cli.quick { 2 } else { 3 };
+    let policies = [
+        ("recompute", RecoveryPolicy::Recompute),
+        ("checkpoint_every_2", RecoveryPolicy::CheckpointEvery(2)),
+    ];
+    let mut rows: Vec<FaultRow> = Vec::new();
+    let mut overheads = Vec::new();
+    let mut plans_json = Vec::new();
+    for (name, policy) in policies {
+        let (clean_ns, clean) = median_host_ns(n, || {
+            fault_run(scale, executors, policy, &FaultPlan::none(), host_threads)
+        });
+        // The fault-free duration bounds the window crash points are
+        // drawn from. It is a simulated quantity, so every host-thread
+        // budget derives the identical plan — the `.sim` artifact stays
+        // byte-comparable across budgets.
+        let horizon_ns = clean.report.elapsed_s * 1e9;
+        let plan = FaultPlan::generate(
+            seed,
+            executors,
+            FaultSpec {
+                crashes: 0,
+                max_losses: 0,
+                max_alloc_faults: 0,
+                vcrashes,
+                vtime_lo_ns: 0.0,
+                vtime_hi_ns: horizon_ns,
+                ..FaultSpec::default()
+            },
+        );
+        assert!(
+            !plan.vcrashes.is_empty(),
+            "the crash-anywhere suite needs its crash points"
+        );
+        println!(
+            "{name}: {} random-point crash(es): {:?}",
+            plan.vcrashes.len(),
+            plan.vcrashes
+                .iter()
+                .map(|p| (p.exec, p.at_ns))
+                .collect::<Vec<_>>()
+        );
+        let (faulted_ns, faulted) = median_host_ns(n, || {
+            fault_run(scale, executors, policy, &plan, host_threads)
+        });
+
+        assert_eq!(
+            faulted.results, clean.results,
+            "{name}: random-point crashes changed the workload results"
+        );
+        let rec = &faulted.report.recovery;
+        assert!(
+            rec.executor_crashes >= 1,
+            "{name}: at least one planned point fired"
+        );
+        assert!(
+            rec.journal_noops > 0,
+            "{name}: the replay re-validated committed deposits"
+        );
+        let serial = fault_run(scale, executors, policy, &plan, 1);
+        assert_eq!(
+            serial.report.to_json().to_compact(),
+            faulted.report.to_json().to_compact(),
+            "{name}: crash-anywhere aggregate report depends on the host-thread budget"
+        );
+        for (e, (s, t)) in serial
+            .per_executor
+            .iter()
+            .zip(faulted.per_executor.iter())
+            .enumerate()
+        {
+            assert_eq!(
+                s.to_json().to_compact(),
+                t.to_json().to_compact(),
+                "{name}: executor {e} sub-report depends on the host-thread budget"
+            );
+        }
+
+        let overhead_s = faulted.report.elapsed_s - clean.report.elapsed_s;
+        let overhead_pct = 100.0 * overhead_s / clean.report.elapsed_s;
+        println!(
+            "{:<20} | clean {:>9.4}s sim | faulted {:>9.4}s sim | overhead {:>6.2}% \
+             | {} crash(es), {} no-op(s), {} torn",
+            name,
+            clean.report.elapsed_s,
+            faulted.report.elapsed_s,
+            overhead_pct,
+            rec.executor_crashes,
+            rec.journal_noops,
+            rec.journal_torn,
+        );
+        overheads.push((name, overhead_s, overhead_pct));
+        plans_json.push(Json::obj(vec![
+            ("policy", Json::Str(name.into())),
+            ("seed", Json::UInt(seed)),
+            (
+                "points",
+                Json::Arr(
+                    plan.vcrashes
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("exec", Json::UInt(u64::from(p.exec))),
+                                ("at_ns", Json::Num(p.at_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+        rows.push(FaultRow {
+            policy: name,
+            faulted: false,
+            host_ns: clean_ns,
+            outcome: clean,
+        });
+        rows.push(FaultRow {
+            policy: name,
+            faulted: true,
+            host_ns: faulted_ns,
+            outcome: faulted,
+        });
+    }
+
+    let overhead_json = |(name, s, pct): &(&str, f64, f64)| {
+        Json::obj(vec![
+            ("policy", Json::Str((*name).into())),
+            ("overhead_sim_s", Json::Num(*s)),
+            ("overhead_pct", Json::Num(*pct)),
+        ])
+    };
+    let j = Json::obj(vec![
+        ("bench", Json::Str("BENCH_PR8".into())),
+        ("scale", Json::Num(scale)),
+        ("samples_per_arm", Json::UInt(n as u64)),
+        ("executors", Json::UInt(u64::from(executors))),
+        ("fault_plans", Json::Arr(plans_json.clone())),
+        (
+            "arms",
+            Json::Arr(rows.iter().map(|r| fault_row_json(r, false)).collect()),
+        ),
+        (
+            "recovery_overhead",
+            Json::Arr(overheads.iter().map(overhead_json).collect()),
+        ),
+        ("results_identical", Json::Bool(true)),
+        ("host_thread_invariant", Json::Bool(true)),
+    ]);
+    let out = std::env::var("PERFSUITE_OUT").unwrap_or_else(|_| "BENCH_PR8.json".into());
+    std::fs::write(&out, j.to_pretty() + "\n").expect("write crash-anywhere json");
+    println!("wrote {out}");
+
+    let sim = Json::obj(vec![
+        ("bench", Json::Str("BENCH_PR8.sim".into())),
+        ("scale", Json::Num(scale)),
+        ("executors", Json::UInt(u64::from(executors))),
+        ("fault_plans", Json::Arr(plans_json)),
         (
             "arms",
             Json::Arr(rows.iter().map(|r| fault_row_json(r, true)).collect()),
@@ -1261,6 +1473,14 @@ fn main() {
     if let Some(seed) = cli.faults {
         println!("perfsuite --faults: {n} samples/arm, scale {scale}");
         run_fault_suite(seed, &cli, n, scale);
+        if let Some(path) = &cli.trace {
+            write_trace(path);
+        }
+        return;
+    }
+    if let Some(seed) = cli.faults_anywhere {
+        println!("perfsuite --faults-anywhere: {n} samples/arm, scale {scale}");
+        run_faults_anywhere_suite(seed, &cli, n, scale);
         if let Some(path) = &cli.trace {
             write_trace(path);
         }

@@ -9,5 +9,5 @@
 pub use panthera::cluster::{
     host_threads_from_env, run_cluster, run_cluster_default, run_cluster_faulted, AllocFaultPoint,
     ClusterOutcome, CrashPoint, Exchange, FaultPlan, FaultSpec, FaultedExchange, GatherKind,
-    LossPoint, NvmCheckpointStore,
+    LossPoint, NvmCheckpointStore, VCrashPoint,
 };

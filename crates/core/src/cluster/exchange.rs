@@ -25,10 +25,18 @@
 //! one of them dies instead — a panic in an executor thread, or an
 //! injected crash the driver chooses not to recover — every peer blocked
 //! in a `Condvar` wait would deadlock forever. [`Exchange::poison`]
-//! prevents that: it records the failure, floods the permit pool (permit
-//! accounting is meaningless once the run is lost), and wakes every
-//! waiter; every blocked or future rendezvous call then returns the same
-//! typed [`ClusterError`] instead of a result.
+//! prevents that: it records the failure and wakes every waiter; every
+//! blocked or future rendezvous call then returns the same typed
+//! [`ClusterError`] instead of a result.
+//!
+//! Permits are accounted *per executor* ([`Exchange::acquire_permit`] /
+//! [`Exchange::release_permit`] take the executor id, and the exchange
+//! tracks who holds one): releasing is a no-op unless that executor
+//! actually holds a permit, so a thread that unwinds out of a gather
+//! wait — where it had already handed its permit back — cannot over-grant
+//! the pool when the driver releases on its behalf. This replaces PR 5's
+//! "flood the pool on poison" workaround, and keeps the accounting exact
+//! across arbitrarily many crash→restart cycles.
 //!
 //! # Replay
 //!
@@ -37,6 +45,11 @@
 //! restarted executor replaying the program from the top re-reads every
 //! rendezvous it had already completed without blocking and without
 //! re-depositing, then deposits live once it passes the crash point.
+//! Deposits are *digest-validated*: the exchange records each live
+//! contribution's structural digest, and a repeated deposit (a replayed
+//! executor re-issuing an operation whose first issue already landed) is
+//! accepted as a no-op when the digests match — and panics when they
+//! don't, because a divergent replay means determinism is broken.
 
 use sparklet::{ActionContrib, ClusterError, ExchangeClient, ShuffleContrib, ShuffleTransport};
 use std::collections::HashMap;
@@ -47,6 +60,10 @@ use std::sync::{Arc, Condvar, Mutex};
 struct Slot<T> {
     /// Per-executor deposits: `(contribution, clock at deposit)`.
     contribs: Vec<Option<(T, f64)>>,
+    /// Structural digest of each executor's live deposit, kept past
+    /// finalization (contributions are drained into the result) so a
+    /// replayed deposit can be validated against what actually landed.
+    digests: Vec<Option<u64>>,
     /// Finalized result, kept for idempotent re-requests (an executor
     /// that evicted and recomputed a shuffled RDD gathers it again, and a
     /// restarted executor replays every completed gather).
@@ -57,6 +74,7 @@ impl<T> Slot<T> {
     fn new(n: usize) -> Self {
         Slot {
             contribs: (0..n).map(|_| None).collect(),
+            digests: vec![None; n],
             result: None,
         }
     }
@@ -73,6 +91,11 @@ struct BarrierSlot {
 struct ExState {
     /// Host-thread run permits currently available.
     permits_free: usize,
+    /// Which executors currently hold a run permit. Exact bookkeeping —
+    /// a release for an executor that holds nothing is a no-op — so
+    /// crash→restart cycles and unwinds out of gather waits can never
+    /// over-grant the pool or strand a waiter.
+    holders: Vec<bool>,
     /// First failure, if the exchange has been poisoned.
     poisoned: Option<ClusterError>,
     /// Shuffle gathers keyed by the shuffled RDD's id.
@@ -134,6 +157,7 @@ impl Exchange {
             transport,
             state: Mutex::new(ExState {
                 permits_free: host_threads.clamp(1, n),
+                holders: vec![false; n],
                 poisoned: None,
                 shuffles: HashMap::new(),
                 actions: HashMap::new(),
@@ -156,17 +180,15 @@ impl Exchange {
     }
 
     /// Poison the exchange: record `err` as the run's failure (first
-    /// poisoner wins), flood the permit pool so no waiter can starve, and
-    /// wake everyone. Every executor blocked in — or later entering — a
-    /// collective observes the recorded error instead of deadlocking.
+    /// poisoner wins) and wake everyone. Every executor blocked in — or
+    /// later entering — a collective observes the recorded error instead
+    /// of deadlocking; poisoned wait loops exit *before* their permit
+    /// check, so the pool needs no flooding and stays exactly accounted.
     pub fn poison(&self, err: ClusterError) {
         let mut st = self.state.lock().expect("exchange lock poisoned");
         if st.poisoned.is_none() {
             st.poisoned = Some(err);
         }
-        // Permit accounting is moot once the run is lost; flooding the
-        // pool guarantees every wait loop's exit condition can fire.
-        st.permits_free = self.n_exec;
         self.cv.notify_all();
     }
 
@@ -179,53 +201,85 @@ impl Exchange {
             .clone()
     }
 
-    /// Block until a run permit is free and take it. Called by each
-    /// executor thread before it starts computing. Fails instead of
-    /// blocking if the exchange is poisoned.
-    pub fn acquire_permit(&self) -> Result<(), ClusterError> {
+    /// Block until a run permit is free and take it for executor `exec`.
+    /// Called by each executor incarnation before it starts computing.
+    /// Fails instead of blocking if the exchange is poisoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exec` already holds a permit — an incarnation acquired
+    /// twice, which would deadlock a single-permit pool.
+    pub fn acquire_permit(&self, exec: u16) -> Result<(), ClusterError> {
         let mut st = self.state.lock().expect("exchange lock poisoned");
+        assert!(
+            !st.holders[usize::from(exec)],
+            "executor {exec} acquired a run permit it already holds"
+        );
         loop {
             if let Some(err) = &st.poisoned {
                 return Err(err.clone());
             }
             if st.permits_free > 0 {
                 st.permits_free -= 1;
+                st.holders[usize::from(exec)] = true;
                 return Ok(());
             }
             st = self.cv.wait(st).expect("exchange lock poisoned");
         }
     }
 
-    /// Return a run permit to the pool. Called by each executor thread
-    /// after its run completes (normally or by unwinding).
-    pub fn release_permit(&self) {
+    /// Return executor `exec`'s run permit to the pool, if it holds one.
+    /// Called by the driver after each incarnation completes (normally or
+    /// by unwinding). A no-op when the executor holds nothing — it died
+    /// inside a gather wait, where the permit had already been handed
+    /// back — so repeated crash→restart cycles keep the pool exact.
+    pub fn release_permit(&self, exec: u16) {
         let mut st = self.state.lock().expect("exchange lock poisoned");
-        // After poisoning the pool is pinned full; don't grow it further.
-        if st.poisoned.is_none() {
+        if std::mem::replace(&mut st.holders[usize::from(exec)], false) {
             st.permits_free += 1;
         }
         self.cv.notify_all();
     }
 
+    /// Run permits currently available (test/diagnostic hook — the pool
+    /// must return to its configured size once every executor is done).
+    pub fn permits_free(&self) -> usize {
+        self.state
+            .lock()
+            .expect("exchange lock poisoned")
+            .permits_free
+    }
+
     /// The shared gather protocol for shuffles and actions.
     ///
     /// The caller holds a run permit. If the slot already has a result
-    /// (an idempotent re-request), serve it without depositing. Otherwise
-    /// deposit; the last depositor finalizes (contributions in
-    /// executor-id order, `t_bar = max` clock) and returns still holding
-    /// its permit. A non-final depositor returns its permit to the pool,
-    /// waits for the result, then re-acquires a permit before resuming.
+    /// (an idempotent re-request), validate the caller's digest against
+    /// what it originally deposited (if it deposited at all) and serve
+    /// the cached result. Otherwise deposit; the last depositor finalizes
+    /// (contributions in executor-id order, `t_bar = max` clock) and
+    /// returns still holding its permit. A non-final depositor returns
+    /// its permit to the pool, waits for the result, then re-acquires a
+    /// permit before resuming.
+    ///
+    /// A repeated deposit into a *live* slot (the caller's contribution
+    /// is present but the gather has not completed) is a no-op when the
+    /// digests match: the original deposit — and its clock — stands, and
+    /// the caller proceeds to the wait. A digest mismatch in either case
+    /// panics: replay re-issued a different payload than the original
+    /// timeline produced, so determinism is broken.
     ///
     /// `deposit_bytes` is the contribution's modelled shared-region
     /// footprint; it is added to the region counter only when a live
-    /// deposit actually happens (never on cached re-reads), under the
-    /// same lock acquisition as the deposit itself.
+    /// deposit actually happens (never on cached re-reads or validated
+    /// duplicates), under the same lock acquisition as the deposit.
+    #[allow(clippy::too_many_arguments)]
     fn gather<K, T>(
         &self,
         select: impl Fn(&mut ExState) -> &mut HashMap<K, Slot<T>>,
         key: K,
         exec: u16,
         contrib: T,
+        digest: u64,
         clock_ns: f64,
         deposit_bytes: u64,
     ) -> Result<(Arc<Vec<T>>, f64), ClusterError>
@@ -237,15 +291,30 @@ impl Exchange {
             return Err(err.clone());
         }
         let n = self.n_exec;
+        let e = usize::from(exec);
         let slot = select(&mut st).entry(key).or_insert_with(|| Slot::new(n));
+        let validate = |recorded: u64| {
+            assert_eq!(
+                recorded, digest,
+                "executor {exec} re-deposited a divergent payload into a gather \
+                 (digest {recorded:#x} landed, replay produced {digest:#x})"
+            );
+        };
         if let Some((res, t_bar)) = &slot.result {
+            if let Some(recorded) = slot.digests[e] {
+                validate(recorded);
+            }
             return Ok((Arc::clone(res), *t_bar));
         }
-        assert!(
-            slot.contribs[usize::from(exec)].is_none(),
-            "executor {exec} deposited twice into one gather"
-        );
-        slot.contribs[usize::from(exec)] = Some((contrib, clock_ns));
+        let deposited = if let Some(recorded) = slot.digests[e] {
+            // Live duplicate: the first deposit (and its clock) stands.
+            validate(recorded);
+            false
+        } else {
+            slot.contribs[e] = Some((contrib, clock_ns));
+            slot.digests[e] = Some(digest);
+            true
+        };
         let finalized = if slot.contribs.iter().all(Option::is_some) {
             let mut items = Vec::with_capacity(n);
             let mut t_bar = f64::NEG_INFINITY;
@@ -260,7 +329,9 @@ impl Exchange {
         } else {
             None
         };
-        st.shared_region_bytes += deposit_bytes;
+        if deposited {
+            st.shared_region_bytes += deposit_bytes;
+        }
         if let Some((res, t_bar)) = finalized {
             self.cv.notify_all();
             return Ok((res, t_bar));
@@ -268,6 +339,7 @@ impl Exchange {
         // Not complete yet: hand the permit back so peers can run even
         // under a single-permit host budget, and wait for the result.
         st.permits_free += 1;
+        st.holders[e] = false;
         self.cv.notify_all();
         loop {
             st = self.cv.wait(st).expect("exchange lock poisoned");
@@ -280,6 +352,7 @@ impl Exchange {
             if let Some(res) = ready {
                 if st.permits_free > 0 {
                     st.permits_free -= 1;
+                    st.holders[e] = true;
                     return Ok(res);
                 }
             }
@@ -299,11 +372,13 @@ impl ExchangeClient for Exchange {
             ShuffleTransport::Serde => 0,
             ShuffleTransport::SharedRegion => contrib.model_bytes(),
         };
+        let digest = contrib.digest();
         self.gather(
             |st| &mut st.shuffles,
             rdd,
             exec,
             contrib,
+            digest,
             clock_ns,
             deposit_bytes,
         )
@@ -316,7 +391,16 @@ impl ExchangeClient for Exchange {
         contrib: ActionContrib,
         clock_ns: f64,
     ) -> Result<(Arc<Vec<ActionContrib>>, f64), ClusterError> {
-        self.gather(|st| &mut st.actions, seq, exec, contrib, clock_ns, 0)
+        let digest = contrib.digest();
+        self.gather(
+            |st| &mut st.actions,
+            seq,
+            exec,
+            contrib,
+            digest,
+            clock_ns,
+            0,
+        )
     }
 
     fn barrier(&self, exec: u16, index: u64, clock_ns: f64) -> Result<f64, ClusterError> {
@@ -349,6 +433,7 @@ impl ExchangeClient for Exchange {
             return Ok(t_bar);
         }
         st.permits_free += 1;
+        st.holders[usize::from(exec)] = false;
         self.cv.notify_all();
         loop {
             st = self.cv.wait(st).expect("exchange lock poisoned");
@@ -359,6 +444,7 @@ impl ExchangeClient for Exchange {
             if let Some(t_bar) = ready {
                 if st.permits_free > 0 {
                     st.permits_free -= 1;
+                    st.holders[usize::from(exec)] = true;
                     return Ok(t_bar);
                 }
             }
@@ -377,7 +463,7 @@ mod tests {
     fn poison_wakes_blocked_barrier_waiter() {
         let ex = Exchange::new(2, 2);
         let ex2 = Arc::clone(&ex);
-        ex.acquire_permit().unwrap();
+        ex.acquire_permit(0).unwrap();
         let waiter = std::thread::spawn(move || ex2.barrier(0, 0, 1.0));
         // Give the waiter time to deposit and block, then poison instead
         // of arriving as executor 1.
@@ -410,7 +496,7 @@ mod tests {
         assert!(ex
             .gather_action(1, 0, ActionContrib::Count(1), 0.0)
             .is_err());
-        assert!(ex.acquire_permit().is_err());
+        assert!(ex.acquire_permit(1).is_err());
         assert!(ex.poison_cause().is_some());
     }
 
@@ -421,11 +507,100 @@ mod tests {
         let ex = Exchange::new(2, 2);
         let ex2 = Arc::clone(&ex);
         let peer = std::thread::spawn(move || ex2.barrier(1, 0, 5.0).unwrap());
-        ex.acquire_permit().unwrap();
+        ex.acquire_permit(0).unwrap();
         let t0 = ex.barrier(0, 0, 3.0).unwrap();
         assert_eq!(peer.join().unwrap(), 5.0);
         assert_eq!(t0, 5.0);
         // Replay: same executor, same barrier — served, not deposited.
         assert_eq!(ex.barrier(0, 0, 99.0).unwrap(), 5.0);
+    }
+
+    /// The permit pool stays exact across crash→restart cycles: a release
+    /// for an executor that holds nothing (it died inside a gather wait,
+    /// or the driver releases defensively after an unwind) is a no-op, so
+    /// the pool can never grow past its configured size.
+    #[test]
+    fn release_without_hold_cannot_over_grant_permits() {
+        let ex = Exchange::new(3, 2);
+        assert_eq!(ex.permits_free(), 2);
+        ex.acquire_permit(0).unwrap();
+        assert_eq!(ex.permits_free(), 1);
+        // Many defensive releases for executors that hold nothing.
+        for _ in 0..5 {
+            ex.release_permit(1);
+            ex.release_permit(2);
+        }
+        assert_eq!(ex.permits_free(), 1, "no-op releases must not mint permits");
+        // Double release by the holder is also counted once.
+        ex.release_permit(0);
+        ex.release_permit(0);
+        assert_eq!(ex.permits_free(), 2);
+        // Repeated crash→restart cycles: acquire/release per incarnation.
+        for _ in 0..10 {
+            ex.acquire_permit(1).unwrap();
+            ex.release_permit(1);
+        }
+        assert_eq!(ex.permits_free(), 2, "pool returns to its configured size");
+    }
+
+    /// Poisoning no longer floods the permit pool: waiters are woken by
+    /// the poison error itself, and the pool stays exactly accounted so a
+    /// later inspection sees the true state.
+    #[test]
+    fn poison_preserves_permit_accounting() {
+        let ex = Exchange::new(2, 2);
+        ex.acquire_permit(0).unwrap();
+        ex.poison(ClusterError::Poisoned {
+            exec: 1,
+            reason: "gone".into(),
+        });
+        assert_eq!(ex.permits_free(), 1, "poison must not mint permits");
+        ex.release_permit(0);
+        assert_eq!(ex.permits_free(), 2);
+    }
+
+    /// A replayed deposit with an identical payload is a validated no-op:
+    /// the original deposit's clock stands (the barrier time does not
+    /// move), and the duplicate adds no shared-region bytes.
+    #[test]
+    fn duplicate_deposit_with_equal_digest_is_noop() {
+        let ex = Exchange::new(2, 2);
+        let ex2 = Arc::clone(&ex);
+        let peer =
+            std::thread::spawn(move || ex2.gather_action(1, 0, ActionContrib::Count(10), 7.0));
+        ex.acquire_permit(0).unwrap();
+        let (res, t_bar) = ex
+            .gather_action(0, 0, ActionContrib::Count(5), 3.0)
+            .unwrap();
+        assert_eq!(res.len(), 2);
+        assert_eq!(t_bar, 7.0);
+        peer.join().unwrap().unwrap();
+        // Replay the same deposit with a *different* clock: served from
+        // cache, digest-validated, clock ignored.
+        let (res2, t2) = ex
+            .gather_action(0, 0, ActionContrib::Count(5), 99.0)
+            .unwrap();
+        assert_eq!(t2, 7.0, "the original deposit's clock stands");
+        assert_eq!(res2.len(), 2);
+    }
+
+    /// A replayed deposit whose payload diverges from what landed is a
+    /// determinism violation and must panic, not silently proceed.
+    #[test]
+    fn duplicate_deposit_with_divergent_digest_panics() {
+        let ex = Exchange::new(2, 2);
+        let ex2 = Arc::clone(&ex);
+        let peer =
+            std::thread::spawn(move || ex2.gather_action(1, 0, ActionContrib::Count(10), 7.0));
+        ex.acquire_permit(0).unwrap();
+        ex.gather_action(0, 0, ActionContrib::Count(5), 3.0)
+            .unwrap();
+        peer.join().unwrap().unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ex.gather_action(0, 0, ActionContrib::Count(6), 3.0)
+        }))
+        .expect_err("divergent replay must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("divergent payload"), "{msg}");
     }
 }

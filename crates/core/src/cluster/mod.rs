@@ -41,6 +41,7 @@ pub use exchange::Exchange;
 pub use faults::FaultedExchange;
 pub use panthera_recovery::{
     AllocFaultPoint, CrashPoint, FaultPlan, FaultSpec, GatherKind, LossPoint, NvmCheckpointStore,
+    VCrashPoint,
 };
 
 use crate::error::RunError;
@@ -54,13 +55,13 @@ use obs::{Event, EventSink, Observer};
 use panthera_analysis::{analyze, InstrumentationPlan};
 use sparklang::{FnTable, Program};
 use sparklet::{
-    ActionResult, CheckpointStore, ClusterCtx, ClusterError, DataRegistry, Engine, EngineConfig,
-    ExchangeClient, MemoryRuntime, RecoveryCtx, RecoveryMark, RecoverySlot,
+    ActionResult, CheckpointStore, ClusterCtx, ClusterError, DataRegistry, DepositJournal, Engine,
+    EngineConfig, ExchangeClient, MemoryRuntime, RecoveryCtx, RecoveryMark, RecoverySlot,
 };
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::panic::AssertUnwindSafe;
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Everything a cluster run produces.
 #[derive(Debug, Clone)]
@@ -205,20 +206,80 @@ enum SlotFailure {
     PoisonedPeer,
 }
 
-/// Install (once, process-wide) a panic hook that silences the *expected*
-/// unwinds — panics whose payload is a [`ClusterError`], used to tear an
-/// executor out of a blocked collective — while delegating every genuine
-/// panic to the previous hook, message and backtrace intact.
-fn install_quiet_unwind_hook() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<ClusterError>().is_none() {
-                prev(info);
+thread_local! {
+    /// Marks the current OS thread as cluster-owned (an executor thread
+    /// spawned by the driver). The quiet-unwind hook only silences
+    /// [`ClusterError`] panics on marked threads; the same payload thrown
+    /// anywhere else is somebody else's bug and keeps its full report.
+    static CLUSTER_THREAD: Cell<bool> = const { Cell::new(false) };
+}
+
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+/// How many cluster runs currently hold a [`QuietUnwindGuard`].
+static ACTIVE_RUNS: Mutex<usize> = Mutex::new(0);
+/// The panic hook that was installed before ours; the quiet hook
+/// delegates genuine panics to it through this slot, and the last guard
+/// puts it back via `set_hook` on drop.
+static PREV_HOOK: Mutex<Option<PanicHook>> = Mutex::new(None);
+
+/// RAII scope for the process-wide quiet-unwind panic hook.
+///
+/// Cluster fault handling unwinds executor threads by panicking with a
+/// [`ClusterError`] payload (tearing them out of blocked collectives);
+/// without intervention every such planned unwind would spray a panic
+/// report over the test output. The first live guard installs a hook that
+/// silences exactly those panics — payload is a `ClusterError` *and* the
+/// panicking thread is a cluster-owned executor thread — and delegates
+/// everything else to the previously installed hook, message and
+/// backtrace intact. When the last guard drops, the previous hook is
+/// restored, so the process's panic behavior outside cluster runs is
+/// untouched (PR 5 leaked the hook for the life of the process).
+struct QuietUnwindGuard;
+
+impl QuietUnwindGuard {
+    fn new() -> QuietUnwindGuard {
+        let mut active = ACTIVE_RUNS.lock().expect("hook refcount lock");
+        if *active == 0 {
+            *PREV_HOOK.lock().expect("prev hook lock") = Some(std::panic::take_hook());
+            std::panic::set_hook(Box::new(|info| {
+                let expected = CLUSTER_THREAD.with(Cell::get)
+                    && info.payload().downcast_ref::<ClusterError>().is_some();
+                if !expected {
+                    if let Some(prev) = PREV_HOOK.lock().expect("prev hook lock").as_ref() {
+                        prev(info);
+                    }
+                }
+            }));
+        }
+        *active += 1;
+        QuietUnwindGuard
+    }
+}
+
+impl Drop for QuietUnwindGuard {
+    fn drop(&mut self) {
+        let mut active = ACTIVE_RUNS.lock().expect("hook refcount lock");
+        *active -= 1;
+        if *active == 0 {
+            // Remove our hook first (panics in the gap hit the default
+            // hook, which still reports), then put the original back.
+            drop(std::panic::take_hook());
+            if let Some(prev) = PREV_HOOK.lock().expect("prev hook lock").take() {
+                std::panic::set_hook(prev);
             }
-        }));
-    });
+        }
+    }
+}
+
+/// Test diagnostic: `true` when no cluster run holds the quiet-unwind
+/// hook and the saved previous hook has been handed back to `set_hook` —
+/// i.e. the process's panic behavior is exactly what it was before the
+/// first run started.
+#[doc(hidden)]
+pub fn quiet_unwind_idle() -> bool {
+    *ACTIVE_RUNS.lock().expect("hook refcount lock") == 0
+        && PREV_HOOK.lock().expect("prev hook lock").is_none()
 }
 
 fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
@@ -351,7 +412,7 @@ where
         RecoveryPolicy::Recompute => 0,
         RecoveryPolicy::CheckpointEvery(n) => n,
     };
-    install_quiet_unwind_hook();
+    let _quiet_hook = QuietUnwindGuard::new();
 
     let exchange = Exchange::with_transport(n_exec, host_threads, config.transport);
     let store = Arc::new(NvmCheckpointStore::new());
@@ -378,6 +439,18 @@ where
             Arc::new(v)
         })
         .collect();
+    let crash_points: Vec<Arc<Vec<f64>>> = (0..n_exec)
+        .map(|e| {
+            let mut v: Vec<f64> = plan
+                .vcrashes
+                .iter()
+                .filter(|p| p.exec == e)
+                .map(|p| p.at_ns)
+                .collect();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("crash times are finite"));
+            Arc::new(v)
+        })
+        .collect();
 
     type ExecYield = (RunReport, Vec<(String, WireResult)>, Vec<(f64, Event)>);
     let mut yields: Vec<ExecYield> = Vec::with_capacity(usize::from(n_exec));
@@ -395,13 +468,15 @@ where
             let store = Arc::clone(&store);
             let slot = Arc::clone(&slots[usize::from(exec)]);
             let my_faults = Arc::clone(&alloc_faults[usize::from(exec)]);
+            let my_crashes = Arc::clone(&crash_points[usize::from(exec)]);
             handles.push(scope.spawn(move || -> Result<ExecYield, SlotFailure> {
+                CLUSTER_THREAD.with(|c| c.set(true));
                 // The executor's restart loop: one iteration per heap
                 // incarnation, all in this same OS thread. An injected
                 // crash unwinds the attempt; with recovery on, the next
                 // iteration replays the program against a fresh runtime.
                 loop {
-                    if exchange.acquire_permit().is_err() {
+                    if exchange.acquire_permit(exec).is_err() {
                         return Err(SlotFailure::PoisonedPeer);
                     }
                     let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| -> ExecYield {
@@ -417,7 +492,11 @@ where
                         let (n_attempt, resume_ns, marks) = slot.with(|c| {
                             (
                                 c.attempt,
-                                c.recovery_started_ns + plan.restart_penalty_ns,
+                                // Resume at the *most recent* crash, not
+                                // the outermost window start — a nested
+                                // crash (during a prior replay) happened
+                                // later, and time never rewinds.
+                                c.last_crash_ns + plan.restart_penalty_ns,
                                 c.marks.clone(),
                             )
                         });
@@ -464,6 +543,8 @@ where
                                 slot: Arc::clone(&slot),
                                 alloc_faults: Arc::clone(&my_faults),
                                 alloc_retry_ns: plan.alloc_retry_ns,
+                                journal: Arc::clone(&store) as Arc<dyn DepositJournal>,
+                                crash_points: Arc::clone(&my_crashes),
                             }),
                         };
                         let mut engine =
@@ -489,6 +570,8 @@ where
                             checkpoint_writes: c.checkpoint_writes,
                             checkpoint_bytes: c.checkpoint_bytes,
                             restore_bytes: c.restore_bytes,
+                            journal_noops: c.journal_noops,
+                            journal_torn: c.journal_torn,
                             recovery_s: c.recovery_ns / 1e9,
                         });
                         let results = outcome
@@ -501,7 +584,7 @@ where
                             .unwrap_or_default();
                         (report, results, events)
                     }));
-                    exchange.release_permit();
+                    exchange.release_permit(exec);
                     let payload = match attempt {
                         Ok(y) => return Ok(y),
                         Err(payload) => payload,
@@ -510,12 +593,24 @@ where
                         Ok(err) => match *err {
                             ClusterError::InjectedCrash { barrier, at_ns, .. } if plan.recover => {
                                 slot.with(|c| {
+                                    // Physical-event counters tick once
+                                    // per crash; window-scoped state only
+                                    // *extends* under a nested crash (a
+                                    // crash during a prior replay), so
+                                    // the enclosing recovery window stays
+                                    // open until the furthest barrier and
+                                    // its span is charged exactly once.
                                     c.executor_crashes += 1;
                                     c.partitions_lost += c.live_partitions;
                                     c.live_partitions = 0;
-                                    c.replay_until = Some(barrier);
+                                    c.replay_until =
+                                        Some(c.replay_until.map_or(barrier, |b| b.max(barrier)));
+                                    if c.replay_depth == 0 {
+                                        c.recovery_started_ns = at_ns;
+                                    }
+                                    c.replay_depth += 1;
                                     c.in_replay = true;
-                                    c.recovery_started_ns = at_ns;
+                                    c.last_crash_ns = at_ns;
                                     c.attempt += 1;
                                     let attempt = c.attempt;
                                     c.marks.push((at_ns, RecoveryMark::Crash { barrier }));

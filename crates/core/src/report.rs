@@ -31,6 +31,12 @@ pub struct RecoveryStats {
     pub checkpoint_bytes: u64,
     /// Modelled bytes read back from NVM checkpoints.
     pub restore_bytes: u64,
+    /// Journaled operations (exchange deposits, checkpoint saves) that a
+    /// replay re-issued and the journal validated as no-ops.
+    pub journal_noops: u64,
+    /// Torn journal entries (crash between `begin` and `commit`) found
+    /// and rolled forward during replay.
+    pub journal_torn: u64,
     /// Virtual time spent recovering (crash → replay caught up), seconds.
     pub recovery_s: f64,
 }
@@ -53,6 +59,8 @@ impl RecoveryStats {
             ("checkpoint_writes", Json::UInt(self.checkpoint_writes)),
             ("checkpoint_bytes", Json::UInt(self.checkpoint_bytes)),
             ("restore_bytes", Json::UInt(self.restore_bytes)),
+            ("journal_noops", Json::UInt(self.journal_noops)),
+            ("journal_torn", Json::UInt(self.journal_torn)),
             ("recovery_s", Json::Num(self.recovery_s)),
         ])
     }
@@ -258,6 +266,8 @@ impl RunReport {
             agg.recovery.checkpoint_writes += r.recovery.checkpoint_writes;
             agg.recovery.checkpoint_bytes += r.recovery.checkpoint_bytes;
             agg.recovery.restore_bytes += r.recovery.restore_bytes;
+            agg.recovery.journal_noops += r.recovery.journal_noops;
+            agg.recovery.journal_torn += r.recovery.journal_torn;
             agg.recovery.recovery_s += r.recovery.recovery_s;
         }
         agg

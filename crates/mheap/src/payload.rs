@@ -283,6 +283,68 @@ pub enum WirePayload {
 }
 
 impl WirePayload {
+    /// Structural FNV-1a digest, identical to [`Payload::fingerprint`] on
+    /// the mirrored value: `WirePayload::from(&p).fingerprint() ==
+    /// p.fingerprint()` for every payload. The recovery journal uses this
+    /// to *validate* that a replayed deposit or checkpoint snapshot is
+    /// byte-identical to the one a crashed incarnation produced — the
+    /// "validate" leg of the write → persist → validate protocol.
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: &mut u64, v: u64) {
+            for b in v.to_le_bytes() {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        fn go(w: &WirePayload, h: &mut u64) {
+            match w {
+                WirePayload::Unit => mix(h, 0),
+                WirePayload::Long(v) => {
+                    mix(h, 1);
+                    mix(h, *v as u64);
+                }
+                WirePayload::Double(v) => {
+                    mix(h, 2);
+                    mix(h, v.to_bits());
+                }
+                WirePayload::Text { sym, .. } => {
+                    mix(h, 3);
+                    mix(h, *sym);
+                }
+                WirePayload::Pair(a, b) => {
+                    mix(h, 4);
+                    go(a, h);
+                    go(b, h);
+                }
+                WirePayload::Longs(v) => {
+                    mix(h, 5);
+                    for x in v.iter() {
+                        mix(h, *x as u64);
+                    }
+                }
+                WirePayload::Doubles(v) => {
+                    mix(h, 6);
+                    for x in v.iter() {
+                        mix(h, x.to_bits());
+                    }
+                }
+                WirePayload::List(v) => {
+                    mix(h, 7);
+                    for x in v.iter() {
+                        go(x, h);
+                    }
+                }
+                WirePayload::Bytes { len } => {
+                    mix(h, 8);
+                    mix(h, *len);
+                }
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        go(self, &mut h);
+        h
+    }
+
     /// Modelled storage footprint in bytes — identical, case for case, to
     /// [`Payload::model_bytes`], so a wire-form snapshot (a checkpoint, a
     /// shuffle contribution) costs exactly what the heap-resident record
@@ -440,6 +502,14 @@ mod tests {
         assert_eq!(back, original);
         assert_eq!(back.model_bytes(), original.model_bytes());
         assert_eq!(back.fingerprint(), original.fingerprint());
+        // The wire form digests identically to the heap form, so a journal
+        // entry written from either side validates against the other.
+        assert_eq!(wire.fingerprint(), original.fingerprint());
+        assert_ne!(
+            wire.fingerprint(),
+            WirePayload::Long(1).fingerprint(),
+            "distinct values must digest differently"
+        );
     }
 
     #[test]

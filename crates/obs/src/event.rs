@@ -70,6 +70,36 @@ impl AllocSpace {
     }
 }
 
+/// Which durable operation a journal entry guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalKind {
+    /// A shuffle-gather deposit into the exchange.
+    Shuffle,
+    /// An action-gather deposit into the exchange.
+    Action,
+    /// A checkpoint save into the NVM store.
+    Checkpoint,
+}
+
+impl JournalKind {
+    fn label(self) -> &'static str {
+        match self {
+            JournalKind::Shuffle => "shuffle",
+            JournalKind::Action => "action",
+            JournalKind::Checkpoint => "checkpoint",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<JournalKind> {
+        match s {
+            "shuffle" => Some(JournalKind::Shuffle),
+            "action" => Some(JournalKind::Action),
+            "checkpoint" => Some(JournalKind::Checkpoint),
+            _ => None,
+        }
+    }
+}
+
 /// One structured observation of the simulated runtime.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -203,6 +233,25 @@ pub enum Event {
         /// Modelled snapshot bytes read back.
         bytes: u64,
     },
+    /// A replayed executor re-issued a journaled durable operation whose
+    /// entry was already committed: the digest matched the committed
+    /// record and the operation was validated as a no-op.
+    JournalNoop {
+        /// Which durable operation was replayed.
+        kind: JournalKind,
+        /// The operation's journal key (rdd id, action seq, or
+        /// checkpoint ordinal, per `kind`).
+        key: u64,
+    },
+    /// Recovery found a journal entry left pending by a crash between
+    /// `begin` and `commit` — a torn operation. The replay rolls it
+    /// forward by performing the operation again.
+    JournalTorn {
+        /// Which durable operation was torn.
+        kind: JournalKind,
+        /// The operation's journal key.
+        key: u64,
+    },
     /// A cross-executor shuffle transfer took the colocated shared-region
     /// fast path: the bytes moved at memory bandwidth with zero serde
     /// (they are exactly the serde bytes avoided). Never emitted at
@@ -291,6 +340,8 @@ impl Event {
             Event::RecoveryEnd { .. } => "recovery_end",
             Event::CheckpointWrite { .. } => "checkpoint_write",
             Event::CheckpointRestore { .. } => "checkpoint_restore",
+            Event::JournalNoop { .. } => "journal_noop",
+            Event::JournalTorn { .. } => "journal_torn",
             Event::ShuffleFastPath { .. } => "shuffle_fastpath",
             Event::OffHeapAlloc { .. } => "offheap_alloc",
             Event::OffHeapFree { .. } => "offheap_free",
@@ -397,6 +448,10 @@ impl Event {
             | Event::RegionFree { rdd, bytes } => {
                 put("rdd", Json::UInt(u64::from(*rdd)));
                 put("bytes", Json::UInt(*bytes));
+            }
+            Event::JournalNoop { kind, key } | Event::JournalTorn { kind, key } => {
+                put("kind", Json::Str(kind.label().to_string()));
+                put("key", Json::UInt(*key));
             }
             Event::ShuffleFastPath { bytes } | Event::RegionStageFree { bytes } => {
                 put("bytes", Json::UInt(*bytes))
@@ -550,6 +605,19 @@ impl Event {
                 rdd: u("rdd")? as u32,
                 bytes: u("bytes")?,
             },
+            "journal_noop" | "journal_torn" => {
+                let kind = v
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .and_then(JournalKind::from_label)
+                    .ok_or(format!("{label} missing \"kind\""))?;
+                let key = u("key")?;
+                if label == "journal_noop" {
+                    Event::JournalNoop { kind, key }
+                } else {
+                    Event::JournalTorn { kind, key }
+                }
+            }
             "shuffle_fastpath" => Event::ShuffleFastPath { bytes: u("bytes")? },
             "offheap_alloc" => Event::OffHeapAlloc {
                 rdd: u("rdd")? as u32,
@@ -647,6 +715,14 @@ mod tests {
             Event::CheckpointRestore {
                 rdd: 11,
                 bytes: 8192,
+            },
+            Event::JournalNoop {
+                kind: JournalKind::Shuffle,
+                key: 11,
+            },
+            Event::JournalTorn {
+                kind: JournalKind::Checkpoint,
+                key: 3,
             },
             Event::ShuffleFastPath { bytes: 4096 },
             Event::OffHeapAlloc {

@@ -44,7 +44,7 @@ pub mod json;
 pub mod metrics;
 pub mod sink;
 
-pub use event::{AllocSpace, Event, Mem};
+pub use event::{AllocSpace, Event, JournalKind, Mem};
 pub use json::Json;
 pub use metrics::{ExecutorMetrics, MetricsAggregator, MigrationChurn, PauseHistogram, StageRow};
 pub use sink::{replay, replay_path, EventSink, JsonlSink, Observer, RingBufferSink};

@@ -234,6 +234,8 @@ pub struct MetricsAggregator {
     checkpoint_write_bytes: u64,
     checkpoint_restores: u64,
     checkpoint_restore_bytes: u64,
+    journal_noops: u64,
+    journal_torn: u64,
     traffic_windows: u64,
     peak_window_bytes: u64,
     peak_window_nvm_write: u64,
@@ -446,6 +448,12 @@ impl MetricsAggregator {
                 self.checkpoint_write_bytes,
                 self.checkpoint_restores,
                 self.checkpoint_restore_bytes
+            ));
+        }
+        if self.journal_noops > 0 || self.journal_torn > 0 {
+            out.push_str(&format!(
+                "journal: {} validated no-op replays, {} torn entries rolled forward\n",
+                self.journal_noops, self.journal_torn
             ));
         }
         out.push_str(&format!(
@@ -663,6 +671,8 @@ impl MetricsAggregator {
                 self.checkpoint_restores += 1;
                 self.checkpoint_restore_bytes += bytes;
             }
+            Event::JournalNoop { .. } => self.journal_noops += 1,
+            Event::JournalTorn { .. } => self.journal_torn += 1,
             Event::ShuffleFastPath { bytes } => {
                 self.fastpath_transfers += 1;
                 self.fastpath_bytes += bytes;

@@ -33,7 +33,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use sparklet::{CheckpointEntry, CheckpointStore};
+use sparklet::{BeginOutcome, CheckpointEntry, CheckpointStore, DepositJournal, JournalOp};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -54,6 +54,26 @@ pub struct CrashPoint {
     pub exec: u16,
     /// The statement-barrier index at which it crashes.
     pub barrier: u64,
+}
+
+/// An injected executor crash keyed to *virtual time* rather than a
+/// barrier ordinal: executor `exec` unwinds at the first engine-side
+/// fault probe whose simulated clock has reached `at_ns`. Probes sit at
+/// every interruptible point — partition materializations, barrier
+/// entries, either side of a gather deposit, and inside a checkpoint
+/// save — so a virtual-time crash can land mid-stage, mid-deposit,
+/// mid-checkpoint, or during a prior recovery's replay.
+///
+/// Because each executor's clock sequence is a pure function of the
+/// program (the cluster is a Kahn network), "first probe at or after
+/// `at_ns`" is a deterministic point: the same plan fires at the same
+/// probe on every run and under every host-thread budget.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct VCrashPoint {
+    /// The executor that crashes.
+    pub exec: u16,
+    /// The virtual time at (or after) which the crash fires.
+    pub at_ns: f64,
 }
 
 /// An injected message loss: executor `exec`'s `ordinal`-th gather of
@@ -97,6 +117,14 @@ pub struct FaultSpec {
     pub max_losses: u32,
     /// Maximum number of transient allocation faults to draw.
     pub max_alloc_faults: u32,
+    /// Exact number of virtual-time crash points to draw (0 — the
+    /// default — keeps the plan barrier-only, so pre-existing seeds
+    /// reproduce the exact plans they always did).
+    pub vcrashes: u32,
+    /// Lowest virtual time eligible for a [`VCrashPoint`] (inclusive).
+    pub vtime_lo_ns: f64,
+    /// Highest virtual time eligible for a [`VCrashPoint`] (exclusive).
+    pub vtime_hi_ns: f64,
     /// Virtual time to bring a replacement executor up (charged once per
     /// crash, on top of replaying at the crash-time clock offset).
     pub restart_penalty_ns: f64,
@@ -118,6 +146,9 @@ impl Default for FaultSpec {
             barrier_hi: 8,
             max_losses: 2,
             max_alloc_faults: 2,
+            vcrashes: 0,
+            vtime_lo_ns: 0.0,
+            vtime_hi_ns: 0.0,
             restart_penalty_ns: 5.0e6,
             retransmit_penalty_ns: 2.0e5,
             alloc_retry_ns: 1.0e5,
@@ -136,6 +167,9 @@ impl Default for FaultSpec {
 pub struct FaultPlan {
     /// Executor crashes, fired at barrier arrival.
     pub crashes: Vec<CrashPoint>,
+    /// Executor crashes keyed to virtual time, fired at the first engine
+    /// fault probe whose clock reaches the point (DESIGN.md §12).
+    pub vcrashes: Vec<VCrashPoint>,
     /// Gather-contribution losses, each charged a retransmit penalty.
     pub losses: Vec<LossPoint>,
     /// Transient allocation failures, each charged a retry backoff.
@@ -156,6 +190,7 @@ impl FaultPlan {
     pub fn none() -> Self {
         FaultPlan {
             crashes: Vec::new(),
+            vcrashes: Vec::new(),
             losses: Vec::new(),
             alloc_faults: Vec::new(),
             restart_penalty_ns: 0.0,
@@ -171,12 +206,27 @@ impl FaultPlan {
         let spec = FaultSpec::default();
         FaultPlan {
             crashes: vec![CrashPoint { exec, barrier }],
-            losses: Vec::new(),
-            alloc_faults: Vec::new(),
+            ..FaultPlan::with_defaults(spec)
+        }
+    }
+
+    /// A plan with exactly one virtual-time crash and nothing else, with
+    /// default penalties. The workhorse for crash-anywhere tests.
+    pub fn crash_at(exec: u16, at_ns: f64) -> Self {
+        FaultPlan {
+            vcrashes: vec![VCrashPoint { exec, at_ns }],
+            ..FaultPlan::with_defaults(FaultSpec::default())
+        }
+    }
+
+    /// An empty plan carrying `spec`'s penalties and recovery switch.
+    fn with_defaults(spec: FaultSpec) -> Self {
+        FaultPlan {
             restart_penalty_ns: spec.restart_penalty_ns,
             retransmit_penalty_ns: spec.retransmit_penalty_ns,
             alloc_retry_ns: spec.alloc_retry_ns,
-            recover: true,
+            recover: spec.recover,
+            ..FaultPlan::none()
         }
     }
 
@@ -231,8 +281,25 @@ impl FaultPlan {
             }
         }
         alloc_faults.sort();
+        // Virtual-time crash points are drawn *after* every legacy draw,
+        // so plans generated by pre-crash-anywhere seeds (vcrashes == 0)
+        // consume the identical random stream and reproduce bit-for-bit.
+        let mut vcrashes = Vec::new();
+        if spec.vcrashes > 0 && spec.vtime_hi_ns > spec.vtime_lo_ns {
+            for _ in 0..spec.vcrashes {
+                let exec = rng.random_range(0..n) as u16;
+                let at_ns = rng.random_range(spec.vtime_lo_ns..spec.vtime_hi_ns);
+                vcrashes.push(VCrashPoint { exec, at_ns });
+            }
+            vcrashes.sort_by(|a, b| {
+                (a.exec, a.at_ns)
+                    .partial_cmp(&(b.exec, b.at_ns))
+                    .expect("crash times are finite")
+            });
+        }
         FaultPlan {
             crashes,
+            vcrashes,
             losses,
             alloc_faults,
             restart_penalty_ns: spec.restart_penalty_ns,
@@ -244,7 +311,10 @@ impl FaultPlan {
 
     /// True if the plan injects no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.crashes.is_empty() && self.losses.is_empty() && self.alloc_faults.is_empty()
+        self.crashes.is_empty()
+            && self.vcrashes.is_empty()
+            && self.losses.is_empty()
+            && self.alloc_faults.is_empty()
     }
 }
 
@@ -266,6 +336,18 @@ impl FaultPlan {
 #[derive(Debug, Default)]
 pub struct NvmCheckpointStore {
     inner: Mutex<HashMap<(u32, u16), CheckpointEntry>>,
+    journal: Mutex<HashMap<(u16, JournalOp, u64), JournalRecord>>,
+}
+
+/// One durable intent record in the store's deposit journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct JournalRecord {
+    /// `false` between `begin` and `commit` — the torn window.
+    committed: bool,
+    /// Structural digest of the guarded operation's payload.
+    digest: u64,
+    /// Modelled bytes of the guarded payload.
+    bytes: u64,
 }
 
 impl NvmCheckpointStore {
@@ -277,6 +359,64 @@ impl NvmCheckpointStore {
     /// Number of `(rdd, executor)` entries currently resident.
     pub fn entries(&self) -> usize {
         self.inner.lock().expect("checkpoint store lock").len()
+    }
+
+    /// Number of journal intent records (committed or pending).
+    pub fn journal_entries(&self) -> usize {
+        self.journal.lock().expect("journal lock").len()
+    }
+
+    /// Number of journal records currently *pending* — left between
+    /// `begin` and `commit`. Non-zero after a run only if an executor
+    /// died inside a torn window and was never restarted.
+    pub fn journal_pending(&self) -> usize {
+        self.journal
+            .lock()
+            .expect("journal lock")
+            .values()
+            .filter(|r| !r.committed)
+            .count()
+    }
+}
+
+impl DepositJournal for NvmCheckpointStore {
+    fn begin(&self, exec: u16, op: JournalOp, key: u64, digest: u64, bytes: u64) -> BeginOutcome {
+        let mut journal = self.journal.lock().expect("journal lock");
+        match journal.get(&(exec, op, key)) {
+            None => {
+                journal.insert(
+                    (exec, op, key),
+                    JournalRecord {
+                        committed: false,
+                        digest,
+                        bytes,
+                    },
+                );
+                BeginOutcome::Fresh
+            }
+            Some(rec) => {
+                assert_eq!(
+                    rec.digest, digest,
+                    "journal digest mismatch for exec {exec} {op:?} key {key}: \
+                     replay re-issued a different payload than it journaled \
+                     ({} vs {} bytes) — replay determinism is broken",
+                    rec.bytes, bytes
+                );
+                if rec.committed {
+                    BeginOutcome::Replay
+                } else {
+                    BeginOutcome::Torn
+                }
+            }
+        }
+    }
+
+    fn commit(&self, exec: u16, op: JournalOp, key: u64) {
+        let mut journal = self.journal.lock().expect("journal lock");
+        let rec = journal
+            .get_mut(&(exec, op, key))
+            .expect("commit without begin");
+        rec.committed = true;
     }
 }
 
@@ -338,6 +478,84 @@ mod tests {
     fn empty_plan_is_empty() {
         assert!(FaultPlan::none().is_empty());
         assert!(!FaultPlan::single_crash(0, 1).is_empty());
+        assert!(!FaultPlan::crash_at(0, 1.0e6).is_empty());
+    }
+
+    #[test]
+    fn vcrash_draws_do_not_perturb_legacy_plans() {
+        let legacy = FaultSpec {
+            crashes: 2,
+            max_losses: 3,
+            max_alloc_faults: 3,
+            ..FaultSpec::default()
+        };
+        let extended = FaultSpec {
+            vcrashes: 2,
+            vtime_lo_ns: 0.0,
+            vtime_hi_ns: 1.0e9,
+            ..legacy
+        };
+        let a = FaultPlan::generate(0xC0FFEE, 4, legacy);
+        let b = FaultPlan::generate(0xC0FFEE, 4, extended);
+        // The virtual-time draws happen after every legacy draw, so the
+        // legacy portion of the plan is identical.
+        assert_eq!(a.crashes, b.crashes);
+        assert_eq!(a.losses, b.losses);
+        assert_eq!(a.alloc_faults, b.alloc_faults);
+        assert!(a.vcrashes.is_empty());
+        assert_eq!(b.vcrashes.len(), 2);
+        for p in &b.vcrashes {
+            assert!(p.exec < 4);
+            assert!((0.0..1.0e9).contains(&p.at_ns));
+        }
+    }
+
+    #[test]
+    fn journal_begin_commit_replay_torn() {
+        let store = NvmCheckpointStore::new();
+        // First issue: fresh, then committed.
+        assert_eq!(
+            store.begin(0, JournalOp::ShuffleDeposit, 7, 0xABCD, 64),
+            BeginOutcome::Fresh
+        );
+        assert_eq!(store.journal_pending(), 1);
+        store.commit(0, JournalOp::ShuffleDeposit, 7);
+        assert_eq!(store.journal_pending(), 0);
+        // Replay with the same digest is a validated no-op.
+        assert_eq!(
+            store.begin(0, JournalOp::ShuffleDeposit, 7, 0xABCD, 64),
+            BeginOutcome::Replay
+        );
+        // A crash between begin and commit leaves a torn entry the next
+        // incarnation detects and rolls forward.
+        assert_eq!(
+            store.begin(1, JournalOp::CheckpointSave, 3, 0x1111, 32),
+            BeginOutcome::Fresh
+        );
+        assert_eq!(
+            store.begin(1, JournalOp::CheckpointSave, 3, 0x1111, 32),
+            BeginOutcome::Torn
+        );
+        store.commit(1, JournalOp::CheckpointSave, 3);
+        assert_eq!(
+            store.begin(1, JournalOp::CheckpointSave, 3, 0x1111, 32),
+            BeginOutcome::Replay
+        );
+        // Keys are independent across executors and operations.
+        assert_eq!(
+            store.begin(1, JournalOp::ShuffleDeposit, 7, 0x9999, 64),
+            BeginOutcome::Fresh
+        );
+        assert_eq!(store.journal_entries(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "journal digest mismatch")]
+    fn journal_digest_mismatch_panics() {
+        let store = NvmCheckpointStore::new();
+        store.begin(0, JournalOp::ActionDeposit, 1, 0xAAAA, 8);
+        store.commit(0, JournalOp::ActionDeposit, 1);
+        store.begin(0, JournalOp::ActionDeposit, 1, 0xBBBB, 8);
     }
 
     #[test]

@@ -93,6 +93,32 @@ pub struct ShuffleContrib {
     pub right: Option<Vec<(u64, Vec<WirePayload>)>>,
 }
 
+/// FNV-1a over a stream of `u64` words — the structural-digest mixer
+/// shared by every journaled operation. Same constants as
+/// [`WirePayload::fingerprint`], so digests are stable across executors
+/// and restarts (they depend only on simulated values, never on host
+/// pointers or timing).
+fn fnv_words<I: IntoIterator<Item = u64>>(tag: u64, words: I) -> u64 {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = BASIS ^ tag.wrapping_mul(PRIME);
+    for w in words {
+        for b in w.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+fn digest_parts(h: &mut Vec<u64>, parts: &[(u64, Vec<WirePayload>)]) {
+    h.push(parts.len() as u64);
+    for (gid, recs) in parts {
+        h.push(*gid);
+        h.push(recs.len() as u64);
+        h.extend(recs.iter().map(WirePayload::fingerprint));
+    }
+}
+
 impl ShuffleContrib {
     /// Modelled footprint of this contribution in bytes — what the
     /// deposit occupies in a shared shuffle region (or would cost to
@@ -105,6 +131,23 @@ impl ShuffleContrib {
                 .sum()
         };
         side(&self.left) + self.right.as_deref().map_or(0, side)
+    }
+
+    /// Structural digest of this contribution: partition ids, record
+    /// counts, and every record's [`WirePayload::fingerprint`]. Two
+    /// contributions digest equal iff they carry the same simulated
+    /// values, so a replayed deposit can be *validated* as a no-op.
+    pub fn digest(&self) -> u64 {
+        let mut words = Vec::new();
+        digest_parts(&mut words, &self.left);
+        match &self.right {
+            Some(parts) => {
+                words.push(1);
+                digest_parts(&mut words, parts);
+            }
+            None => words.push(0),
+        }
+        fnv_words(1, words)
     }
 }
 
@@ -119,6 +162,22 @@ pub enum ActionContrib {
     /// Locally-folded partial, `None` for an empty local RDD
     /// (`reduce(f)`).
     Reduce(Option<WirePayload>),
+}
+
+impl ActionContrib {
+    /// Structural digest of this partial result (see
+    /// [`ShuffleContrib::digest`] for the validation contract).
+    pub fn digest(&self) -> u64 {
+        match self {
+            ActionContrib::Count(n) => fnv_words(2, [*n]),
+            ActionContrib::Collect(parts) => {
+                let mut words = Vec::new();
+                digest_parts(&mut words, parts);
+                fnv_words(3, words)
+            }
+            ActionContrib::Reduce(opt) => fnv_words(4, opt.iter().map(WirePayload::fingerprint)),
+        }
+    }
 }
 
 /// The rendezvous endpoints an executor engine calls. Implementations
@@ -177,6 +236,22 @@ pub struct CheckpointEntry {
     pub tag: Option<MemoryTag>,
 }
 
+impl CheckpointEntry {
+    /// Structural digest of this snapshot (see
+    /// [`ShuffleContrib::digest`] for the validation contract).
+    pub fn digest(&self) -> u64 {
+        let mut words = Vec::new();
+        digest_parts(&mut words, &self.parts);
+        words.push(self.global_parts);
+        words.push(self.bytes);
+        // `tag` is deliberately excluded: placement tags merge over an
+        // incarnation's lifetime, so a legitimate re-save after eviction
+        // may carry a drifted tag for the *same* records. The digest
+        // covers simulated values only.
+        fnv_words(5, words)
+    }
+}
+
 /// Durable checkpoint storage keyed by `(rdd id, executor id)`. The store
 /// outlives every executor heap; `save` is idempotent (the first write
 /// wins, so a replaying executor never double-charges a snapshot).
@@ -188,6 +263,65 @@ pub trait CheckpointStore: Send + Sync {
     fn load(&self, rdd: u32, exec: u16) -> Option<CheckpointEntry>;
     /// Total modelled bytes currently resident in the store.
     fn resident_bytes(&self) -> u64;
+}
+
+/// Which durable side effect a journal entry guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JournalOp {
+    /// A shuffle-gather deposit, keyed by the shuffle RDD's id.
+    ShuffleDeposit,
+    /// An action-gather deposit, keyed by the action sequence number.
+    ActionDeposit,
+    /// A checkpoint save, keyed by the checkpointed RDD's id.
+    CheckpointSave,
+}
+
+/// What [`DepositJournal::begin`] found for an `(exec, op, key)` triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BeginOutcome {
+    /// No journal entry existed: this is the operation's first issue. The
+    /// entry is now pending; the caller must perform the effect and then
+    /// [`DepositJournal::commit`].
+    Fresh,
+    /// A committed entry with a matching digest existed: the operation
+    /// already happened in a previous incarnation and this re-issue is a
+    /// validated no-op. The caller must still re-read the result (gathers
+    /// are idempotent re-reads) but must not re-charge the effect.
+    Replay,
+    /// A *pending* entry existed: the previous incarnation crashed after
+    /// `begin` but before `commit` — a torn operation. The entry has been
+    /// re-armed; the caller rolls forward by performing the effect again
+    /// and committing.
+    Torn,
+}
+
+/// The durable intent journal for exchange deposits and checkpoint saves,
+/// living in the NVM store so it survives executor heap teardown.
+///
+/// Protocol (write → persist → validate, after Metall's crash-consistent
+/// discipline): `begin` persists the intent record `(op, key, digest,
+/// bytes)` *before* the effect; the effect happens; `commit` marks the
+/// record durable. A crash between `begin` and `commit` leaves a *torn*
+/// entry that replay detects and rolls forward; a replayed operation
+/// whose entry is already committed is digest-validated and skipped — a
+/// provable no-op. A digest mismatch means replay diverged from the
+/// original timeline (determinism is broken) and panics.
+///
+/// Journal bookkeeping charges **no** virtual time: the intent record
+/// piggybacks on the NVM writes the guarded effect already pays for, so
+/// fault-free runs are bit-identical with or without journaling.
+pub trait DepositJournal: Send + Sync {
+    /// Persist (or re-validate) the intent record for one operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an existing entry's digest differs from `digest` — the
+    /// replay is not re-issuing the same operation it journaled.
+    fn begin(&self, exec: u16, op: JournalOp, key: u64, digest: u64, bytes: u64) -> BeginOutcome;
+
+    /// Mark the pending entry committed. A no-op if the entry was already
+    /// committed (the `Replay` path never re-pends it).
+    fn commit(&self, exec: u16, op: JournalOp, key: u64);
 }
 
 /// A timeline mark kept across executor restarts so the surviving attempt
@@ -225,10 +359,21 @@ pub struct RecoveryCounters {
     pub attempt: u32,
     /// True from restart until replay re-reaches the crash barrier.
     pub in_replay: bool,
-    /// The barrier index replay must reach to complete recovery.
+    /// The barrier index replay must reach to complete recovery. Under
+    /// nested faults (a crash during replay) this only ever grows: it
+    /// tracks the *furthest* barrier any enclosing recovery must reach.
     pub replay_until: Option<u64>,
-    /// Virtual time the current recovery began (the crash time).
+    /// How many crashes the current recovery window encloses (0 when not
+    /// replaying). A crash during replay deepens the window instead of
+    /// opening a second one, so window-scoped stats count once.
+    pub replay_depth: u32,
+    /// Virtual time the *outermost* open recovery window began (the first
+    /// crash's time). Not overwritten by nested crashes, so `recovery_ns`
+    /// spans the whole window exactly once.
     pub recovery_started_ns: f64,
+    /// Virtual time of the most recent crash — where the next incarnation
+    /// resumes its clock from (plus the restart penalty).
+    pub last_crash_ns: f64,
     /// Injected crashes that fired on this executor.
     pub executor_crashes: u64,
     /// Injected exchange message losses (charged as retransmits).
@@ -257,6 +402,15 @@ pub struct RecoveryCounters {
     /// Heap materializations performed so far, across attempts — the
     /// deterministic sequence alloc-fault points key on.
     pub materialize_seq: u64,
+    /// Virtual-time crash points already consumed (index into the
+    /// executor's sorted crash-point list; survives restarts so each
+    /// point fires exactly once).
+    pub vcrash_next: usize,
+    /// Journaled operations replayed and validated as no-ops.
+    pub journal_noops: u64,
+    /// Torn journal entries (crash between `begin` and `commit`) found
+    /// and rolled forward during replay.
+    pub journal_torn: u64,
     /// Timeline marks surviving restarts, for event re-synthesis.
     pub marks: Vec<(f64, RecoveryMark)>,
 }
@@ -297,6 +451,13 @@ pub struct RecoveryCtx {
     pub alloc_faults: Arc<Vec<u64>>,
     /// Virtual-time cost charged per allocation-failure retry.
     pub alloc_retry_ns: f64,
+    /// The durable intent journal guarding exchange deposits and
+    /// checkpoint saves, shared by the whole cluster.
+    pub journal: Arc<dyn DepositJournal>,
+    /// Virtual times at which this executor crashes (sorted ascending;
+    /// each fires at the first engine probe whose clock reaches it,
+    /// consumed via [`RecoveryCounters::vcrash_next`]).
+    pub crash_points: Arc<Vec<f64>>,
 }
 
 impl fmt::Debug for RecoveryCtx {

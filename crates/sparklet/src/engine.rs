@@ -15,7 +15,9 @@
 //!   generation one at a time and die there — exactly the epochal
 //!   behaviour Panthera's heap design exploits.
 
-use crate::cluster::{ActionContrib, ClusterCtx, PartMeta, ShuffleContrib};
+use crate::cluster::{
+    ActionContrib, BeginOutcome, ClusterCtx, ClusterError, JournalOp, PartMeta, ShuffleContrib,
+};
 use crate::costs::{CostModel, ShuffleTransport};
 use crate::data::DataRegistry;
 use crate::rdd::{MatData, RddId, RddNode, RddOp};
@@ -507,6 +509,7 @@ impl<R: MemoryRuntime> Engine<R> {
         let Some(ctx) = self.cluster.clone() else {
             return;
         };
+        self.crash_probe();
         let index = self.barrier_seq;
         self.barrier_seq += 1;
         let now = self.runtime.heap().mem().clock().now_ns();
@@ -531,6 +534,11 @@ impl<R: MemoryRuntime> Engine<R> {
             if c.replay_until == Some(index) {
                 c.replay_until = None;
                 c.in_replay = false;
+                // Nested faults widen `replay_until` to the furthest crash
+                // barrier, so reaching it closes the whole (possibly
+                // overlapping) window at once: the depth resets and the
+                // single window is charged from the outermost crash.
+                c.replay_depth = 0;
                 let recovery_ns = now - c.recovery_started_ns;
                 c.recovery_ns += recovery_ns;
                 c.marks.push((
@@ -894,12 +902,21 @@ impl<R: MemoryRuntime> Engine<R> {
             };
             let seq = e.action_seq;
             e.action_seq += 1;
+            // Journaled deposit: begin (persist intent + digest), deposit,
+            // commit. The probes expose both torn windows — crashed before
+            // the deposit landed (replay rolls it forward) and after (the
+            // exchange validates the replayed digest and keeps the
+            // original).
+            e.journal_begin(JournalOp::ActionDeposit, seq, contrib.digest(), 0);
+            e.crash_probe();
             let now = e.runtime.heap().mem().clock().now_ns();
             let (contribs, t_bar) = ctx
                 .exchange
                 .gather_action(ctx.exec, seq, contrib, now)
                 .unwrap_or_else(|err| std::panic::panic_any(err));
             e.sync_to(t_bar);
+            e.crash_probe();
+            e.journal_commit(JournalOp::ActionDeposit, seq);
             match action {
                 ActionKind::Count => ActionResult::Count(
                     contribs
@@ -1098,11 +1115,117 @@ impl<R: MemoryRuntime> Engine<R> {
     // these hooks.
     // ------------------------------------------------------------------
 
+    /// Virtual-time crash probe: if the fault plan schedules a crash for
+    /// this executor at a virtual time its clock has now reached, consume
+    /// that crash point and kill the incarnation. Probes sit at every
+    /// interruptible point of a stage — materializations, barrier
+    /// entries, both legs of an exchange deposit, and inside checkpoint
+    /// saves — so a planned time maps to the *first probe at or past it*,
+    /// a deterministic structural point regardless of host scheduling.
+    /// `vcrash_next` lives in the recovery slot and survives restarts, so
+    /// each planned point fires exactly once; a point that falls inside a
+    /// still-open recovery window crashes the replaying incarnation
+    /// (crash-during-recovery), which the driver handles by widening the
+    /// replay window rather than starting a second one.
+    fn crash_probe(&mut self) {
+        let Some(ctx) = self.cluster.as_ref() else {
+            return;
+        };
+        let Some(rec) = ctx.recovery.as_ref() else {
+            return;
+        };
+        if rec.crash_points.is_empty() {
+            return;
+        }
+        let exec = ctx.exec;
+        let barrier = self.barrier_seq;
+        let now = self.runtime.heap().mem().clock().now_ns();
+        let fire = rec
+            .slot
+            .with(|c| match rec.crash_points.get(c.vcrash_next) {
+                Some(&at) if now >= at => {
+                    c.vcrash_next += 1;
+                    true
+                }
+                _ => false,
+            });
+        if fire {
+            std::panic::panic_any(ClusterError::InjectedCrash {
+                exec,
+                barrier,
+                at_ns: now,
+            });
+        }
+    }
+
+    /// Open a journal entry for an exchange deposit or checkpoint save.
+    /// Pure NVM bookkeeping — charges no virtual time (the persist leg
+    /// rides on the operation's own device charges), so fault-free runs
+    /// are bit-identical whether or not anything ever reads the journal.
+    /// Replay/torn outcomes are counted (and surfaced as events) only
+    /// while the executor is replaying: a same-incarnation re-issue (an
+    /// evicted RDD recomputed) is a quiet idempotent hit, not a recovery
+    /// event. A digest mismatch panics inside the journal — replay
+    /// produced a different payload than the committed one, which breaks
+    /// the determinism argument idempotent recovery rests on.
+    fn journal_begin(&mut self, op: JournalOp, key: u64, digest: u64, bytes: u64) {
+        let Some(ctx) = self.cluster.clone() else {
+            return;
+        };
+        let Some(rec) = ctx.recovery.as_ref() else {
+            return;
+        };
+        let outcome = rec.journal.begin(ctx.exec, op, key, digest, bytes);
+        let event = rec.slot.with(|c| {
+            if !c.in_replay {
+                return None;
+            }
+            match outcome {
+                BeginOutcome::Fresh => None,
+                BeginOutcome::Replay => {
+                    c.journal_noops += 1;
+                    Some(obs::Event::JournalNoop {
+                        kind: journal_kind(op),
+                        key,
+                    })
+                }
+                BeginOutcome::Torn => {
+                    c.journal_torn += 1;
+                    Some(obs::Event::JournalTorn {
+                        kind: journal_kind(op),
+                        key,
+                    })
+                }
+            }
+        });
+        if let Some(ev) = event {
+            let mem = self.runtime.heap().mem();
+            let observer = mem.observer();
+            if observer.enabled() {
+                observer.emit(mem.clock().now_ns(), &ev);
+            }
+        }
+    }
+
+    /// Mark a journaled operation durable. Idempotent: re-committing a
+    /// replayed entry is a no-op, so the replay path can run the same
+    /// begin → effect → commit sequence as a fresh execution.
+    fn journal_commit(&mut self, op: JournalOp, key: u64) {
+        let Some(ctx) = self.cluster.as_ref() else {
+            return;
+        };
+        let Some(rec) = ctx.recovery.as_ref() else {
+            return;
+        };
+        rec.journal.commit(ctx.exec, op, key);
+    }
+
     /// Planned transient allocation failure: fires when this executor's
     /// (monotone, attempt-spanning) materialization ordinal is listed in
     /// the fault plan. The failed attempt is retried after a charged
     /// back-off, modelling an allocation that succeeds on its second try.
     fn fault_probe_materialize(&mut self, records: &[Payload]) {
+        self.crash_probe();
         let Some(rec) = self.cluster.as_ref().and_then(|c| c.recovery.clone()) else {
             return;
         };
@@ -1185,22 +1308,40 @@ impl<R: MemoryRuntime> Engine<R> {
             bytes,
             tag,
         };
+        // Journaled save: the first probe exposes the torn window (intent
+        // journaled, snapshot not yet durable — replay rolls it forward),
+        // the last one a crash after the charged write (replay finds the
+        // committed entry and validates the no-op).
+        self.journal_begin(
+            JournalOp::CheckpointSave,
+            u64::from(rdd.0),
+            entry.digest(),
+            bytes,
+        );
+        self.crash_probe();
         if !rec.store.save(rdd.0, ctx.exec, entry) {
-            return; // Already durable (a replay re-reached this point).
+            // Already durable (a replay re-reached this point): settle the
+            // journal and move on without re-charging the write.
+            self.journal_commit(JournalOp::CheckpointSave, u64::from(rdd.0));
+            return;
         }
+        self.journal_commit(JournalOp::CheckpointSave, u64::from(rdd.0));
         rec.slot.with(|c| {
             c.checkpoint_writes += 1;
             c.checkpoint_bytes += bytes;
         });
         self.charge_native(records, AccessKind::Write);
-        let mem = self.runtime.heap().mem();
-        let observer = mem.observer();
-        if observer.enabled() {
-            observer.emit(
-                mem.clock().now_ns(),
-                &obs::Event::CheckpointWrite { rdd: rdd.0, bytes },
-            );
+        {
+            let mem = self.runtime.heap().mem();
+            let observer = mem.observer();
+            if observer.enabled() {
+                observer.emit(
+                    mem.clock().now_ns(),
+                    &obs::Event::CheckpointWrite { rdd: rdd.0, bytes },
+                );
+            }
         }
+        self.crash_probe();
     }
 
     /// The structural ordinal of a wide node: how many wide nodes precede
@@ -1758,12 +1899,29 @@ impl<R: MemoryRuntime> Engine<R> {
             left: left_wire,
             right: right_wire,
         };
+        // Journaled deposit (see `run_action_cluster` for the protocol).
+        let deposit_bytes: u64 = contrib
+            .left
+            .iter()
+            .chain(contrib.right.iter().flatten())
+            .flat_map(|(_, recs)| recs.iter())
+            .map(WirePayload::model_bytes)
+            .sum();
+        self.journal_begin(
+            JournalOp::ShuffleDeposit,
+            u64::from(rdd.0),
+            contrib.digest(),
+            deposit_bytes,
+        );
+        self.crash_probe();
         let now = self.runtime.heap().mem().clock().now_ns();
         let (contribs, t_bar) = ctx
             .exchange
             .gather_shuffle(ctx.exec, rdd.0, contrib, now)
             .unwrap_or_else(|err| std::panic::panic_any(err));
         self.sync_to(t_bar);
+        self.crash_probe();
+        self.journal_commit(JournalOp::ShuffleDeposit, u64::from(rdd.0));
         // Reassemble the global map output, remembering each partition's
         // origin executor for the transfer accounting.
         let left_global = merge_contrib_parts(&contribs, |c| Some(&c.left));
@@ -2312,6 +2470,14 @@ fn apply_narrow(fns: &FnTable, transform: &Transform, r: &Payload, sink: &mut dy
 /// Collect one side's partitions from every executor's contribution as
 /// `(global partition id, origin executor, records)` tuples, ascending by
 /// partition id — the order the single-runtime engine would scan them in.
+fn journal_kind(op: JournalOp) -> obs::JournalKind {
+    match op {
+        JournalOp::ShuffleDeposit => obs::JournalKind::Shuffle,
+        JournalOp::ActionDeposit => obs::JournalKind::Action,
+        JournalOp::CheckpointSave => obs::JournalKind::Checkpoint,
+    }
+}
+
 fn merge_contrib_parts(
     contribs: &[ShuffleContrib],
     side: impl Fn(&ShuffleContrib) -> Option<&[(u64, Vec<WirePayload>)]>,

@@ -25,8 +25,9 @@ mod runtime;
 mod shuffle;
 
 pub use cluster::{
-    ActionContrib, CheckpointEntry, CheckpointStore, ClusterCtx, ClusterError, ExchangeClient,
-    PartMeta, RecoveryCounters, RecoveryCtx, RecoveryMark, RecoverySlot, ShuffleContrib,
+    ActionContrib, BeginOutcome, CheckpointEntry, CheckpointStore, ClusterCtx, ClusterError,
+    DepositJournal, ExchangeClient, JournalOp, PartMeta, RecoveryCounters, RecoveryCtx,
+    RecoveryMark, RecoverySlot, ShuffleContrib,
 };
 pub use costs::{CostModel, ShuffleTransport};
 pub use data::{DataRegistry, InternTable};
