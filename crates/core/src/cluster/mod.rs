@@ -36,6 +36,7 @@
 
 mod exchange;
 mod faults;
+mod pool;
 
 pub use exchange::Exchange;
 pub use faults::FaultedExchange;
@@ -43,6 +44,7 @@ pub use panthera_recovery::{
     AllocFaultPoint, CrashPoint, FaultPlan, FaultSpec, GatherKind, LossPoint, NvmCheckpointStore,
     VCrashPoint,
 };
+pub use pool::{ExecutorPool, PoolLease};
 
 use crate::error::RunError;
 use crate::{

@@ -1,0 +1,132 @@
+//! A shared pool of executor slots, leased to jobs instead of owned by
+//! one run.
+//!
+//! Every entry point before the job service owned its executors for the
+//! whole run. A multi-tenant service instead holds one [`ExecutorPool`]
+//! and grants each dispatched job a [`PoolLease`] for the slots it needs,
+//! releasing them at the job's next stage barrier. Leases are
+//! deterministic — the free list is kept sorted and a lease always takes
+//! the lowest-numbered free slots — so the service's scheduling decisions
+//! never depend on host-side ordering.
+
+/// A fixed-size pool of executor slots with deterministic lowest-id-first
+/// leasing.
+#[derive(Debug, Clone)]
+pub struct ExecutorPool {
+    total: u16,
+    /// Free slot ids, ascending.
+    free: Vec<u16>,
+}
+
+impl ExecutorPool {
+    /// A pool of `total` executor slots, all free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero — a service with no executors can never
+    /// dispatch anything.
+    pub fn new(total: u16) -> ExecutorPool {
+        assert!(total > 0, "executor pool must have at least one slot");
+        ExecutorPool {
+            total,
+            free: (0..total).collect(),
+        }
+    }
+
+    /// Slots in the pool, free or leased.
+    pub fn total(&self) -> u16 {
+        self.total
+    }
+
+    /// Slots currently free.
+    pub fn available(&self) -> u16 {
+        self.free.len() as u16
+    }
+
+    /// Lease `n` slots, taking the lowest-numbered free ids, or `None`
+    /// if fewer than `n` are free (or `n` is zero). The lease must come
+    /// back through [`ExecutorPool::release`].
+    #[must_use = "an unreleased lease permanently shrinks the pool"]
+    pub fn try_lease(&mut self, n: u16) -> Option<PoolLease> {
+        if n == 0 || usize::from(n) > self.free.len() {
+            return None;
+        }
+        let slots: Vec<u16> = self.free.drain(..usize::from(n)).collect();
+        Some(PoolLease { slots })
+    }
+
+    /// Return a lease's slots to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lease's slots are already free or out of range —
+    /// both mean the lease came from a different pool.
+    pub fn release(&mut self, lease: PoolLease) {
+        for slot in &lease.slots {
+            assert!(
+                *slot < self.total && !self.free.contains(slot),
+                "released slot {slot} is not an outstanding lease of this pool"
+            );
+        }
+        self.free.extend(lease.slots);
+        self.free.sort_unstable();
+    }
+}
+
+/// A deterministic grant of executor slots from an [`ExecutorPool`].
+#[derive(Debug)]
+pub struct PoolLease {
+    slots: Vec<u16>,
+}
+
+impl PoolLease {
+    /// The leased slot ids, ascending.
+    pub fn slots(&self) -> &[u16] {
+        &self.slots
+    }
+
+    /// Number of slots granted.
+    pub fn len(&self) -> u16 {
+        self.slots.len() as u16
+    }
+
+    /// Whether the lease is empty (never true for a lease a pool issued).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_take_lowest_ids_first() {
+        let mut pool = ExecutorPool::new(4);
+        let a = pool.try_lease(2).unwrap();
+        assert_eq!(a.slots(), &[0, 1]);
+        let b = pool.try_lease(1).unwrap();
+        assert_eq!(b.slots(), &[2]);
+        assert_eq!(pool.available(), 1);
+        assert!(pool.try_lease(2).is_none());
+        pool.release(a);
+        // Released ids come back in order: the next lease reuses 0 and 1.
+        let c = pool.try_lease(3).unwrap();
+        assert_eq!(c.slots(), &[0, 1, 3]);
+        pool.release(b);
+        pool.release(c);
+        assert_eq!(pool.available(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an outstanding lease")]
+    fn double_release_panics() {
+        let mut pool = ExecutorPool::new(2);
+        let lease = pool.try_lease(1).unwrap();
+        let stray = PoolLease {
+            slots: lease.slots().to_vec(),
+        };
+        pool.release(lease);
+        pool.release(stray);
+    }
+}

@@ -68,12 +68,14 @@ pub use builder::Simulation;
 pub use cluster::{
     run_cluster, run_cluster_default, run_cluster_faulted, ClusterOutcome, FaultPlan,
 };
+pub use cluster::{ExecutorPool, PoolLease};
 pub use config::{ConfigError, RecoveryPolicy, SystemConfig, SIM_GB, STATIC_POWER_TIMEBASE_SCALE};
 pub use error::RunError;
 pub use mode::MemoryMode;
 pub use report::{RecoveryStats, RunReport};
-pub use runbuilder::{RunBuilder, RunSummary};
+pub use runbuilder::{RunBuilder, RunParts, RunSource, RunSummary};
 pub use runtime::{to_mem_tag, PantheraRuntime};
+pub use simulate::SingleCursor;
 #[allow(deprecated)]
 pub use simulate::{
     run_workload, run_workload_with_engine, try_run_workload, try_run_workload_with_engine,

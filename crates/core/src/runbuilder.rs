@@ -98,6 +98,41 @@ enum Source<'a> {
     Rebuild(&'a (dyn Fn() -> (Program, FnTable, DataRegistry) + Sync)),
 }
 
+/// Where a dismantled [`RunBuilder`]'s program comes from — the public
+/// mirror of the builder's internal source, handed out by
+/// [`RunBuilder::into_parts`] so other drivers (the `panthera-jobs`
+/// service) can execute a configured run themselves.
+pub enum RunSource<'a> {
+    /// A one-shot triple: enough for exactly one single-runtime run.
+    Once {
+        /// The driver program.
+        program: &'a Program,
+        /// Its user-function table.
+        fns: FnTable,
+        /// Its input datasets.
+        data: DataRegistry,
+    },
+    /// A deterministic rebuild closure, callable once per executor
+    /// incarnation.
+    Rebuild(&'a (dyn Fn() -> (Program, FnTable, DataRegistry) + Sync)),
+}
+
+/// A [`RunBuilder`] taken apart into its configured pieces
+/// ([`RunBuilder::into_parts`]). Everything the builder would have used
+/// to run, available to an external driver.
+pub struct RunParts<'a> {
+    /// The program source.
+    pub source: RunSource<'a>,
+    /// The full system configuration.
+    pub config: SystemConfig,
+    /// The engine's execution knobs.
+    pub engine: EngineConfig,
+    /// The explicit host-thread bound, if one was set.
+    pub host_threads: Option<usize>,
+    /// The fault plan, if one was set.
+    pub faults: Option<&'a FaultPlan>,
+}
+
 /// Builder for one simulated run — single-runtime, multi-executor, or
 /// fault-injected (see the [module docs](self) for examples).
 pub struct RunBuilder<'a> {
@@ -184,6 +219,24 @@ impl<'a> RunBuilder<'a> {
     /// The assembled system configuration, for inspection.
     pub fn peek_config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// Dismantle the builder into its configured pieces without running.
+    ///
+    /// This is how alternative drivers — `RunBuilder::submit_to` in the
+    /// `panthera-jobs` crate — reuse the builder's fluent surface while
+    /// executing the run under their own scheduler.
+    pub fn into_parts(self) -> RunParts<'a> {
+        RunParts {
+            source: match self.source {
+                Source::Once { program, fns, data } => RunSource::Once { program, fns, data },
+                Source::Rebuild(build) => RunSource::Rebuild(build),
+            },
+            config: self.config,
+            engine: self.engine,
+            host_threads: self.host_threads,
+            faults: self.faults,
+        }
     }
 
     /// Execute the run.

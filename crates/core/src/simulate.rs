@@ -9,7 +9,7 @@ use crate::report::RunReport;
 use crate::runtime::PantheraRuntime;
 use panthera_analysis::{analyze, InstrumentationPlan};
 use sparklang::{FnTable, Program};
-use sparklet::{DataRegistry, Engine, EngineConfig, MemoryRuntime, RunOutcome};
+use sparklet::{DataRegistry, Engine, EngineConfig, MemoryRuntime, RunOutcome, StageCursor};
 
 /// The single-runtime driver behind [`crate::RunBuilder`] and the
 /// deprecated free-function shims: validate, analyze, run, report.
@@ -52,6 +52,114 @@ pub(crate) fn run_single(
         monitored,
     );
     Ok((report, outcome))
+}
+
+/// A paused single-runtime run: the exact validate/analyze/build setup
+/// of the [`crate::RunBuilder`] single-runtime path, wrapped around a
+/// resumable [`StageCursor`] so an external scheduler (the
+/// `panthera-jobs` service) can interleave this run's statement-stages
+/// with other jobs'.
+///
+/// Driving a `SingleCursor` to completion produces the same
+/// [`RunReport`] and action results, bit for bit, as
+/// `RunBuilder::new(..).config(..).run()` — the setup code is shared, the
+/// cursor replays the engine's own statement loop, and nothing about
+/// *when* stages run (in host time) touches the simulated clock.
+pub struct SingleCursor {
+    cursor: StageCursor<PantheraRuntime>,
+    workload: String,
+    mode_label: &'static str,
+}
+
+impl SingleCursor {
+    /// Validate `config`, build the runtime and engine exactly as the
+    /// one-shot single-runtime path does, and pause before the first
+    /// statement-stage.
+    ///
+    /// # Errors
+    ///
+    /// The first violated configuration constraint; asking for more than
+    /// one executor is a constraint violation here just as it is in
+    /// [`run_single`].
+    pub fn start(
+        program: Program,
+        fns: FnTable,
+        data: DataRegistry,
+        config: &SystemConfig,
+        mut engine_config: EngineConfig,
+    ) -> Result<SingleCursor, ConfigError> {
+        config.validate()?;
+        engine_config.costs = config.costs;
+        engine_config.transport = config.transport;
+        engine_config.offheap_cache = config.offheap_cache;
+        engine_config.region_alloc = config.region_alloc;
+        if config.executors > 1 {
+            return Err(ConfigError::new(format!(
+                "config asks for {} executors; a stage cursor drives exactly one — \
+                 the job service runs multi-executor jobs atomically instead",
+                config.executors
+            )));
+        }
+        let plan = if config.mode.is_semantic() {
+            analyze(&program).plan
+        } else {
+            InstrumentationPlan::default()
+        };
+        let runtime = PantheraRuntime::new(config).map_err(ConfigError::new)?;
+        let engine = Engine::with_config(runtime, fns, data, engine_config);
+        let workload = program.name.clone();
+        Ok(SingleCursor {
+            cursor: StageCursor::new(engine, program, plan),
+            workload,
+            mode_label: config.mode.label(),
+        })
+    }
+
+    /// Execute the next statement-stage; `false` once the schedule is
+    /// exhausted.
+    pub fn step(&mut self) -> bool {
+        self.cursor.step()
+    }
+
+    /// Whether every stage has executed.
+    pub fn is_done(&self) -> bool {
+        self.cursor.is_done()
+    }
+
+    /// Stages still to run.
+    pub fn remaining(&self) -> usize {
+        self.cursor.remaining()
+    }
+
+    /// Total statement-stages in the schedule.
+    pub fn total_stages(&self) -> usize {
+        self.cursor.total_stages()
+    }
+
+    /// The job's simulated clock, in nanoseconds.
+    pub fn now_ns(&self) -> f64 {
+        self.cursor.now_ns()
+    }
+
+    /// Finish the run (end-of-run sweeps) and collect the report, exactly
+    /// as the one-shot path does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if stages remain.
+    pub fn finish(self) -> (RunReport, RunOutcome) {
+        let (engine, outcome) = self.cursor.finish();
+        let monitored = engine.runtime().monitored_calls();
+        let report = RunReport::collect(
+            &self.workload,
+            self.mode_label,
+            engine.runtime().heap(),
+            engine.runtime().gc(),
+            outcome.stats,
+            monitored,
+        );
+        (report, outcome)
+    }
 }
 
 /// Run `program` under `config`, returning the measurements and the

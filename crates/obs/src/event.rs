@@ -317,6 +317,37 @@ pub enum Event {
         /// NVM write bytes in the window.
         nvm_write: u64,
     },
+    /// A job entered a `panthera-jobs` service queue.
+    JobSubmitted {
+        /// Service-assigned job id (submission order).
+        job: u32,
+        /// The submitting tenant.
+        tenant: u32,
+    },
+    /// A queued job was admitted and dispatched its first stage.
+    JobStarted {
+        /// The starting job.
+        job: u32,
+        /// Service-time nanoseconds the job waited in the queue.
+        queued_ns: f64,
+        /// DRAM budget bytes arbitrated to the job at start.
+        dram_share: u64,
+    },
+    /// A runnable job was paused at a stage barrier because the fair-share
+    /// scheduler dispatched another tenant's stage instead.
+    JobPreempted {
+        /// The paused job.
+        job: u32,
+        /// The stage index the job had just completed.
+        stage: u32,
+    },
+    /// A job ran its last stage and left the service.
+    JobFinished {
+        /// The finished job.
+        job: u32,
+        /// Service-time nanoseconds from submission to finish.
+        elapsed_ns: f64,
+    },
 }
 
 impl Event {
@@ -349,6 +380,10 @@ impl Event {
             Event::RegionFree { .. } => "region_free",
             Event::RegionStageFree { .. } => "region_stage_free",
             Event::TrafficWindow { .. } => "traffic_window",
+            Event::JobSubmitted { .. } => "job_submitted",
+            Event::JobStarted { .. } => "job_started",
+            Event::JobPreempted { .. } => "job_preempted",
+            Event::JobFinished { .. } => "job_finished",
         }
     }
 
@@ -468,6 +503,27 @@ impl Event {
                 put("dram_write", Json::UInt(*dram_write));
                 put("nvm_read", Json::UInt(*nvm_read));
                 put("nvm_write", Json::UInt(*nvm_write));
+            }
+            Event::JobSubmitted { job, tenant } => {
+                put("job", Json::UInt(u64::from(*job)));
+                put("tenant", Json::UInt(u64::from(*tenant)));
+            }
+            Event::JobStarted {
+                job,
+                queued_ns,
+                dram_share,
+            } => {
+                put("job", Json::UInt(u64::from(*job)));
+                put("queued_ns", Json::Num(*queued_ns));
+                put("dram_share", Json::UInt(*dram_share));
+            }
+            Event::JobPreempted { job, stage } => {
+                put("job", Json::UInt(u64::from(*job)));
+                put("stage", Json::UInt(u64::from(*stage)));
+            }
+            Event::JobFinished { job, elapsed_ns } => {
+                put("job", Json::UInt(u64::from(*job)));
+                put("elapsed_ns", Json::Num(*elapsed_ns));
             }
         }
         Json::Obj(pairs)
@@ -643,6 +699,23 @@ impl Event {
                 nvm_read: u("nvm_read")?,
                 nvm_write: u("nvm_write")?,
             },
+            "job_submitted" => Event::JobSubmitted {
+                job: u("job")? as u32,
+                tenant: u("tenant")? as u32,
+            },
+            "job_started" => Event::JobStarted {
+                job: u("job")? as u32,
+                queued_ns: f("queued_ns")?,
+                dram_share: u("dram_share")?,
+            },
+            "job_preempted" => Event::JobPreempted {
+                job: u("job")? as u32,
+                stage: u("stage")? as u32,
+            },
+            "job_finished" => Event::JobFinished {
+                job: u("job")? as u32,
+                elapsed_ns: f("elapsed_ns")?,
+            },
             other => return Err(format!("unknown event type {other:?}")),
         };
         Ok((t, event))
@@ -748,6 +821,17 @@ mod tests {
                 dram_write: 2,
                 nvm_read: 3,
                 nvm_write: 4,
+            },
+            Event::JobSubmitted { job: 3, tenant: 1 },
+            Event::JobStarted {
+                job: 3,
+                queued_ns: 1.5e9,
+                dram_share: 1 << 28,
+            },
+            Event::JobPreempted { job: 3, stage: 7 },
+            Event::JobFinished {
+                job: 3,
+                elapsed_ns: 9.5e9,
             },
         ]
     }

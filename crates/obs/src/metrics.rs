@@ -239,6 +239,12 @@ pub struct MetricsAggregator {
     traffic_windows: u64,
     peak_window_bytes: u64,
     peak_window_nvm_write: u64,
+    jobs_submitted: u64,
+    jobs_started: u64,
+    jobs_preempted: u64,
+    jobs_finished: u64,
+    job_queued_ns: f64,
+    job_elapsed_ns: f64,
     per_exec: BTreeMap<u16, ExecutorMetrics>,
 }
 
@@ -390,6 +396,22 @@ impl MetricsAggregator {
                 ]),
             ),
         ];
+        // Like the executor breakdown below: job aggregates only appear in
+        // traces that contain job events, keeping single-job trace
+        // summaries byte-identical to the pre-service format.
+        if self.jobs_submitted > 0 {
+            fields.push((
+                "jobs",
+                Json::obj(vec![
+                    ("submitted", Json::UInt(self.jobs_submitted)),
+                    ("started", Json::UInt(self.jobs_started)),
+                    ("preempted", Json::UInt(self.jobs_preempted)),
+                    ("finished", Json::UInt(self.jobs_finished)),
+                    ("queued_ns", Json::Num(self.job_queued_ns)),
+                    ("elapsed_ns", Json::Num(self.job_elapsed_ns)),
+                ]),
+            ));
+        }
         // Keep single-executor output byte-identical to the pre-cluster
         // format; the breakdown only appears once a second executor shows up.
         if self.per_exec.len() > 1 {
@@ -502,6 +524,18 @@ impl MetricsAggregator {
             "traffic windows: {} (peak {} B total, peak {} B NVM writes)\n",
             self.traffic_windows, self.peak_window_bytes, self.peak_window_nvm_write
         ));
+        if self.jobs_submitted > 0 {
+            out.push_str(&format!(
+                "jobs: {} submitted, {} started, {} preempted, {} finished \
+                 (queued {:.3} ms, elapsed {:.3} ms)\n",
+                self.jobs_submitted,
+                self.jobs_started,
+                self.jobs_preempted,
+                self.jobs_finished,
+                self.job_queued_ns * ms,
+                self.job_elapsed_ns * ms
+            ));
+        }
         if self.per_exec.len() > 1 {
             out.push_str(&format!(
                 "{:<6} {:>8} {:>7} {:>11} {:>7} {:>11} {:>14} {:>14} {:>9}\n",
@@ -708,6 +742,16 @@ impl MetricsAggregator {
                 let total = dram_read + dram_write + nvm_read + nvm_write;
                 self.peak_window_bytes = self.peak_window_bytes.max(total);
                 self.peak_window_nvm_write = self.peak_window_nvm_write.max(*nvm_write);
+            }
+            Event::JobSubmitted { .. } => self.jobs_submitted += 1,
+            Event::JobStarted { queued_ns, .. } => {
+                self.jobs_started += 1;
+                self.job_queued_ns += queued_ns;
+            }
+            Event::JobPreempted { .. } => self.jobs_preempted += 1,
+            Event::JobFinished { elapsed_ns, .. } => {
+                self.jobs_finished += 1;
+                self.job_elapsed_ns += elapsed_ns;
             }
         }
     }

@@ -1,0 +1,223 @@
+//! Resumable stage cursor: run a program one statement-stage at a time.
+//!
+//! [`Engine::run`] drives a program to completion in one call by recursing
+//! through [`sparklang`] blocks. A multi-tenant scheduler needs to pause a
+//! job at each stage barrier and hand the executor pool to somebody else,
+//! so [`StageCursor`] flattens the recursive interpretation into a
+//! precomputed step schedule — loops unrolled by their static trip counts —
+//! and executes exactly one statement per [`StageCursor::step`] call.
+//!
+//! The cursor is *bit-identical* to [`Engine::run`]: it calls the same
+//! `pub(crate)` prologue/execute/epilogue helpers in the same order with
+//! the same pre-order statement ids, so every simulated clock tick, heap
+//! event, and lifetime-schedule application happens exactly as it would in
+//! a one-shot run. `cursor_matches_run` in this module's tests pins that.
+
+use crate::engine::{count_stmts, ActionResult, Engine, RunOutcome};
+use crate::runtime::MemoryRuntime;
+use panthera_analysis::InstrumentationPlan;
+use sparklang::ast::{Program, Stmt, StmtId};
+
+/// What a flattened step does when executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepKind {
+    /// A non-loop statement: prologue, execute, epilogue.
+    Simple,
+    /// Entry of a `Loop` statement: runs the loop's own per-statement
+    /// prologue once, before the first unrolled iteration.
+    LoopEnter,
+    /// Exit of a `Loop` statement: runs the loop's per-statement epilogue
+    /// once, after the last unrolled iteration.
+    LoopExit,
+}
+
+/// One entry of the flattened schedule.
+#[derive(Debug, Clone)]
+struct CursorStep {
+    /// Child indices from the program root down to the statement; each
+    /// non-final component descends into a `Loop` body.
+    path: Vec<u16>,
+    /// The pre-order [`StmtId`] the recursive interpreter would assign at
+    /// this point (ids repeat across unrolled loop iterations, exactly as
+    /// `exec_block` re-numbers each iteration from the loop's base).
+    id: u32,
+    kind: StepKind,
+}
+
+/// Flatten a block into the step schedule, reproducing `exec_block`'s
+/// pre-order statement numbering: each statement claims one id, a loop
+/// body is re-numbered from the same base every iteration, and the loop
+/// advances the counter past one body's worth of ids when it closes.
+fn flatten(stmts: &[Stmt], path: &mut Vec<u16>, next: &mut u32, out: &mut Vec<CursorStep>) {
+    for (i, s) in stmts.iter().enumerate() {
+        let id = *next;
+        *next += 1;
+        path.push(i as u16);
+        match s {
+            Stmt::Loop { n, body } => {
+                let body_count = count_stmts(body);
+                out.push(CursorStep {
+                    path: path.clone(),
+                    id,
+                    kind: StepKind::LoopEnter,
+                });
+                for _ in 0..*n {
+                    let mut inner = *next;
+                    flatten(body, path, &mut inner, out);
+                }
+                *next += body_count;
+                out.push(CursorStep {
+                    path: path.clone(),
+                    id,
+                    kind: StepKind::LoopExit,
+                });
+            }
+            _ => out.push(CursorStep {
+                path: path.clone(),
+                id,
+                kind: StepKind::Simple,
+            }),
+        }
+        path.pop();
+    }
+}
+
+/// Walk a path back to its statement.
+fn resolve<'p>(stmts: &'p [Stmt], path: &[u16]) -> &'p Stmt {
+    let s = &stmts[path[0] as usize];
+    if path.len() == 1 {
+        return s;
+    }
+    match s {
+        Stmt::Loop { body, .. } => resolve(body, &path[1..]),
+        _ => unreachable!("cursor path descends through a non-loop statement"),
+    }
+}
+
+/// A paused, resumable run: owns the engine and the program and executes
+/// one statement-stage per [`StageCursor::step`] call.
+///
+/// Statement boundaries are exactly the engine's stage barriers (the
+/// epilogue's `cluster_barrier`), so pausing here never splits a shuffle,
+/// a collective, or a journaled deposit — the preemption-safety argument
+/// of DESIGN.md §13 rests on this.
+#[derive(Debug)]
+pub struct StageCursor<R: MemoryRuntime> {
+    engine: Engine<R>,
+    program: Program,
+    plan: InstrumentationPlan,
+    steps: Vec<CursorStep>,
+    pos: usize,
+    /// Lifetime steps claimed by the prologues of still-open loops,
+    /// innermost last; popped by the matching `LoopExit`.
+    loop_frames: Vec<usize>,
+    results: Vec<(String, ActionResult)>,
+}
+
+impl<R: MemoryRuntime> StageCursor<R> {
+    /// Begin a resumable run of `program` on `engine`.
+    ///
+    /// Performs the same start-of-run setup as [`Engine::run`] (program
+    /// validation, variable table, lifetime schedule) and precomputes the
+    /// flattened step schedule. Panics on an ill-formed program, like
+    /// [`Engine::run`] does.
+    pub fn new(mut engine: Engine<R>, program: Program, plan: InstrumentationPlan) -> Self {
+        engine.begin_run(&program);
+        let mut steps = Vec::new();
+        let mut path = Vec::new();
+        let mut next = 0u32;
+        flatten(&program.stmts, &mut path, &mut next, &mut steps);
+        StageCursor {
+            engine,
+            program,
+            plan,
+            steps,
+            pos: 0,
+            loop_frames: Vec::new(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Total statement-stages in the flattened schedule.
+    pub fn total_stages(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Stages still to run.
+    pub fn remaining(&self) -> usize {
+        self.steps.len() - self.pos
+    }
+
+    /// Whether every stage has executed.
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.steps.len()
+    }
+
+    /// The engine's simulated clock, in nanoseconds.
+    pub fn now_ns(&self) -> f64 {
+        self.engine.runtime().heap().mem().clock().now_ns()
+    }
+
+    /// Read access to the engine between stages.
+    pub fn engine(&self) -> &Engine<R> {
+        &self.engine
+    }
+
+    /// Execute the next statement-stage. Returns `false` if the schedule
+    /// was already exhausted (and nothing ran).
+    pub fn step(&mut self) -> bool {
+        if self.pos >= self.steps.len() {
+            return false;
+        }
+        let cs = &self.steps[self.pos];
+        self.pos += 1;
+        match cs.kind {
+            StepKind::LoopEnter => {
+                let step = self.engine.stmt_prologue();
+                self.loop_frames.push(step);
+            }
+            StepKind::LoopExit => {
+                let step = self
+                    .loop_frames
+                    .pop()
+                    .expect("LoopExit without a matching LoopEnter");
+                self.engine.stmt_epilogue(step);
+            }
+            StepKind::Simple => {
+                let stmt = resolve(&self.program.stmts, &cs.path);
+                let step = self.engine.stmt_prologue();
+                self.engine.exec_simple(
+                    &self.program,
+                    stmt,
+                    StmtId(cs.id),
+                    &self.plan,
+                    &mut self.results,
+                );
+                self.engine.stmt_epilogue(step);
+            }
+        }
+        true
+    }
+
+    /// Finish the run: performs the same end-of-run sweeps as
+    /// [`Engine::run`] and returns the engine plus the [`RunOutcome`].
+    ///
+    /// Panics if stages remain — drive [`StageCursor::step`] to
+    /// completion first.
+    pub fn finish(mut self) -> (Engine<R>, RunOutcome) {
+        assert!(
+            self.is_done(),
+            "StageCursor::finish with {} stages remaining",
+            self.remaining()
+        );
+        self.engine.finish_run();
+        let stats = *self.engine.stats();
+        (
+            self.engine,
+            RunOutcome {
+                results: self.results,
+                stats,
+            },
+        )
+    }
+}

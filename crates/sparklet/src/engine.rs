@@ -378,6 +378,21 @@ impl<R: MemoryRuntime> Engine<R> {
     /// Panics if the program is ill-formed (see [`sparklang::validate`]) —
     /// programs built with the [`sparklang::ProgramBuilder`] always pass.
     pub fn run(&mut self, program: &Program, plan: &InstrumentationPlan) -> RunOutcome {
+        self.begin_run(program);
+        let mut results = Vec::new();
+        let mut next = 0u32;
+        self.exec_block(program, &program.stmts, plan, &mut next, &mut results);
+        self.finish_run();
+        RunOutcome {
+            results,
+            stats: self.stats,
+        }
+    }
+
+    /// Start-of-run setup shared by [`Engine::run`] and the resumable
+    /// [`crate::StageCursor`]: validate the program, size the variable
+    /// table, and (re)derive the lifetime schedule.
+    pub(crate) fn begin_run(&mut self, program: &Program) {
         if let Err(e) = sparklang::validate(program) {
             panic!("ill-formed program {:?}: {e}", program.name);
         }
@@ -387,15 +402,13 @@ impl<R: MemoryRuntime> Engine<R> {
             self.lifetime_step = 0;
             self.plan_blocks.clear();
         }
-        let mut results = Vec::new();
-        let mut next = 0u32;
-        self.exec_block(program, &program.stmts, plan, &mut next, &mut results);
+    }
+
+    /// End-of-run sweeps shared by [`Engine::run`] and
+    /// [`crate::StageCursor::finish`].
+    pub(crate) fn finish_run(&mut self) {
         self.offheap_sweep();
         self.region_sweep();
-        RunOutcome {
-            results,
-            stats: self.stats,
-        }
     }
 
     /// End-of-run off-heap sweep: the lifetime schedule must have freed
@@ -439,13 +452,7 @@ impl<R: MemoryRuntime> Engine<R> {
         for s in stmts {
             let id = StmtId(*next);
             *next += 1;
-            let step = self.lifetime_step;
-            self.lifetime_step += 1;
-            self.lifetime_cur = step;
-            self.runtime
-                .heap_mut()
-                .mem_mut()
-                .compute(self.config.driver_cpu_ns);
+            let step = self.stmt_prologue();
             match s {
                 Stmt::Loop { n, body } => {
                     let body_count = count_stmts(body);
@@ -455,50 +462,87 @@ impl<R: MemoryRuntime> Engine<R> {
                     }
                     *next += body_count;
                 }
-                Stmt::Bind { var, expr } => {
-                    let rdd = self.build_expr(expr);
-                    self.rdds[rdd.0 as usize].label = Some(program.var_name(*var).to_string());
-                    self.vars[var.0 as usize] = Some(rdd);
-                }
-                Stmt::Persist { var, level } => {
-                    let rdd = self.var_rdd(*var);
-                    // The instrumented rdd_alloc call passes the inferred
-                    // tag down right before the materialization point.
-                    if let Some(tag) = plan.tag_at(id) {
-                        self.rdds[rdd.0 as usize].merge_tag(tag);
-                    }
-                    self.rdds[rdd.0 as usize].persisted = Some(*level);
-                    self.persist_now(rdd);
-                }
-                Stmt::Unpersist { var } => {
-                    let rdd = self.var_rdd(*var);
-                    self.unpersist(rdd);
-                }
-                Stmt::Checkpoint { var } => {
-                    let rdd = self.var_rdd(*var);
-                    self.rdds[rdd.0 as usize].checkpointed = true;
-                }
-                Stmt::Action { var, action } => {
-                    let rdd = self.var_rdd(*var);
-                    self.runtime.record_rdd_call(rdd.0);
-                    if let Some(tag) = plan.tag_at(id) {
-                        self.rdds[rdd.0 as usize].merge_tag(tag);
-                    }
-                    let value = self.run_action(rdd, action);
-                    self.stats.actions += 1;
-                    results.push((program.var_name(*var).to_string(), value));
-                }
+                other => self.exec_simple(program, other, id, plan, results),
             }
-            // Off-heap bookkeeping scheduled for this statement: releases
-            // for the persisted blocks its evaluation consumed, frees for
-            // blocks born lineage-dead.
-            self.apply_lifetime_ops(step);
-            // Cluster mode: stage barrier after every statement. Loop trip
-            // counts are static, so every executor reaches the same
-            // barriers in the same order; the barrier clock is the max
-            // arrival time — straggler skew stalls the whole cluster.
-            self.cluster_barrier();
+            self.stmt_epilogue(step);
         }
+    }
+
+    /// Per-statement entry bookkeeping: claim the next lifetime step and
+    /// charge the driver-interpretation CPU cost. Returns the claimed
+    /// step, which the matching [`Engine::stmt_epilogue`] consumes.
+    pub(crate) fn stmt_prologue(&mut self) -> usize {
+        let step = self.lifetime_step;
+        self.lifetime_step += 1;
+        self.lifetime_cur = step;
+        self.runtime
+            .heap_mut()
+            .mem_mut()
+            .compute(self.config.driver_cpu_ns);
+        step
+    }
+
+    /// Execute one non-loop statement (loops are driven by
+    /// [`Engine::exec_block`] or the [`crate::StageCursor`]'s flattened
+    /// schedule, which call this for each body statement).
+    pub(crate) fn exec_simple(
+        &mut self,
+        program: &Program,
+        s: &Stmt,
+        id: StmtId,
+        plan: &InstrumentationPlan,
+        results: &mut Vec<(String, ActionResult)>,
+    ) {
+        match s {
+            Stmt::Loop { .. } => unreachable!("loops are unrolled by the caller"),
+            Stmt::Bind { var, expr } => {
+                let rdd = self.build_expr(expr);
+                self.rdds[rdd.0 as usize].label = Some(program.var_name(*var).to_string());
+                self.vars[var.0 as usize] = Some(rdd);
+            }
+            Stmt::Persist { var, level } => {
+                let rdd = self.var_rdd(*var);
+                // The instrumented rdd_alloc call passes the inferred
+                // tag down right before the materialization point.
+                if let Some(tag) = plan.tag_at(id) {
+                    self.rdds[rdd.0 as usize].merge_tag(tag);
+                }
+                self.rdds[rdd.0 as usize].persisted = Some(*level);
+                self.persist_now(rdd);
+            }
+            Stmt::Unpersist { var } => {
+                let rdd = self.var_rdd(*var);
+                self.unpersist(rdd);
+            }
+            Stmt::Checkpoint { var } => {
+                let rdd = self.var_rdd(*var);
+                self.rdds[rdd.0 as usize].checkpointed = true;
+            }
+            Stmt::Action { var, action } => {
+                let rdd = self.var_rdd(*var);
+                self.runtime.record_rdd_call(rdd.0);
+                if let Some(tag) = plan.tag_at(id) {
+                    self.rdds[rdd.0 as usize].merge_tag(tag);
+                }
+                let value = self.run_action(rdd, action);
+                self.stats.actions += 1;
+                results.push((program.var_name(*var).to_string(), value));
+            }
+        }
+    }
+
+    /// Per-statement exit bookkeeping, the other half of
+    /// [`Engine::stmt_prologue`].
+    pub(crate) fn stmt_epilogue(&mut self, step: usize) {
+        // Off-heap bookkeeping scheduled for this statement: releases
+        // for the persisted blocks its evaluation consumed, frees for
+        // blocks born lineage-dead.
+        self.apply_lifetime_ops(step);
+        // Cluster mode: stage barrier after every statement. Loop trip
+        // counts are static, so every executor reaches the same
+        // barriers in the same order; the barrier clock is the max
+        // arrival time — straggler skew stalls the whole cluster.
+        self.cluster_barrier();
     }
 
     /// Statement barrier: rendezvous with every peer executor and advance
@@ -2556,7 +2600,7 @@ pub fn partition_sizes(n: usize, parts: usize) -> Vec<usize> {
 }
 
 /// Statements in a block, counted the way the pre-order numbering does.
-fn count_stmts(stmts: &[Stmt]) -> u32 {
+pub(crate) fn count_stmts(stmts: &[Stmt]) -> u32 {
     stmts
         .iter()
         .map(|s| match s {

@@ -18,6 +18,7 @@
 
 mod cluster;
 mod costs;
+mod cursor;
 mod data;
 mod engine;
 mod rdd;
@@ -30,6 +31,7 @@ pub use cluster::{
     RecoveryMark, RecoverySlot, ShuffleContrib,
 };
 pub use costs::{CostModel, ShuffleTransport};
+pub use cursor::StageCursor;
 pub use data::{DataRegistry, InternTable};
 pub use engine::{partition_sizes, ActionResult, Engine, EngineConfig, ExecStats, RunOutcome};
 pub use rdd::{MatData, RddId, RddNode, RddOp};

@@ -831,3 +831,73 @@ fn memory_only_blocks_are_dropped_and_recomputed() {
         assert_eq!(r.as_count(), Some(650));
     }
 }
+
+/// A program exercising every statement kind the cursor must replay:
+/// binds, persist/unpersist, checkpoint, actions, nested loops.
+fn cursor_program() -> (sparklang::ast::Program, sparklang::FnTable, DataRegistry) {
+    let mut b = ProgramBuilder::new("cursor");
+    let inc = b.map_fn(|p| Payload::Long(p.as_long().unwrap() + 1));
+    let src = b.source("nums");
+    let x = b.bind("x", src.map(inc));
+    b.persist(x, StorageLevel::MemoryOnly);
+    b.checkpoint(x);
+    b.loop_n(3, |b| {
+        let y = b.bind("y", b.var(x).map(inc));
+        b.action(y, ActionKind::Count);
+        b.loop_n(2, |b| {
+            b.action(x, ActionKind::Collect);
+        });
+    });
+    b.unpersist(x);
+    b.action(x, ActionKind::Count);
+    let (p, fns) = b.finish();
+    let mut data = DataRegistry::new();
+    data.register("nums", long_records(&[1, 2, 3, 4]));
+    (p, fns, data)
+}
+
+#[test]
+fn cursor_matches_run() {
+    // One-shot reference run.
+    let (p, fns, data) = cursor_program();
+    let plan = analyze(&p).plan;
+    let mut e = engine_with(data, fns);
+    let reference = e.run(&p, &plan);
+    let ref_clock = e.runtime().heap().mem().clock().now_ns();
+
+    // The same program driven one statement-stage at a time.
+    let (p2, fns2, data2) = cursor_program();
+    let plan2 = analyze(&p2).plan;
+    let engine = engine_with(data2, fns2);
+    let mut cursor = sparklet::StageCursor::new(engine, p2, plan2);
+    let total = cursor.total_stages();
+    let mut steps = 0usize;
+    while cursor.step() {
+        steps += 1;
+    }
+    assert_eq!(steps, total);
+    assert!(cursor.is_done());
+    assert!(!cursor.step(), "step after completion must be a no-op");
+    let (engine, out) = cursor.finish();
+
+    // Results, counters, and the simulated clock must be bit-identical.
+    assert_eq!(
+        format!("{:?}", reference.results),
+        format!("{:?}", out.results)
+    );
+    assert_eq!(format!("{:?}", reference.stats), format!("{:?}", out.stats));
+    let cur_clock = engine.runtime().heap().mem().clock().now_ns();
+    assert_eq!(ref_clock.to_bits(), cur_clock.to_bits());
+}
+
+#[test]
+fn cursor_stage_count_unrolls_loops() {
+    let (p, fns, data) = cursor_program();
+    let plan = analyze(&p).plan;
+    let cursor = sparklet::StageCursor::new(engine_with(data, fns), p, plan);
+    // Top level: bind, persist, checkpoint, loop(enter+exit), unpersist,
+    // action = 5 simple + 2 loop markers. Outer body per iteration: bind,
+    // action, inner loop enter+exit + 2 inner actions. 3 outer iters.
+    let outer_body = 2 + 2 + 2;
+    assert_eq!(cursor.total_stages(), 7 + 3 * outer_body);
+}
