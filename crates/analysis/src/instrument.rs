@@ -77,6 +77,36 @@ impl InstrumentationPlan {
     pub fn tag_at(&self, stmt: StmtId) -> Option<MemoryTag> {
         self.sites.get(&stmt).and_then(|s| s.tag)
     }
+
+    /// Override the tag at every site that materializes `var`, returning
+    /// how many sites changed.
+    ///
+    /// The statically inferred tags are *priors*: an online re-tagging
+    /// policy that has watched real access frequencies may overwrite them
+    /// (before a run, or between streaming micro-batches for sites not
+    /// yet executed) when the static guess is measurably wrong.
+    pub fn override_tag(&mut self, var: VarId, tag: Option<MemoryTag>) -> usize {
+        let mut changed = 0;
+        for site in self.sites.values_mut() {
+            if site.var == var && site.tag != tag {
+                site.tag = tag;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Override the tag at one site. Returns `false` (and does nothing)
+    /// if the statement has no site.
+    pub fn override_tag_at(&mut self, stmt: StmtId, tag: Option<MemoryTag>) -> bool {
+        match self.sites.get_mut(&stmt) {
+            Some(site) => {
+                site.tag = tag;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,12 @@
 //!   FIFO on p99 queueing delay at no more than 5% throughput cost and
 //!   that the `ServiceReport` is host-thread invariant. Emits
 //!   `BENCH_PR9.json` plus its `.sim` companion.
+//! * `--stream` — run the streaming-regret suite instead: one seeded
+//!   drifting micro-batch stream under the static, online, and oracle
+//!   re-tagging policies, asserting byte-identical window outputs and
+//!   the regret ordering (online ≤ static against the clairvoyant
+//!   oracle), with per-policy DRAM hit ratios and batch-latency / GC
+//!   pause quantiles. Emits `BENCH_PR10.json` plus its `.sim` companion.
 //! * `--regions` — run the region-arena suite instead: every Table 4
 //!   workload at a fixed cache-heavy scale with `region_alloc` off and
 //!   on, asserting bit-identical results and drained arenas, and
@@ -86,6 +92,7 @@ use panthera::{
     MemoryMode, RecoveryPolicy, RunBuilder, RunReport, RunSummary, SystemConfig, SIM_GB,
 };
 use panthera_jobs::{JobOutcome, JobService, JobSpec, SchedPolicy, ServiceConfig, ServiceReport};
+use panthera_stream::{RetagPolicy, StreamBuilder, StreamReport, StreamSpec};
 use sparklang::{ActionKind, FnTable, Program, ProgramBuilder};
 use sparklet::{DataRegistry, EngineConfig, ShuffleTransport};
 use std::cell::RefCell;
@@ -127,6 +134,7 @@ struct Cli {
     shuffle: bool,
     regions: bool,
     service: bool,
+    stream: bool,
 }
 
 impl Cli {
@@ -140,6 +148,7 @@ impl Cli {
             shuffle: false,
             regions: false,
             service: false,
+            stream: false,
         };
         let mut args = std::env::args().skip(1).peekable();
         while let Some(arg) = args.next() {
@@ -182,12 +191,13 @@ impl Cli {
                 "--shuffle" => cli.shuffle = true,
                 "--regions" => cli.regions = true,
                 "--service" => cli.service = true,
+                "--stream" => cli.stream = true,
                 other => {
                     eprintln!("perfsuite: unknown flag `{other}`");
                     eprintln!(
                         "usage: perfsuite [--quick] [--executors N] [--trace [PATH]] \
                          [--faults SEED] [--faults-anywhere SEED] [--shuffle] [--regions] \
-                         [--service]"
+                         [--service] [--stream]"
                     );
                     std::process::exit(2);
                 }
@@ -1682,10 +1692,217 @@ fn run_service_suite(cli: &Cli, n: usize) {
     println!("wrote {sim_out}");
 }
 
+// ---------------------------------------------------------------------------
+// The `--stream` micro-batch streaming-regret suite (`BENCH_PR10.json`).
+// ---------------------------------------------------------------------------
+
+/// One measured streaming arm: a re-tagging policy over the shared spec.
+struct StreamArm {
+    policy: &'static str,
+    host_ns: u64,
+    report: StreamReport,
+}
+
+fn stream_arm_json(r: &StreamArm, sim_only: bool) -> Json {
+    let run = &r.report.run;
+    let mut fields = vec![
+        ("policy", Json::Str(r.policy.into())),
+        ("sim_elapsed_ns", Json::Num(r.report.elapsed_ns)),
+        (
+            "batch_latency_p50_ns",
+            Json::Num(r.report.latency_quantile_ns(0.50)),
+        ),
+        (
+            "batch_latency_p90_ns",
+            Json::Num(r.report.latency_quantile_ns(0.90)),
+        ),
+        (
+            "batch_latency_p99_ns",
+            Json::Num(r.report.latency_quantile_ns(0.99)),
+        ),
+        ("dram_byte_frac", Json::Num(r.report.dram_byte_frac)),
+        (
+            "minor_pause_p90_ns",
+            Json::Num(run.minor_pauses.quantile_ns(0.90)),
+        ),
+        (
+            "major_pause_p90_ns",
+            Json::Num(run.major_pauses.quantile_ns(0.90)),
+        ),
+        ("retags", Json::UInt(u64::from(r.report.retags))),
+        ("migrations", Json::UInt(r.report.migrations)),
+        ("outputs_digest", Json::UInt(r.report.outputs_digest)),
+    ];
+    if !sim_only {
+        fields.insert(1, ("host_ns", Json::UInt(r.host_ns)));
+    }
+    fields.push(("stream", r.report.to_json()));
+    Json::obj(fields)
+}
+
+/// The streaming-regret suite: one seeded drifting stream driven under
+/// the three re-tagging policies. Asserted while measuring:
+///
+/// * window outputs are byte-identical under all three policies —
+///   placement moves bytes, never answers;
+/// * the online policy's regret against the clairvoyant oracle is at
+///   most the static prior's (closing the loop from observed access
+///   frequencies pays for itself);
+/// * the oracle never loses to the static prior outright.
+///
+/// The stream runs on the single-runtime path, so every simulated
+/// quantity is host-thread invariant by construction; CI still `cmp`s
+/// the `.sim` companion across `PANTHERA_HOST_THREADS` budgets to pin
+/// it. `--quick` swaps the benchmark-sized sliding-window spec for the
+/// small tumbling one on the default heap.
+fn run_stream_suite(cli: &Cli, n: usize) {
+    let (spec, heap_gb) = if cli.quick {
+        (StreamSpec::small(SEED), 4u64)
+    } else {
+        // The perf spec's resident datasets overflow a small DRAM share;
+        // 16 sim-GB is the smallest heap that avoids promotion failure
+        // while keeping placement contended.
+        (StreamSpec::perf(SEED), 16u64)
+    };
+    let cfg = SystemConfig::new(MemoryMode::Panthera, heap_gb * SIM_GB, 1.0 / 3.0);
+    println!(
+        "stream suite: {} ({} batches x {} datasets, {:?}), heap {heap_gb} sim-GB, \
+         {n} samples/arm",
+        spec.name, spec.batches, spec.datasets, spec.window
+    );
+
+    let arm = |policy: RetagPolicy| {
+        let b = StreamBuilder::new(spec.clone())
+            .config(cfg.clone())
+            .policy(policy);
+        median_host_ns(n, || b.run().expect("valid stream spec"))
+    };
+    let (static_ns, static_run) = arm(RetagPolicy::Static);
+    let (online_ns, online) = arm(RetagPolicy::Online { hysteresis: 1 });
+    let (oracle_ns, oracle) = arm(RetagPolicy::Oracle);
+    let arms = [
+        StreamArm {
+            policy: "static",
+            host_ns: static_ns,
+            report: static_run,
+        },
+        StreamArm {
+            policy: "online",
+            host_ns: online_ns,
+            report: online,
+        },
+        StreamArm {
+            policy: "oracle",
+            host_ns: oracle_ns,
+            report: oracle,
+        },
+    ];
+    let cmp = panthera_stream::StreamComparison {
+        static_run: arms[0].report.clone(),
+        online: arms[1].report.clone(),
+        oracle: arms[2].report.clone(),
+    };
+
+    // The PR 10 acceptance, asserted so the artifact cannot exist
+    // without it holding.
+    assert!(
+        cmp.outputs_identical(),
+        "a re-tagging policy changed the window outputs"
+    );
+    assert!(
+        cmp.online_regret_ns() <= cmp.static_regret_ns(),
+        "online regret ({:.3e} ns) exceeds static regret ({:.3e} ns)",
+        cmp.online_regret_ns(),
+        cmp.static_regret_ns()
+    );
+    assert!(
+        cmp.oracle.elapsed_ns <= cmp.static_run.elapsed_ns,
+        "the clairvoyant oracle lost to the static prior"
+    );
+
+    println!(
+        "{:<8} | {:>14} | {:>12} | {:>7} | {:>6} | {:>5}",
+        "policy", "elapsed ns", "p99 ns", "dram", "retags", "migr"
+    );
+    println!("{}", "-".repeat(72));
+    for r in &arms {
+        println!(
+            "{:<8} | {:>14.4e} | {:>12.4e} | {:>6.1}% | {:>6} | {:>5}",
+            r.policy,
+            r.report.elapsed_ns,
+            r.report.latency_quantile_ns(0.99),
+            100.0 * r.report.dram_byte_frac,
+            r.report.retags,
+            r.report.migrations
+        );
+    }
+    let closed_pct = if cmp.static_regret_ns() > 0.0 {
+        100.0 * (cmp.static_regret_ns() - cmp.online_regret_ns()) / cmp.static_regret_ns()
+    } else {
+        0.0
+    };
+    println!("{}", "-".repeat(72));
+    println!(
+        "regret vs oracle: static {:.3e} ns, online {:.3e} ns \
+         (online closed {closed_pct:.1}% of the gap)",
+        cmp.static_regret_ns(),
+        cmp.online_regret_ns()
+    );
+
+    let spec_json = Json::obj(vec![
+        ("name", Json::Str(spec.name.clone())),
+        ("seed", Json::UInt(spec.seed)),
+        ("batches", Json::UInt(u64::from(spec.batches))),
+        ("datasets", Json::UInt(u64::from(spec.datasets))),
+        ("window", Json::Str(format!("{:?}", spec.window))),
+        ("drift_period", Json::UInt(u64::from(spec.drift_period))),
+        ("hot_threshold", Json::UInt(spec.hot_threshold)),
+    ]);
+    let regret_json = Json::obj(vec![
+        ("static_ns", Json::Num(cmp.static_regret_ns())),
+        ("online_ns", Json::Num(cmp.online_regret_ns())),
+        ("online_closed_pct", Json::Num(closed_pct)),
+    ]);
+    let arms_json =
+        |sim_only: bool| Json::Arr(arms.iter().map(|r| stream_arm_json(r, sim_only)).collect());
+    let j = Json::obj(vec![
+        ("bench", Json::Str("BENCH_PR10".into())),
+        ("samples_per_arm", Json::UInt(n as u64)),
+        ("heap_sim_gb", Json::UInt(heap_gb)),
+        ("spec", spec_json.clone()),
+        ("arms", arms_json(false)),
+        ("regret_ns", regret_json.clone()),
+        ("outputs_identical", Json::Bool(true)),
+    ]);
+    let out = std::env::var("PERFSUITE_OUT").unwrap_or_else(|_| "BENCH_PR10.json".into());
+    write_atomic(&out, j.to_pretty() + "\n");
+    println!("wrote {out}");
+
+    let sim = Json::obj(vec![
+        ("bench", Json::Str("BENCH_PR10.sim".into())),
+        ("heap_sim_gb", Json::UInt(heap_gb)),
+        ("spec", spec_json),
+        ("arms", arms_json(true)),
+        ("regret_ns", regret_json),
+        ("outputs_identical", Json::Bool(true)),
+    ]);
+    let sim_out = format!("{out}.sim");
+    write_atomic(&sim_out, sim.to_pretty() + "\n");
+    println!("wrote {sim_out}");
+}
+
 fn main() {
     let cli = Cli::parse();
     let n = samples(&cli);
     let scale = scale_with(&cli);
+    if cli.stream {
+        println!("perfsuite --stream: {n} samples/arm");
+        run_stream_suite(&cli, n);
+        if let Some(path) = &cli.trace {
+            write_trace(path);
+        }
+        return;
+    }
     if cli.service {
         println!("perfsuite --service: {n} samples/arm");
         run_service_suite(&cli, n);

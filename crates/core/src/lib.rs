@@ -54,7 +54,6 @@
 //! assert!(run.report.elapsed_s > 0.0);
 //! ```
 
-mod builder;
 pub mod cluster;
 mod config;
 mod error;
@@ -64,7 +63,6 @@ mod runbuilder;
 mod runtime;
 mod simulate;
 
-pub use builder::Simulation;
 pub use cluster::{
     run_cluster, run_cluster_default, run_cluster_faulted, ClusterOutcome, FaultPlan,
 };
@@ -76,10 +74,6 @@ pub use report::{RecoveryStats, RunReport};
 pub use runbuilder::{RunBuilder, RunParts, RunSource, RunSummary};
 pub use runtime::{to_mem_tag, PantheraRuntime};
 pub use simulate::SingleCursor;
-#[allow(deprecated)]
-pub use simulate::{
-    run_workload, run_workload_with_engine, try_run_workload, try_run_workload_with_engine,
-};
 pub use sparklet::{CostModel, ShuffleTransport};
 
 // Re-export the observability crate so downstream users attach sinks
@@ -101,16 +95,15 @@ pub use obs;
 /// let mut data = DataRegistry::new();
 /// data.register("xs", (0..128).map(Payload::Long).collect());
 ///
-/// let (report, _outcome) = Simulation::new(MemoryMode::Panthera)
-///     .heap_gb(2)
-///     .run(&program, fns, data)
+/// let run = RunBuilder::new(&program, fns, data)
+///     .config(SystemConfig::new(MemoryMode::Panthera, 2 * SIM_GB, 1.0 / 3.0))
+///     .run()
 ///     .expect("valid configuration");
-/// assert!(report.elapsed_s > 0.0);
+/// assert!(run.report.elapsed_s > 0.0);
 /// ```
 pub mod prelude {
     pub use crate::{
-        ConfigError, MemoryMode, RunBuilder, RunError, RunReport, RunSummary, Simulation,
-        SystemConfig, SIM_GB,
+        ConfigError, MemoryMode, RunBuilder, RunError, RunReport, RunSummary, SystemConfig, SIM_GB,
     };
     pub use mheap::Payload;
     pub use sparklang::{ActionKind, ProgramBuilder, StorageLevel};

@@ -1,8 +1,8 @@
 //! The end-to-end simulation driver: analyze, run, report.
 //!
-//! [`crate::RunBuilder`] is the supported entry point; the free functions
-//! here are deprecated shims kept so pre-builder callers compile during
-//! the transition.
+//! [`crate::RunBuilder`] is the supported entry point; [`SingleCursor`]
+//! exposes the same single-runtime path paused at every stage barrier for
+//! external schedulers (the job service, the streaming driver).
 
 use crate::config::{ConfigError, SystemConfig};
 use crate::report::RunReport;
@@ -86,7 +86,32 @@ impl SingleCursor {
         fns: FnTable,
         data: DataRegistry,
         config: &SystemConfig,
+        engine_config: EngineConfig,
+    ) -> Result<SingleCursor, ConfigError> {
+        let plan = if config.mode.is_semantic() {
+            analyze(&program).plan
+        } else {
+            InstrumentationPlan::default()
+        };
+        Self::start_with_plan(program, fns, data, config, engine_config, plan)
+    }
+
+    /// [`SingleCursor::start`] with an explicit instrumentation plan
+    /// instead of the freshly analyzed one — the hook a re-tagging policy
+    /// uses to treat the static tags as priors and override them (e.g.
+    /// the oracle pre-tags every site from a prior observation pass)
+    /// before the run begins.
+    ///
+    /// # Errors
+    ///
+    /// Same constraints as [`SingleCursor::start`].
+    pub fn start_with_plan(
+        program: Program,
+        fns: FnTable,
+        data: DataRegistry,
+        config: &SystemConfig,
         mut engine_config: EngineConfig,
+        plan: InstrumentationPlan,
     ) -> Result<SingleCursor, ConfigError> {
         config.validate()?;
         engine_config.costs = config.costs;
@@ -100,11 +125,6 @@ impl SingleCursor {
                 config.executors
             )));
         }
-        let plan = if config.mode.is_semantic() {
-            analyze(&program).plan
-        } else {
-            InstrumentationPlan::default()
-        };
         let runtime = PantheraRuntime::new(config).map_err(ConfigError::new)?;
         let engine = Engine::with_config(runtime, fns, data, engine_config);
         let workload = program.name.clone();
@@ -141,6 +161,35 @@ impl SingleCursor {
         self.cursor.now_ns()
     }
 
+    /// The paused runtime, for reading heap, GC, and frequency state at a
+    /// stage barrier.
+    pub fn runtime(&self) -> &PantheraRuntime {
+        self.cursor.engine().runtime()
+    }
+
+    /// Mutable runtime access at a stage barrier — how an online policy
+    /// pins per-RDD tag overrides on the collector between batches.
+    pub fn runtime_mut(&mut self) -> &mut PantheraRuntime {
+        self.cursor.engine_mut().runtime_mut()
+    }
+
+    /// The runtime RDD graph built so far (RDD ids ↔ variable labels).
+    pub fn rdds(&self) -> &[sparklet::RddNode] {
+        self.cursor.engine().rdds()
+    }
+
+    /// Mutable access to the instrumentation plan, to override static
+    /// tags of sites that have not executed yet.
+    pub fn plan_mut(&mut self) -> &mut InstrumentationPlan {
+        self.cursor.plan_mut()
+    }
+
+    /// Force a full collection with the engine's current roots, applying
+    /// any pinned tag overrides via the dynamic re-assessment.
+    pub fn force_major(&mut self) {
+        self.cursor.engine_mut().force_major();
+    }
+
     /// Finish the run (end-of-run sweeps) and collect the report, exactly
     /// as the one-shot path does.
     ///
@@ -160,92 +209,4 @@ impl SingleCursor {
         );
         (report, outcome)
     }
-}
-
-/// Run `program` under `config`, returning the measurements and the
-/// action results — or a [`ConfigError`] if the configuration violates a
-/// constraint (e.g. a DRAM ratio too small to hold the nursery).
-///
-/// # Errors
-///
-/// The first violated configuration constraint.
-///
-/// # Panics
-///
-/// Panics if the simulated heap is exhausted mid-run — a mis-sized
-/// experiment, not a runtime condition a caller should handle.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `RunBuilder::new(program, fns, data).run()`"
-)]
-pub fn try_run_workload(
-    program: &Program,
-    fns: FnTable,
-    data: DataRegistry,
-    config: &SystemConfig,
-) -> Result<(RunReport, RunOutcome), ConfigError> {
-    run_single(program, fns, data, config, EngineConfig::default())
-}
-
-/// [`try_run_workload`] with explicit engine cost knobs.
-///
-/// # Errors
-///
-/// The first violated configuration constraint.
-///
-/// # Panics
-///
-/// Same mid-run conditions as [`try_run_workload`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `RunBuilder::new(program, fns, data).engine(ec).run()`"
-)]
-pub fn try_run_workload_with_engine(
-    program: &Program,
-    fns: FnTable,
-    data: DataRegistry,
-    config: &SystemConfig,
-    engine_config: EngineConfig,
-) -> Result<(RunReport, RunOutcome), ConfigError> {
-    run_single(program, fns, data, config, engine_config)
-}
-
-/// Panicking convenience wrapper over the single-runtime driver, for
-/// drivers and tests whose configurations are known-good.
-///
-/// # Panics
-///
-/// Panics if the configuration is invalid or the simulated heap is
-/// exhausted.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `RunBuilder::new(program, fns, data).run()`"
-)]
-pub fn run_workload(
-    program: &Program,
-    fns: FnTable,
-    data: DataRegistry,
-    config: &SystemConfig,
-) -> (RunReport, RunOutcome) {
-    run_single(program, fns, data, config, EngineConfig::default())
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Panicking convenience wrapper with explicit engine cost knobs.
-///
-/// # Panics
-///
-/// Same conditions as [`run_workload`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `RunBuilder::new(program, fns, data).engine(ec).run()`"
-)]
-pub fn run_workload_with_engine(
-    program: &Program,
-    fns: FnTable,
-    data: DataRegistry,
-    config: &SystemConfig,
-    engine_config: EngineConfig,
-) -> (RunReport, RunOutcome) {
-    run_single(program, fns, data, config, engine_config).unwrap_or_else(|e| panic!("{e}"))
 }

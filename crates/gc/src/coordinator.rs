@@ -7,6 +7,7 @@ use crate::stats::{GcEvent, GcStats, PauseStats};
 use mheap::{
     Heap, HeapError, MemTag, ObjId, ObjKind, OldSpaceId, Payload, RootSet, VerifyError, VerifyPoint,
 };
+use std::collections::HashMap;
 
 /// CPU cost per object processed during tracing (queue and mark
 /// bookkeeping), charged on top of the memory traffic.
@@ -73,6 +74,10 @@ pub struct GcCoordinator {
     pub(crate) minor_pauses: PauseStats,
     pub(crate) major_pauses: PauseStats,
     pub(crate) events: Vec<GcEvent>,
+    /// Per-RDD placement overrides from an online re-tagging policy.
+    /// Unlike the frequency table, overrides persist across collections —
+    /// they stand until the policy changes its mind.
+    pub(crate) tag_overrides: HashMap<u32, MemTag>,
 }
 
 impl GcCoordinator {
@@ -91,6 +96,7 @@ impl GcCoordinator {
             minor_pauses: PauseStats::default(),
             major_pauses: PauseStats::default(),
             events: Vec::new(),
+            tag_overrides: HashMap::new(),
         }
     }
 
@@ -158,9 +164,49 @@ impl GcCoordinator {
 
     /// Record a monitored method call on an RDD (instrumented call sites,
     /// Section 4.2.2), charging the JNI overhead.
+    ///
+    /// Also exports the observation as [`obs::Event::RddCall`]: the
+    /// internal frequency table resets at every major collection, so an
+    /// online policy that needs batch-boundary deltas accumulates these
+    /// events instead (observe-never-charge — the emission itself costs
+    /// nothing; the monitoring overhead charged here is the call's).
     pub fn record_rdd_call(&mut self, heap: &mut Heap, rdd_id: u32) {
         self.freq.record_call(rdd_id);
+        let observer = heap.observer();
+        if observer.enabled() {
+            observer.emit(
+                heap.mem().clock().now_ns(),
+                &obs::Event::RddCall { rdd: rdd_id },
+            );
+        }
         heap.mem_mut().compute(MONITOR_CALL_NS);
+    }
+
+    /// Pin an RDD's placement to `tag`, overriding both the static tag
+    /// and the hot/cold thresholds at the next dynamic re-assessment
+    /// (online re-tagging; the override stands until cleared).
+    ///
+    /// Passing [`MemTag::None`] is equivalent to clearing the override.
+    pub fn set_tag_override(&mut self, rdd_id: u32, tag: MemTag) {
+        match tag {
+            MemTag::None => {
+                self.tag_overrides.remove(&rdd_id);
+            }
+            t => {
+                self.tag_overrides.insert(rdd_id, t);
+            }
+        }
+    }
+
+    /// Drop a per-RDD placement override, returning re-assessment of that
+    /// RDD to the frequency thresholds.
+    pub fn clear_tag_override(&mut self, rdd_id: u32) {
+        self.tag_overrides.remove(&rdd_id);
+    }
+
+    /// The placement override for an RDD, if one is pinned.
+    pub fn tag_override(&self, rdd_id: u32) -> Option<MemTag> {
+        self.tag_overrides.get(&rdd_id).copied()
     }
 
     /// Allocate a young object, collecting as needed.

@@ -229,8 +229,10 @@ impl GcCoordinator {
     }
 
     /// Decide which live objects switch old spaces, keyed by the RDD
-    /// arrays' access frequencies. Objects reachable from a migrating
-    /// array migrate with it; DRAM wins conflicts.
+    /// arrays' access frequencies — or, when an online re-tagging policy
+    /// pinned an override for the RDD, by the override alone. Objects
+    /// reachable from a migrating array migrate with it; DRAM wins
+    /// conflicts.
     fn plan_migrations(
         &mut self,
         heap: &Heap,
@@ -255,6 +257,14 @@ impl GcCoordinator {
                     continue;
                 };
                 if !o.kind.is_array() {
+                    continue;
+                }
+                if let Some(tag) = self.tag_overrides.get(&rdd_id) {
+                    match tag {
+                        mheap::MemTag::Dram if *space == nvm => to_dram.push(*id),
+                        mheap::MemTag::Nvm if *space == dram => to_nvm.push(*id),
+                        _ => {}
+                    }
                     continue;
                 }
                 let calls = self.freq.calls(rdd_id);

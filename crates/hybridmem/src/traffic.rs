@@ -50,6 +50,14 @@ pub struct BandwidthSample {
 
 /// Buckets memory traffic into fixed-width windows of simulated time.
 ///
+/// The meter is safe under *unbounded* runs (streaming): it never holds
+/// more than [`TrafficMeter::MAX_WINDOWS`] windows. When simulated time
+/// marches past the current span — whether in one huge jump or by the
+/// steady accumulation of micro-batches — the window width doubles and
+/// adjacent windows fold together (totals preserved) until the new
+/// timestamp fits, so memory use is bounded by the cap while the series
+/// keeps covering the whole run at progressively coarser resolution.
+///
 /// # Examples
 ///
 /// ```
@@ -287,6 +295,52 @@ mod tests {
             8 + 4
         );
         assert_eq!(m.total_bytes(DeviceKind::Dram, AccessKind::Read), 15);
+    }
+
+    #[test]
+    fn unbounded_streaming_run_rolls_instead_of_growing() {
+        // A long streaming run: virtual time advances steadily batch after
+        // batch, far past the cap's worth of base-width windows. The meter
+        // must coarsen (roll windows together) rather than grow without
+        // bound, and must stay within the cap after *every* record, not
+        // just at the end.
+        let mut m = TrafficMeter::new(1.0);
+        let mut recorded = 0u64;
+        for batch in 0..4_000u64 {
+            // Each batch lands traffic 100 base windows past the previous
+            // one: 400_000 base windows in total, ~6x the cap.
+            let t = batch as f64 * 100.0;
+            m.record(t, DeviceKind::Dram, AccessKind::Write, 8);
+            m.record(t + 1.0, DeviceKind::Nvm, AccessKind::Read, 4);
+            recorded += 12;
+            assert!(
+                m.windows().len() <= TrafficMeter::MAX_WINDOWS,
+                "cap violated at batch {batch}: {} windows",
+                m.windows().len()
+            );
+        }
+        // Coarsening happened (the width is the base times a power of two)
+        // and conserved every byte.
+        assert!(m.window_ns() > 1.0);
+        assert_eq!(m.window_ns().log2().fract(), 0.0);
+        assert_eq!(
+            m.total_bytes(DeviceKind::Dram, AccessKind::Write),
+            8 * 4_000
+        );
+        assert_eq!(m.total_bytes(DeviceKind::Nvm, AccessKind::Read), 4 * 4_000);
+        assert_eq!(
+            m.total_bytes(DeviceKind::Dram, AccessKind::Write)
+                + m.total_bytes(DeviceKind::Nvm, AccessKind::Read),
+            recorded
+        );
+        // Merging two long-run meters also stays within the cap.
+        let other = m.clone();
+        m.merge(&other);
+        assert!(m.windows().len() <= TrafficMeter::MAX_WINDOWS);
+        assert_eq!(
+            m.total_bytes(DeviceKind::Dram, AccessKind::Write),
+            2 * 8 * 4_000
+        );
     }
 
     #[test]

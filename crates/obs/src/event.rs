@@ -348,6 +348,51 @@ pub enum Event {
         /// Service-time nanoseconds from submission to finish.
         elapsed_ns: f64,
     },
+    /// The runtime monitor observed one access to a persisted RDD (the
+    /// Section 5.5 access-frequency counter ticking). This is the
+    /// frequency export the online re-tagging policy consumes: unlike the
+    /// GC-internal table, which resets at every major collection, an
+    /// aggregator accumulating these events holds *cumulative* per-RDD
+    /// counts, so batch-boundary deltas are well defined.
+    RddCall {
+        /// The accessed RDD instance.
+        rdd: u32,
+    },
+    /// A streaming micro-batch began executing.
+    BatchStart {
+        /// 0-based batch sequence number.
+        batch: u32,
+    },
+    /// A streaming micro-batch finished; paired with the matching
+    /// [`Event::BatchStart`] by `batch`.
+    BatchEnd {
+        /// Sequence number of the batch that finished.
+        batch: u32,
+        /// Virtual time the batch took, start barrier to end barrier.
+        latency_ns: f64,
+    },
+    /// The watermark advanced at a batch boundary: every window whose end
+    /// falls at or before `event_time` is closed and its aggregate final.
+    /// Batch boundaries are statement/stage barriers, so the watermark is
+    /// a virtual-time barrier — no late data can exist behind it.
+    Watermark {
+        /// The batch whose boundary advanced the watermark.
+        batch: u32,
+        /// Exclusive upper bound of closed event-time (source ticks).
+        event_time: u64,
+    },
+    /// A re-tagging policy overrode an RDD's memory tag at a batch
+    /// boundary, because observed access frequencies disagreed with the
+    /// static analysis prior. The migration itself (if the bytes actually
+    /// move) is reported separately by [`Event::Migration`].
+    Retag {
+        /// The re-tagged RDD instance.
+        rdd: u32,
+        /// Device the tag pointed at before the override.
+        from: Mem,
+        /// Device the tag points at now.
+        to: Mem,
+    },
 }
 
 impl Event {
@@ -384,6 +429,11 @@ impl Event {
             Event::JobStarted { .. } => "job_started",
             Event::JobPreempted { .. } => "job_preempted",
             Event::JobFinished { .. } => "job_finished",
+            Event::RddCall { .. } => "rdd_call",
+            Event::BatchStart { .. } => "batch_start",
+            Event::BatchEnd { .. } => "batch_end",
+            Event::Watermark { .. } => "watermark",
+            Event::Retag { .. } => "retag",
         }
     }
 
@@ -524,6 +574,21 @@ impl Event {
             Event::JobFinished { job, elapsed_ns } => {
                 put("job", Json::UInt(u64::from(*job)));
                 put("elapsed_ns", Json::Num(*elapsed_ns));
+            }
+            Event::RddCall { rdd } => put("rdd", Json::UInt(u64::from(*rdd))),
+            Event::BatchStart { batch } => put("batch", Json::UInt(u64::from(*batch))),
+            Event::BatchEnd { batch, latency_ns } => {
+                put("batch", Json::UInt(u64::from(*batch)));
+                put("latency_ns", Json::Num(*latency_ns));
+            }
+            Event::Watermark { batch, event_time } => {
+                put("batch", Json::UInt(u64::from(*batch)));
+                put("event_time", Json::UInt(*event_time));
+            }
+            Event::Retag { rdd, from, to } => {
+                put("rdd", Json::UInt(u64::from(*rdd)));
+                put("from", Json::Str(from.label().to_string()));
+                put("to", Json::Str(to.label().to_string()));
             }
         }
         Json::Obj(pairs)
@@ -716,6 +781,25 @@ impl Event {
                 job: u("job")? as u32,
                 elapsed_ns: f("elapsed_ns")?,
             },
+            "rdd_call" => Event::RddCall {
+                rdd: u("rdd")? as u32,
+            },
+            "batch_start" => Event::BatchStart {
+                batch: u("batch")? as u32,
+            },
+            "batch_end" => Event::BatchEnd {
+                batch: u("batch")? as u32,
+                latency_ns: f("latency_ns")?,
+            },
+            "watermark" => Event::Watermark {
+                batch: u("batch")? as u32,
+                event_time: u("event_time")?,
+            },
+            "retag" => Event::Retag {
+                rdd: u("rdd")? as u32,
+                from: mem("from")?,
+                to: mem("to")?,
+            },
             other => return Err(format!("unknown event type {other:?}")),
         };
         Ok((t, event))
@@ -832,6 +916,21 @@ mod tests {
             Event::JobFinished {
                 job: 3,
                 elapsed_ns: 9.5e9,
+            },
+            Event::RddCall { rdd: 5 },
+            Event::BatchStart { batch: 2 },
+            Event::BatchEnd {
+                batch: 2,
+                latency_ns: 3.25e8,
+            },
+            Event::Watermark {
+                batch: 2,
+                event_time: 96,
+            },
+            Event::Retag {
+                rdd: 5,
+                from: Mem::Nvm,
+                to: Mem::Dram,
             },
         ]
     }

@@ -245,6 +245,12 @@ pub struct MetricsAggregator {
     jobs_finished: u64,
     job_queued_ns: f64,
     job_elapsed_ns: f64,
+    rdd_calls: BTreeMap<u32, u64>,
+    batches: u64,
+    batch_latency: PauseHistogram,
+    watermarks: u64,
+    retags_to_dram: u64,
+    retags_to_nvm: u64,
     per_exec: BTreeMap<u16, ExecutorMetrics>,
 }
 
@@ -307,6 +313,53 @@ impl MetricsAggregator {
     /// Heap-verification failures observed (a healthy trace has zero).
     pub fn verify_failures(&self) -> u64 {
         self.verify_failures
+    }
+
+    /// Cumulative per-RDD access counts derived from [`Event::RddCall`]
+    /// events, keyed by RDD id. These counters are *never reset* (unlike
+    /// the GC-internal frequency table, which clears at every major
+    /// collection), so two snapshots taken at batch boundaries subtract to
+    /// a well-defined per-window delta — the quantity the online
+    /// re-tagging policy consumes.
+    pub fn rdd_calls(&self) -> &BTreeMap<u32, u64> {
+        &self.rdd_calls
+    }
+
+    /// Micro-batches completed (paired `BatchStart`/`BatchEnd`).
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Per-batch latency distribution from [`Event::BatchEnd`].
+    pub fn batch_latency(&self) -> &PauseHistogram {
+        &self.batch_latency
+    }
+
+    /// Re-tag decisions observed (to DRAM, to NVM).
+    pub fn retags(&self) -> (u64, u64) {
+        (self.retags_to_dram, self.retags_to_nvm)
+    }
+
+    /// Per-RDD access-count growth from `baseline` (an earlier
+    /// [`MetricsAggregator::rdd_calls`] snapshot) to `current`.
+    ///
+    /// Only RDDs whose counter grew appear in the result. The subtraction
+    /// saturates: a baseline entry *larger* than the current counter (only
+    /// possible when the caller mixes snapshots from different traces, or
+    /// a restarted trace re-counted from zero after an RDD id was freed
+    /// and reused) contributes 0 rather than wrapping, so a confused
+    /// baseline can never fabricate a hot RDD.
+    pub fn rdd_call_delta(
+        current: &BTreeMap<u32, u64>,
+        baseline: &BTreeMap<u32, u64>,
+    ) -> BTreeMap<u32, u64> {
+        current
+            .iter()
+            .filter_map(|(rdd, calls)| {
+                let grown = calls.saturating_sub(baseline.get(rdd).copied().unwrap_or(0));
+                (grown > 0).then_some((*rdd, grown))
+            })
+            .collect()
     }
 
     /// Deterministic JSON form of every aggregate (used by
@@ -409,6 +462,32 @@ impl MetricsAggregator {
                     ("finished", Json::UInt(self.jobs_finished)),
                     ("queued_ns", Json::Num(self.job_queued_ns)),
                     ("elapsed_ns", Json::Num(self.job_elapsed_ns)),
+                ]),
+            ));
+        }
+        // Access-frequency export and stream aggregates appear only in
+        // traces that contain the corresponding events, keeping batch
+        // trace summaries byte-identical to the pre-streaming format.
+        if !self.rdd_calls.is_empty() {
+            fields.push((
+                "rdd_calls",
+                Json::Obj(
+                    self.rdd_calls
+                        .iter()
+                        .map(|(rdd, calls)| (rdd.to_string(), Json::UInt(*calls)))
+                        .collect(),
+                ),
+            ));
+        }
+        if self.batches > 0 || self.retags_to_dram + self.retags_to_nvm > 0 {
+            fields.push((
+                "stream",
+                Json::obj(vec![
+                    ("batches", Json::UInt(self.batches)),
+                    ("batch_latency", self.batch_latency.to_json()),
+                    ("watermarks", Json::UInt(self.watermarks)),
+                    ("retags_to_dram", Json::UInt(self.retags_to_dram)),
+                    ("retags_to_nvm", Json::UInt(self.retags_to_nvm)),
                 ]),
             ));
         }
@@ -534,6 +613,26 @@ impl MetricsAggregator {
                 self.jobs_finished,
                 self.job_queued_ns * ms,
                 self.job_elapsed_ns * ms
+            ));
+        }
+        if self.batches > 0 {
+            out.push_str(&format!(
+                "stream: {} batches (p50 {:.4} ms, p99 {:.4} ms), {} watermarks, \
+                 retags: {} to DRAM, {} to NVM\n",
+                self.batches,
+                self.batch_latency.quantile_ns(0.50) * ms,
+                self.batch_latency.quantile_ns(0.99) * ms,
+                self.watermarks,
+                self.retags_to_dram,
+                self.retags_to_nvm
+            ));
+        }
+        if !self.rdd_calls.is_empty() {
+            let total: u64 = self.rdd_calls.values().sum();
+            out.push_str(&format!(
+                "rdd calls: {} across {} RDDs\n",
+                total,
+                self.rdd_calls.len()
             ));
         }
         if self.per_exec.len() > 1 {
@@ -753,6 +852,19 @@ impl MetricsAggregator {
                 self.jobs_finished += 1;
                 self.job_elapsed_ns += elapsed_ns;
             }
+            Event::RddCall { rdd } => {
+                *self.rdd_calls.entry(*rdd).or_insert(0) += 1;
+            }
+            Event::BatchStart { .. } => {}
+            Event::BatchEnd { latency_ns, .. } => {
+                self.batches += 1;
+                self.batch_latency.record(*latency_ns);
+            }
+            Event::Watermark { .. } => self.watermarks += 1,
+            Event::Retag { to, .. } => match to {
+                Mem::Dram => self.retags_to_dram += 1,
+                Mem::Nvm => self.retags_to_nvm += 1,
+            },
         }
     }
 }
@@ -934,6 +1046,117 @@ mod tests {
         let mut m = MetricsAggregator::new();
         m.on_event(1.0, &Event::MinorGcStart);
         assert!(!m.to_json().to_compact().contains("\"executors\""));
+    }
+
+    #[test]
+    fn rdd_call_counters_are_cumulative_and_deltas_subtract() {
+        let mut m = MetricsAggregator::new();
+        for _ in 0..3 {
+            m.on_event(1.0, &Event::RddCall { rdd: 4 });
+        }
+        m.on_event(2.0, &Event::RddCall { rdd: 9 });
+        let baseline = m.rdd_calls().clone();
+        assert_eq!(baseline[&4], 3);
+        assert_eq!(baseline[&9], 1);
+
+        // More calls land in the next batch window; counters keep growing.
+        for _ in 0..5 {
+            m.on_event(3.0, &Event::RddCall { rdd: 4 });
+        }
+        m.on_event(4.0, &Event::RddCall { rdd: 2 });
+        let delta = MetricsAggregator::rdd_call_delta(m.rdd_calls(), &baseline);
+        assert_eq!(delta.get(&4), Some(&5));
+        assert_eq!(delta.get(&2), Some(&1));
+        // RDD 9 did not grow this window: absent, not zero.
+        assert_eq!(delta.get(&9), None);
+    }
+
+    #[test]
+    fn rdd_call_delta_survives_freed_then_reused_id() {
+        // RDD 7 is called, freed (the aggregator cannot see frees — the
+        // counter just stops growing), and a *new* RDD reuses id 7 in a
+        // restarted trace counted by a fresh aggregator. A baseline taken
+        // from the old aggregator is larger than the new counter; the
+        // delta must saturate to 0 for that id instead of wrapping to a
+        // huge "hot" count.
+        let mut old = MetricsAggregator::new();
+        for _ in 0..10 {
+            old.on_event(1.0, &Event::RddCall { rdd: 7 });
+        }
+        let stale_baseline = old.rdd_calls().clone();
+
+        let mut fresh = MetricsAggregator::new();
+        for _ in 0..2 {
+            fresh.on_event(2.0, &Event::RddCall { rdd: 7 });
+        }
+        let delta = MetricsAggregator::rdd_call_delta(fresh.rdd_calls(), &stale_baseline);
+        assert_eq!(delta.get(&7), None, "stale baseline must not underflow");
+
+        // Within ONE aggregator the reuse is benign: the cumulative
+        // counter for the reused id keeps growing, and per-window deltas
+        // attribute exactly the window's growth to the new incarnation.
+        let before = fresh.rdd_calls().clone();
+        for _ in 0..4 {
+            fresh.on_event(3.0, &Event::RddCall { rdd: 7 });
+        }
+        let delta = MetricsAggregator::rdd_call_delta(fresh.rdd_calls(), &before);
+        assert_eq!(delta.get(&7), Some(&4));
+        assert_eq!(fresh.rdd_calls()[&7], 6);
+    }
+
+    #[test]
+    fn rdd_call_delta_against_empty_baseline_is_identity() {
+        let mut m = MetricsAggregator::new();
+        m.on_event(1.0, &Event::RddCall { rdd: 0 });
+        m.on_event(1.0, &Event::RddCall { rdd: 3 });
+        m.on_event(1.0, &Event::RddCall { rdd: 3 });
+        let delta = MetricsAggregator::rdd_call_delta(m.rdd_calls(), &BTreeMap::new());
+        assert_eq!(delta, m.rdd_calls().clone());
+    }
+
+    #[test]
+    fn stream_aggregates_and_conditional_json_sections() {
+        let mut m = MetricsAggregator::new();
+        // No stream events: summary JSON has no stream/rdd_calls fields,
+        // keeping pre-streaming trace summaries byte-identical.
+        m.on_event(1.0, &Event::MinorGcStart);
+        let json = m.to_json().to_compact();
+        assert!(!json.contains("\"stream\""), "{json}");
+        assert!(!json.contains("\"rdd_calls\""), "{json}");
+
+        m.on_event(2.0, &Event::BatchStart { batch: 0 });
+        m.on_event(3.0, &Event::RddCall { rdd: 1 });
+        m.on_event(
+            4.0,
+            &Event::BatchEnd {
+                batch: 0,
+                latency_ns: 2.0,
+            },
+        );
+        m.on_event(
+            4.0,
+            &Event::Watermark {
+                batch: 0,
+                event_time: 32,
+            },
+        );
+        m.on_event(
+            4.0,
+            &Event::Retag {
+                rdd: 1,
+                from: Mem::Nvm,
+                to: Mem::Dram,
+            },
+        );
+        assert_eq!(m.batches(), 1);
+        assert_eq!(m.batch_latency().count(), 1);
+        assert_eq!(m.retags(), (1, 0));
+        let json = m.to_json().to_compact();
+        assert!(json.contains("\"stream\""), "{json}");
+        assert!(json.contains("\"rdd_calls\""), "{json}");
+        assert!(json.contains("\"watermarks\":1"), "{json}");
+        assert!(m.summary_table().contains("stream: 1 batches"));
+        assert!(m.summary_table().contains("rdd calls: 1 across 1 RDDs"));
     }
 
     #[test]

@@ -163,6 +163,22 @@ impl<R: MemoryRuntime> StageCursor<R> {
         &self.engine
     }
 
+    /// Mutable engine access between stages, for drivers that act at
+    /// stage barriers (the streaming driver re-tags and forces
+    /// collections here). Statement boundaries are safe points: no
+    /// evaluation is in flight.
+    pub fn engine_mut(&mut self) -> &mut Engine<R> {
+        &mut self.engine
+    }
+
+    /// Mutable access to the instrumentation plan between stages, so an
+    /// online policy can override the static tags of sites that have not
+    /// executed yet. Sites already executed are unaffected (their tags
+    /// were consumed at execution).
+    pub fn plan_mut(&mut self) -> &mut InstrumentationPlan {
+        &mut self.plan
+    }
+
     /// Execute the next statement-stage. Returns `false` if the schedule
     /// was already exhausted (and nothing ran).
     pub fn step(&mut self) -> bool {

@@ -371,6 +371,16 @@ impl<R: MemoryRuntime> Engine<R> {
         &self.stats
     }
 
+    /// Force a full collection with the engine's current root set.
+    ///
+    /// External drivers call this at a stage barrier after changing
+    /// placement inputs (e.g. an online policy pinned new per-RDD tag
+    /// overrides) so the dynamic re-assessment applies them immediately
+    /// instead of waiting for an organic major collection.
+    pub fn force_major(&mut self) {
+        self.runtime.force_major(&self.roots);
+    }
+
     /// Run a program under an instrumentation plan (use
     /// `InstrumentationPlan::default()` for un-instrumented baselines).
     /// # Panics

@@ -1,0 +1,213 @@
+//! Stream workload specification: a seeded, fully deterministic
+//! description of a micro-batch pipeline.
+//!
+//! Everything the driver runs — source records, drift schedule, window
+//! shape — derives from this struct and nothing else, so rebuilding a
+//! [`StreamSpec`] from the same fields replays the exact same stream.
+//! That property is what makes batch-boundary crash recovery a pure
+//! replay (DESIGN.md §14) and what lets the fuzzer compare policies on
+//! randomly drawn specs.
+
+/// Window shape over micro-batch panes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// Non-overlapping windows of `w` batches: a window closes (and its
+    /// panes unpersist) every `w`-th batch.
+    Tumbling(u32),
+    /// Overlapping windows of the last `w` batches, emitted every batch;
+    /// the pane sliding out of range unpersists.
+    Sliding(u32),
+}
+
+impl WindowSpec {
+    /// The window width in batches.
+    pub fn width(self) -> u32 {
+        match self {
+            WindowSpec::Tumbling(w) | WindowSpec::Sliding(w) => w,
+        }
+    }
+
+    /// Whether a window closes at the end of 0-based batch `b`.
+    pub fn closes_at(self, b: u32) -> bool {
+        match self {
+            WindowSpec::Tumbling(w) => (b + 1).is_multiple_of(w),
+            WindowSpec::Sliding(_) => true,
+        }
+    }
+}
+
+/// A seeded micro-batch streaming workload over `datasets` resident
+/// cached datasets, with a drifting hot set.
+///
+/// Per batch, the pipeline ingests one source pane, joins it against the
+/// batch's *hot* dataset (a stream-static join), folds the pane into a
+/// running `reduceByKey` state RDD, and emits windowed aggregations per
+/// [`WindowSpec`]. The hot dataset drifts every [`StreamSpec::drift_period`]
+/// batches through a seeded permutation — so any fixed placement of the
+/// datasets is wrong for part of the stream, which is exactly the gap an
+/// online re-tagging policy can close.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Workload name (becomes the program / report name).
+    pub name: String,
+    /// Seed for source data and the drift permutation.
+    pub seed: u64,
+    /// Number of micro-batches.
+    pub batches: u32,
+    /// Number of resident cached datasets (the re-tag targets).
+    pub datasets: u32,
+    /// Records per resident dataset.
+    pub dataset_records: usize,
+    /// Records per source pane (one pane per batch).
+    pub pane_records: usize,
+    /// Distinct join/aggregation keys.
+    pub key_space: i64,
+    /// Batches between hot-set drifts.
+    pub drift_period: u32,
+    /// Window shape.
+    pub window: WindowSpec,
+    /// Monitored accesses to the hot dataset per batch (one is the join;
+    /// the rest are count actions).
+    pub accesses_per_batch: u32,
+    /// Virtual event-time ticks covered by one batch; the watermark after
+    /// batch `b` is `(b + 1) * event_time_per_batch` (exclusive).
+    pub event_time_per_batch: u64,
+    /// Per-batch call-count delta at or above which a dataset is
+    /// considered hot (wants DRAM) by the online and oracle policies.
+    pub hot_threshold: u64,
+}
+
+impl StreamSpec {
+    /// A small, fast spec for tests: 8 batches over 4 datasets with a
+    /// tumbling window of 2 and a drift every 2 batches.
+    pub fn small(seed: u64) -> StreamSpec {
+        StreamSpec {
+            name: "stream-small".to_string(),
+            seed,
+            batches: 8,
+            datasets: 4,
+            dataset_records: 2048,
+            pane_records: 256,
+            key_space: 128,
+            drift_period: 2,
+            window: WindowSpec::Tumbling(2),
+            accesses_per_batch: 4,
+            event_time_per_batch: 1_000,
+            hot_threshold: 2,
+        }
+    }
+
+    /// The benchmark-sized spec: longer stream, bigger datasets, sliding
+    /// window — enough resident bytes that the datasets cannot all sit in
+    /// DRAM, so placement genuinely matters.
+    pub fn perf(seed: u64) -> StreamSpec {
+        StreamSpec {
+            name: "stream-perf".to_string(),
+            seed,
+            batches: 16,
+            datasets: 6,
+            dataset_records: 8192,
+            pane_records: 512,
+            key_space: 256,
+            drift_period: 2,
+            window: WindowSpec::Sliding(3),
+            accesses_per_batch: 6,
+            event_time_per_batch: 1_000,
+            hot_threshold: 2,
+        }
+    }
+
+    /// The 0-based hot dataset index for each batch: the seeded drift
+    /// permutation advanced every [`StreamSpec::drift_period`] batches.
+    pub fn hot_schedule(&self) -> Vec<u32> {
+        let k = self.datasets.max(1);
+        // Seeded Fisher-Yates over 0..k (SplitMix64, dependency-free).
+        let mut perm: Vec<u32> = (0..k).collect();
+        let mut x = self.seed ^ 0x5157_4e44_5249_4654; // "drift" domain
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for i in (1..perm.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        let period = self.drift_period.max(1);
+        (0..self.batches)
+            .map(|b| perm[((b / period) % k) as usize])
+            .collect()
+    }
+
+    /// Check the spec's structural constraints.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.batches == 0 {
+            return Err("a stream needs at least one batch".to_string());
+        }
+        if self.datasets == 0 {
+            return Err("a stream needs at least one resident dataset".to_string());
+        }
+        if self.window.width() == 0 {
+            return Err("window width must be at least one batch".to_string());
+        }
+        if self.accesses_per_batch == 0 {
+            return Err("the hot dataset must be accessed at least once per batch".to_string());
+        }
+        if self.key_space <= 0 {
+            return Err("key space must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_schedule_is_deterministic_and_drifts() {
+        let spec = StreamSpec::small(11);
+        let a = spec.hot_schedule();
+        let b = spec.hot_schedule();
+        assert_eq!(a, b, "schedule must be a pure function of the spec");
+        assert_eq!(a.len(), spec.batches as usize);
+        assert!(
+            a.windows(2).any(|w| w[0] != w[1]),
+            "the hot set must actually drift: {a:?}"
+        );
+        assert!(a.iter().all(|h| *h < spec.datasets));
+        // Consecutive batches within one drift period share the hot index.
+        for (b, h) in a.iter().enumerate() {
+            if b % spec.drift_period as usize != 0 {
+                assert_eq!(*h, a[b - 1], "drift only at period boundaries");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let mut distinct = std::collections::BTreeSet::new();
+        for seed in 0..16 {
+            distinct.insert(StreamSpec::small(seed).hot_schedule());
+        }
+        assert!(distinct.len() > 1, "seed must reach the drift permutation");
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_specs() {
+        let mut s = StreamSpec::small(1);
+        s.batches = 0;
+        assert!(s.validate().is_err());
+        let mut s = StreamSpec::small(1);
+        s.window = WindowSpec::Tumbling(0);
+        assert!(s.validate().is_err());
+        assert!(StreamSpec::small(1).validate().is_ok());
+        assert!(StreamSpec::perf(1).validate().is_ok());
+    }
+}

@@ -238,6 +238,7 @@ fn invalid_config_is_an_error_not_a_panic() {
     let w = build_workload(WorkloadId::Pr, 0.02, SEED);
     // A DRAM ratio of zero cannot hold the nursery.
     let cfg = SystemConfig::new(MemoryMode::Panthera, 16 * SIM_GB, 0.0);
+    assert!(cfg.validate().is_err());
     let err = RunBuilder::new(&w.program, w.fns, w.data)
         .config(cfg)
         .run()
@@ -246,8 +247,4 @@ fn invalid_config_is_an_error_not_a_panic() {
         panic!("zero DRAM should surface as RunError::Config, got {err}");
     };
     assert!(!config_err.message().is_empty());
-    let built = panthera::Simulation::new(MemoryMode::Panthera)
-        .dram_ratio(0.0)
-        .try_build();
-    assert!(built.is_err());
 }
